@@ -1,0 +1,47 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one paper table or figure at a scaled-down
+but methodologically identical configuration (see
+``repro.experiments.common`` for the scale knobs).  Results are printed
+(visible with ``pytest -s``) and written to ``benchmarks/results/`` so
+the regenerated tables survive the run.
+
+Heavy sweeps are memoized inside ``repro.experiments.sweep``, so the
+benchmarks sharing data (Fig 9 / Fig 10 / Table 3) compute it once per
+session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir):
+    """Print a report and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and expensive; calibration
+    rounds would multiply their cost for no statistical benefit.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Ablations: what each Ubik mechanism contributes (DESIGN.md).
+
+Expected shape: removing boosting drifts tails upward; removing
+accurate de-boosting keeps tails safe but costs batch throughput;
+exact bounds downsize at least as aggressively and stay safe here.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.common import ExperimentScale, default_scale, format_table
+
+
+def ablation_scale():
+    base = default_scale()
+    return ExperimentScale(
+        requests=base.requests,
+        lc_names=("shore", "specjbb", "moses"),
+        combos=("nft", "fts"),
+        mixes_per_combo=base.mixes_per_combo,
+    )
+
+
+def test_ubik_ablations(benchmark, emit):
+    entries = run_once(benchmark, lambda: run_ablations(ablation_scale()))
+    rows = [
+        [
+            e.variant,
+            e.load_label,
+            f"{e.average_degradation:.3f}",
+            f"{e.worst_degradation:.3f}",
+            f"{e.average_speedup_pct:.1f}%",
+        ]
+        for e in entries
+    ]
+    emit(
+        "ablations",
+        format_table(
+            ["Variant", "Load", "Avg tail", "Worst tail", "Avg speedup"],
+            rows,
+            title="Ablations: Ubik design choices (5% slack)",
+        ),
+    )
+
+    def metric(variant, load, field):
+        (entry,) = [
+            e for e in entries if e.variant == variant and e.load_label == load
+        ]
+        return getattr(entry, field)
+
+    for load in ("lo", "hi"):
+        # No boosting: tails drift beyond full Ubik's.
+        assert metric("Ubik-noboost", load, "average_degradation") >= metric(
+            "Ubik", load, "average_degradation"
+        ) - 0.005
+        # No de-boosting: safe tails, but no throughput advantage.
+        assert metric("Ubik-nodeboost", load, "worst_degradation") < 1.15
+        assert metric("Ubik-nodeboost", load, "average_speedup_pct") <= metric(
+            "Ubik", load, "average_speedup_pct"
+        ) + 0.5
+        # Exact bounds: still safe in this engine.
+        assert metric("Ubik-exact", load, "worst_degradation") < 1.2

@@ -1,0 +1,51 @@
+"""Extension: memory-bandwidth contention (paper future work).
+
+Expected shape: cache partitioning alone cannot protect tails once the
+memory channel contends — both StaticLC and Ubik degrade together as
+bandwidth tightens, motivating the bandwidth partitioning the paper
+defers to future work.
+"""
+
+from conftest import run_once
+
+from repro.experiments.bandwidth_study import run_bandwidth_study
+from repro.experiments.common import format_table
+
+
+def test_ext_bandwidth_contention(benchmark, emit):
+    points = run_once(benchmark, lambda: run_bandwidth_study(requests=100))
+    rows = [
+        [
+            "inf" if p.peak_misses_per_kilocycle > 1e6 else f"{p.peak_misses_per_kilocycle:.0f}",
+            p.policy,
+            f"{p.tail_degradation:.3f}",
+            f"{p.weighted_speedup:.3f}",
+        ]
+        for p in points
+    ]
+    emit(
+        "ext_bandwidth",
+        format_table(
+            ["Peak (misses/kcycle)", "Policy", "Tail degradation", "Weighted speedup"],
+            rows,
+            title="Extension: tails under memory-bandwidth contention",
+        ),
+    )
+
+    by_policy = {}
+    for p in points:
+        by_policy.setdefault(p.policy, []).append(p)
+    for policy, series in by_policy.items():
+        tails = [p.tail_degradation for p in series]  # peaks tighten in order
+        # Unlimited bandwidth: the usual guarantee holds.
+        assert tails[0] < 1.05, policy
+        # Tightening the channel monotonically degrades tails.
+        for a, b in zip(tails, tails[1:]):
+            assert b >= a - 0.01, policy
+        # The tightest point is a clear violation for everyone: cache
+        # partitioning does not manage this resource.
+        assert tails[-1] > 1.15, policy
+    # Neither scheme can fix it: they degrade together.
+    static = [p.tail_degradation for p in by_policy["StaticLC"]]
+    ubik = [p.tail_degradation for p in by_policy["Ubik-5%"]]
+    assert abs(static[-1] - ubik[-1]) < 0.25

@@ -1,0 +1,45 @@
+"""Extension: Ubik on larger CMPs (paper Section 6's future work).
+
+Expected shape: Ubik's guarantees are scale-free — tails at ~1.0x and a
+throughput edge over StaticLC at 6, 12, and 24 cores.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.scaleout import run_scaleout
+
+CORES = (6, 12, 24)
+
+
+def test_ext_scaleout(benchmark, emit):
+    results = run_once(
+        benchmark, lambda: run_scaleout(core_counts=CORES, requests=80)
+    )
+    rows = [
+        [
+            r.cores,
+            r.policy,
+            f"{r.tail_degradation:.3f}",
+            f"{r.weighted_speedup:.3f}",
+        ]
+        for r in results
+    ]
+    emit(
+        "ext_scaleout",
+        format_table(
+            ["Cores", "Policy", "Tail degradation", "Weighted speedup"],
+            rows,
+            title="Extension: scaling the CMP (half LC, half batch; 2 MB LLC/core)",
+        ),
+    )
+
+    by_key = {(r.cores, r.policy): r for r in results}
+    for cores in CORES:
+        static = by_key[(cores, "StaticLC")]
+        ubik = by_key[(cores, "Ubik-5%")]
+        # Guarantees are scale-free.
+        assert static.tail_degradation < 1.05, cores
+        assert ubik.tail_degradation < 1.08, cores
+        # Ubik keeps its throughput edge at every size.
+        assert ubik.weighted_speedup > static.weighted_speedup, cores

@@ -1,0 +1,76 @@
+"""Figure 10: per-app tail degradation and weighted speedup (OOO cores).
+
+Expected per-app stories (paper Section 7.1):
+
+* xapian (low LLC intensity): all schemes hold tails at low load; UCP
+  and Ubik reach the highest speedups by shrinking its partition.
+* shore / specjbb (strong cross-request reuse): LRU/UCP/OnOff violate
+  tails; StaticLC and Ubik protect them.
+* Ubik achieves the best overall balance.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import default_scale, format_table
+from repro.experiments.fig10_per_app import run_fig10
+
+
+def entries_by(entries, **kwargs):
+    out = entries
+    for key, value in kwargs.items():
+        out = [e for e in out if getattr(e, key) == value]
+    return out
+
+
+def render(entries, title):
+    rows = [
+        [
+            e.lc_name,
+            e.load_label,
+            e.policy,
+            f"{e.overall_degradation:.3f}",
+            f"{e.worst_degradation:.3f}",
+            f"{e.average_speedup:.3f}",
+        ]
+        for e in entries
+    ]
+    return format_table(
+        ["LC app", "Load", "Scheme", "Tail", "Worst tail", "Avg speedup"],
+        rows,
+        title=title,
+    )
+
+
+def test_fig10_per_app(benchmark, emit):
+    entries = run_once(benchmark, lambda: run_fig10(default_scale()))
+    emit("fig10", render(entries, "Figure 10: per-app results, OOO cores"))
+
+    # Safety of StaticLC/Ubik for the reuse-heavy apps.
+    for lc_name in ("shore", "specjbb"):
+        for load in ("lo", "hi"):
+            for policy in ("StaticLC", "Ubik"):
+                (entry,) = entries_by(
+                    entries, lc_name=lc_name, load_label=load, policy=policy
+                )
+                assert entry.worst_degradation < 1.2, (lc_name, load, policy)
+
+    # Best-effort schemes hurt at least one reuse-heavy configuration.
+    violations = [
+        e
+        for e in entries
+        if e.policy in ("LRU", "UCP", "OnOff")
+        and e.lc_name in ("shore", "specjbb", "masstree")
+        and e.worst_degradation > 1.15
+    ]
+    assert violations, "expected best-effort tail violations"
+
+    # xapian low load: every scheme is tail-safe; Ubik speedup beats
+    # StaticLC's.
+    for policy in ("LRU", "UCP", "OnOff", "StaticLC", "Ubik"):
+        (entry,) = entries_by(entries, lc_name="xapian", load_label="lo", policy=policy)
+        assert entry.overall_degradation < 1.15, policy
+    (ubik,) = entries_by(entries, lc_name="xapian", load_label="lo", policy="Ubik")
+    (static,) = entries_by(
+        entries, lc_name="xapian", load_label="lo", policy="StaticLC"
+    )
+    assert ubik.average_speedup > static.average_speedup

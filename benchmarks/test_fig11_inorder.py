@@ -1,0 +1,63 @@
+"""Figure 11: per-app results with simple in-order cores.
+
+Expected shape: in-order cores expose full miss latency, so best-effort
+schemes degrade tails *more* than with OOO cores, and weighted speedups
+grow across all schemes; StaticLC and Ubik stay safe.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.common import ExperimentScale, default_scale, format_table
+from repro.experiments.fig10_per_app import run_fig10, run_fig11
+from test_fig10_per_app import render
+
+
+def inorder_scale():
+    base = default_scale()
+    # In-order services are longer; trim the combo grid to keep the
+    # benchmark's runtime in line with the OOO one.
+    return ExperimentScale(
+        requests=base.requests,
+        lc_names=base.lc_names,
+        combos=("nft", "fts", "sss"),
+        mixes_per_combo=base.mixes_per_combo,
+    )
+
+
+def test_fig11_inorder(benchmark, emit):
+    scale = inorder_scale()
+    entries = run_once(benchmark, lambda: run_fig11(scale))
+    emit("fig11", render(entries, "Figure 11: per-app results, in-order cores"))
+
+    # Safety holds even with the higher sensitivity.
+    for e in entries:
+        if e.policy in ("StaticLC", "Ubik"):
+            assert e.worst_degradation < 1.25, (e.lc_name, e.load_label, e.policy)
+
+    # Higher sensitivity -> larger speedups than the OOO runs for the
+    # partitioned schemes (paper: 20% -> 28% for Ubik).
+    ooo_entries = run_fig10(ExperimentScale(
+        requests=scale.requests,
+        lc_names=scale.lc_names,
+        combos=scale.combos,
+        mixes_per_combo=scale.mixes_per_combo,
+    ))
+
+    def avg_speedup(entries, policy):
+        vals = [e.average_speedup for e in entries if e.policy == policy]
+        return float(np.mean(vals))
+
+    for policy in ("Ubik", "StaticLC", "UCP"):
+        assert avg_speedup(entries, policy) > avg_speedup(ooo_entries, policy) - 0.01, policy
+
+    # Best-effort schemes degrade worse in-order than OOO.
+    worst_inorder = max(
+        e.worst_degradation for e in entries if e.policy in ("LRU", "UCP", "OnOff")
+    )
+    worst_ooo = max(
+        e.worst_degradation
+        for e in ooo_entries
+        if e.policy in ("LRU", "UCP", "OnOff")
+    )
+    assert worst_inorder > worst_ooo - 0.05

@@ -1,0 +1,57 @@
+"""Figure 12: Ubik's slack sensitivity (0%, 1%, 5%, 10%).
+
+Expected shape: weighted speedup grows monotonically with slack; tail
+degradation stays within (roughly) 1 + slack at every setting.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import ExperimentScale, default_scale, format_table
+from repro.experiments.fig12_slack import run_fig12
+
+
+def slack_scale():
+    base = default_scale()
+    return ExperimentScale(
+        requests=base.requests,
+        lc_names=base.lc_names,
+        combos=("nft", "fts", "sss"),
+        mixes_per_combo=base.mixes_per_combo,
+    )
+
+
+def test_fig12_slack_sensitivity(benchmark, emit):
+    entries = run_once(benchmark, lambda: run_fig12(slack_scale()))
+    rows = [
+        [
+            f"{e.slack:.0%}",
+            e.load_label,
+            f"{e.average_speedup_pct:.1f}%",
+            f"{e.average_degradation:.3f}",
+            f"{e.worst_degradation:.3f}",
+        ]
+        for e in entries
+    ]
+    emit(
+        "fig12",
+        format_table(
+            ["Slack", "Load", "Avg speedup", "Avg tail", "Worst tail"],
+            rows,
+            title="Figure 12: Ubik slack sensitivity",
+        ),
+    )
+
+    for load in ("lo", "hi"):
+        per_load = [e for e in entries if e.load_label == load]
+        per_load.sort(key=lambda e: e.slack)
+        speedups = [e.average_speedup_pct for e in per_load]
+        # Monotone-ish speedup growth with slack (small noise allowed).
+        assert speedups[-1] > speedups[0]
+        for a, b in zip(speedups, speedups[1:]):
+            assert b >= a - 1.0
+        # Degradation bounded by the slack (with measurement headroom).
+        for e in per_load:
+            assert e.average_degradation <= 1.0 + 2.5 * e.slack + 0.03, e
+    # Strict Ubik: no degradation at all.
+    strict = [e for e in entries if e.slack == 0.0]
+    assert all(e.worst_degradation < 1.10 for e in strict)

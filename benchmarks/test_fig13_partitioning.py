@@ -1,0 +1,56 @@
+"""Figure 13: Ubik's sensitivity to the partitioning scheme and array.
+
+Expected shape: way-partitioning breaks Ubik's tails (worst on 16
+ways); Vantage on SA16 leaks lines and hurts tails; Vantage on SA64
+approaches the default zcache's safety.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import ExperimentScale, default_scale, format_table
+from repro.experiments.fig13_schemes import run_fig13
+
+
+def scheme_scale():
+    base = default_scale()
+    return ExperimentScale(
+        requests=base.requests,
+        lc_names=base.lc_names,
+        combos=("nft", "fts", "sss"),
+        mixes_per_combo=base.mixes_per_combo,
+    )
+
+
+def test_fig13_partitioning_schemes(benchmark, emit):
+    entries = run_once(benchmark, lambda: run_fig13(scheme_scale()))
+    rows = [
+        [
+            e.scheme,
+            e.load_label,
+            f"{e.average_degradation:.3f}",
+            f"{e.worst_degradation:.3f}",
+            f"{e.average_speedup_pct:.1f}%",
+        ]
+        for e in entries
+    ]
+    emit(
+        "fig13",
+        format_table(
+            ["Scheme", "Load", "Avg tail", "Worst tail", "Avg speedup"],
+            rows,
+            title="Figure 13: Ubik (5% slack) under different partitioning schemes",
+        ),
+    )
+
+    def worst(scheme_name):
+        return max(
+            e.worst_degradation for e in entries if e.scheme == scheme_name
+        )
+
+    # The zcache is the safest array for Ubik.
+    assert worst("Vantage Z4/52") <= worst("WayPart SA16") + 1e-9
+    # Way-partitioning's unpredictable transients violate deadlines.
+    assert worst("WayPart SA16") > worst("Vantage Z4/52") + 0.02
+    # Vantage on SA64 approaches the zcache; SA16 is clearly worse.
+    assert worst("Vantage SA64") <= worst("Vantage SA16") + 0.02
+    assert worst("Vantage SA64") <= worst("Vantage Z4/52") + 0.12

@@ -1,0 +1,42 @@
+"""Figure 1a: load-latency diagrams (mean and 95th-pct tail mean).
+
+Expected shape: tail >> mean at every load; both blow up superlinearly
+as load grows (paper Observations 1 and 3).
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig1_load_latency import run_fig1a
+from repro.workloads.latency_critical import LC_NAMES
+
+LOADS = (0.1, 0.3, 0.5, 0.7)
+
+
+def test_fig1a_load_latency(benchmark, emit):
+    curves = run_once(
+        benchmark, lambda: run_fig1a(LC_NAMES, loads=LOADS, requests=120)
+    )
+    rows = []
+    for name, points in curves.items():
+        for p in points:
+            rows.append(
+                [name, f"{p.load:.0%}", f"{p.mean_ms:.3f}", f"{p.tail95_ms:.3f}"]
+            )
+    emit(
+        "fig1a",
+        format_table(
+            ["Workload", "Load", "Mean (ms)", "Tail95 (ms)"],
+            rows,
+            title="Figure 1a: load-latency curves (app alone, 2 MB LLC)",
+        ),
+    )
+    for name, points in curves.items():
+        # Observation 1: tail is well above the mean.
+        assert all(p.tail95_ms > p.mean_ms for p in points), name
+        # Observation 3: latency grows with load, superlinearly at the top.
+        tails = [p.tail95_ms for p in points]
+        assert tails[-1] > tails[0], name
+        low_slope = tails[1] - tails[0]
+        high_slope = tails[-1] - tails[-2]
+        assert high_slope > low_slope * 0.5, name

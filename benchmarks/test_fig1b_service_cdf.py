@@ -1,0 +1,43 @@
+"""Figure 1b: CDFs of request service time (no queueing delay).
+
+Expected shapes: near-constant for masstree/moses, long-tailed for
+xapian, multi-modal for shore/specjbb.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig1b_service_cdf import run_fig1b
+from repro.workloads.latency_critical import LC_NAMES
+
+
+def test_fig1b_service_cdfs(benchmark, emit):
+    cdfs = run_once(benchmark, lambda: run_fig1b(LC_NAMES))
+    rows = [
+        [
+            name,
+            f"{c.mean_ms:.3f}",
+            f"{c.p95_ms:.3f}",
+            f"{c.p95_ms / c.mean_ms:.2f}x",
+        ]
+        for name, c in cdfs.items()
+    ]
+    emit(
+        "fig1b",
+        format_table(
+            ["Workload", "Mean (ms)", "p95 (ms)", "p95/mean"],
+            rows,
+            title="Figure 1b: service-time distributions (2 MB baseline)",
+        ),
+    )
+    ratio = {name: c.p95_ms / c.mean_ms for name, c in cdfs.items()}
+    # Near-constant services.
+    assert ratio["masstree"] < 1.3
+    assert ratio["moses"] < 1.3
+    # Long-tailed / multi-modal services.
+    assert ratio["xapian"] > 2.5
+    assert ratio["shore"] > 2.0
+    assert ratio["specjbb"] > 2.0
+    # Mean ordering matches the paper's x-axis ranges.
+    means = {name: c.mean_ms for name, c in cdfs.items()}
+    assert means["moses"] > means["xapian"] > means["masstree"]

@@ -1,0 +1,50 @@
+"""Figure 2: LLC access breakdowns by cross-request reuse distance.
+
+Expected shape: substantial cross-request hit shares (inertia), lower
+miss rates plus deeper reuse at 8 MB than 2 MB, and the paper's APKI
+ordering.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig2_reuse import run_fig2
+from repro.workloads.latency_critical import LC_NAMES
+
+
+def test_fig2_reuse_breakdown(benchmark, emit):
+    breakdowns = run_once(benchmark, lambda: run_fig2(LC_NAMES))
+    rows = []
+    for (name, mb), r in breakdowns.items():
+        rows.append(
+            [
+                name,
+                f"{mb:.0f}MB",
+                f"{r.apki:.1f}",
+                f"{r.miss_fraction:.1%}",
+                f"{sum(r.hit_fractions[1:]):.1%}",
+                f"{r.cross_request_hit_fraction:.1%}",
+            ]
+        )
+    emit(
+        "fig2",
+        format_table(
+            ["Workload", "LLC", "APKI", "Misses", "Cross-req hits", "Share of hits"],
+            rows,
+            title="Figure 2: LLC access breakdown by requests-ago reuse",
+        ),
+    )
+    for name in LC_NAMES:
+        r2 = breakdowns[(name, 2.0)]
+        r8 = breakdowns[(name, 8.0)]
+        # Lower miss rates and deeper reuse at 8 MB (paper Fig 2b).
+        assert r8.miss_fraction <= r2.miss_fraction + 0.02, name
+        assert (
+            r8.cross_request_hit_fraction >= r2.cross_request_hit_fraction - 0.05
+        ), name
+    # Cross-request reuse is substantial for the reuse-heavy apps.
+    for name in ("shore", "specjbb", "masstree", "xapian"):
+        assert breakdowns[(name, 2.0)].cross_request_hit_fraction > 0.35, name
+    # APKI ordering: moses > specjbb > masstree > shore > xapian.
+    apkis = [breakdowns[(n, 2.0)].apki for n in ("moses", "specjbb", "masstree", "shore", "xapian")]
+    assert apkis == sorted(apkis, reverse=True)

@@ -1,0 +1,57 @@
+"""Figure 9: distributions of tail degradation and weighted speedup.
+
+Expected shape: LRU/UCP/OnOff suffer significant degradation on a
+fraction of mixes (worst cases well above 1.2x); StaticLC and Ubik hold
+~1.0x everywhere; Ubik's speedups track UCP/OnOff and beat StaticLC.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.common import default_scale, format_table
+from repro.experiments.fig9_distributions import run_fig9
+
+
+def test_fig9_distributions(benchmark, emit):
+    data = run_once(benchmark, lambda: run_fig9(default_scale()))
+    lines = ["Figure 9: per-scheme distributions over the mix grid"]
+    for load_label, load_name in (("lo", "Low load"), ("hi", "High load")):
+        rows = []
+        for policy in data.policies:
+            degr = data.sweep.sorted_degradations(policy, load_label)
+            spd = data.sweep.sorted_speedups(policy, load_label)
+            rows.append(
+                [
+                    policy,
+                    f"{np.median(degr):.3f}",
+                    f"{degr[0]:.3f}",
+                    f"{data.violation_fraction(policy, load_label):.0%}",
+                    f"{np.mean(spd):.3f}",
+                    f"{spd[-1]:.3f}",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["Scheme", "Med tail", "Worst tail", ">1.1x", "Avg speedup", "Best speedup"],
+                rows,
+                title=f"\n{load_name}:",
+            )
+        )
+    emit("fig9", "\n".join(lines))
+
+    for load_label in ("lo", "hi"):
+        # Safety: StaticLC and Ubik hold tails; Ubik within its 5% slack
+        # (plus measurement noise).
+        assert data.worst_degradation("StaticLC", load_label) < 1.10
+        assert data.worst_degradation("Ubik", load_label) < 1.20
+        # Best-effort schemes violate tails on some mixes.
+        worst_best_effort = max(
+            data.worst_degradation(p, load_label) for p in ("LRU", "UCP", "OnOff")
+        )
+        assert worst_best_effort > 1.15
+        # Throughput: Ubik well above StaticLC, near UCP/OnOff.
+        ubik = data.sweep.average_speedup("Ubik", load_label)
+        static = data.sweep.average_speedup("StaticLC", load_label)
+        ucp = data.sweep.average_speedup("UCP", load_label)
+        assert ubik > static
+        assert ubik > ucp - 0.05

@@ -1,0 +1,26 @@
+"""Table 2: configuration of the simulated six-core CMP."""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.sim.config import TABLE2_ROWS, westmere_config
+from repro.units import mb_to_lines
+
+
+def test_table2_config(benchmark, emit):
+    def build():
+        config = westmere_config()
+        return config, list(TABLE2_ROWS)
+
+    config, rows = run_once(benchmark, build)
+    emit(
+        "table2",
+        format_table(
+            ["Component", "Configuration"],
+            rows,
+            title="Table 2: simulated CMP (Westmere-EP-like)",
+        ),
+    )
+    assert config.num_cores == 6
+    assert config.llc_lines == mb_to_lines(12)
+    assert config.mem_latency_cycles == 200

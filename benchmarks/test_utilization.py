@@ -1,0 +1,39 @@
+"""Section 7.1: the utilization argument.
+
+Expected shape: with LRU the operator cannot colocate (10% utilization,
+matching industry reports); StaticLC and Ubik colocate safely on nearly
+every mix, reaching ~60% — the paper's 6x claim.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import default_scale, format_table
+from repro.experiments.utilization import run_utilization
+
+
+def test_utilization(benchmark, emit):
+    estimates = run_once(benchmark, lambda: run_utilization(default_scale()))
+    rows = [
+        [
+            est.policy,
+            f"{est.safe_fraction:.0%}",
+            f"{est.utilization:.0%}",
+        ]
+        for est in estimates.values()
+    ]
+    emit(
+        "utilization",
+        format_table(
+            ["Scheme", "Safe colocations", "Cluster utilization"],
+            rows,
+            title="Section 7.1: utilization with LC apps at 20% load",
+        ),
+    )
+
+    assert estimates["LRU"].utilization == 0.10
+    for policy in ("StaticLC", "Ubik"):
+        est = estimates[policy]
+        assert est.safe_fraction >= 0.95, policy
+        assert est.utilization > 0.55, policy
+        # The 6x headline.
+        assert est.utilization / estimates["LRU"].utilization > 5.5, policy

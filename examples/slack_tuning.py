@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Slack tuning: trade bounded tail degradation for batch throughput.
+
+Ubik's slack parameter (paper Section 5.2, Figure 12) relaxes the
+tail-latency requirement by a controlled fraction and converts the
+headroom into cache space for batch apps.  This script sweeps the
+slack for one workload and prints the tradeoff curve, including the
+de-boost and watermark interrupt counts that show the mechanism at
+work.
+
+Run:  python examples/slack_tuning.py [app] [load]
+"""
+
+import sys
+
+from repro import MixRunner, UbikPolicy, make_mix_specs
+
+SLACKS = (0.0, 0.01, 0.05, 0.10)
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "moses"
+    load = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+
+    spec = make_mix_specs(lc_names=[app], loads=[load], mixes_per_combo=1)[7]
+    runner = MixRunner(requests=200)
+
+    print(f"Ubik slack sweep: 3x {app} at {load:.0%} load, mix {spec.mix_id}\n")
+    header = (
+        f"{'slack':>6} {'tail degradation':>17} {'weighted speedup':>17} "
+        f"{'deboosts':>9} {'watermarks':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for slack in SLACKS:
+        result = runner.run_mix(spec, UbikPolicy(slack=slack))
+        deboosts = sum(i.deboosts for i in result.lc_instances)
+        watermarks = sum(i.watermarks for i in result.lc_instances)
+        print(
+            f"{slack:>5.0%} {result.tail_degradation():>16.3f}x "
+            f"{result.weighted_speedup():>16.3f}x "
+            f"{deboosts:>9d} {watermarks:>11d}"
+        )
+
+    print(
+        "\nReading: batch speedup grows with slack while tail degradation "
+        "stays\nwithin ~(1 + slack); the watermark interrupts catch "
+        "requests that\nwould suffer catastrophically and fall back to "
+        "conservative sizing."
+    )
+
+
+if __name__ == "__main__":
+    main()

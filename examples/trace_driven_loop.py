@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Hardware-in-the-loop: UMONs + Lookahead + Vantage on real streams.
+
+The mix engine is analytic; this example runs the same control loop the
+paper builds in hardware (Figure 3) over *actual address traces*: two
+applications share a Vantage-partitioned cache, per-app utility
+monitors sample their streams, and every window the controller reads
+the measured miss curves and repartitions with Lookahead.
+
+Watch the loop (1) starve the streaming app that gains nothing from
+cache, and (2) re-adapt when the other app's working set changes phase.
+
+Run:  python examples/trace_driven_loop.py
+"""
+
+from repro.analysis.ascii_plot import hbar
+from repro.sim.trace_sim import (
+    PhasedGenerator,
+    ScanGenerator,
+    TraceApp,
+    TraceDrivenSimulator,
+    ZipfWorkingSetGenerator,
+)
+
+CACHE_LINES = 4096
+
+
+def main() -> None:
+    apps = [
+        TraceApp(
+            "phased",
+            PhasedGenerator(
+                ZipfWorkingSetGenerator(300, alpha=0.4),
+                ZipfWorkingSetGenerator(6000, alpha=0.4, base=50_000_000),
+                switch_after=20_000,  # flips around window 4 of 10
+            ),
+        ),
+        TraceApp("zipf", ZipfWorkingSetGenerator(3000, alpha=0.6, base=10_000_000)),
+        TraceApp("scan", ScanGenerator(base=90_000_000)),
+    ]
+    sim = TraceDrivenSimulator(
+        cache_lines=CACHE_LINES,
+        apps=apps,
+        reconfig_accesses=15_000,
+        seed=7,
+    )
+    result = sim.run(windows=10)
+
+    print("Per-window allocations and miss ratios (closed control loop)\n")
+    print(f"{'win':>4} " + "".join(f"{a.name:>28}" for a in apps))
+    for window in range(10):
+        cells = []
+        for app in apps:
+            stats = [
+                w
+                for w in result.windows
+                if w.window == window and w.app == app.name
+            ][0]
+            share = stats.allocation_lines / CACHE_LINES
+            cells.append(
+                f"  {stats.allocation_lines:>5} ln |{hbar(share, 8)}| m={stats.miss_ratio:.2f}"
+            )
+        print(f"{window:>4} " + "".join(cells))
+
+    final = result.final_allocations()
+    print(
+        "\nReading: the scan app ends with almost nothing "
+        f"({final['scan']} lines); the phased app's allocation grows after "
+        "its working set expands mid-run — the same UMON -> Lookahead -> "
+        "Vantage loop Ubik builds on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Transient analysis: the Section 5.1 math, step by step.
+
+Reproduces the paper's worked example and then applies the same
+machinery to a real workload model: given a miss curve and core
+parameters, compute how long a partition fill takes, how many cycles
+the transient costs, and what boost size repays it by the deadline.
+This is the analytical heart of Ubik, usable standalone.
+
+Run:  python examples/transient_analysis.py
+"""
+
+from repro.core.boost import choose_sizes
+from repro.core.transient import (
+    gain_rate_per_cycle,
+    lost_cycles_bound,
+    lost_cycles_exact,
+    transient_length_bound,
+    transient_length_exact,
+)
+from repro.monitor.miss_curve import MissCurve
+from repro.units import cycles_to_ms, mb_to_lines
+from repro.workloads.latency_critical import make_lc_workload
+
+
+def paper_worked_example() -> None:
+    print("Paper worked example (Section 5.1)")
+    print("  core: c = 123 cycles between hits, M = 100 cycles/miss")
+    print("  transient: 1 MB -> 2 MB, p(1MB) = 0.2, p(2MB) = 0.1")
+    curve = MissCurve([0, mb_to_lines(1), mb_to_lines(2)], [0.2, 0.2, 0.1])
+    s1, s2 = mb_to_lines(1), mb_to_lines(2)
+    bound_t = transient_length_bound(curve, s1, s2, c=123.0, M=100.0)
+    bound_l = lost_cycles_bound(curve, s1, s2, M=100.0)
+    print(f"  transient length bound: {bound_t/1e6:.1f}M cycles (paper: 21.8M)")
+    print(f"  lost cycles bound:      {bound_l/1e3:.0f}k cycles (paper: 819k)")
+    exact_t = transient_length_exact(curve, s1, s2, c=123.0, M=100.0)
+    print(
+        f"  exact transient:        {exact_t/1e6:.1f}M cycles "
+        f"({bound_t/exact_t:.2f}x safety margin)\n"
+    )
+
+
+def real_workload_sizing() -> None:
+    workload = make_lc_workload("specjbb")
+    curve = workload.miss_curve
+    target = float(workload.target_lines)
+    c = workload.profile.instructions_per_access * workload.profile.base_cpi
+    M = 200.0 / workload.profile.mlp
+    deadline = 3.0 * workload.mean_service_cycles()
+
+    print(f"Sizing {workload.name}: target 2 MB, c = {c:.0f}, M = {M:.0f}")
+    print(f"  deadline = {cycles_to_ms(deadline):.2f} ms (3x mean service)\n")
+
+    print(f"  {'idle size':>12} {'lost cycles':>12} {'fill bound':>12} {'gain@1.5x':>10}")
+    for frac in (0.75, 0.5, 0.25, 0.0):
+        idle = target * frac
+        lost = lost_cycles_bound(curve, idle, target, M)
+        fill = transient_length_bound(curve, idle, target * 1.5, c, M)
+        gain = gain_rate_per_cycle(curve, target, target * 1.5, c, M)
+        print(
+            f"  {frac:>10.0%}   {lost/1e3:>9.0f}k   {fill/1e6:>9.2f}M   "
+            f"{gain*1e3:>8.2f}m"
+        )
+
+    option = choose_sizes(
+        curve=curve,
+        c=c,
+        M=M,
+        active_lines=target,
+        deadline_cycles=deadline,
+        boost_max_lines=mb_to_lines(4),
+        batch_delta_hit_rate=lambda delta: delta * 2e-8,
+        idle_fraction=0.8,
+        activation_rate=1e-7,
+    )
+    print(
+        f"\n  Ubik's pick: idle = {option.idle_lines/target:.0%} of target, "
+        f"boost = {option.boost_lines/target:.2f}x target"
+    )
+    print(
+        f"  worst-case lost cycles {option.lost_cycles/1e3:.0f}k repaid "
+        f"within the deadline;\n  fill transient bound "
+        f"{cycles_to_ms(option.transient_cycles):.3f} ms"
+    )
+
+
+def main() -> None:
+    paper_worked_example()
+    real_workload_sizing()
+
+
+if __name__ == "__main__":
+    main()

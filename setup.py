@@ -1,0 +1,10 @@
+"""Legacy-setuptools shim.
+
+All metadata lives in pyproject.toml; this file only enables editable
+installs (`pip install -e .`) on environments whose setuptools predates
+PEP 660 support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro: a reproduction of *Ubik: Efficient Cache Sharing with Strict
+QoS for Latency-Critical Workloads* (Kasture & Sanchez, ASPLOS 2014).
+
+Quick tour
+----------
+
+>>> from repro import make_mix_specs, MixRunner, UbikPolicy
+>>> spec = make_mix_specs(lc_names=["shore"], loads=[0.2], mixes_per_combo=1)[0]
+>>> runner = MixRunner(requests=100)
+>>> result = runner.run_mix(spec, UbikPolicy(slack=0.05))
+>>> result.tail_degradation()  # ~1.0: tail preserved       # doctest: +SKIP
+>>> result.weighted_speedup()  # >1.0: batch apps sped up    # doctest: +SKIP
+
+Packages:
+
+* :mod:`repro.core` — Ubik itself: transient bounds, boost sizing,
+  repartitioning table, de-boost circuit, slack controller.
+* :mod:`repro.policies` — LRU / UCP / StaticLC / OnOff baselines.
+* :mod:`repro.sim` — the event-driven mix engine and runners.
+* :mod:`repro.workloads` — the five LC workload models and SPEC-like
+  batch classes; mix construction.
+* :mod:`repro.cache` — trace-driven arrays (set-assoc, zcache), Vantage
+  and way-partitioning, shared-LRU occupancy model, scheme descriptors.
+* :mod:`repro.monitor` — miss curves, UMONs, MLP profiler, counters.
+* :mod:`repro.server` — FIFO queueing and tail-latency metrics.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .core import UbikPolicy
+from .monitor import MissCurve
+from .policies import (
+    FixedPolicy,
+    LRUPolicy,
+    OnOffPolicy,
+    StaticLCPolicy,
+    UCPPolicy,
+)
+from .sim import CMPConfig, CoreKind, MixRunner, MixResult, westmere_config
+from .workloads import (
+    HIGH_LOAD,
+    LC_NAMES,
+    LOW_LOAD,
+    LCWorkload,
+    MixSpec,
+    all_lc_workloads,
+    make_lc_workload,
+    make_mix_specs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UbikPolicy",
+    "LRUPolicy",
+    "UCPPolicy",
+    "StaticLCPolicy",
+    "OnOffPolicy",
+    "FixedPolicy",
+    "MissCurve",
+    "CMPConfig",
+    "CoreKind",
+    "westmere_config",
+    "MixRunner",
+    "MixResult",
+    "LC_NAMES",
+    "LOW_LOAD",
+    "HIGH_LOAD",
+    "LCWorkload",
+    "MixSpec",
+    "all_lc_workloads",
+    "make_lc_workload",
+    "make_mix_specs",
+    "__version__",
+]

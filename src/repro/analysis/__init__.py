@@ -1,0 +1,32 @@
+"""Measurement statistics, queueing theory, and terminal plotting."""
+
+from .ascii_plot import distribution_plot, hbar, series_plot, sparkline
+from .queueing_theory import (
+    ServiceMoments,
+    mg1_mean_latency,
+    mg1_mean_wait,
+    moments_from_samples,
+)
+from .stats import (
+    ConfidenceInterval,
+    bootstrap_confidence_interval,
+    mean_confidence_interval,
+    relative_half_width,
+    tail_mean_confidence_interval,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "bootstrap_confidence_interval",
+    "tail_mean_confidence_interval",
+    "relative_half_width",
+    "sparkline",
+    "hbar",
+    "series_plot",
+    "distribution_plot",
+    "ServiceMoments",
+    "mg1_mean_wait",
+    "mg1_mean_latency",
+    "moments_from_samples",
+]

@@ -1,0 +1,95 @@
+"""Terminal plotting for experiment reports.
+
+The paper's figures are line plots and stacked bars; the benchmark
+harness regenerates their *data*, and these helpers render it legibly
+in a terminal: sparklines for series, horizontal bars for breakdowns,
+and a multi-series scatter for the Figure 9-style distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "hbar", "series_plot", "distribution_plot"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line intensity plot of a series (resampled to ``width``)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values to plot")
+    if arr.size != width:
+        positions = np.linspace(0, arr.size - 1, width)
+        arr = np.interp(positions, np.arange(arr.size), arr)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[1] * width
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def hbar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """A horizontal bar for a fraction in [0, 1]."""
+    if not 0.0 <= fraction <= 1.0 + 1e-9:
+        raise ValueError("fraction must be in [0, 1]")
+    count = int(round(min(fraction, 1.0) * width))
+    return fill * count + " " * (width - count)
+
+
+def series_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    label_width: int = 10,
+) -> str:
+    """Aligned sparklines with min/max annotations, one per series."""
+    if not series:
+        raise ValueError("no series to plot")
+    lines: List[str] = []
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        lines.append(
+            f"{name[:label_width]:<{label_width}} "
+            f"|{sparkline(arr, width)}| "
+            f"[{arr.min():.3g}, {arr.max():.3g}]"
+        )
+    return "\n".join(lines)
+
+
+def distribution_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    label_width: int = 10,
+) -> str:
+    """Figure 9-style plot: sorted per-scheme values as row scatter.
+
+    Each series is drawn as its own letter on a shared y-scale; x is
+    the (normalized) mix rank.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    all_vals = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ouxs+*"
+    legend = []
+    for (name, values), marker in zip(series.items(), markers):
+        arr = np.sort(np.asarray(values, dtype=float))
+        legend.append(f"{marker}={name}")
+        for i, v in enumerate(arr):
+            x = int(i / max(1, arr.size - 1) * (width - 1))
+            y = int((v - lo) / (hi - lo) * (height - 1))
+            row = height - 1 - y
+            grid[row][x] = marker
+    lines = [f"{hi:>8.3g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{lo:>8.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"(sorted mixes; {', '.join(legend)})")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Statistical helpers for tail-latency measurement (paper Section 3.2).
+
+Measuring tails accurately is expensive: only ~5% of requests influence
+the metric.  The paper runs enough randomized-arrival repetitions to
+reach 95% confidence intervals within a few percent; these helpers
+provide the same machinery at reproduction scale — normal-approximation
+CIs for means and bootstrap CIs for tail means, which have no clean
+closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..server.latency import tail_mean
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "bootstrap_confidence_interval",
+    "tail_mean_confidence_interval",
+    "relative_half_width",
+]
+
+#: Two-sided 95% z-score.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric-coverage interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.estimate <= self.high:
+            raise ValueError("estimate must lie inside the interval")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def mean_confidence_interval(samples: Sequence[float]) -> ConfidenceInterval:
+    """Normal-approximation 95% CI for a mean."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples")
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return ConfidenceInterval(mean, mean - _Z95 * sem, mean + _Z95 * sem)
+
+
+def bootstrap_confidence_interval(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    resamples: int = 500,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap 95% CI for an arbitrary statistic."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples")
+    if resamples < 10:
+        raise ValueError("need at least 10 resamples")
+    rng = np.random.default_rng(seed)
+    stats = np.empty(resamples)
+    for i in range(resamples):
+        picks = rng.integers(0, arr.size, size=arr.size)
+        stats[i] = statistic(arr[picks])
+    estimate = float(statistic(arr))
+    low = float(np.percentile(stats, 2.5))
+    high = float(np.percentile(stats, 97.5))
+    # Guard against tiny resample noise placing the estimate outside.
+    low = min(low, estimate)
+    high = max(high, estimate)
+    return ConfidenceInterval(estimate, low, high)
+
+
+def tail_mean_confidence_interval(
+    latencies: Sequence[float],
+    pct: float = 95.0,
+    resamples: int = 500,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for the paper's tail metric (mean beyond ``pct``)."""
+    return bootstrap_confidence_interval(
+        latencies, lambda a: tail_mean(a, pct), resamples=resamples, seed=seed
+    )
+
+
+def relative_half_width(interval: ConfidenceInterval) -> float:
+    """CI half-width relative to the estimate (the paper's +-x%)."""
+    if interval.estimate == 0:
+        raise ValueError("estimate is zero")
+    return interval.half_width / abs(interval.estimate)

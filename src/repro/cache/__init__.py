@@ -1,0 +1,28 @@
+"""Cache substrates: trace-driven arrays, partitioning schemes, sharing models."""
+
+from .schemes import (
+    FIG13_SCHEMES,
+    SchemeModel,
+    vantage_setassoc,
+    vantage_zcache,
+    way_partitioning,
+)
+from .set_assoc import AccessResult, SetAssociativeCache
+from .sharing import SharedOccupancyModel
+from .vantage import VantageCache
+from .way_partition import WayPartitionedCache
+from .zcache import ZCache
+
+__all__ = [
+    "AccessResult",
+    "SetAssociativeCache",
+    "ZCache",
+    "VantageCache",
+    "WayPartitionedCache",
+    "SharedOccupancyModel",
+    "SchemeModel",
+    "vantage_zcache",
+    "vantage_setassoc",
+    "way_partitioning",
+    "FIG13_SCHEMES",
+]

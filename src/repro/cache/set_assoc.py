@@ -1,0 +1,87 @@
+"""Trace-driven set-associative cache with LRU replacement.
+
+This is the reference array for the characterization experiments
+(Figure 2's reuse breakdown) and the substrate for way-partitioning.
+Addresses are line addresses (already shifted by the 64 B line size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["AccessResult", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    evicted: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """A ``ways``-way set-associative cache of ``num_lines`` lines.
+
+    Each set keeps its resident lines in LRU order (most recent last).
+    """
+
+    def __init__(self, num_lines: int, ways: int):
+        if num_lines < 1 or ways < 1:
+            raise ValueError("capacity and ways must be positive")
+        if num_lines % ways != 0:
+            raise ValueError("num_lines must be a multiple of ways")
+        self.num_lines = num_lines
+        self.ways = ways
+        self.num_sets = num_lines // ways
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._where: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def set_index(self, addr: int) -> int:
+        """Set index for a line address (simple modulo hashing)."""
+        return addr % self.num_sets
+
+    def access(self, addr: int) -> AccessResult:
+        """Access a line: LRU update on hit, LRU eviction on miss."""
+        index = self.set_index(addr)
+        lines = self._sets[index]
+        if addr in self._where:
+            lines.remove(addr)
+            lines.append(addr)
+            self.hits += 1
+            return AccessResult(hit=True)
+        self.misses += 1
+        evicted = None
+        if len(lines) >= self.ways:
+            evicted = lines.pop(0)
+            del self._where[evicted]
+        lines.append(addr)
+        self._where[addr] = index
+        return AccessResult(hit=False, evicted=evicted)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    @property
+    def occupancy(self) -> int:
+        """Lines currently resident."""
+        return len(self._where)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Observed miss ratio so far (0 if no accesses yet)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def flush(self) -> None:
+        """Empty the cache and reset statistics."""
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._where.clear()
+        self.hits = 0
+        self.misses = 0

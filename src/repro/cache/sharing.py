@@ -1,0 +1,93 @@
+"""Occupancy dynamics of an *unmanaged* shared LRU cache.
+
+With no partitioning, co-runners contend for LLC capacity through the
+replacement policy.  The standard fluid approximation: each app inserts
+lines at its miss rate, and once the cache is full every insertion
+evicts a line belonging to app ``i`` with probability proportional to
+app ``i``'s occupancy share.  This yields, for constant rates over an
+interval, the linear ODE
+
+    do_i/dt = r_i - R * o_i / C,      R = sum_j r_j
+
+whose closed-form solution this module implements.  The model captures
+exactly the inertia effect of paper Figures 2 and 4: an idle
+latency-critical app (``r_i = 0``) sees its footprint decay
+exponentially as batch apps insert, and must rebuild it at its own miss
+rate when the next request arrives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SharedOccupancyModel"]
+
+
+class SharedOccupancyModel:
+    """Closed-form stepper for shared-LRU occupancy competition."""
+
+    def __init__(self, capacity_lines: float):
+        if capacity_lines <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity_lines)
+
+    def step(
+        self,
+        occupancies: np.ndarray,
+        insertion_rates: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        """Advance occupancies by ``dt`` with constant insertion rates.
+
+        ``insertion_rates`` are misses per cycle per app.  Returns the
+        new occupancy vector; total occupancy never exceeds capacity
+        and individual occupancies never go negative.
+        """
+        occ = np.asarray(occupancies, dtype=float).copy()
+        rates = np.asarray(insertion_rates, dtype=float)
+        if occ.shape != rates.shape:
+            raise ValueError("occupancies and rates must have matching shape")
+        if np.any(occ < 0) or np.any(rates < 0):
+            raise ValueError("occupancies and rates must be non-negative")
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if dt == 0 or not rates.any():
+            return occ
+
+        total_occ = occ.sum()
+        if total_occ > self.capacity + 1e-6:
+            raise ValueError("occupancies exceed capacity")
+
+        # Phase 1: cache not yet full -- insertions land in free space.
+        remaining = dt
+        free = self.capacity - total_occ
+        total_rate = rates.sum()
+        if free > 1e-9:
+            fill_time = free / total_rate
+            phase = min(fill_time, remaining)
+            occ += rates * phase
+            remaining -= phase
+            if remaining <= 1e-12:
+                return occ
+
+        # Phase 2: full cache -- exponential approach to the
+        # proportional-share fixed point o_i* = (r_i / R) * C.
+        fixed_point = rates / total_rate * self.capacity
+        decay = np.exp(-total_rate * remaining / self.capacity)
+        occ = fixed_point + (occ - fixed_point) * decay
+        # Numerical guard: renormalize tiny drift.
+        occ = np.clip(occ, 0.0, None)
+        excess = occ.sum() - self.capacity
+        if abs(excess) > 1e-6:
+            occ *= self.capacity / occ.sum()
+        return occ
+
+    def equilibrium(self, insertion_rates: np.ndarray) -> np.ndarray:
+        """Fixed-point occupancies for constant insertion rates."""
+        rates = np.asarray(insertion_rates, dtype=float)
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        total = rates.sum()
+        if total == 0:
+            raise ValueError("at least one app must insert")
+        return rates / total * self.capacity

@@ -1,0 +1,157 @@
+"""Trace-driven Vantage partitioning on a zcache (ISCA 2011).
+
+Vantage enforces fine-grained partitions statistically: every line is
+tagged with its partition; on a miss, the replacement walk's candidates
+are examined and the victim is drawn from partitions holding more lines
+than their target ("over-target" partitions), via Vantage's two-stage
+demotion/eviction.  The properties Ubik depends on (paper Section 5.1):
+
+* a partition below its target size grows by **one line per miss** and
+  suffers a negligible probability of losing a line, independent of the
+  access pattern;
+* partitions are isolated: one partition's insertions only displace
+  lines of over-target partitions;
+* resizing needs no moves or invalidations — just a new target.
+
+This model reproduces those properties over the statistical zcache
+candidate machinery, and is used to validate the behavioural transient
+model the mix engine uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .set_assoc import AccessResult
+
+__all__ = ["VantageCache"]
+
+
+class VantageCache:
+    """Vantage fine-grained partitioning over an R-candidate array."""
+
+    def __init__(
+        self,
+        num_lines: int,
+        num_partitions: int,
+        ways: int = 4,
+        candidates: int = 52,
+        seed: int = 0,
+    ):
+        if num_lines < 1:
+            raise ValueError("capacity must be positive")
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.num_lines = num_lines
+        self.num_partitions = num_partitions
+        self.ways = ways
+        self.candidates = min(candidates, num_lines)
+        self._rng = np.random.default_rng(seed)
+        self._slot_addr = np.full(num_lines, -1, dtype=np.int64)
+        self._slot_part = np.full(num_lines, -1, dtype=np.int64)
+        self._slot_time = np.zeros(num_lines, dtype=np.int64)
+        self._where: Dict[int, int] = {}
+        self._free = list(range(num_lines - 1, -1, -1))
+        self._clock = 0
+        self._targets = np.zeros(num_partitions, dtype=np.int64)
+        self._actual = np.zeros(num_partitions, dtype=np.int64)
+        self.hits = np.zeros(num_partitions, dtype=np.int64)
+        self.misses = np.zeros(num_partitions, dtype=np.int64)
+        #: Lines lost by under-target partitions (should stay ~0).
+        self.under_target_evictions = np.zeros(num_partitions, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_target(self, partition: int, lines: int) -> None:
+        """Set a partition's target size; takes effect statistically."""
+        self._check_partition(partition)
+        if lines < 0:
+            raise ValueError("target must be non-negative")
+        self._targets[partition] = lines
+
+    def target(self, partition: int) -> int:
+        self._check_partition(partition)
+        return int(self._targets[partition])
+
+    def actual_size(self, partition: int) -> int:
+        """Lines the partition currently holds."""
+        self._check_partition(partition)
+        return int(self._actual[partition])
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, partition: int, addr: int) -> AccessResult:
+        """Access ``addr`` on behalf of ``partition``."""
+        self._check_partition(partition)
+        self._clock += 1
+        slot = self._where.get(addr)
+        if slot is not None:
+            self._slot_time[slot] = self._clock
+            self.hits[partition] += 1
+            return AccessResult(hit=True)
+        self.misses[partition] += 1
+        evicted: Optional[int] = None
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self._pick_victim(partition)
+            evicted = int(self._slot_addr[slot])
+            victim_part = int(self._slot_part[slot])
+            if self._actual[victim_part] < self._targets[victim_part]:
+                self.under_target_evictions[victim_part] += 1
+            self._actual[victim_part] -= 1
+            del self._where[evicted]
+        self._slot_addr[slot] = addr
+        self._slot_part[slot] = partition
+        self._slot_time[slot] = self._clock
+        self._where[addr] = slot
+        self._actual[partition] += 1
+        return AccessResult(hit=False, evicted=evicted)
+
+    def _pick_victim(self, inserting: int) -> int:
+        """Two-stage victim selection among R uniform candidates.
+
+        Stage 1 (demotion targets): candidates from partitions holding
+        at least their target, preferring over-target ones.  Stage 2:
+        if every candidate belongs to under-target partitions (rare by
+        construction), fall back to global LRU among candidates.
+        """
+        picks = self._rng.integers(0, self.num_lines, size=self.candidates)
+        parts = self._slot_part[picks]
+        actual = self._actual[parts]
+        targets = self._targets[parts]
+        over = actual > targets
+        at_or_over = actual >= targets
+        for mask in (over, at_or_over):
+            if mask.any():
+                group = picks[mask]
+                times = self._slot_time[group]
+                return int(group[int(np.argmin(times))])
+        times = self._slot_time[picks]
+        return int(picks[int(np.argmin(times))])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._where
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._where)
+
+    def partition_miss_ratio(self, partition: int) -> float:
+        self._check_partition(partition)
+        total = int(self.hits[partition] + self.misses[partition])
+        return float(self.misses[partition]) / total if total else 0.0
+
+    def partition_sizes(self) -> List[int]:
+        return [int(x) for x in self._actual]
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.num_partitions:
+            raise ValueError(f"partition {partition} out of range")

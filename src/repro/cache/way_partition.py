@@ -1,0 +1,140 @@
+"""Trace-driven way-partitioning over a set-associative array.
+
+Way-partitioning restricts each partition's *insertions* to its
+assigned subset of ways; lookups still search the whole set.  Its
+weaknesses — the reason Ubik needs Vantage (paper Sections 2.2 and
+7.3) — all fall out of this model:
+
+* partition sizes are coarse (multiples of one way's capacity);
+* a partition's associativity equals its way count, degrading
+  replacement quality for small partitions;
+* resizing is slow and pattern-dependent: after a way is reassigned,
+  the old owner's lines remain until the new owner happens to miss in
+  each set, so transients cannot be bounded analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .set_assoc import AccessResult
+
+__all__ = ["WayPartitionedCache"]
+
+
+class WayPartitionedCache:
+    """Set-associative cache with per-partition way masks."""
+
+    def __init__(self, num_lines: int, ways: int, num_partitions: int):
+        if num_lines < 1 or ways < 1:
+            raise ValueError("capacity and ways must be positive")
+        if num_lines % ways != 0:
+            raise ValueError("num_lines must be a multiple of ways")
+        if not 1 <= num_partitions <= ways:
+            raise ValueError("way-partitioning supports at most `ways` partitions")
+        self.num_lines = num_lines
+        self.ways = ways
+        self.num_sets = num_lines // ways
+        self.num_partitions = num_partitions
+        # Per set: way -> (addr, lru_time, owner_partition); None if empty.
+        self._sets: List[List[Optional[tuple]]] = [
+            [None] * ways for _ in range(self.num_sets)
+        ]
+        self._where: Dict[int, tuple] = {}
+        self._clock = 0
+        # Contiguous way ranges per partition.
+        base = ways // num_partitions
+        extra = ways % num_partitions
+        self._way_count = [base + (1 if i < extra else 0) for i in range(num_partitions)]
+        self.hits = [0] * num_partitions
+        self.misses = [0] * num_partitions
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_allocation(self, way_counts: List[int]) -> None:
+        """Assign each partition a number of ways (must sum to <= ways)."""
+        if len(way_counts) != self.num_partitions:
+            raise ValueError("one way count per partition required")
+        if any(w < 1 for w in way_counts):
+            raise ValueError("each partition needs at least one way")
+        if sum(way_counts) > self.ways:
+            raise ValueError("allocations exceed total ways")
+        self._way_count = list(way_counts)
+
+    def allocation(self, partition: int) -> int:
+        """Ways currently assigned to ``partition``."""
+        self._check_partition(partition)
+        return self._way_count[partition]
+
+    def _way_range(self, partition: int) -> range:
+        start = sum(self._way_count[:partition])
+        return range(start, start + self._way_count[partition])
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, partition: int, addr: int) -> AccessResult:
+        """Access ``addr``: hit anywhere in the set, insert in own ways."""
+        self._check_partition(partition)
+        self._clock += 1
+        index = addr % self.num_sets
+        ways = self._sets[index]
+        found = self._where.get(addr)
+        if found is not None:
+            __, way = found
+            entry = ways[way]
+            ways[way] = (entry[0], self._clock, entry[2])
+            self.hits[partition] += 1
+            return AccessResult(hit=True)
+        self.misses[partition] += 1
+        victim_way = None
+        oldest = None
+        for way in self._way_range(partition):
+            entry = ways[way]
+            if entry is None:
+                victim_way = way
+                oldest = None
+                break
+            if oldest is None or entry[1] < oldest:
+                oldest = entry[1]
+                victim_way = way
+        if victim_way is None:  # pragma: no cover - guarded by constructor
+            raise RuntimeError("partition has no ways")
+        evicted = None
+        old = ways[victim_way]
+        if old is not None:
+            evicted = old[0]
+            del self._where[evicted]
+        ways[victim_way] = (addr, self._clock, partition)
+        self._where[addr] = (index, victim_way)
+        return AccessResult(hit=False, evicted=evicted)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_lines(self, partition: int) -> int:
+        """Lines whose *owner* is ``partition`` (wherever they sit)."""
+        self._check_partition(partition)
+        count = 0
+        for ways in self._sets:
+            for entry in ways:
+                if entry is not None and entry[2] == partition:
+                    count += 1
+        return count
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._where
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._where)
+
+    def partition_miss_ratio(self, partition: int) -> float:
+        self._check_partition(partition)
+        total = self.hits[partition] + self.misses[partition]
+        return self.misses[partition] / total if total else 0.0
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.num_partitions:
+            raise ValueError(f"partition {partition} out of range")

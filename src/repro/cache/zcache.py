@@ -1,0 +1,91 @@
+"""Statistical zcache model (Sanchez & Kozyrakis, MICRO 2010).
+
+A zcache decouples associativity from ways: on a miss, the replacement
+walk considers R candidate lines spread (pseudo-)uniformly over the
+whole array and evicts the least recently used among them.  The key
+statistical property — which Vantage builds on — is that candidates are
+an unbiased uniform sample of cache contents, independent of the access
+pattern.  This model keeps exactly that property: it tracks per-line
+last-access times and, on a miss, samples ``candidates`` occupied slots
+uniformly at random and evicts the oldest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .set_assoc import AccessResult
+
+__all__ = ["ZCache"]
+
+
+class ZCache:
+    """Array of ``num_lines`` slots with R-candidate LRU replacement."""
+
+    def __init__(
+        self,
+        num_lines: int,
+        ways: int = 4,
+        candidates: int = 52,
+        seed: int = 0,
+    ):
+        if num_lines < 1:
+            raise ValueError("capacity must be positive")
+        if not 1 <= candidates:
+            raise ValueError("need at least one replacement candidate")
+        if ways < 1:
+            raise ValueError("ways must be positive")
+        self.num_lines = num_lines
+        self.ways = ways
+        self.candidates = min(candidates, num_lines)
+        self._rng = np.random.default_rng(seed)
+        self._slot_addr = np.full(num_lines, -1, dtype=np.int64)
+        self._slot_time = np.zeros(num_lines, dtype=np.int64)
+        self._where: Dict[int, int] = {}
+        self._free = list(range(num_lines - 1, -1, -1))
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> AccessResult:
+        """Access a line; on a miss, evict the LRU of R random candidates."""
+        self._clock += 1
+        slot = self._where.get(addr)
+        if slot is not None:
+            self._slot_time[slot] = self._clock
+            self.hits += 1
+            return AccessResult(hit=True)
+        self.misses += 1
+        evicted: Optional[int] = None
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self._pick_victim()
+            evicted = int(self._slot_addr[slot])
+            del self._where[evicted]
+        self._slot_addr[slot] = addr
+        self._slot_time[slot] = self._clock
+        self._where[addr] = slot
+        return AccessResult(hit=False, evicted=evicted)
+
+    def _pick_victim(self) -> int:
+        picks = self._rng.integers(0, self.num_lines, size=self.candidates)
+        times = self._slot_time[picks]
+        return int(picks[int(np.argmin(times))])
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._where)
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

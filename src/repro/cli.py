@@ -1,0 +1,243 @@
+"""Command-line interface: regenerate paper experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1a --lc shore
+    python -m repro fig2
+    python -m repro fig9 --requests 100 --lc shore,specjbb
+    python -m repro table3
+    python -m repro fig12
+    python -m repro scaleout --cores 6,12
+
+Each command prints the same report its pytest benchmark writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.ascii_plot import distribution_plot
+from .experiments import (
+    ExperimentScale,
+    default_scale,
+    format_table,
+    run_ablations,
+    run_bandwidth_study,
+    run_fig1a,
+    run_fig1b,
+    run_fig2,
+    run_fig9,
+    run_fig12,
+    run_fig13,
+    run_scaleout,
+    run_table3,
+    run_utilization,
+)
+from .experiments.table3_speedups import format_table3
+from .workloads.latency_critical import LC_NAMES
+
+__all__ = ["main"]
+
+COMMANDS = (
+    "list",
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "fig9",
+    "table3",
+    "fig12",
+    "fig13",
+    "ablations",
+    "utilization",
+    "scaleout",
+    "bandwidth",
+)
+
+
+def _scale_from_args(args) -> ExperimentScale:
+    base = default_scale()
+    lc_names = (
+        tuple(x for x in args.lc.split(",") if x) if args.lc else base.lc_names
+    )
+    return ExperimentScale(
+        requests=args.requests or base.requests,
+        lc_names=lc_names,
+        combos=base.combos,
+        mixes_per_combo=base.mixes_per_combo,
+    )
+
+
+def _cmd_list(args) -> None:
+    rows = [
+        ["fig1a", "load-latency curves (Figure 1a)"],
+        ["fig1b", "service-time CDFs (Figure 1b)"],
+        ["fig2", "cross-request reuse breakdown (Figure 2)"],
+        ["fig9", "scheme distributions (Figure 9)"],
+        ["table3", "average weighted speedups (Table 3)"],
+        ["fig12", "Ubik slack sensitivity (Figure 12)"],
+        ["fig13", "partitioning-scheme sensitivity (Figure 13)"],
+        ["ablations", "Ubik design-choice ablations"],
+        ["utilization", "Section 7.1 utilization estimate"],
+        ["scaleout", "larger-CMP extension"],
+        ["bandwidth", "memory-bandwidth contention extension"],
+    ]
+    print(format_table(["Command", "Regenerates"], rows))
+
+
+def _cmd_fig1a(args) -> None:
+    names = args.lc.split(",") if args.lc else list(LC_NAMES)
+    curves = run_fig1a(names, requests=args.requests or 120)
+    rows = [
+        [name, f"{p.load:.0%}", f"{p.mean_ms:.3f}", f"{p.tail95_ms:.3f}"]
+        for name, points in curves.items()
+        for p in points
+    ]
+    print(format_table(["Workload", "Load", "Mean (ms)", "Tail95 (ms)"], rows))
+
+
+def _cmd_fig1b(args) -> None:
+    names = args.lc.split(",") if args.lc else list(LC_NAMES)
+    cdfs = run_fig1b(names)
+    rows = [
+        [n, f"{c.mean_ms:.3f}", f"{c.p95_ms:.3f}", f"{c.p95_ms/c.mean_ms:.2f}x"]
+        for n, c in cdfs.items()
+    ]
+    print(format_table(["Workload", "Mean (ms)", "p95 (ms)", "p95/mean"], rows))
+
+
+def _cmd_fig2(args) -> None:
+    names = args.lc.split(",") if args.lc else list(LC_NAMES)
+    breakdowns = run_fig2(names)
+    rows = [
+        [
+            name,
+            f"{mb:.0f}MB",
+            f"{r.miss_fraction:.1%}",
+            f"{r.cross_request_hit_fraction:.1%}",
+        ]
+        for (name, mb), r in breakdowns.items()
+    ]
+    print(
+        format_table(["Workload", "LLC", "Misses", "Cross-req hit share"], rows)
+    )
+
+
+def _cmd_fig9(args) -> None:
+    data = run_fig9(_scale_from_args(args))
+    for load in ("lo", "hi"):
+        print(f"\n=== {'Low' if load == 'lo' else 'High'} load: tail degradation ===")
+        print(distribution_plot(
+            {p: data.sweep.sorted_degradations(p, load) for p in data.policies}
+        ))
+        print(f"\n=== {'Low' if load == 'lo' else 'High'} load: weighted speedup ===")
+        print(distribution_plot(
+            {p: data.sweep.sorted_speedups(p, load) for p in data.policies}
+        ))
+
+
+def _cmd_table3(args) -> None:
+    print(format_table3(run_table3(_scale_from_args(args))))
+
+
+def _cmd_fig12(args) -> None:
+    entries = run_fig12(_scale_from_args(args))
+    rows = [
+        [
+            f"{e.slack:.0%}",
+            e.load_label,
+            f"{e.average_speedup_pct:.1f}%",
+            f"{e.worst_degradation:.3f}",
+        ]
+        for e in entries
+    ]
+    print(format_table(["Slack", "Load", "Avg speedup", "Worst tail"], rows))
+
+
+def _cmd_fig13(args) -> None:
+    entries = run_fig13(_scale_from_args(args))
+    rows = [
+        [e.scheme, e.load_label, f"{e.worst_degradation:.3f}", f"{e.average_speedup_pct:.1f}%"]
+        for e in entries
+    ]
+    print(format_table(["Scheme", "Load", "Worst tail", "Avg speedup"], rows))
+
+
+def _cmd_ablations(args) -> None:
+    entries = run_ablations(_scale_from_args(args))
+    rows = [
+        [e.variant, e.load_label, f"{e.worst_degradation:.3f}", f"{e.average_speedup_pct:.1f}%"]
+        for e in entries
+    ]
+    print(format_table(["Variant", "Load", "Worst tail", "Avg speedup"], rows))
+
+
+def _cmd_utilization(args) -> None:
+    estimates = run_utilization(_scale_from_args(args))
+    rows = [
+        [e.policy, f"{e.safe_fraction:.0%}", f"{e.utilization:.0%}"]
+        for e in estimates.values()
+    ]
+    print(format_table(["Scheme", "Safe colocations", "Utilization"], rows))
+
+
+def _cmd_scaleout(args) -> None:
+    cores = tuple(int(c) for c in (args.cores or "6,12").split(","))
+    results = run_scaleout(core_counts=cores, requests=args.requests or 80)
+    rows = [
+        [r.cores, r.policy, f"{r.tail_degradation:.3f}", f"{r.weighted_speedup:.3f}"]
+        for r in results
+    ]
+    print(format_table(["Cores", "Policy", "Tail", "Speedup"], rows))
+
+
+def _cmd_bandwidth(args) -> None:
+    points = run_bandwidth_study(requests=args.requests or 100)
+    rows = [
+        [
+            "inf" if p.peak_misses_per_kilocycle > 1e6 else f"{p.peak_misses_per_kilocycle:.0f}",
+            p.policy,
+            f"{p.tail_degradation:.3f}",
+            f"{p.weighted_speedup:.3f}",
+        ]
+        for p in points
+    ]
+    print(format_table(["Peak (miss/kcyc)", "Policy", "Tail", "Speedup"], rows))
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "fig1a": _cmd_fig1a,
+    "fig1b": _cmd_fig1b,
+    "fig2": _cmd_fig2,
+    "fig9": _cmd_fig9,
+    "table3": _cmd_table3,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "ablations": _cmd_ablations,
+    "utilization": _cmd_utilization,
+    "scaleout": _cmd_scaleout,
+    "bandwidth": _cmd_bandwidth,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to an experiment command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from the Ubik reproduction.",
+    )
+    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument("--lc", help="comma-separated LC workload subset")
+    parser.add_argument("--requests", type=int, help="requests per LC instance")
+    parser.add_argument("--cores", help="scaleout core counts, e.g. 6,12,24")
+    args = parser.parse_args(argv)
+    _HANDLERS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

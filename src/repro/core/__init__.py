@@ -1,0 +1,34 @@
+"""Ubik's core: transient analysis, boost sizing, repartitioning, slack.
+
+This package is the paper's primary contribution (Section 5): the
+machinery that lets a partitioning policy reason about — rather than
+ignore — the transient behaviour of resized partitions.
+"""
+
+from .boost import SizingOption, choose_sizes
+from .deboost import DeBoostEvent, DeBoostTracker
+from .repartition import RepartitionTable
+from .slack import SlackController
+from .transient import (
+    gain_rate_per_cycle,
+    lost_cycles_bound,
+    lost_cycles_exact,
+    transient_length_bound,
+    transient_length_exact,
+)
+from .ubik import UbikPolicy
+
+__all__ = [
+    "transient_length_bound",
+    "transient_length_exact",
+    "lost_cycles_bound",
+    "lost_cycles_exact",
+    "gain_rate_per_cycle",
+    "SizingOption",
+    "choose_sizes",
+    "RepartitionTable",
+    "DeBoostTracker",
+    "DeBoostEvent",
+    "SlackController",
+    "UbikPolicy",
+]

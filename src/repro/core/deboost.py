@@ -1,0 +1,110 @@
+"""Accurate de-boosting (paper Section 5.1.1) and the slack watermark.
+
+Ubik sizes boosts with conservative bounds, so most requests repay
+their transient well before the deadline.  Holding the boost until the
+deadline would waste batch space, so the paper adds a small hardware
+extension: UMON tags survive idle periods, letting a counter track how
+many misses the running request *would have* incurred had the
+partition stayed at ``s_active``.  When that projected count exceeds
+the actual count (plus a guard for UMON sampling error), the transient
+cost has been repaid and an interrupt de-boosts the app.
+
+The slack variant (Section 5.2) adds a *low watermark*: after the
+partition has filled to the boost size, a request whose actual misses
+still exceed the projection by more than ``(1 + miss_slack)`` is
+suffering atypically; the interrupt then falls back to the
+conservative no-slack sizing to avoid catastrophic degradation.
+
+This module is the engine-side model of that circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..policies.base import BoostPlan
+
+__all__ = ["DeBoostEvent", "DeBoostTracker"]
+
+
+@dataclass(frozen=True)
+class DeBoostEvent:
+    """What the circuit signalled: 'deboost' or 'watermark'."""
+
+    kind: str
+    at_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("deboost", "watermark"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+class DeBoostTracker:
+    """Tracks projected-vs-actual misses for one boosted partition."""
+
+    def __init__(self, plan: BoostPlan, active_miss_ratio: float):
+        if not 0.0 <= active_miss_ratio <= 1.0:
+            raise ValueError("miss ratio out of range")
+        self.plan = plan
+        self.active_miss_ratio = active_miss_ratio
+        self.projected = 0.0  # misses the request would have had at s_active
+        self.actual = 0.0
+        self.filled = False
+        self.fired = False
+
+    def observe(
+        self,
+        accesses: float,
+        misses: float,
+        resident_lines: float,
+        now: float,
+    ) -> DeBoostEvent | None:
+        """Feed one advancement step; returns an event when armed.
+
+        ``resident_lines`` is the partition's current fill level, used
+        to arm the watermark only after the boost target is reached.
+        """
+        if self.fired:
+            return None
+        if accesses < 0 or misses < 0:
+            raise ValueError("observations must be non-negative")
+        self.projected += accesses * self.active_miss_ratio
+        self.actual += misses
+        if resident_lines >= self.plan.boost_lines * (1.0 - 1e-9):
+            self.filled = True
+
+        guard = self.plan.guard_fraction * self.projected
+        if self.projected >= self.actual + guard and self.projected > 0:
+            self.fired = True
+            return DeBoostEvent(kind="deboost", at_cycle=now)
+
+        if (
+            self.plan.watermark_factor is not None
+            and self.filled
+            and self.projected > 0
+            and self.actual > self.projected * self.plan.watermark_factor
+        ):
+            self.fired = True
+            return DeBoostEvent(kind="watermark", at_cycle=now)
+        return None
+
+    def accumulate(
+        self, accesses: float, misses: float, resident_lines: float
+    ) -> None:
+        """Advance the counters without event detection.
+
+        The engine commits progress in pieces between global events;
+        crossing times are pre-resolved by the service walk, so commits
+        only need bookkeeping here.
+        """
+        if accesses < 0 or misses < 0:
+            raise ValueError("observations must be non-negative")
+        self.projected += accesses * self.active_miss_ratio
+        self.actual += misses
+        if resident_lines >= self.plan.boost_lines * (1.0 - 1e-9):
+            self.filled = True
+
+    @property
+    def deficit(self) -> float:
+        """Misses still to be recovered (negative once repaid)."""
+        return self.actual - self.projected

@@ -1,0 +1,41 @@
+"""Analytic core models: turn miss ratios into cycles.
+
+Public entry points:
+
+* :class:`AppProfile` — static per-app execution characteristics.
+* :class:`OutOfOrderCore` / :class:`InOrderCore` — the two core models
+  the paper evaluates (Section 6 and Figure 11).
+* :func:`make_core_model` — factory keyed by
+  :class:`repro.sim.config.CoreKind`.
+"""
+
+from __future__ import annotations
+
+from .base import CoreModel
+from .inorder import InOrderCore
+from .ooo import OutOfOrderCore
+from .profile import AppProfile
+
+__all__ = [
+    "AppProfile",
+    "CoreModel",
+    "InOrderCore",
+    "OutOfOrderCore",
+    "make_core_model",
+]
+
+_CORE_KINDS = {
+    OutOfOrderCore.kind: OutOfOrderCore,
+    InOrderCore.kind: InOrderCore,
+}
+
+
+def make_core_model(kind: str, mem_latency_cycles: float) -> CoreModel:
+    """Instantiate the core model named ``kind`` ("ooo" or "inorder")."""
+    try:
+        cls = _CORE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown core kind {kind!r}; expected one of {sorted(_CORE_KINDS)}"
+        ) from None
+    return cls(mem_latency_cycles)

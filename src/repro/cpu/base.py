@@ -1,0 +1,97 @@
+"""Core model interface: converting miss ratios into cycles.
+
+The engine is analytic: it never simulates individual instructions.
+Instead, a core model answers two questions about an application
+executing with LLC miss ratio ``p``:
+
+* ``c``  — cycles between consecutive LLC accesses if all of them hit
+  (paper Section 5.1's ``c``), and
+* ``M``  — average stall cycles added per LLC miss after accounting for
+  overlap (the MLP profiler's output).
+
+From these, the average time between accesses is ``Taccess = c + p*M``
+and CPI follows.  These are exactly the quantities Ubik's transient
+analysis consumes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from .profile import AppProfile
+
+__all__ = ["CoreModel"]
+
+
+class CoreModel(abc.ABC):
+    """Analytic processor model shared by all policies and the engine."""
+
+    #: Identifier matching :class:`repro.sim.config.CoreKind`.
+    kind: str = "abstract"
+
+    def __init__(self, mem_latency_cycles: float):
+        if mem_latency_cycles <= 0:
+            raise ValueError("memory latency must be positive")
+        self.mem_latency_cycles = float(mem_latency_cycles)
+
+    # ------------------------------------------------------------------
+    # Model-specific knobs
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def base_cpi(self, profile: AppProfile) -> float:
+        """CPI with a perfect LLC (all accesses hit)."""
+
+    @abc.abstractmethod
+    def miss_penalty(self, profile: AppProfile) -> float:
+        """Average stall cycles charged per LLC miss (the paper's M)."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def hit_interval(self, profile: AppProfile) -> float:
+        """Cycles between LLC accesses if all hit (the paper's ``c``)."""
+        return profile.instructions_per_access * self.base_cpi(profile)
+
+    def access_interval(self, profile: AppProfile, miss_ratio: float) -> float:
+        """Average cycles between LLC accesses: ``c + p*M``."""
+        self._check_ratio(miss_ratio)
+        return self.hit_interval(profile) + miss_ratio * self.miss_penalty(profile)
+
+    def miss_interval(self, profile: AppProfile, miss_ratio: float) -> float:
+        """Average cycles between consecutive LLC *misses*.
+
+        ``Tmiss = Taccess / p = c/p + M`` (Section 5.1).  Infinite when
+        the app never misses.
+        """
+        self._check_ratio(miss_ratio)
+        if miss_ratio == 0:
+            return float("inf")
+        return self.hit_interval(profile) / miss_ratio + self.miss_penalty(profile)
+
+    def cpi(self, profile: AppProfile, miss_ratio: float) -> float:
+        """Cycles per instruction at miss ratio ``p``."""
+        self._check_ratio(miss_ratio)
+        miss_component = (
+            profile.apki / 1000.0 * miss_ratio * self.miss_penalty(profile)
+        )
+        return self.base_cpi(profile) + miss_component
+
+    def ipc(self, profile: AppProfile, miss_ratio: float) -> float:
+        """Instructions per cycle at miss ratio ``p``."""
+        return 1.0 / self.cpi(profile, miss_ratio)
+
+    def cycles_for(
+        self, profile: AppProfile, instructions: float, miss_ratio: float
+    ) -> float:
+        """Cycles to retire ``instructions`` at a fixed miss ratio."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        return instructions * self.cpi(profile, miss_ratio)
+
+    @staticmethod
+    def _check_ratio(miss_ratio: float) -> None:
+        if not 0.0 <= miss_ratio <= 1.0:
+            raise ValueError(f"miss ratio out of range: {miss_ratio}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mem_latency={self.mem_latency_cycles:.0f})"

@@ -1,0 +1,29 @@
+"""Simple in-order core model (paper Figure 11).
+
+The paper's in-order configuration is "IPC=1 except on L1 misses": one
+instruction per cycle, with every LLC miss fully exposed (no overlap).
+In-order cores are therefore more sensitive to memory latency, which
+the paper shows amplifies both tail-latency degradation under
+best-effort policies and the weighted speedups of partitioning.
+"""
+
+from __future__ import annotations
+
+from .base import CoreModel
+from .profile import AppProfile
+
+__all__ = ["InOrderCore"]
+
+
+class InOrderCore(CoreModel):
+    """In-order core: unit base CPI, fully serialized misses."""
+
+    kind = "inorder"
+
+    def base_cpi(self, profile: AppProfile) -> float:
+        # IPC=1 when all LLC accesses hit, regardless of the app.
+        return 1.0
+
+    def miss_penalty(self, profile: AppProfile) -> float:
+        # No MLP: each miss stalls the core for the full latency.
+        return self.mem_latency_cycles

@@ -1,0 +1,27 @@
+"""Out-of-order core model (paper's default, validated against Westmere).
+
+An OOO core hides part of each miss behind independent work and, more
+importantly, overlaps concurrent long misses.  The MLP profiler the
+paper adds to each core (Eyerman et al.) reports the average number of
+overlapped long misses; the effective penalty per miss is the raw
+memory latency divided by that overlap factor.
+"""
+
+from __future__ import annotations
+
+from .base import CoreModel
+from .profile import AppProfile
+
+__all__ = ["OutOfOrderCore"]
+
+
+class OutOfOrderCore(CoreModel):
+    """OOO core: app-specific base CPI, MLP-scaled miss penalty."""
+
+    kind = "ooo"
+
+    def base_cpi(self, profile: AppProfile) -> float:
+        return profile.base_cpi
+
+    def miss_penalty(self, profile: AppProfile) -> float:
+        return self.mem_latency_cycles / profile.mlp

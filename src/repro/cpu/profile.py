@@ -1,0 +1,61 @@
+"""Per-application execution profiles consumed by core models.
+
+An :class:`AppProfile` captures everything a core model needs to turn a
+miss ratio into cycles: LLC access intensity (APKI), the CPI the app
+would sustain if every LLC access hit (``base_cpi``, which folds in L1,
+L2 and L3-hit latencies), and the app's long-miss memory-level
+parallelism (MLP), measured by the Eyerman-style profiler the paper
+attaches to each core (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AppProfile"]
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Static execution characteristics of one application.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    apki:
+        Last-level-cache accesses per thousand instructions.
+    base_cpi:
+        Cycles per instruction when all LLC accesses hit.
+    mlp:
+        Average number of overlapped long (LLC-miss) memory accesses;
+        1.0 means fully serialized misses.
+    """
+
+    name: str
+    apki: float
+    base_cpi: float
+    mlp: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.apki < 0:
+            raise ValueError("apki must be non-negative")
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if self.mlp < 1.0:
+            raise ValueError("mlp must be at least 1 (no negative overlap)")
+
+    @property
+    def instructions_per_access(self) -> float:
+        """Instructions between consecutive LLC accesses.
+
+        Infinite for an app that never touches the LLC; callers should
+        check :attr:`apki` before dividing by this.
+        """
+        if self.apki == 0:
+            return float("inf")
+        return 1000.0 / self.apki
+
+    def accesses_for(self, instructions: float) -> float:
+        """Expected LLC accesses over ``instructions`` instructions."""
+        return instructions * self.apki / 1000.0

@@ -1,0 +1,100 @@
+"""Extension: memory-bandwidth contention (paper future work).
+
+The paper's engine models fixed-latency memory; its Section 6 notes
+that bandwidth has no inertia and defers combining Ubik with bandwidth
+partitioning.  This experiment supplies the motivating data: sweep the
+memory channel's sustainable throughput and measure how tail latency
+degrades under cache partitioning alone.
+
+Expected shape: with generous bandwidth, Ubik and StaticLC hold tails
+at ~1.0x; as the channel tightens, *both* degrade — the interference
+arrives through a resource neither manages — demonstrating why the
+paper calls for pairing Ubik with bandwidth partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.ubik import UbikPolicy
+from ..policies.static_lc import StaticLCPolicy
+from ..sim.bandwidth import BandwidthModel
+from ..sim.config import CMPConfig
+from ..sim.engine import LCInstanceSpec, MixEngine
+from ..sim.mix_runner import MixRunner
+from ..workloads.mixes import make_mix_specs
+
+__all__ = ["BandwidthPoint", "run_bandwidth_study"]
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """Metrics at one channel capacity under one policy."""
+
+    peak_misses_per_kilocycle: float
+    policy: str
+    tail_degradation: float
+    weighted_speedup: float
+
+
+def run_bandwidth_study(
+    peaks: Sequence[float] = (1e9, 160.0, 100.0, 70.0),
+    lc_name: str = "specjbb",
+    load: float = 0.3,
+    requests: int = 120,
+    seed: int = 31,
+) -> List[BandwidthPoint]:
+    """Sweep channel capacity for one mix under StaticLC and Ubik.
+
+    ``peaks`` are total sustainable misses per kilocycle; the first
+    default is effectively infinite (the paper's fixed-latency memory),
+    the rest put the streaming-heavy mix at roughly 30%, 50% and 70%
+    channel utilization.
+    """
+    spec = make_mix_specs(
+        lc_names=[lc_name], loads=[load], mixes_per_combo=1
+    )[9]
+    runner = MixRunner(requests=requests, seed=seed)
+    baseline = runner.baseline(spec.lc_workload, load)
+    results: List[BandwidthPoint] = []
+    for peak in peaks:
+        bandwidth = BandwidthModel(peak_misses_per_kilocycle=peak)
+        for policy_factory in (StaticLCPolicy, lambda: UbikPolicy(slack=0.05)):
+            policy = policy_factory()
+            lc_specs = []
+            for instance in range(3):
+                arrivals, works = runner._stream(spec.lc_workload, load, instance)
+                lc_specs.append(
+                    LCInstanceSpec(
+                        workload=spec.lc_workload,
+                        arrivals=arrivals,
+                        works=works,
+                        deadline_cycles=baseline.p95_cycles,
+                        target_tail_cycles=baseline.tail95_cycles,
+                        load=load,
+                    )
+                )
+            engine = MixEngine(
+                lc_specs=lc_specs,
+                batch_workloads=list(spec.batch_apps),
+                policy=policy,
+                config=CMPConfig(),
+                seed=seed,
+                baseline_lines=float(spec.lc_workload.target_lines),
+                mix_id=f"bw-{peak}",
+                bandwidth=bandwidth,
+            )
+            result = engine.run()
+            result.baseline_tail_cycles = baseline.tail95_cycles
+            results.append(
+                BandwidthPoint(
+                    peak_misses_per_kilocycle=peak,
+                    policy=policy.name,
+                    tail_degradation=result.tail_degradation(),
+                    weighted_speedup=result.weighted_speedup(),
+                )
+            )
+    return results

@@ -1,0 +1,112 @@
+"""Shared experiment infrastructure: scaled run parameters and reports.
+
+Every benchmark regenerates one paper table or figure.  The paper's
+full scale (400 mixes, 10^15 simulated instructions) is replaced by a
+configurable scaled grid that preserves the methodology: same mix
+construction, same metrics, same normalization.  Environment variables
+let users dial the scale up toward the paper's:
+
+* ``REPRO_REQUESTS``  — requests per LC instance (default 120)
+* ``REPRO_MIXES``     — batch mixes per type combination (default uses
+  a representative subset of combos; set >0 for the full 20-combo grid)
+* ``REPRO_LC``        — comma-separated LC workload subset
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..workloads.latency_critical import LC_NAMES
+from ..workloads.mixes import HIGH_LOAD, LOW_LOAD, MixSpec, make_mix_specs
+
+__all__ = [
+    "ExperimentScale",
+    "default_scale",
+    "scaled_mix_specs",
+    "format_table",
+    "REPRESENTATIVE_COMBOS",
+]
+
+#: Six type-combinations spanning the insensitive/friendly/fitting/
+#: streaming space; used when the full 20-combo grid is too slow.
+REPRESENTATIVE_COMBOS = ("nnn", "nft", "nss", "fft", "fts", "sss")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaled-down run parameters preserving the paper's methodology."""
+
+    requests: int = 120
+    lc_names: Tuple[str, ...] = LC_NAMES
+    loads: Tuple[float, ...] = (LOW_LOAD, HIGH_LOAD)
+    combos: Tuple[str, ...] = REPRESENTATIVE_COMBOS
+    mixes_per_combo: int = 1
+    seed: int = 2014
+
+    def __post_init__(self) -> None:
+        if self.requests < 20:
+            raise ValueError("need at least 20 requests for tail metrics")
+        unknown = set(self.lc_names) - set(LC_NAMES)
+        if unknown:
+            raise ValueError(f"unknown LC workloads: {sorted(unknown)}")
+
+
+def default_scale() -> ExperimentScale:
+    """Scale from environment variables (see module docstring)."""
+    requests = int(os.environ.get("REPRO_REQUESTS", "120"))
+    lc_env = os.environ.get("REPRO_LC", "")
+    lc_names = (
+        tuple(name.strip() for name in lc_env.split(",") if name.strip())
+        or LC_NAMES
+    )
+    mixes_env = int(os.environ.get("REPRO_MIXES", "0"))
+    if mixes_env > 0:
+        # Full 20-combo grid, paper style.
+        combos = tuple(
+            "".join(c) for c in __import__(
+                "itertools"
+            ).combinations_with_replacement("nfts", 3)
+        )
+        return ExperimentScale(
+            requests=requests,
+            lc_names=lc_names,
+            combos=combos,
+            mixes_per_combo=mixes_env,
+        )
+    return ExperimentScale(requests=requests, lc_names=lc_names)
+
+
+def scaled_mix_specs(scale: ExperimentScale) -> List[MixSpec]:
+    """Mix specs for a scale, filtered to its combo subset."""
+    specs = make_mix_specs(
+        lc_names=scale.lc_names,
+        loads=scale.loads,
+        mixes_per_combo=scale.mixes_per_combo,
+        seed=scale.seed,
+    )
+    keep = set(scale.combos)
+    return [s for s in specs if s.batch_combo.split(".")[0] in keep]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table rendering for benchmark harness output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Figure 13: Ubik's sensitivity to the partitioning scheme and array.
+
+Ubik (5% slack) runs over the mix grid under five scheme/array models:
+way-partitioning on 16- and 64-way set-associative caches, Vantage on
+the same arrays, and Vantage on the default 4-way 52-candidate zcache.
+Expected shapes (paper Section 7.3):
+
+* way-partitioning breaks Ubik's deadlines — transients are slower and
+  pattern-dependent, so tails degrade well beyond the slack (worst on
+  16 ways, where granularity and associativity also suffer);
+* Vantage on SA16 leaks lines (soft partitioning) and hurts tails;
+* Vantage on SA64 approaches the zcache's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..cache.schemes import (
+    SchemeModel,
+    vantage_setassoc,
+    vantage_zcache,
+    way_partitioning,
+)
+from ..core.ubik import UbikPolicy
+from ..sim.config import CMPConfig, CoreKind
+from .common import ExperimentScale, default_scale
+from .sweep import SweepResult, run_policy_sweep
+
+__all__ = ["SchemeEntry", "run_fig13"]
+
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """Aggregate metrics for one scheme at one load."""
+
+    scheme: str
+    load_label: str
+    worst_degradation: float
+    average_degradation: float
+    average_speedup_pct: float
+
+
+def run_fig13(
+    scale: ExperimentScale | None = None,
+    slack: float = 0.05,
+) -> List[SchemeEntry]:
+    """Run Ubik under each of the five scheme models."""
+    scale = scale or default_scale()
+    llc_lines = CMPConfig().llc_lines
+    schemes: List[SchemeModel] = [
+        way_partitioning(llc_lines, 16),
+        way_partitioning(llc_lines, 64),
+        vantage_setassoc(llc_lines, 16),
+        vantage_setassoc(llc_lines, 64),
+        vantage_zcache(llc_lines),
+    ]
+    entries: List[SchemeEntry] = []
+    for scheme in schemes:
+        sweep = run_policy_sweep(
+            scale,
+            core_kind=CoreKind.OOO,
+            policy_factories=(("Ubik", lambda: UbikPolicy(slack=slack)),),
+            scheme=scheme,
+            cache_key_extra="fig13",
+        )
+        for load_label in ("lo", "hi"):
+            records = sweep.for_policy("Ubik", load_label)
+            if not records:
+                continue
+            entries.append(
+                SchemeEntry(
+                    scheme=scheme.name,
+                    load_label=load_label,
+                    worst_degradation=max(r.tail_degradation for r in records),
+                    average_degradation=float(
+                        np.mean([r.tail_degradation for r in records])
+                    ),
+                    average_speedup_pct=(
+                        float(np.mean([r.weighted_speedup for r in records]))
+                        - 1.0
+                    )
+                    * 100.0,
+                )
+            )
+    return entries

@@ -1,0 +1,148 @@
+"""Policy-comparison sweeps shared by Figures 9-11 and Table 3.
+
+A sweep runs every scaled mix under every scheme and records the two
+paper metrics per run: tail-latency degradation and weighted speedup.
+Results are memoized per (scale, core kind) so that the several
+benchmarks reading the same data (Fig 9, Fig 10, Table 3) trigger a
+single computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.schemes import SchemeModel
+from ..core.ubik import UbikPolicy
+from ..policies.base import Policy
+from ..policies.lru import LRUPolicy
+from ..policies.onoff import OnOffPolicy
+from ..policies.static_lc import StaticLCPolicy
+from ..policies.ucp import UCPPolicy
+from ..sim.config import CMPConfig, CoreKind
+from ..sim.mix_runner import MixRunner
+from ..workloads.mixes import MixSpec
+from .common import ExperimentScale, scaled_mix_specs
+
+__all__ = [
+    "PolicyFactory",
+    "DEFAULT_POLICY_FACTORIES",
+    "RunRecord",
+    "SweepResult",
+    "run_policy_sweep",
+]
+
+PolicyFactory = Tuple[str, Callable[[], Policy]]
+
+#: The five schemes of Figures 9-11, in the paper's order.
+DEFAULT_POLICY_FACTORIES: Tuple[PolicyFactory, ...] = (
+    ("LRU", LRUPolicy),
+    ("UCP", UCPPolicy),
+    ("OnOff", OnOffPolicy),
+    ("StaticLC", StaticLCPolicy),
+    ("Ubik", lambda: UbikPolicy(slack=0.05)),
+)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (mix, policy) run's metrics."""
+
+    mix_id: str
+    lc_name: str
+    load_label: str
+    policy: str
+    tail_degradation: float
+    weighted_speedup: float
+    lc_tail_cycles: float
+    baseline_tail_cycles: float
+
+
+@dataclass
+class SweepResult:
+    """All runs of a sweep plus grouped accessors."""
+
+    records: List[RunRecord]
+
+    def for_policy(self, policy: str, load_label: Optional[str] = None) -> List[RunRecord]:
+        return [
+            r
+            for r in self.records
+            if r.policy == policy
+            and (load_label is None or r.load_label == load_label)
+        ]
+
+    def policies(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.policy, None)
+        return list(seen)
+
+    def sorted_degradations(self, policy: str, load_label: str) -> np.ndarray:
+        vals = [r.tail_degradation for r in self.for_policy(policy, load_label)]
+        return np.sort(np.asarray(vals))[::-1]  # worst first, paper style
+
+    def sorted_speedups(self, policy: str, load_label: str) -> np.ndarray:
+        vals = [r.weighted_speedup for r in self.for_policy(policy, load_label)]
+        return np.sort(np.asarray(vals))
+
+    def average_speedup(self, policy: str, load_label: str) -> float:
+        vals = [r.weighted_speedup for r in self.for_policy(policy, load_label)]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def per_app(
+        self, policy: str, lc_name: str, load_label: str
+    ) -> List[RunRecord]:
+        return [
+            r
+            for r in self.for_policy(policy, load_label)
+            if r.lc_name == lc_name
+        ]
+
+
+_CACHE: Dict[Tuple, SweepResult] = {}
+
+
+def run_policy_sweep(
+    scale: ExperimentScale,
+    core_kind: str = CoreKind.OOO,
+    policy_factories: Tuple[PolicyFactory, ...] = DEFAULT_POLICY_FACTORIES,
+    scheme: Optional[SchemeModel] = None,
+    cache_key_extra: str = "",
+) -> SweepResult:
+    """Run (or fetch) the full mixes x policies sweep."""
+    key = (
+        scale,
+        core_kind,
+        tuple(name for name, __ in policy_factories),
+        scheme.name if scheme else "ideal",
+        cache_key_extra,
+    )
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+
+    config = CMPConfig(core_kind=core_kind)
+    runner = MixRunner(config=config, requests=scale.requests, seed=scale.seed)
+    specs = scaled_mix_specs(scale)
+    records: List[RunRecord] = []
+    for spec in specs:
+        for name, factory in policy_factories:
+            result = runner.run_mix(spec, factory(), scheme=scheme)
+            records.append(
+                RunRecord(
+                    mix_id=spec.mix_id,
+                    lc_name=spec.lc_workload.name,
+                    load_label=spec.load_label,
+                    policy=name,
+                    tail_degradation=result.tail_degradation(),
+                    weighted_speedup=result.weighted_speedup(),
+                    lc_tail_cycles=result.tail95(),
+                    baseline_tail_cycles=result.baseline_tail_cycles,
+                )
+            )
+    sweep = SweepResult(records=records)
+    _CACHE[key] = sweep
+    return sweep

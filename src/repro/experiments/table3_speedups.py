@@ -1,0 +1,69 @@
+"""Table 3: average weighted speedups per scheme per load.
+
+Paper values for reference (OOO cores):
+
+==========  ====  ====  =====  ========  ====
+load        LRU   UCP   OnOff  StaticLC  Ubik
+==========  ====  ====  =====  ========  ====
+Low load    13.1  18.3  18.3   8.9       17.1
+High load   9.8   14.7  14.5   8.3       14.8
+==========  ====  ====  =====  ========  ====
+
+The reproduction checks the *ordering*: UCP/OnOff/Ubik cluster at the
+top, LRU trails them, StaticLC is last; and every scheme improves on
+private LLCs (speedup > 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.config import CoreKind
+from .common import ExperimentScale, default_scale, format_table
+from .sweep import DEFAULT_POLICY_FACTORIES, run_policy_sweep
+
+__all__ = ["PAPER_TABLE3", "run_table3", "format_table3"]
+
+#: Paper Table 3, percent weighted speedup over private LLCs.
+PAPER_TABLE3 = {
+    "lo": {"LRU": 13.1, "UCP": 18.3, "OnOff": 18.3, "StaticLC": 8.9, "Ubik": 17.1},
+    "hi": {"LRU": 9.8, "UCP": 14.7, "OnOff": 14.5, "StaticLC": 8.3, "Ubik": 14.8},
+}
+
+
+def run_table3(
+    scale: ExperimentScale | None = None,
+    core_kind: str = CoreKind.OOO,
+) -> Dict[str, Dict[str, float]]:
+    """Measured average weighted speedups, percent, by load."""
+    scale = scale or default_scale()
+    sweep = run_policy_sweep(
+        scale, core_kind=core_kind, policy_factories=DEFAULT_POLICY_FACTORIES
+    )
+    table: Dict[str, Dict[str, float]] = {}
+    for load_label in ("lo", "hi"):
+        table[load_label] = {
+            policy: (sweep.average_speedup(policy, load_label) - 1.0) * 100.0
+            for policy in sweep.policies()
+        }
+    return table
+
+
+def format_table3(measured: Dict[str, Dict[str, float]]) -> str:
+    """Render measured-vs-paper Table 3."""
+    policies = list(next(iter(measured.values())).keys())
+    rows: List[List[str]] = []
+    for load_label, label in (("lo", "Low load"), ("hi", "High load")):
+        rows.append(
+            [label, "measured"]
+            + [f"{measured[load_label][p]:.1f}%" for p in policies]
+        )
+        rows.append(
+            [label, "paper"]
+            + [f"{PAPER_TABLE3[load_label].get(p, float('nan')):.1f}%" for p in policies]
+        )
+    return format_table(
+        ["Load", "Source"] + policies,
+        rows,
+        title="Table 3: average weighted speedups",
+    )

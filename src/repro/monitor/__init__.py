@@ -1,0 +1,14 @@
+"""Monitoring hardware models: miss curves, UMONs, MLP profiler, counters."""
+
+from .counters import PerfCounters
+from .miss_curve import MissCurve, combine_curves
+from .mlp import MLPProfiler
+from .umon import UtilityMonitor
+
+__all__ = [
+    "MissCurve",
+    "combine_curves",
+    "UtilityMonitor",
+    "MLPProfiler",
+    "PerfCounters",
+]

@@ -1,0 +1,219 @@
+"""Miss curves: miss ratio as a function of allocated cache capacity.
+
+A miss curve maps a cache allocation, measured in cache lines, to the
+fraction of accesses that miss at that allocation.  Miss curves are the
+common currency of every partitioning policy in this package: UMONs
+produce them, UCP's Lookahead consumes them, and Ubik's transient
+analysis (Section 5.1 of the paper) is an integral over one.
+
+Curves are stored as sampled points and evaluated with linear
+interpolation, mirroring how the paper linearly interpolates 32-point
+UMON curves to 256 points (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["MissCurve", "combine_curves"]
+
+
+def _as_float_array(values: Iterable[float]) -> np.ndarray:
+    array = np.asarray(list(values), dtype=float)
+    if array.ndim != 1:
+        raise ValueError("expected a 1-D sequence")
+    return array
+
+
+class MissCurve:
+    """Piecewise-linear miss ratio versus allocated lines.
+
+    Parameters
+    ----------
+    sizes:
+        Allocation sample points in cache lines, strictly increasing,
+        starting at 0.
+    miss_ratios:
+        Miss ratio (misses / accesses, in [0, 1]) at each sample point.
+        Enforced to be non-increasing: a larger allocation can never
+        miss more, which holds for the stack-property replacement
+        (LRU) that UMONs model.
+    """
+
+    __slots__ = ("_sizes", "_ratios")
+
+    def __init__(self, sizes: Iterable[float], miss_ratios: Iterable[float]):
+        sizes_arr = _as_float_array(sizes)
+        ratios_arr = _as_float_array(miss_ratios)
+        if sizes_arr.size != ratios_arr.size:
+            raise ValueError("sizes and miss_ratios must have equal length")
+        if sizes_arr.size < 2:
+            raise ValueError("a miss curve needs at least two points")
+        if sizes_arr[0] != 0:
+            raise ValueError("miss curves must start at size 0")
+        if np.any(np.diff(sizes_arr) <= 0):
+            raise ValueError("sizes must be strictly increasing")
+        if np.any(ratios_arr < 0) or np.any(ratios_arr > 1):
+            raise ValueError("miss ratios must lie in [0, 1]")
+        # Enforce monotonicity (non-increasing) without rejecting noisy
+        # UMON samples: take the running minimum.
+        ratios_arr = np.minimum.accumulate(ratios_arr)
+        self._sizes = sizes_arr
+        self._ratios = ratios_arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, miss_ratio: float, max_size: float) -> "MissCurve":
+        """A size-insensitive curve (streaming or fully-resident app)."""
+        return cls([0.0, float(max_size)], [miss_ratio, miss_ratio])
+
+    @classmethod
+    def from_hit_counters(
+        cls,
+        way_hits: Sequence[float],
+        misses: float,
+        lines_per_way: float,
+    ) -> "MissCurve":
+        """Build a curve from UMON-style per-way hit counters.
+
+        ``way_hits[i]`` counts hits whose LRU stack depth was ``i`` ways;
+        an allocation of ``k`` ways captures ``sum(way_hits[:k])`` hits.
+        This is exactly the UCP UMON construction (Qureshi & Patt).
+        """
+        hits = _as_float_array(way_hits)
+        if np.any(hits < 0) or misses < 0:
+            raise ValueError("counters must be non-negative")
+        total = float(hits.sum() + misses)
+        if total <= 0:
+            raise ValueError("no accesses recorded")
+        cumulative_hits = np.concatenate([[0.0], np.cumsum(hits)])
+        sizes = np.arange(hits.size + 1) * float(lines_per_way)
+        ratios = (total - cumulative_hits) / total
+        return cls(sizes, ratios)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    @property
+    def sizes(self) -> np.ndarray:
+        """Sample allocations, in lines (read-only view)."""
+        view = self._sizes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def miss_ratios(self) -> np.ndarray:
+        """Miss ratio at each sample allocation (read-only view)."""
+        view = self._ratios.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def max_size(self) -> float:
+        """Largest sampled allocation; the curve is flat beyond it."""
+        return float(self._sizes[-1])
+
+    def __call__(self, size):
+        """Miss ratio at ``size`` lines (clamped to the sampled range)."""
+        return np.interp(size, self._sizes, self._ratios)
+
+    def misses(self, size: float, accesses: float) -> float:
+        """Expected misses over ``accesses`` at a fixed allocation."""
+        return float(self(size)) * accesses
+
+    def hits(self, size: float, accesses: float) -> float:
+        """Expected hits over ``accesses`` at a fixed allocation."""
+        return (1.0 - float(self(size))) * accesses
+
+    def utility(self, from_size: float, to_size: float) -> float:
+        """Hit-ratio gain from growing ``from_size`` to ``to_size``.
+
+        This is UCP's utility ``U(a, b) = miss(a) - miss(b)`` expressed
+        per access; non-negative whenever ``to_size >= from_size``.
+        """
+        return float(self(from_size)) - float(self(to_size))
+
+    def marginal_utility(self, from_size: float, to_size: float) -> float:
+        """Utility per extra line over ``[from_size, to_size]``."""
+        span = to_size - from_size
+        if span <= 0:
+            raise ValueError("to_size must exceed from_size")
+        return self.utility(from_size, to_size) / span
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def resample(self, num_points: int, max_size: float | None = None) -> "MissCurve":
+        """Linearly interpolate onto ``num_points`` evenly spaced sizes.
+
+        Mirrors the paper's interpolation of 32-point UMON curves to
+        256 points for finer-grained allocation decisions.
+        """
+        if num_points < 2:
+            raise ValueError("need at least two points")
+        top = self.max_size if max_size is None else float(max_size)
+        sizes = np.linspace(0.0, top, num_points)
+        return MissCurve(sizes, self(sizes))
+
+    def scaled(self, ratio_scale: float) -> "MissCurve":
+        """Scale all miss ratios by ``ratio_scale`` (clamped to [0,1])."""
+        return MissCurve(self._sizes, np.clip(self._ratios * ratio_scale, 0.0, 1.0))
+
+    def with_noise(self, rng: np.random.Generator, relative_std: float) -> "MissCurve":
+        """Model UMON sampling error: multiplicative Gaussian noise.
+
+        The constructor re-imposes monotonicity, as real UMON curves are
+        post-processed before use.
+        """
+        noise = rng.normal(1.0, relative_std, size=self._ratios.size)
+        noisy = np.clip(self._ratios * noise, 0.0, 1.0)
+        return MissCurve(self._sizes, noisy)
+
+    # ------------------------------------------------------------------
+    # Dunder support
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MissCurve):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._sizes, other._sizes)
+            and np.array_equal(self._ratios, other._ratios)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"MissCurve({self._sizes.size} pts, "
+            f"m(0)={self._ratios[0]:.3f}, "
+            f"m({self._sizes[-1]:.0f})={self._ratios[-1]:.3f})"
+        )
+
+
+def combine_curves(curves: Sequence[MissCurve], weights: Sequence[float]) -> MissCurve:
+    """Access-weighted aggregate miss curve of co-resident partitions.
+
+    Used to reason about a *group* of applications occupying one shared
+    pool (e.g., the batch side of the cache): the aggregate miss ratio
+    at total size ``s`` assumes the pool is split in proportion to the
+    weights, which is the equal-pressure approximation of shared LRU.
+    """
+    if len(curves) != len(weights):
+        raise ValueError("one weight per curve required")
+    if not curves:
+        raise ValueError("need at least one curve")
+    weight_arr = _as_float_array(weights)
+    if np.any(weight_arr < 0) or weight_arr.sum() <= 0:
+        raise ValueError("weights must be non-negative and not all zero")
+    shares = weight_arr / weight_arr.sum()
+    top = max(curve.max_size for curve in curves)
+    sizes = np.linspace(0.0, top, 257)
+    ratios = np.zeros_like(sizes)
+    for curve, share in zip(curves, shares):
+        ratios += share * curve(sizes * share)
+    return MissCurve(sizes, np.clip(ratios, 0.0, 1.0))

@@ -1,0 +1,63 @@
+"""Long-miss memory-level-parallelism (MLP) profiler.
+
+The paper attaches the simple performance-counter architecture of
+Eyerman et al. (ASPLOS 2006) to each core: it measures the average
+number of cycles the core stalls per long (LLC) miss, accounting for
+overlap among concurrent misses.  Ubik consumes a single scalar from
+it — the effective miss penalty ``M`` — to derive transient durations
+and lost cycles (Section 5.1).
+
+In the analytic engine the profiler is fed aggregate (stall, miss)
+observations; in trace mode it can be fed per-miss overlap samples.
+Either way it maintains an exponentially-weighted estimate, modelling
+the periodic readout of a hardware counter.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MLPProfiler"]
+
+
+class MLPProfiler:
+    """Estimates the effective stall cycles per LLC miss."""
+
+    def __init__(self, smoothing: float = 0.25, initial_penalty: float = 200.0):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if initial_penalty <= 0:
+            raise ValueError("initial penalty must be positive")
+        self.smoothing = smoothing
+        self._estimate = float(initial_penalty)
+        self._window_stall = 0.0
+        self._window_misses = 0.0
+
+    def observe(self, stall_cycles: float, misses: float) -> None:
+        """Accumulate stall cycles attributed to ``misses`` long misses."""
+        if stall_cycles < 0 or misses < 0:
+            raise ValueError("observations must be non-negative")
+        self._window_stall += stall_cycles
+        self._window_misses += misses
+
+    def observe_overlap(self, raw_latency: float, concurrent: float) -> None:
+        """Record one miss that overlapped with ``concurrent`` others."""
+        if concurrent < 1:
+            raise ValueError("a miss overlaps with at least itself")
+        self.observe(raw_latency / concurrent, 1.0)
+
+    def end_interval(self) -> float:
+        """Fold the window into the estimate and return it.
+
+        Called at each reconfiguration interval, mirroring the software
+        runtime's periodic read of the profiler (Section 5.1.3).
+        """
+        if self._window_misses > 0:
+            sample = self._window_stall / self._window_misses
+            self._estimate += self.smoothing * (sample - self._estimate)
+        self._window_stall = 0.0
+        self._window_misses = 0.0
+        return self._estimate
+
+    @property
+    def effective_penalty(self) -> float:
+        """Current estimate of stall cycles per miss (the paper's M)."""
+        return self._estimate

@@ -1,0 +1,23 @@
+"""LLC partitioning policies: LRU, UCP, StaticLC, OnOff, Fixed (+ base API)."""
+
+from .base import AppView, BoostPlan, Decision, Policy, PolicyContext
+from .fixed import FixedPolicy
+from .lookahead import lookahead_partition
+from .lru import LRUPolicy
+from .onoff import OnOffPolicy
+from .static_lc import StaticLCPolicy
+from .ucp import UCPPolicy
+
+__all__ = [
+    "Policy",
+    "PolicyContext",
+    "AppView",
+    "Decision",
+    "BoostPlan",
+    "lookahead_partition",
+    "LRUPolicy",
+    "UCPPolicy",
+    "StaticLCPolicy",
+    "OnOffPolicy",
+    "FixedPolicy",
+]

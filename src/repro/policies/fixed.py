@@ -1,0 +1,42 @@
+"""Fixed allocations: the private-LLC baseline as a policy.
+
+Used to measure each LC app's isolated behaviour (target tail latency,
+Figure 1) and as a building block in tests: every app keeps a constant
+partition forever, like statically partitioned private caches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import Decision, Policy, PolicyContext
+
+__all__ = ["FixedPolicy"]
+
+
+class FixedPolicy(Policy):
+    """Constant partition sizes; optionally an explicit map."""
+
+    name = "Fixed"
+
+    def __init__(self, targets: Optional[Dict[int, float]] = None):
+        self._explicit = dict(targets) if targets else None
+
+    def initialize(self, ctx: PolicyContext) -> Decision:
+        if self._explicit is not None:
+            unknown = set(self._explicit) - {a.index for a in ctx.apps}
+            if unknown:
+                raise ValueError(f"targets for unknown apps: {sorted(unknown)}")
+            return Decision(targets=dict(self._explicit))
+        # Default: LC apps at their QoS targets, batch split evenly.
+        targets: Dict[int, float] = {}
+        reserved = 0.0
+        for app in ctx.lc_apps:
+            targets[app.index] = app.target_lines
+            reserved += app.target_lines
+        batch = ctx.batch_apps
+        if batch:
+            share = max(0.0, ctx.llc_lines - reserved) / len(batch)
+            for app in batch:
+                targets[app.index] = share
+        return Decision(targets=targets)

@@ -1,0 +1,28 @@
+"""Unmanaged shared LRU (the conventional-CMP baseline).
+
+No partitions: applications compete for LLC capacity through the
+replacement policy.  The engine models this with the shared-occupancy
+fluid model (:mod:`repro.cache.sharing`): idle latency-critical apps
+see their working sets evicted by batch co-runners, and high-APKI
+batch apps grab space regardless of utility — both effects the paper
+shows destroy tail latency (Figure 9).
+"""
+
+from __future__ import annotations
+
+from .base import Decision, Policy, PolicyContext
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(Policy):
+    """Placeholder policy: the engine runs its occupancy model instead."""
+
+    name = "LRU"
+    uses_partitioning = False
+
+    def initialize(self, ctx: PolicyContext) -> Decision:
+        # Targets are meaningless without partitioning; report an even
+        # split so downstream tooling has something sensible to show.
+        share = ctx.llc_lines / max(1, len(ctx.apps))
+        return Decision(targets={a.index: share for a in ctx.apps})

@@ -1,0 +1,51 @@
+"""StaticLC: fixed partitions for LC apps, UCP for the rest (Section 4).
+
+Each latency-critical app permanently holds its full target allocation
+(2 MB by default); batch apps share the remainder via Lookahead at the
+periodic reconfigurations.  Safe — tail latencies match the private
+baseline — but wasteful: LC apps hold their space even while idle,
+which is most of the time at datacenter loads.
+"""
+
+from __future__ import annotations
+
+from .base import Decision, Policy, PolicyContext
+from .lookahead import lookahead_partition
+
+__all__ = ["StaticLCPolicy"]
+
+
+class StaticLCPolicy(Policy):
+    """LC apps pinned at target size; batch apps get UCP on the rest."""
+
+    name = "StaticLC"
+
+    def __init__(self, buckets: int = 256):
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.buckets = buckets
+
+    def _repartition(self, ctx: PolicyContext) -> Decision:
+        targets = {}
+        reserved = 0.0
+        for app in ctx.lc_apps:
+            targets[app.index] = app.target_lines
+            reserved += app.target_lines
+        batch = ctx.batch_apps
+        available = max(0.0, ctx.llc_lines - reserved)
+        if batch:
+            allocs = lookahead_partition(
+                [a.curve for a in batch],
+                [max(a.access_rate, 1e-12) for a in batch],
+                available,
+                buckets=self.buckets,
+            )
+            for app, alloc in zip(batch, allocs):
+                targets[app.index] = alloc
+        return Decision(targets=targets)
+
+    def initialize(self, ctx: PolicyContext) -> Decision:
+        return self._repartition(ctx)
+
+    def on_interval(self, ctx: PolicyContext) -> Decision:
+        return self._repartition(ctx)

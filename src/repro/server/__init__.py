@@ -1,0 +1,24 @@
+"""Latency-critical server substrate: requests, FIFO queueing, tail metrics."""
+
+from .latency import (
+    LatencySummary,
+    percentile_latency,
+    summarize_latencies,
+    tail_degradation,
+    tail_mean,
+)
+from .queueing import build_requests, run_fifo_server, simulate_fixed_service
+from .request import CompletedRequest, Request
+
+__all__ = [
+    "Request",
+    "CompletedRequest",
+    "run_fifo_server",
+    "simulate_fixed_service",
+    "build_requests",
+    "tail_mean",
+    "percentile_latency",
+    "tail_degradation",
+    "LatencySummary",
+    "summarize_latencies",
+]

@@ -1,0 +1,98 @@
+"""Tail-latency metrics (paper Section 3.2).
+
+The paper reports tail latency as **the mean of all requests beyond a
+percentile** (default the 95th), not the percentile itself: adaptive
+schemes could game a pure percentile by sacrificing only requests past
+the measurement point, whereas the tail mean includes the entire tail.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "tail_mean",
+    "percentile_latency",
+    "tail_degradation",
+    "LatencySummary",
+    "summarize_latencies",
+]
+
+from dataclasses import dataclass
+
+DEFAULT_TAIL_PCT = 95.0
+
+
+def _as_array(latencies: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(latencies, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no latencies to summarize")
+    if np.any(arr < 0):
+        raise ValueError("latencies must be non-negative")
+    return arr
+
+
+def percentile_latency(latencies: Sequence[float], pct: float = DEFAULT_TAIL_PCT) -> float:
+    """The ``pct``-th percentile latency."""
+    if not 0 < pct < 100:
+        raise ValueError("pct must be in (0, 100)")
+    return float(np.percentile(_as_array(latencies), pct))
+
+
+def tail_mean(latencies: Sequence[float], pct: float = DEFAULT_TAIL_PCT) -> float:
+    """Mean latency of all requests at or beyond the ``pct`` percentile.
+
+    This is the paper's tail metric: it cannot be gamed by degrading
+    only the requests beyond the measured percentile.
+    """
+    arr = _as_array(latencies)
+    threshold = np.percentile(arr, pct)
+    tail = arr[arr >= threshold]
+    return float(tail.mean())
+
+
+def tail_degradation(
+    latencies: Sequence[float],
+    baseline_latencies: Sequence[float],
+    pct: float = DEFAULT_TAIL_PCT,
+) -> float:
+    """Tail latency normalized to a baseline run (1.0 = unchanged)."""
+    return tail_mean(latencies, pct) / tail_mean(baseline_latencies, pct)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean / percentile / tail-mean summary of one run."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    tail95: float
+    max: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Unit conversion helper (e.g. cycles -> ms)."""
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            tail95=self.tail95 * factor,
+            max=self.max * factor,
+        )
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary` from raw latencies."""
+    arr = _as_array(latencies)
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        tail95=tail_mean(arr, DEFAULT_TAIL_PCT),
+        max=float(arr.max()),
+    )

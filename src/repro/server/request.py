@@ -1,0 +1,49 @@
+"""Request lifecycle records for latency-critical servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Request", "CompletedRequest"]
+
+
+@dataclass
+class Request:
+    """One client request: arrival (visible) time and work to do."""
+
+    index: int
+    arrival: float  # cycles, after interrupt coalescing
+    work: float  # instructions
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A finished request with its measured timings (all in cycles)."""
+
+    index: int
+    arrival: float
+    start: float
+    completion: float
+
+    def __post_init__(self) -> None:
+        if not self.arrival <= self.start <= self.completion:
+            raise ValueError("request timings must be ordered")
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: queueing delay plus service."""
+        return self.completion - self.arrival
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        return self.completion - self.start

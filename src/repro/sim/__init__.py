@@ -1,0 +1,35 @@
+"""Simulation engine: CMP config, fill transients, the mix engine, runners."""
+
+from .config import CMPConfig, CacheLevelConfig, CoreKind, westmere_config
+from .engine import LCInstanceSpec, MixEngine
+from .fill import Advance, FillState
+from .mix_runner import BaselineResult, MixRunner
+from .results import BatchAppResult, LCInstanceResult, MixResult
+from .trace_sim import (
+    PhasedGenerator,
+    ScanGenerator,
+    TraceApp,
+    TraceDrivenSimulator,
+    ZipfWorkingSetGenerator,
+)
+
+__all__ = [
+    "CMPConfig",
+    "CacheLevelConfig",
+    "CoreKind",
+    "westmere_config",
+    "FillState",
+    "Advance",
+    "MixEngine",
+    "LCInstanceSpec",
+    "MixRunner",
+    "BaselineResult",
+    "MixResult",
+    "LCInstanceResult",
+    "BatchAppResult",
+    "TraceDrivenSimulator",
+    "TraceApp",
+    "ZipfWorkingSetGenerator",
+    "ScanGenerator",
+    "PhasedGenerator",
+]

@@ -1,0 +1,70 @@
+"""Memory-bandwidth contention model (paper future work, Section 6).
+
+The paper models fixed-latency memory and notes that "bandwidth has no
+inertia, so Ubik should be easy to combine with bandwidth partitioning
+techniques ... we leave such an evaluation to future work."  This
+module supplies the missing piece's *problem statement*: an optional
+queueing model of the memory channel that inflates every app's
+effective miss penalty as total miss traffic approaches the channel's
+sustainable throughput.
+
+With it, the engine can demonstrate the motivation: cache partitioning
+alone cannot protect latency-critical tails once co-runners saturate
+memory bandwidth — the interference arrives through a resource Ubik
+does not manage.
+
+The model is an M/M/1-style load-latency curve applied at
+reconfiguration granularity (bandwidth reacts in tens of cycles, so a
+coarse feedback loop is faithful at 50 ms intervals):
+
+    multiplier(rho) = 1 + alpha * rho / (1 - rho),   rho = traffic / peak
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BandwidthModel"]
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Miss-penalty inflation from memory-channel queueing.
+
+    Parameters
+    ----------
+    peak_misses_per_kilocycle:
+        Sustainable LLC-miss throughput of the memory system, in misses
+        per thousand core cycles (all cores combined).  A Westmere-class
+        part with 3 DDR3-1066 channels sustains very roughly 25 GB/s ~
+        10-12 lines per kilocycle at 3.2 GHz.
+    contention_weight:
+        The ``alpha`` scale of the queueing term.
+    max_utilization:
+        Cap on modelled utilization (the channel never fully saturates
+        in the model; requests throttle first).
+    """
+
+    peak_misses_per_kilocycle: float
+    contention_weight: float = 1.0
+    max_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.peak_misses_per_kilocycle <= 0:
+            raise ValueError("peak throughput must be positive")
+        if self.contention_weight < 0:
+            raise ValueError("contention weight must be non-negative")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError("max utilization must be in (0, 1)")
+
+    def utilization(self, misses_per_cycle: float) -> float:
+        """Channel utilization for a total miss rate (clamped)."""
+        if misses_per_cycle < 0:
+            raise ValueError("miss rate must be non-negative")
+        rho = misses_per_cycle * 1000.0 / self.peak_misses_per_kilocycle
+        return min(rho, self.max_utilization)
+
+    def penalty_multiplier(self, misses_per_cycle: float) -> float:
+        """Factor applied to every app's effective miss penalty."""
+        rho = self.utilization(misses_per_cycle)
+        return 1.0 + self.contention_weight * rho / (1.0 - rho)

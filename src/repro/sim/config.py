@@ -1,0 +1,134 @@
+"""Simulated CMP configuration (paper Table 2).
+
+The default configuration models the six-core Westmere-EP-like CMP the
+paper simulates with zsim: 3.2 GHz cores, three-level cache hierarchy
+with a shared, banked 12 MB L3, and 200-cycle main memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..units import mb_to_lines, kb_to_lines, ms_to_cycles, us_to_cycles
+
+__all__ = [
+    "CoreKind",
+    "CacheLevelConfig",
+    "CMPConfig",
+    "westmere_config",
+    "TABLE2_ROWS",
+]
+
+
+class CoreKind:
+    """Core model selector (paper Section 6 and Figure 11)."""
+
+    OOO = "ooo"
+    IN_ORDER = "inorder"
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One level of the cache hierarchy."""
+
+    name: str
+    size_lines: int
+    ways: int
+    latency_cycles: int
+    shared: bool = False
+    banks: int = 1
+
+    @property
+    def size_kb(self) -> float:
+        return self.size_lines * 64 / 1024
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_lines * 64 / (1024 * 1024)
+
+
+@dataclass(frozen=True)
+class CMPConfig:
+    """Full CMP description used by the simulation engine.
+
+    Attributes mirror paper Table 2.  ``reconfig_interval_cycles`` is
+    the coarse-grained repartitioning period (50 ms in the paper);
+    ``coalescing_timeout_cycles`` models NIC interrupt coalescing
+    (50 us, Section 3.2).
+    """
+
+    num_cores: int = 6
+    core_kind: str = CoreKind.OOO
+    freq_hz: float = 3.2e9
+    l1: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(
+            name="L1", size_lines=kb_to_lines(32), ways=4, latency_cycles=1
+        )
+    )
+    l2: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(
+            name="L2", size_lines=kb_to_lines(256), ways=16, latency_cycles=7
+        )
+    )
+    l3: CacheLevelConfig = field(
+        default_factory=lambda: CacheLevelConfig(
+            name="L3",
+            size_lines=mb_to_lines(12),
+            ways=4,  # 4-way 52-candidate zcache by default
+            latency_cycles=20,
+            shared=True,
+            banks=6,
+        )
+    )
+    mem_latency_cycles: int = 200
+    reconfig_interval_cycles: float = 0.0
+    coalescing_timeout_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.reconfig_interval_cycles <= 0:
+            object.__setattr__(
+                self,
+                "reconfig_interval_cycles",
+                ms_to_cycles(50.0, self.freq_hz),
+            )
+        if self.coalescing_timeout_cycles <= 0:
+            object.__setattr__(
+                self,
+                "coalescing_timeout_cycles",
+                us_to_cycles(50.0, self.freq_hz),
+            )
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.l3.size_lines <= 0:
+            raise ValueError("L3 must have capacity")
+
+    @property
+    def llc_lines(self) -> int:
+        """Total shared LLC capacity in lines."""
+        return self.l3.size_lines
+
+    def with_llc_mb(self, megabytes: float) -> "CMPConfig":
+        """A copy of this config with a different LLC capacity."""
+        return replace(self, l3=replace(self.l3, size_lines=mb_to_lines(megabytes)))
+
+    def with_core_kind(self, kind: str) -> "CMPConfig":
+        """A copy of this config with a different core model."""
+        if kind not in (CoreKind.OOO, CoreKind.IN_ORDER):
+            raise ValueError(f"unknown core kind: {kind!r}")
+        return replace(self, core_kind=kind)
+
+
+def westmere_config(core_kind: str = CoreKind.OOO) -> CMPConfig:
+    """The paper's default simulated system (Table 2)."""
+    return CMPConfig(core_kind=core_kind)
+
+
+#: Human-readable rendering of Table 2 for the benchmark harness.
+TABLE2_ROWS = (
+    ("Cores", "6 x86-64 cores, Westmere-like OOO, 3.2GHz"),
+    ("L1 caches", "32KB, 4-way set-associative, split D/I, 1-cycle latency"),
+    ("L2 caches", "256KB private per-core, 16-way set-associative, inclusive, 7-cycle latency"),
+    ("L3 cache", "6 banks, 2MB/bank (12MB total), 4-way 52-candidate zcache, 20 cycles, inclusive"),
+    ("Coherence protocol", "MESI, 64B lines, in-cache directory, no silent drops; TSO"),
+    ("Memory", "200-cycle latency"),
+)

@@ -1,0 +1,296 @@
+"""Partition fill state: the engine's transient model (paper Sec 5.1).
+
+Under Vantage, a partition below its target grows by **one line per
+miss** and loses nothing until it reaches the target.  An application's
+instantaneous miss ratio is therefore its miss curve evaluated at its
+*resident* line count, and execution obeys
+
+    dr/dn     = e * p(r)          (growth: e = fill efficiency, 1 for Vantage)
+    dT/dn     = c + p(r) * M      (cycles per access)
+
+where ``n`` counts LLC accesses, ``c`` is the all-hit access interval
+and ``M`` the effective miss penalty.  Because miss curves are
+piecewise linear, both equations integrate in closed form per segment:
+on a segment with ``p(r) = p0 * exp(e*b*n)`` (slope ``b``), the misses
+in a growth step equal ``delta_r / e`` exactly — each miss adds one
+line — and cycles follow as ``c*n + M*misses``.
+
+The engine uses the *exact* integral; Ubik's controller uses the
+paper's conservative upper bounds (:mod:`repro.core.transient`), so the
+simulation exposes the controller's real safety margin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache.schemes import SchemeModel
+from ..monitor.miss_curve import MissCurve
+
+__all__ = ["Advance", "FillState"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Advance:
+    """Result of advancing an app: cycles spent, work done, misses seen."""
+
+    cycles: float
+    accesses: float
+    misses: float
+
+    def merged(self, other: "Advance") -> "Advance":
+        return Advance(
+            cycles=self.cycles + other.cycles,
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+        )
+
+
+class FillState:
+    """Resident-lines tracker with closed-form execution advancement.
+
+    Parameters
+    ----------
+    curve:
+        The app's true steady-state miss curve.
+    hit_interval:
+        Cycles between LLC accesses when all hit (the paper's ``c``).
+    miss_penalty:
+        Effective stall cycles per miss (the paper's ``M``).
+    scheme:
+        Partitioning-scheme imperfection model; defaults to ideal
+        (Vantage-on-zcache) behaviour.
+    """
+
+    def __init__(
+        self,
+        curve: MissCurve,
+        hit_interval: float,
+        miss_penalty: float,
+        scheme: SchemeModel | None = None,
+        resident: float = 0.0,
+        target: float = 0.0,
+    ):
+        if hit_interval < 0 or miss_penalty < 0:
+            raise ValueError("c and M must be non-negative")
+        self.curve = curve
+        self.hit_interval = float(hit_interval)
+        self.miss_penalty = float(miss_penalty)
+        self.scheme = scheme
+        self._fill_efficiency = 1.0
+        self._miss_multiplier = 1.0
+        self.resident = float(resident)
+        self.target = 0.0
+        self.set_target(target)
+        if resident > self.effective_target:
+            self.resident = self.effective_target
+
+    # ------------------------------------------------------------------
+    # Target management
+    # ------------------------------------------------------------------
+    def set_target(self, lines: float) -> None:
+        """Retarget the partition; shrinking releases lines immediately."""
+        if lines < 0:
+            raise ValueError("target must be non-negative")
+        if self.scheme is not None and lines > 0:
+            lines = float(self.scheme.quantize(lines))
+            self._miss_multiplier = self.scheme.miss_multiplier(
+                lines, self.curve.max_size
+            )
+        else:
+            self._miss_multiplier = 1.0
+        self.target = float(lines)
+        if self.resident > self.effective_target:
+            self.resident = self.effective_target
+
+    @property
+    def effective_target(self) -> float:
+        """Lines the scheme actually lets the partition retain."""
+        if self.scheme is None:
+            return self.target
+        return self.scheme.effective_target(self.target)
+
+    def begin_transient(self, rng: np.random.Generator | None = None) -> None:
+        """Start a fill transient; draws the scheme's fill efficiency."""
+        if self.scheme is None or rng is None:
+            self._fill_efficiency = 1.0
+        else:
+            self._fill_efficiency = self.scheme.draw_fill_efficiency(rng)
+
+    def apply_idle_loss(self, rng: np.random.Generator | None = None) -> None:
+        """Soft-partitioning leakage accrued over an idle period."""
+        if self.scheme is None or rng is None:
+            return
+        loss = self.scheme.draw_idle_loss(rng)
+        if loss > 0:
+            self.resident *= 1.0 - loss
+
+    # ------------------------------------------------------------------
+    # Miss-ratio evaluation
+    # ------------------------------------------------------------------
+    def base_miss_ratio(self) -> float:
+        """Miss ratio from the curve at current residency (no penalty)."""
+        return float(self.curve(self.resident))
+
+    def miss_ratio(self) -> float:
+        """Observed miss ratio, including associativity penalties."""
+        return min(1.0, self.base_miss_ratio() * self._miss_multiplier)
+
+    @property
+    def filling(self) -> bool:
+        """True while the partition is still growing toward its target."""
+        return self.resident < self.effective_target - _EPS
+
+    # ------------------------------------------------------------------
+    # Advancement
+    # ------------------------------------------------------------------
+    def advance_accesses(self, accesses: float) -> Advance:
+        """Execute ``accesses`` LLC accesses from the current state."""
+        if accesses < 0:
+            raise ValueError("accesses must be non-negative")
+        remaining = float(accesses)
+        cycles = 0.0
+        misses = 0.0
+        while remaining > _EPS and self.filling:
+            step = self._growth_step(max_accesses=remaining)
+            if step is None:
+                break  # zero miss ratio: growth stalled, behave as steady
+            seg_n, seg_dr = step
+            seg_misses = seg_dr / self._fill_efficiency * self._miss_multiplier
+            cycles += self.hit_interval * seg_n + self.miss_penalty * seg_misses
+            misses += seg_misses
+            self.resident += seg_dr
+            remaining -= seg_n
+        if remaining > _EPS:
+            p = self.miss_ratio()
+            seg_misses = remaining * p
+            cycles += remaining * self.hit_interval + seg_misses * self.miss_penalty
+            misses += seg_misses
+            remaining = 0.0
+        return Advance(cycles=cycles, accesses=accesses, misses=misses)
+
+    def advance_cycles(self, budget: float) -> Advance:
+        """Execute for ``budget`` cycles; returns work actually done."""
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        remaining = float(budget)
+        accesses = 0.0
+        misses = 0.0
+        while remaining > _EPS and self.filling:
+            step = self._growth_step(max_accesses=None)
+            if step is None:
+                break
+            seg_n, seg_dr = step
+            seg_misses = seg_dr / self._fill_efficiency * self._miss_multiplier
+            seg_cycles = self.hit_interval * seg_n + self.miss_penalty * seg_misses
+            if seg_cycles <= remaining:
+                remaining -= seg_cycles
+                accesses += seg_n
+                misses += seg_misses
+                self.resident += seg_dr
+                continue
+            part_n = self._invert_segment_time(remaining)
+            part_dr = self._growth_over(part_n)
+            part_misses = part_dr / self._fill_efficiency * self._miss_multiplier
+            accesses += part_n
+            misses += part_misses
+            self.resident += part_dr
+            remaining = 0.0
+        if remaining > _EPS:
+            p = self.miss_ratio()
+            per_access = self.hit_interval + p * self.miss_penalty
+            if per_access <= 0:
+                raise RuntimeError("app makes no progress: zero access interval")
+            seg_n = remaining / per_access
+            accesses += seg_n
+            misses += seg_n * p
+            remaining = 0.0
+        return Advance(cycles=budget - remaining, accesses=accesses, misses=misses)
+
+    # ------------------------------------------------------------------
+    # Segment machinery
+    # ------------------------------------------------------------------
+    def _segment(self):
+        """Current curve segment: (p0, slope b, lines to segment end)."""
+        sizes = self.curve.sizes
+        ratios = self.curve.miss_ratios
+        idx = int(np.searchsorted(sizes, self.resident, side="right")) - 1
+        idx = max(0, min(idx, sizes.size - 2))
+        s_lo, s_hi = float(sizes[idx]), float(sizes[idx + 1])
+        m_lo, m_hi = float(ratios[idx]), float(ratios[idx + 1])
+        b = (m_hi - m_lo) / (s_hi - s_lo)
+        p0 = m_lo + b * (self.resident - s_lo)
+        seg_end = min(s_hi, self.effective_target)
+        return p0, b, max(0.0, seg_end - self.resident)
+
+    def _growth_step(self, max_accesses: float | None):
+        """One growth step within the current segment.
+
+        Returns ``(accesses, lines_grown)`` for growing to the segment
+        end (or target), clipped to ``max_accesses``; ``None`` if the
+        miss ratio is zero (no growth possible).
+        """
+        p0, b, dr_seg = self._segment()
+        e = self._fill_efficiency
+        if p0 <= _EPS:
+            return None
+        if dr_seg <= _EPS:
+            # Floating-point corner: effectively at target already.
+            # Snap and treat the remainder as steady-state execution.
+            self.resident = self.effective_target
+            return None
+        p1 = p0 + b * dr_seg
+        if abs(p1 - p0) < 1e-9 * max(p0, 1e-30):
+            # Effectively constant miss ratio on this stretch.
+            n_full = dr_seg / (e * p0)
+            if max_accesses is None or n_full <= max_accesses:
+                return n_full, dr_seg
+            return max_accesses, e * p0 * max_accesses
+        if p1 <= _EPS:
+            # Curve hits zero inside the segment: solve growth to the
+            # zero crossing, which takes unbounded accesses; clip.
+            p1 = _EPS
+            dr_seg = (p1 - p0) / b
+        n_full = math.log(p1 / p0) / (e * b)
+        if max_accesses is None or n_full <= max_accesses:
+            return n_full, dr_seg
+        dr = self._growth_over(max_accesses)
+        return max_accesses, dr
+
+    def _growth_over(self, n: float) -> float:
+        """Lines grown after ``n`` accesses within the current segment."""
+        p0, b, dr_seg = self._segment()
+        e = self._fill_efficiency
+        if p0 <= _EPS or n <= 0:
+            return 0.0
+        if abs(b) < 1e-30:
+            return min(e * p0 * n, dr_seg)
+        grown = (p0 / b) * (math.exp(e * b * n) - 1.0)
+        return min(max(grown, 0.0), dr_seg)
+
+    def _invert_segment_time(self, budget: float) -> float:
+        """Accesses achievable in ``budget`` cycles within this segment."""
+        p0, __, __ = self._segment()
+        per_access_max = self.hit_interval + p0 * self.miss_penalty
+        if per_access_max <= 0:
+            raise RuntimeError("zero-cost access: cannot invert time")
+        lo, hi = 0.0, budget / max(self.hit_interval, _EPS) if self.hit_interval else 0.0
+        if hi == 0.0:
+            hi = budget / per_access_max * 4 + 1.0
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            dr = self._growth_over(mid)
+            cost = (
+                self.hit_interval * mid
+                + self.miss_penalty * dr / self._fill_efficiency * self._miss_multiplier
+            )
+            if cost < budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,179 @@
+"""Mix execution: baselines, request streams, and policy comparisons.
+
+Implements the paper's measurement methodology (Section 6):
+
+* each LC app is first run **alone** with a fixed 2 MB partition (the
+  private-LLC baseline); the pooled tail of those runs is both the
+  normalization denominator for *tail latency degradation* and the
+  source of Ubik's deadline (the 95th-percentile latency at the target
+  size);
+* the same request streams (fixed work, randomized arrivals) are then
+  replayed in the six-app mix under each policy, making comparisons
+  across schemes sample-balanced;
+* batch apps are normalized to their steady-state IPC with a private
+  2 MB LLC, giving the weighted-speedup metric.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.schemes import SchemeModel
+from ..cpu import make_core_model
+from ..policies.base import Policy
+from ..policies.fixed import FixedPolicy
+from ..server.latency import percentile_latency, tail_mean
+from ..workloads.arrivals import generate_arrivals
+from ..workloads.latency_critical import LCWorkload
+from ..workloads.mixes import MixSpec
+from .config import CMPConfig
+from .engine import LCInstanceSpec, MixEngine
+from .results import MixResult
+
+__all__ = ["BaselineResult", "MixRunner"]
+
+#: Default request count per LC instance in scaled runs.
+DEFAULT_REQUESTS = 300
+
+#: Instances of the LC workload per mix (paper: three).
+LC_INSTANCES = 3
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Isolated-run latencies for one LC workload at one load."""
+
+    tail95_cycles: float  # mean beyond p95: the degradation denominator
+    p95_cycles: float  # pure percentile: Ubik's deadline
+    latencies: Tuple[float, ...]
+
+
+class MixRunner:
+    """Runs mixes and caches isolated baselines."""
+
+    def __init__(
+        self,
+        config: Optional[CMPConfig] = None,
+        requests: int = DEFAULT_REQUESTS,
+        seed: int = 1,
+        umon_noise: float = 0.02,
+        warmup_fraction: float = 0.05,
+    ):
+        self.config = config or CMPConfig()
+        if requests < 20:
+            raise ValueError("need at least 20 requests for tail metrics")
+        self.requests = requests
+        self.seed = seed
+        self.umon_noise = umon_noise
+        self.warmup_fraction = warmup_fraction
+        self._baseline_cache: Dict[Tuple[str, float, str], BaselineResult] = {}
+
+    # ------------------------------------------------------------------
+    # Request streams
+    # ------------------------------------------------------------------
+    def _stream(
+        self, workload: LCWorkload, load: float, instance: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(arrivals, works) for one instance, deterministic in seed."""
+        name_key = zlib.crc32(workload.name.encode()) & 0xFFFF
+        rng = np.random.default_rng((self.seed, name_key, instance))
+        works = np.asarray(
+            [workload.work.sample(rng) for _ in range(self.requests)]
+        )
+        core = make_core_model(
+            self.config.core_kind, self.config.mem_latency_cycles
+        )
+        mean_service = workload.mean_service_cycles(core)
+        arrivals = generate_arrivals(
+            self.requests,
+            load,
+            mean_service,
+            rng,
+            coalescing_timeout_cycles=self.config.coalescing_timeout_cycles,
+        )
+        return arrivals, works
+
+    # ------------------------------------------------------------------
+    # Baselines
+    # ------------------------------------------------------------------
+    def baseline(self, workload: LCWorkload, load: float) -> BaselineResult:
+        """Isolated run at the target allocation (cached)."""
+        key = (workload.name, load, self.config.core_kind)
+        hit = self._baseline_cache.get(key)
+        if hit is not None:
+            return hit
+        pooled: List[float] = []
+        for instance in range(LC_INSTANCES):
+            arrivals, works = self._stream(workload, load, instance)
+            spec = LCInstanceSpec(
+                workload=workload,
+                arrivals=arrivals,
+                works=works,
+                deadline_cycles=1.0,  # unused by FixedPolicy
+                target_tail_cycles=1.0,
+                load=load,
+            )
+            engine = MixEngine(
+                lc_specs=[spec],
+                batch_workloads=[],
+                policy=FixedPolicy({0: float(workload.target_lines)}),
+                config=self.config,
+                scheme=None,
+                seed=self.seed + instance,
+                umon_noise=0.0,
+                warmup_fraction=self.warmup_fraction,
+                mix_id=f"baseline-{workload.name}",
+            )
+            result = engine.run()
+            pooled.extend(result.lc_instances[0].latencies)
+        baseline = BaselineResult(
+            tail95_cycles=tail_mean(pooled, 95.0),
+            p95_cycles=percentile_latency(pooled, 95.0),
+            latencies=tuple(pooled),
+        )
+        self._baseline_cache[key] = baseline
+        return baseline
+
+    # ------------------------------------------------------------------
+    # Mix execution
+    # ------------------------------------------------------------------
+    def run_mix(
+        self,
+        spec: MixSpec,
+        policy: Policy,
+        scheme: Optional[SchemeModel] = None,
+    ) -> MixResult:
+        """Run one six-app mix under one policy."""
+        baseline = self.baseline(spec.lc_workload, spec.load)
+        lc_specs = []
+        for instance in range(LC_INSTANCES):
+            arrivals, works = self._stream(spec.lc_workload, spec.load, instance)
+            lc_specs.append(
+                LCInstanceSpec(
+                    workload=spec.lc_workload,
+                    arrivals=arrivals,
+                    works=works,
+                    deadline_cycles=baseline.p95_cycles,
+                    target_tail_cycles=baseline.tail95_cycles,
+                    load=spec.load,
+                )
+            )
+        engine = MixEngine(
+            lc_specs=lc_specs,
+            batch_workloads=list(spec.batch_apps),
+            policy=policy,
+            config=self.config,
+            scheme=scheme,
+            seed=self.seed,
+            umon_noise=self.umon_noise,
+            warmup_fraction=self.warmup_fraction,
+            baseline_lines=float(spec.lc_workload.target_lines),
+            mix_id=spec.mix_id,
+        )
+        result = engine.run()
+        result.baseline_tail_cycles = baseline.tail95_cycles
+        return result

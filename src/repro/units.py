@@ -1,0 +1,63 @@
+"""Common unit definitions and conversions.
+
+The engine's master units are **cache lines** for capacity and **core
+cycles** for time (the paper's CMP runs at 3.2 GHz; Table 2).  Helpers
+here convert to the human-facing units used in reports (MB, ms, us).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LINE_BYTES",
+    "KILO",
+    "MEGA",
+    "mb_to_lines",
+    "kb_to_lines",
+    "lines_to_mb",
+    "cycles_to_ms",
+    "cycles_to_us",
+    "ms_to_cycles",
+    "us_to_cycles",
+]
+
+LINE_BYTES = 64
+KILO = 1024
+MEGA = 1024 * 1024
+
+#: Default core frequency in Hz (Table 2: 3.2 GHz Westmere-like cores).
+DEFAULT_FREQ_HZ = 3.2e9
+
+
+def mb_to_lines(megabytes: float) -> int:
+    """Cache lines in ``megabytes`` MB of capacity (64 B lines)."""
+    return int(round(megabytes * MEGA / LINE_BYTES))
+
+
+def kb_to_lines(kilobytes: float) -> int:
+    """Cache lines in ``kilobytes`` KB of capacity (64 B lines)."""
+    return int(round(kilobytes * KILO / LINE_BYTES))
+
+
+def lines_to_mb(lines: float) -> float:
+    """Capacity in MB represented by ``lines`` cache lines."""
+    return lines * LINE_BYTES / MEGA
+
+
+def cycles_to_ms(cycles: float, freq_hz: float = DEFAULT_FREQ_HZ) -> float:
+    """Convert core cycles to milliseconds."""
+    return cycles / freq_hz * 1e3
+
+
+def cycles_to_us(cycles: float, freq_hz: float = DEFAULT_FREQ_HZ) -> float:
+    """Convert core cycles to microseconds."""
+    return cycles / freq_hz * 1e6
+
+
+def ms_to_cycles(ms: float, freq_hz: float = DEFAULT_FREQ_HZ) -> float:
+    """Convert milliseconds to core cycles."""
+    return ms * 1e-3 * freq_hz
+
+
+def us_to_cycles(us: float, freq_hz: float = DEFAULT_FREQ_HZ) -> float:
+    """Convert microseconds to core cycles."""
+    return us * 1e-6 * freq_hz

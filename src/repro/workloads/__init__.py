@@ -1,0 +1,78 @@
+"""Workload models: latency-critical apps, batch apps, traces, arrivals."""
+
+from .arrivals import InterruptCoalescer, PoissonArrivals, generate_arrivals
+from .batch import (
+    BATCH_CLASSES,
+    BATCH_CLASS_NAMES,
+    BatchWorkload,
+    make_batch_workload,
+    random_batch_workload,
+)
+from .curve_shapes import (
+    exponential_curve,
+    flat_curve,
+    knee_curve,
+    plateau_then_decline_curve,
+)
+from .latency_critical import (
+    DEFAULT_TARGET_MB,
+    LC_NAMES,
+    TABLE1_ROWS,
+    LCWorkload,
+    all_lc_workloads,
+    make_lc_workload,
+)
+from .mixes import (
+    HIGH_LOAD,
+    LOW_LOAD,
+    MixSpec,
+    batch_type_combos,
+    make_all_batch_mixes,
+    make_batch_mix,
+    make_mix_specs,
+)
+from .service_time import (
+    DeterministicWork,
+    LognormalWork,
+    MixtureWork,
+    TruncatedNormalWork,
+    WorkDistribution,
+)
+from .trace import TraceConfig, ZipfSampler, generate_request_trace, lc_trace_config
+
+__all__ = [
+    "PoissonArrivals",
+    "InterruptCoalescer",
+    "generate_arrivals",
+    "BATCH_CLASSES",
+    "BATCH_CLASS_NAMES",
+    "BatchWorkload",
+    "make_batch_workload",
+    "random_batch_workload",
+    "exponential_curve",
+    "flat_curve",
+    "knee_curve",
+    "plateau_then_decline_curve",
+    "LC_NAMES",
+    "TABLE1_ROWS",
+    "DEFAULT_TARGET_MB",
+    "LCWorkload",
+    "all_lc_workloads",
+    "make_lc_workload",
+    "LOW_LOAD",
+    "HIGH_LOAD",
+    "MixSpec",
+    "batch_type_combos",
+    "make_batch_mix",
+    "make_all_batch_mixes",
+    "make_mix_specs",
+    "WorkDistribution",
+    "DeterministicWork",
+    "TruncatedNormalWork",
+    "LognormalWork",
+    "MixtureWork",
+    "TraceConfig",
+    "ZipfSampler",
+    "lc_trace_config",
+    "generate_request_trace",
+]

@@ -1,0 +1,92 @@
+"""Open-loop request arrival processes.
+
+The paper's harness throttles client requests to achieve exponential
+interarrival times at a configurable rate (a Markov input process,
+Section 3.2), and models NIC interrupt coalescing with a 50 us timeout.
+Both are reproduced here.  Arrival times are in core cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["PoissonArrivals", "InterruptCoalescer", "generate_arrivals"]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Exponential interarrival times at ``rate`` requests per cycle."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    @classmethod
+    def for_load(cls, load: float, mean_service_cycles: float) -> "PoissonArrivals":
+        """Arrival process achieving offered load ``rho = lambda * E[S]``."""
+        if not 0.0 < load < 1.0:
+            raise ValueError("load must be in (0, 1) for a stable queue")
+        if mean_service_cycles <= 0:
+            raise ValueError("mean service time must be positive")
+        return cls(load / mean_service_cycles)
+
+    def sample_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Arrival times (cycles) of ``count`` consecutive requests."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        gaps = rng.exponential(1.0 / self.rate, size=count)
+        return np.cumsum(gaps)
+
+    @property
+    def mean_interarrival(self) -> float:
+        return 1.0 / self.rate
+
+
+class InterruptCoalescer:
+    """NIC interrupt coalescing: arrivals become visible in batches.
+
+    The first packet of a batch arms a timer; the interrupt (and thus
+    server-side visibility of every packet queued meanwhile) fires when
+    the timer expires.  The paper uses a 50 us timeout (Section 3.2).
+    A timeout of zero disables coalescing.
+    """
+
+    def __init__(self, timeout_cycles: float):
+        if timeout_cycles < 0:
+            raise ValueError("timeout must be non-negative")
+        self.timeout_cycles = float(timeout_cycles)
+
+    def apply(self, arrival_times: np.ndarray) -> np.ndarray:
+        """Visible times for each arrival (sorted input required)."""
+        times = np.asarray(arrival_times, dtype=float)
+        if times.size == 0:
+            return times.copy()
+        if np.any(np.diff(times) < 0):
+            raise ValueError("arrival times must be sorted")
+        if self.timeout_cycles == 0:
+            return times.copy()
+        visible: List[float] = []
+        deadline = times[0] + self.timeout_cycles
+        for t in times:
+            if t > deadline:
+                deadline = t + self.timeout_cycles
+            visible.append(deadline)
+        return np.asarray(visible)
+
+
+def generate_arrivals(
+    count: int,
+    load: float,
+    mean_service_cycles: float,
+    rng: np.random.Generator,
+    coalescing_timeout_cycles: float = 0.0,
+) -> np.ndarray:
+    """Visible arrival times for a fixed-work run of ``count`` requests."""
+    process = PoissonArrivals.for_load(load, mean_service_cycles)
+    raw = process.sample_times(count, rng)
+    return InterruptCoalescer(coalescing_timeout_cycles).apply(raw)

@@ -1,0 +1,118 @@
+"""Parametric miss-curve generators.
+
+Real miss curves come from UMONs; for the synthetic workload models we
+construct curves from a small set of shapes that span the behaviours
+the paper describes: smooth exponential decline (cache-friendly apps
+and most LC workloads), a knee (cache-fitting apps, and moses, whose
+reuse only appears beyond ~4 MB), and flat curves (streaming or
+insensitive apps).  All sizes are in cache lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..monitor.miss_curve import MissCurve
+
+__all__ = [
+    "exponential_curve",
+    "knee_curve",
+    "flat_curve",
+    "plateau_then_decline_curve",
+    "DEFAULT_POINTS",
+]
+
+#: Sample density of generated curves; matches the paper's 256-point
+#: post-interpolation UMON resolution (plus the zero point).
+DEFAULT_POINTS = 257
+
+
+def _sizes(max_lines: float, points: int) -> np.ndarray:
+    if max_lines <= 0:
+        raise ValueError("max_lines must be positive")
+    if points < 2:
+        raise ValueError("need at least two points")
+    return np.linspace(0.0, float(max_lines), points)
+
+
+def exponential_curve(
+    miss_at_zero: float,
+    miss_floor: float,
+    half_size_lines: float,
+    max_lines: float,
+    points: int = DEFAULT_POINTS,
+) -> MissCurve:
+    """Smoothly declining curve: halves its excess every ``half_size``.
+
+    ``m(s) = floor + (m0 - floor) * 2^(-s / half_size)``.  Models apps
+    with a working set of graded hotness (shore, specjbb, most
+    cache-friendly SPEC apps).
+    """
+    if not 0 <= miss_floor <= miss_at_zero <= 1:
+        raise ValueError("need 0 <= floor <= m0 <= 1")
+    if half_size_lines <= 0:
+        raise ValueError("half_size_lines must be positive")
+    sizes = _sizes(max_lines, points)
+    ratios = miss_floor + (miss_at_zero - miss_floor) * np.exp2(
+        -sizes / half_size_lines
+    )
+    return MissCurve(sizes, ratios)
+
+
+def knee_curve(
+    miss_at_zero: float,
+    miss_floor: float,
+    knee_lines: float,
+    max_lines: float,
+    sharpness: float = 8.0,
+    points: int = DEFAULT_POINTS,
+) -> MissCurve:
+    """Cache-fitting shape: high until the working set fits, then low.
+
+    A logistic drop centred at ``knee_lines``; ``sharpness`` controls
+    how abrupt the transition is (higher = sharper).
+    """
+    if not 0 <= miss_floor <= miss_at_zero <= 1:
+        raise ValueError("need 0 <= floor <= m0 <= 1")
+    if knee_lines <= 0:
+        raise ValueError("knee_lines must be positive")
+    sizes = _sizes(max_lines, points)
+    logistic = 1.0 / (1.0 + np.exp(-sharpness * (sizes - knee_lines) / knee_lines))
+    at_zero = 1.0 / (1.0 + np.exp(sharpness))
+    # Normalize so m(0) == miss_at_zero exactly.
+    frac = (logistic - at_zero) / (1.0 - at_zero)
+    ratios = miss_at_zero - (miss_at_zero - miss_floor) * np.clip(frac, 0.0, 1.0)
+    return MissCurve(sizes, ratios)
+
+
+def flat_curve(miss_ratio: float, max_lines: float) -> MissCurve:
+    """Size-insensitive curve (streaming apps, or tiny working sets)."""
+    return MissCurve.constant(miss_ratio, max_lines)
+
+
+def plateau_then_decline_curve(
+    miss_plateau: float,
+    miss_floor: float,
+    plateau_lines: float,
+    half_size_lines: float,
+    max_lines: float,
+    points: int = DEFAULT_POINTS,
+) -> MissCurve:
+    """Flat at ``miss_plateau`` until ``plateau_lines``, then exponential.
+
+    Models moses: "no reuse at 2MB, but ... significant reuse at
+    around 4MB" (paper Section 7.1) — nothing to gain until the
+    allocation covers the plateau, then steady gains.
+    """
+    if not 0 <= miss_floor <= miss_plateau <= 1:
+        raise ValueError("need 0 <= floor <= plateau <= 1")
+    if plateau_lines < 0 or half_size_lines <= 0:
+        raise ValueError("invalid plateau or half size")
+    sizes = _sizes(max_lines, points)
+    excess = np.where(
+        sizes <= plateau_lines,
+        1.0,
+        np.exp2(-(sizes - plateau_lines) / half_size_lines),
+    )
+    ratios = miss_floor + (miss_plateau - miss_floor) * excess
+    return MissCurve(sizes, ratios)

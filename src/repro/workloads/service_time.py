@@ -1,0 +1,234 @@
+"""Distributions of per-request work, in instructions.
+
+A latency-critical request's *service time* depends on cache state, so
+the primitive quantity is the request's **work** (instructions to
+retire).  Service time then follows from the core model and the miss
+ratio trajectory during execution.  These distributions are calibrated
+(in :mod:`repro.workloads.latency_critical`) so that, at the paper's
+baseline (2 MB LLC, app running alone, warm cache), the resulting
+service-time CDFs match the shapes of paper Figure 1b: near-constant
+(masstree, moses), long-tailed (xapian), or multi-modal (shore,
+specjbb).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WorkDistribution",
+    "DeterministicWork",
+    "TruncatedNormalWork",
+    "LognormalWork",
+    "MixtureWork",
+]
+
+
+def _normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+class WorkDistribution(abc.ABC):
+    """A distribution over per-request instruction counts."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one request's work (instructions, strictly positive)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected work per request."""
+
+    @abc.abstractmethod
+    def cdf(self, work: float) -> float:
+        """P(request work <= ``work``)."""
+
+    @abc.abstractmethod
+    def scaled(self, factor: float) -> "WorkDistribution":
+        """This distribution with all work multiplied by ``factor``."""
+
+    def percentile(self, q: float) -> float:
+        """Inverse CDF by bisection (``q`` in (0, 1))."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        lo, hi = 0.0, max(self.mean(), 1.0)
+        while self.cdf(hi) < q:
+            hi *= 2.0
+            if hi > 1e30:  # pragma: no cover - defensive
+                raise RuntimeError("percentile search diverged")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.cdf(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class DeterministicWork(WorkDistribution):
+    """Every request needs exactly ``work`` instructions."""
+
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.work
+
+    def mean(self) -> float:
+        return self.work
+
+    def cdf(self, work: float) -> float:
+        return 1.0 if work >= self.work else 0.0
+
+    def scaled(self, factor: float) -> "DeterministicWork":
+        return DeterministicWork(self.work * factor)
+
+
+@dataclass(frozen=True)
+class TruncatedNormalWork(WorkDistribution):
+    """Near-constant work: normal, truncated below at ``floor_frac*mean``.
+
+    Models services like masstree whose per-request work is tightly
+    distributed around the mean (paper Figure 1b).
+    """
+
+    mean_work: float
+    cv: float
+    floor_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.mean_work <= 0:
+            raise ValueError("mean_work must be positive")
+        if self.cv < 0:
+            raise ValueError("cv must be non-negative")
+        if not 0.0 < self.floor_frac < 1.0:
+            raise ValueError("floor_frac must be in (0, 1)")
+
+    @property
+    def _sigma(self) -> float:
+        return self.mean_work * self.cv
+
+    @property
+    def _floor(self) -> float:
+        return self.mean_work * self.floor_frac
+
+    def sample(self, rng: np.random.Generator) -> float:
+        draw = rng.normal(self.mean_work, self._sigma)
+        return max(draw, self._floor)
+
+    def mean(self) -> float:
+        # Truncation bias is negligible for the small CVs we use
+        # (floor sits many sigmas below the mean).
+        return self.mean_work
+
+    def cdf(self, work: float) -> float:
+        if work < self._floor:
+            return 0.0
+        if self._sigma == 0:
+            return 1.0 if work >= self.mean_work else 0.0
+        return _normal_cdf((work - self.mean_work) / self._sigma)
+
+    def scaled(self, factor: float) -> "TruncatedNormalWork":
+        return TruncatedNormalWork(self.mean_work * factor, self.cv, self.floor_frac)
+
+
+@dataclass(frozen=True)
+class LognormalWork(WorkDistribution):
+    """Long-tailed work: lognormal with log-scale ``sigma``.
+
+    Models query-dependent services like xapian search, whose
+    service-time CDF in Figure 1b rises quickly but has a long tail.
+    ``mean_work`` is the distribution mean (not the median).
+    """
+
+    mean_work: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.mean_work <= 0:
+            raise ValueError("mean_work must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def _mu(self) -> float:
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)
+        return math.log(self.mean_work) - 0.5 * self.sigma**2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    def mean(self) -> float:
+        return self.mean_work
+
+    def cdf(self, work: float) -> float:
+        if work <= 0:
+            return 0.0
+        if self.sigma == 0:
+            return 1.0 if work >= self.mean_work else 0.0
+        return _normal_cdf((math.log(work) - self._mu) / self.sigma)
+
+    def scaled(self, factor: float) -> "LognormalWork":
+        return LognormalWork(self.mean_work * factor, self.sigma)
+
+
+@dataclass(frozen=True)
+class MixtureWork(WorkDistribution):
+    """Multi-modal work: a finite mixture of component distributions.
+
+    Models services with distinct request classes, such as shore-mt
+    (TPC-C transaction types) and specjbb (business-logic operations),
+    whose CDFs in Figure 1b show clear modes.
+    """
+
+    components: Tuple[WorkDistribution, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) != len(self.weights):
+            raise ValueError("one weight per component required")
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative, not all zero")
+
+    @classmethod
+    def of(
+        cls,
+        components: Sequence[WorkDistribution],
+        weights: Sequence[float],
+    ) -> "MixtureWork":
+        return cls(tuple(components), tuple(weights))
+
+    @property
+    def _probs(self) -> np.ndarray:
+        weights = np.asarray(self.weights, dtype=float)
+        return weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator) -> float:
+        index = rng.choice(len(self.components), p=self._probs)
+        return self.components[index].sample(rng)
+
+    def mean(self) -> float:
+        return float(
+            sum(p * comp.mean() for p, comp in zip(self._probs, self.components))
+        )
+
+    def cdf(self, work: float) -> float:
+        return float(
+            sum(p * comp.cdf(work) for p, comp in zip(self._probs, self.components))
+        )
+
+    def scaled(self, factor: float) -> "MixtureWork":
+        return MixtureWork(
+            tuple(comp.scaled(factor) for comp in self.components), self.weights
+        )

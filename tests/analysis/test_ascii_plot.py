@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.ascii_plot."""
+
+import pytest
+
+from repro.analysis.ascii_plot import (
+    distribution_plot,
+    hbar,
+    series_plot,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_width(self):
+        assert len(sparkline([1, 2, 3], width=30)) == 30
+
+    def test_flat_series(self):
+        line = sparkline([5.0] * 10, width=20)
+        assert len(set(line)) == 1
+
+    def test_monotone_series_increases_intensity(self):
+        line = sparkline(list(range(100)), width=10)
+        levels = " .:-=+*#%@"
+        assert levels.index(line[-1]) > levels.index(line[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestHBar:
+    def test_full_and_empty(self):
+        assert hbar(1.0, width=10) == "#" * 10
+        assert hbar(0.0, width=10) == " " * 10
+
+    def test_half(self):
+        assert hbar(0.5, width=10).count("#") == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            hbar(1.5)
+        with pytest.raises(ValueError):
+            hbar(-0.1)
+
+
+class TestSeriesPlot:
+    def test_contains_labels_and_ranges(self):
+        text = series_plot({"alpha": [1, 2, 3], "beta": [3, 2, 1]})
+        assert "alpha" in text
+        assert "beta" in text
+        assert "[1," in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_plot({})
+
+
+class TestDistributionPlot:
+    def test_renders_all_series(self):
+        text = distribution_plot(
+            {"Ubik": [1.0, 1.01, 1.02], "UCP": [1.0, 1.3, 1.6]},
+            width=30,
+            height=8,
+        )
+        assert "o=Ubik" in text
+        assert "u=UCP" in text
+        assert text.count("\n") == 8  # height rows + legend
+
+    def test_y_scale_annotated(self):
+        text = distribution_plot({"a": [2.0, 4.0]}, width=10, height=5)
+        assert "4" in text
+        assert "2" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_plot({})

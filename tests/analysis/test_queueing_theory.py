@@ -1,0 +1,100 @@
+"""Pollaczek-Khinchine cross-validation of the queueing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing_theory import (
+    ServiceMoments,
+    mg1_mean_latency,
+    mg1_mean_wait,
+    moments_from_samples,
+)
+from repro.server.queueing import simulate_fixed_service
+
+
+class TestFormulas:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceMoments(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ServiceMoments(2.0, 1.0)  # E[S^2] < E[S]^2
+        moments = ServiceMoments(1.0, 2.0)
+        with pytest.raises(ValueError):
+            mg1_mean_wait(0.0, moments)
+        with pytest.raises(ValueError):
+            mg1_mean_wait(1.0, moments)  # rho = 1: unstable
+        with pytest.raises(ValueError):
+            moments_from_samples([1.0])
+
+    def test_deterministic_service(self):
+        # M/D/1: W = rho * E[S] / (2 (1 - rho)).
+        moments = ServiceMoments(10.0, 100.0)
+        wait = mg1_mean_wait(0.05, moments)  # rho = 0.5
+        assert wait == pytest.approx(0.5 * 10.0 / (2 * 0.5))
+
+    def test_exponential_service(self):
+        # M/M/1: latency = E[S] / (1 - rho).
+        mean = 10.0
+        moments = ServiceMoments(mean, 2 * mean**2)
+        latency = mg1_mean_latency(0.05, moments)  # rho = 0.5
+        assert latency == pytest.approx(mean / 0.5)
+
+    def test_wait_explodes_near_saturation(self):
+        moments = ServiceMoments(1.0, 2.0)
+        assert mg1_mean_wait(0.95, moments) > 10 * mg1_mean_wait(0.5, moments)
+
+    def test_scv(self):
+        assert ServiceMoments(10.0, 100.0).scv == pytest.approx(0.0)
+        assert ServiceMoments(10.0, 200.0).scv == pytest.approx(1.0)
+
+
+class TestSimulatorAgreesWithTheory:
+    @pytest.mark.parametrize("rho", [0.2, 0.5, 0.7])
+    def test_md1_mean_latency(self, rho):
+        """Deterministic service: the simulator must match M/D/1."""
+        rng = np.random.default_rng(42)
+        n = 20_000
+        service = 100.0
+        rate = rho / service
+        arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+        done = simulate_fixed_service(arrivals, np.full(n, service))
+        measured = float(np.mean([d.latency for d in done]))
+        predicted = mg1_mean_latency(rate, ServiceMoments(service, service**2))
+        assert measured == pytest.approx(predicted, rel=0.08)
+
+    def test_mg1_with_lognormal_service(self):
+        rng = np.random.default_rng(7)
+        n = 30_000
+        services = rng.lognormal(4.0, 0.5, size=n)
+        moments = moments_from_samples(services)
+        rate = 0.5 / moments.mean
+        arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+        done = simulate_fixed_service(arrivals, services)
+        measured = float(np.mean([d.latency for d in done]))
+        predicted = mg1_mean_latency(rate, moments)
+        assert measured == pytest.approx(predicted, rel=0.10)
+
+    def test_engine_baseline_matches_theory(self):
+        """The full engine, under a fixed warm partition, is an M/G/1
+        queue whose mean latency P-K must predict."""
+        from repro.sim.mix_runner import MixRunner
+        from repro.workloads.latency_critical import make_lc_workload
+        from repro.cpu import OutOfOrderCore
+
+        workload = make_lc_workload("masstree")
+        runner = MixRunner(requests=300, seed=3)
+        baseline = runner.baseline(workload, 0.5)
+        measured_mean = float(np.mean(baseline.latencies))
+
+        core = OutOfOrderCore(200.0)
+        p = float(workload.miss_curve(workload.target_lines))
+        cpi = core.cpi(workload.profile, p)
+        rng = np.random.default_rng(0)
+        services = np.asarray(
+            [workload.work.sample(rng) * cpi for _ in range(50_000)]
+        )
+        moments = moments_from_samples(services)
+        rate = 0.5 / workload.mean_service_cycles(core)
+        predicted = mg1_mean_latency(rate, moments)
+        # Coalescing adds a small constant delay; allow a wider band.
+        assert measured_mean == pytest.approx(predicted, rel=0.25)

@@ -1,0 +1,74 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_confidence_interval,
+    mean_confidence_interval,
+    relative_half_width,
+    tail_mean_confidence_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(5.0, 6.0, 7.0)
+        with pytest.raises(ValueError):
+            ConfidenceInterval(5.0, 4.0, 6.0, confidence=1.5)
+
+    def test_contains_and_width(self):
+        ci = ConfidenceInterval(5.0, 4.0, 6.0)
+        assert ci.contains(4.5)
+        assert not ci.contains(7.0)
+        assert ci.half_width == 1.0
+
+
+class TestMeanCI:
+    def test_covers_true_mean(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for trial in range(50):
+            samples = rng.normal(10.0, 2.0, size=100)
+            ci = mean_confidence_interval(samples)
+            hits += ci.contains(10.0)
+        assert hits >= 42  # ~95% coverage, loose bound
+
+    def test_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = mean_confidence_interval(rng.normal(0, 1, 50))
+        large = mean_confidence_interval(rng.normal(0, 1, 5000))
+        assert large.half_width < small.half_width
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+
+
+class TestBootstrap:
+    def test_tail_ci_brackets_estimate(self):
+        rng = np.random.default_rng(2)
+        latencies = rng.lognormal(0, 1, size=400)
+        ci = tail_mean_confidence_interval(latencies, resamples=200)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.high > ci.low
+
+    def test_deterministic_by_seed(self):
+        samples = list(range(100))
+        a = bootstrap_confidence_interval(samples, np.mean, resamples=100, seed=5)
+        b = bootstrap_confidence_interval(samples, np.mean, resamples=100, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0, 2.0], np.mean, resamples=1)
+
+    def test_relative_half_width(self):
+        ci = ConfidenceInterval(10.0, 9.0, 11.0)
+        assert relative_half_width(ci) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_half_width(ConfidenceInterval(0.0, 0.0, 0.0))

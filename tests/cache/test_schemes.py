@@ -1,0 +1,120 @@
+"""Tests for repro.cache.schemes (behavioural scheme descriptors)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.schemes import (
+    FIG13_SCHEMES,
+    SchemeModel,
+    vantage_setassoc,
+    vantage_zcache,
+    way_partitioning,
+)
+
+LLC = 196_608  # 12 MB in lines
+
+
+class TestFactories:
+    def test_zcache_is_ideal(self):
+        scheme = vantage_zcache(LLC)
+        assert scheme.granularity_lines == 1
+        assert scheme.fill_efficiency == (1.0, 1.0)
+        assert scheme.forced_eviction_frac == 0.0
+        assert scheme.miss_multiplier(1000, LLC) == 1.0
+
+    def test_vantage_sa16_leaks_more_than_sa64(self):
+        sa16 = vantage_setassoc(LLC, 16)
+        sa64 = vantage_setassoc(LLC, 64)
+        assert sa16.forced_eviction_frac > sa64.forced_eviction_frac
+        assert sa16.eviction_jitter > sa64.eviction_jitter
+
+    def test_way_partitioning_is_coarse(self):
+        wp16 = way_partitioning(LLC, 16)
+        assert wp16.granularity_lines == LLC // 16
+        assert wp16.max_partitions == 16
+
+    def test_way_partitioning_fill_is_slow_and_variable(self):
+        wp = way_partitioning(LLC, 16)
+        low, high = wp.fill_efficiency
+        assert low < 0.5
+        assert high < 1.0
+
+    def test_unmodelled_way_counts_rejected(self):
+        with pytest.raises(ValueError):
+            way_partitioning(LLC, 8)
+        with pytest.raises(ValueError):
+            vantage_setassoc(LLC, 32)
+
+    def test_fig13_set(self):
+        schemes = FIG13_SCHEMES(LLC)
+        names = [s.name for s in schemes]
+        assert names == [
+            "WayPart SA16",
+            "WayPart SA64",
+            "Vantage SA16",
+            "Vantage SA64",
+            "Vantage Z4/52",
+        ]
+
+
+class TestHooks:
+    def test_quantize_rounds_down_to_quantum(self):
+        wp = way_partitioning(LLC, 16)
+        way = LLC // 16
+        assert wp.quantize(way * 2.7) == way * 2
+        assert wp.quantize(10) == way  # minimum one way
+
+    def test_quantize_fine_for_vantage(self):
+        z = vantage_zcache(LLC)
+        assert z.quantize(12345.6) == 12345
+
+    def test_miss_multiplier_worse_for_small_allocations(self):
+        wp = way_partitioning(LLC, 16)
+        way = LLC // 16
+        small = wp.miss_multiplier(way, LLC)
+        big = wp.miss_multiplier(8 * way, LLC)
+        assert small > big > 1.0
+
+    def test_effective_target_derated_for_soft_schemes(self):
+        sa16 = vantage_setassoc(LLC, 16)
+        assert sa16.effective_target(1000) == pytest.approx(940.0)
+        z = vantage_zcache(LLC)
+        assert z.effective_target(1000) == 1000
+
+    def test_draw_fill_efficiency_within_range(self):
+        wp = way_partitioning(LLC, 16)
+        rng = np.random.default_rng(0)
+        draws = [wp.draw_fill_efficiency(rng) for _ in range(100)]
+        low, high = wp.fill_efficiency
+        assert all(low <= d <= high for d in draws)
+        assert max(draws) - min(draws) > 0.1  # actually variable
+
+    def test_draw_idle_loss(self):
+        sa16 = vantage_setassoc(LLC, 16)
+        rng = np.random.default_rng(0)
+        losses = [sa16.draw_idle_loss(rng) for _ in range(100)]
+        assert all(0 <= x <= sa16.eviction_jitter for x in losses)
+        z = vantage_zcache(LLC)
+        assert z.draw_idle_loss(rng) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchemeModel(
+                name="bad",
+                granularity_lines=0,
+                fill_efficiency=(0.5, 1.0),
+                assoc_ways_per_partition=4,
+                assoc_penalty_coeff=0,
+                forced_eviction_frac=0,
+                eviction_jitter=0,
+            )
+        with pytest.raises(ValueError):
+            SchemeModel(
+                name="bad",
+                granularity_lines=1,
+                fill_efficiency=(1.0, 0.5),
+                assoc_ways_per_partition=4,
+                assoc_penalty_coeff=0,
+                forced_eviction_frac=0,
+                eviction_jitter=0,
+            )

@@ -1,0 +1,92 @@
+"""Tests for repro.cache.set_assoc."""
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+class TestBasics:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 4)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(16, 0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(10, 4)  # not a multiple of ways
+
+    def test_geometry(self):
+        cache = SetAssociativeCache(64, 4)
+        assert cache.num_sets == 16
+        assert cache.ways == 4
+
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(16, 4)
+        assert not cache.access(5).hit
+        assert cache.access(5).hit
+        assert 5 in cache
+
+    def test_counts(self):
+        cache = SetAssociativeCache(16, 4)
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.miss_ratio == pytest.approx(2 / 3)
+
+    def test_occupancy_grows_to_capacity(self):
+        cache = SetAssociativeCache(16, 4)
+        for addr in range(16):
+            cache.access(addr)
+        assert cache.occupancy == 16
+        assert len(cache) == 16
+
+
+class TestLRUReplacement:
+    def test_lru_victim_within_set(self):
+        # One set of 2 ways: addresses mapping to set 0 of a 2-set cache.
+        cache = SetAssociativeCache(4, 2)  # 2 sets
+        cache.access(0)  # set 0
+        cache.access(2)  # set 0
+        cache.access(0)  # touch 0: now 2 is LRU
+        result = cache.access(4)  # set 0, evicts 2
+        assert result.evicted == 2
+        assert 0 in cache
+        assert 2 not in cache
+
+    def test_hit_refreshes_recency(self):
+        cache = SetAssociativeCache(2, 2)  # 1 set, 2 ways
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 1 is now LRU
+        assert cache.access(2).evicted == 1
+
+    def test_stack_property(self):
+        """A bigger cache's contents always include a smaller one's hits."""
+        small = SetAssociativeCache(16, 16)  # fully associative
+        big = SetAssociativeCache(64, 64)
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        small_hits = big_hits = 0
+        for addr in rng.integers(0, 40, size=2000):
+            small_hits += small.access(int(addr)).hit
+            big_hits += big.access(int(addr)).hit
+        assert big_hits >= small_hits
+
+    def test_flush(self):
+        cache = SetAssociativeCache(16, 4)
+        cache.access(1)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.misses == 0
+        assert 1 not in cache
+
+    def test_working_set_that_fits_always_hits(self):
+        cache = SetAssociativeCache(64, 4)
+        for _ in range(5):
+            for addr in range(32):
+                cache.access(addr)
+        # After the first cold pass, everything hits (no conflicts at
+        # 2x headroom and uniform mapping).
+        assert cache.hits == 4 * 32

@@ -1,0 +1,87 @@
+"""Tests for repro.cache.sharing (the unmanaged-LRU fluid model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.sharing import SharedOccupancyModel
+
+
+class TestStep:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedOccupancyModel(0)
+        model = SharedOccupancyModel(100)
+        with pytest.raises(ValueError):
+            model.step(np.array([1.0]), np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError):
+            model.step(np.array([-1.0]), np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            model.step(np.array([1.0]), np.array([1.0]), -1.0)
+        with pytest.raises(ValueError):
+            model.step(np.array([200.0]), np.array([1.0]), 1.0)
+
+    def test_zero_dt_identity(self):
+        model = SharedOccupancyModel(100)
+        occ = np.array([30.0, 20.0])
+        out = model.step(occ, np.array([1.0, 1.0]), 0.0)
+        assert out == pytest.approx(occ)
+
+    def test_no_insertions_identity(self):
+        model = SharedOccupancyModel(100)
+        occ = np.array([30.0, 20.0])
+        out = model.step(occ, np.array([0.0, 0.0]), 10.0)
+        assert out == pytest.approx(occ)
+
+    def test_fill_phase_before_eviction(self):
+        model = SharedOccupancyModel(100)
+        out = model.step(np.array([0.0, 0.0]), np.array([1.0, 1.0]), 10.0)
+        # 20 insertions into an empty cache: no evictions yet.
+        assert out == pytest.approx([10.0, 10.0])
+        assert out.sum() < 100
+
+    def test_idle_app_decays_exponentially(self):
+        """The inertia effect: an idle app's footprint decays as the
+        co-runners insert (paper Figures 2/4)."""
+        model = SharedOccupancyModel(100)
+        occ = np.array([50.0, 50.0])
+        rates = np.array([0.0, 1.0])  # app 0 idle
+        out = model.step(occ, rates, 100.0)
+        expected = 50.0 * np.exp(-1.0 * 100.0 / 100.0)
+        assert out[0] == pytest.approx(expected, rel=0.01)
+
+    def test_converges_to_proportional_share(self):
+        model = SharedOccupancyModel(100)
+        occ = np.array([90.0, 10.0])
+        rates = np.array([1.0, 3.0])
+        out = model.step(occ, rates, 1e6)
+        assert out == pytest.approx([25.0, 75.0], rel=0.01)
+
+    def test_equilibrium(self):
+        model = SharedOccupancyModel(200)
+        eq = model.equilibrium(np.array([1.0, 1.0, 2.0]))
+        assert eq == pytest.approx([50.0, 50.0, 100.0])
+        with pytest.raises(ValueError):
+            model.equilibrium(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            model.equilibrium(np.array([-1.0, 1.0]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    occ=st.lists(st.floats(min_value=0, max_value=30), min_size=2, max_size=6),
+    rates=st.lists(st.floats(min_value=0, max_value=0.1), min_size=2, max_size=6),
+    dt=st.floats(min_value=0, max_value=1e5),
+)
+def test_property_capacity_conserved_and_nonnegative(occ, rates, dt):
+    n = min(len(occ), len(rates))
+    occ_arr = np.asarray(occ[:n])
+    rates_arr = np.asarray(rates[:n])
+    model = SharedOccupancyModel(200.0)
+    out = model.step(occ_arr, rates_arr, dt)
+    assert np.all(out >= -1e-9)
+    assert out.sum() <= 200.0 + 1e-6
+    # A full cache stays full; a partial one never shrinks in total.
+    if rates_arr.sum() > 0:
+        assert out.sum() >= occ_arr.sum() - 1e-6

@@ -1,0 +1,103 @@
+"""Tests for repro.cache.vantage: the properties Ubik relies on."""
+
+import numpy as np
+import pytest
+
+from repro.cache.vantage import VantageCache
+
+
+def fill_partition(cache, partition, count, base=0):
+    for addr in range(base, base + count):
+        cache.access(partition, addr)
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VantageCache(0, 2)
+        with pytest.raises(ValueError):
+            VantageCache(16, 0)
+        cache = VantageCache(16, 2)
+        with pytest.raises(ValueError):
+            cache.set_target(5, 4)
+        with pytest.raises(ValueError):
+            cache.set_target(0, -1)
+
+    def test_targets_roundtrip(self):
+        cache = VantageCache(64, 2)
+        cache.set_target(0, 40)
+        assert cache.target(0) == 40
+
+
+class TestGrowthTransient:
+    def test_partition_grows_one_line_per_miss(self):
+        """Paper Section 5.1: an under-target partition grows by one
+        line per miss and suffers ~no evictions until it reaches its
+        target."""
+        cache = VantageCache(1024, 2, candidates=52, seed=0)
+        cache.set_target(0, 256)
+        cache.set_target(1, 768)
+        fill_partition(cache, 1, 1024, base=10_000)  # pressure from p1
+        start = cache.actual_size(0)
+        misses_before = int(cache.misses[0])
+        fill_partition(cache, 0, 200)  # 200 cold misses
+        grown = cache.actual_size(0) - start
+        new_misses = int(cache.misses[0]) - misses_before
+        assert grown == new_misses  # exactly one line per miss
+
+    def test_under_target_partition_rarely_loses_lines(self):
+        cache = VantageCache(2048, 2, candidates=52, seed=2)
+        cache.set_target(0, 512)
+        cache.set_target(1, 1536)
+        fill_partition(cache, 0, 300)  # p0 under target (300 < 512)
+        # Heavy streaming from p1 must not displace p0's lines.
+        fill_partition(cache, 1, 8000, base=50_000)
+        assert cache.under_target_evictions[0] <= 8000 * 0.01
+
+    def test_over_target_partition_shrinks_under_pressure(self):
+        cache = VantageCache(1024, 2, candidates=52, seed=3)
+        cache.set_target(0, 512)
+        cache.set_target(1, 512)
+        fill_partition(cache, 0, 1024)  # p0 overfills while p1 empty
+        assert cache.actual_size(0) == 1024
+        cache.set_target(0, 256)  # downsize p0
+        fill_partition(cache, 1, 2000, base=30_000)
+        # p1's insertions demote p0 toward its new target.
+        assert cache.actual_size(0) <= 300
+
+    def test_partition_sizes_sum_to_occupancy(self):
+        cache = VantageCache(256, 3, seed=1)
+        cache.set_target(0, 100)
+        cache.set_target(1, 100)
+        cache.set_target(2, 56)
+        for p in range(3):
+            fill_partition(cache, p, 200, base=p * 10_000)
+        assert sum(cache.partition_sizes()) == cache.occupancy
+
+
+class TestIsolation:
+    def test_partition_hit_isolation(self):
+        """A partition at target keeps its working set despite a
+        streaming co-runner — Vantage's interference guarantee."""
+        cache = VantageCache(1024, 2, candidates=52, seed=4)
+        cache.set_target(0, 256)
+        cache.set_target(1, 768)
+        # p0 warms a working set that fits its target.
+        for _ in range(3):
+            fill_partition(cache, 0, 200)
+        hits_before = int(cache.hits[0])
+        # p1 streams 20k cold lines.
+        fill_partition(cache, 1, 20_000, base=100_000)
+        # p0's set still hits.
+        fill_partition(cache, 0, 200)
+        new_hits = int(cache.hits[0]) - hits_before
+        assert new_hits >= 190  # ~all of the 200 re-accesses hit
+
+    def test_miss_ratio_accounting(self):
+        cache = VantageCache(64, 2, seed=0)
+        cache.set_target(0, 32)
+        cache.set_target(1, 32)
+        fill_partition(cache, 0, 16)
+        fill_partition(cache, 0, 16)  # re-touch: hits
+        assert cache.partition_miss_ratio(0) == pytest.approx(0.5)
+        assert cache.partition_miss_ratio(1) == 0.0

@@ -1,0 +1,94 @@
+"""Tests for repro.cache.way_partition: the weaknesses Fig 13 shows."""
+
+import pytest
+
+from repro.cache.way_partition import WayPartitionedCache
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WayPartitionedCache(0, 4, 2)
+        with pytest.raises(ValueError):
+            WayPartitionedCache(10, 4, 2)  # not multiple of ways
+        with pytest.raises(ValueError):
+            WayPartitionedCache(16, 4, 5)  # more partitions than ways
+
+    def test_default_even_split(self):
+        cache = WayPartitionedCache(64, 4, 2)
+        assert cache.allocation(0) == 2
+        assert cache.allocation(1) == 2
+
+    def test_set_allocation_validation(self):
+        cache = WayPartitionedCache(64, 4, 2)
+        with pytest.raises(ValueError):
+            cache.set_allocation([3])
+        with pytest.raises(ValueError):
+            cache.set_allocation([0, 4])
+        with pytest.raises(ValueError):
+            cache.set_allocation([3, 3])
+
+    def test_coarse_allocation_granularity(self):
+        """Allocations are whole ways: a 16-way cache cannot express
+        fractions below 1/16 of capacity."""
+        cache = WayPartitionedCache(256, 16, 2)
+        cache.set_allocation([1, 15])
+        assert cache.allocation(0) == 1
+
+
+class TestAccessPath:
+    def test_hit_anywhere_insert_own_ways(self):
+        cache = WayPartitionedCache(8, 4, 2)  # 2 sets, 4 ways
+        cache.set_allocation([2, 2])
+        cache.access(0, 0)
+        # Partition 1 can hit on partition 0's line (lookups search all
+        # ways), without claiming it.
+        assert cache.access(1, 0).hit
+
+    def test_insertions_restricted_to_own_ways(self):
+        cache = WayPartitionedCache(4, 4, 2)  # 1 set
+        cache.set_allocation([2, 2])
+        cache.access(0, 0)
+        cache.access(0, 4)
+        cache.access(0, 8)  # p0 must evict its own line, not p1 space
+        assert cache.occupancy <= 3
+
+    def test_partition_cannot_interfere(self):
+        """Streaming in one partition never evicts the other's lines."""
+        cache = WayPartitionedCache(32, 4, 2)  # 8 sets
+        cache.set_allocation([2, 2])
+        for addr in range(16):
+            cache.access(0, addr)  # p0's working set: 2 ways worth
+        for addr in range(1000, 1400):
+            cache.access(1, addr)  # p1 streams
+        hits = 0
+        for addr in range(16):
+            hits += cache.access(0, addr).hit
+        assert hits == 16
+
+
+class TestSlowTransients:
+    def test_reassigned_ways_keep_stale_lines(self):
+        """After reallocation, the old owner's lines persist until the
+        new owner misses in each set — the slow, pattern-dependent
+        transient that breaks Ubik's bounds (Section 7.3)."""
+        cache = WayPartitionedCache(32, 4, 2)  # 8 sets
+        cache.set_allocation([3, 1])
+        for addr in range(24):
+            cache.access(0, addr)  # p0 fills 3 ways everywhere
+        assert cache.resident_lines(0) == 24
+        # Give p1 two of p0's ways.  p0's lines remain resident.
+        cache.set_allocation([1, 3])
+        assert cache.resident_lines(0) == 24
+        # p1 claims lines only where it misses; touching only set 0
+        # leaves p0's lines in the other 7 sets.
+        cache.access(1, 8 * 10)  # maps to set 0
+        assert cache.resident_lines(0) >= 20
+
+    def test_miss_ratio_per_partition(self):
+        cache = WayPartitionedCache(16, 4, 2)
+        cache.set_allocation([2, 2])
+        cache.access(0, 0)
+        cache.access(0, 0)
+        assert cache.partition_miss_ratio(0) == pytest.approx(0.5)
+        assert cache.partition_miss_ratio(1) == 0.0

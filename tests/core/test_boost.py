@@ -1,0 +1,115 @@
+"""Tests for repro.core.boost (idle/boost sizing, Figure 7)."""
+
+import pytest
+
+from repro.core.boost import choose_sizes
+from repro.monitor.miss_curve import MissCurve
+
+
+def sensitive_curve(size=65536):
+    """A cache-intensive app with capacity sensitivity that persists
+    beyond the 32768-line active size, so boosting has headroom —
+    the regime the paper says Ubik works best in (Section 5.1)."""
+    return MissCurve(
+        [0, size // 4, size // 2, size * 3 // 4, size],
+        [0.8, 0.45, 0.25, 0.12, 0.08],
+    )
+
+
+def flat_batch_gain(delta_lines):
+    """Batch hit rate linear in space: 1e-6 hits/cycle per line."""
+    return delta_lines * 1e-6
+
+
+def run_choice(
+    curve=None,
+    idle_fraction=0.8,
+    activation_rate=1e-7,
+    deadline=2e7,
+    boost_max=65536.0,
+    batch_fn=flat_batch_gain,
+):
+    return choose_sizes(
+        curve=curve or sensitive_curve(),
+        c=20.0,  # cache-intensive: ~2 cycles/instr at 40 APKI
+        M=100.0,
+        active_lines=32768.0,
+        deadline_cycles=deadline,
+        boost_max_lines=boost_max,
+        batch_delta_hit_rate=batch_fn,
+        idle_fraction=idle_fraction,
+        activation_rate=activation_rate,
+    )
+
+
+class TestChoice:
+    def test_downsizes_when_mostly_idle(self):
+        option = run_choice(idle_fraction=0.9, activation_rate=1e-8)
+        assert option.downsizes
+        assert option.idle_lines < option.active_lines
+        assert option.boost_lines >= option.active_lines
+
+    def test_keeps_allocation_when_never_idle(self):
+        option = run_choice(idle_fraction=0.0, activation_rate=1e-6)
+        assert not option.downsizes
+        assert option.net_gain == 0.0
+
+    def test_boost_never_exceeds_cap(self):
+        option = run_choice(boost_max=40_000.0)
+        assert option.boost_lines <= 40_000.0
+
+    def test_infeasible_when_deadline_tiny(self):
+        """With a microscopic deadline, no boost can repay in time."""
+        option = run_choice(deadline=10.0)
+        assert not option.downsizes
+
+    def test_flat_curve_costs_nothing_to_downsize(self):
+        """No miss-rate difference -> no lost cycles -> idle size can
+        drop without boosting."""
+        curve = MissCurve.constant(0.3, 65536)
+        option = run_choice(curve=curve)
+        assert option.downsizes
+        assert option.boost_lines == option.active_lines
+        assert option.lost_cycles == 0.0
+
+    def test_gain_accounting_sane(self):
+        option = run_choice(idle_fraction=0.9, activation_rate=1e-8)
+        assert option.net_gain >= 0.0
+        assert option.transient_cycles >= 0.0
+
+    def test_aggressive_options_terminate_search(self):
+        """Search stops at the first infeasible option (paper Fig 7)."""
+        # Deadline that allows mild but not deep downsizing.
+        mild = run_choice(deadline=2e5)
+        deep = run_choice(deadline=5e7)
+        assert deep.idle_lines <= mild.idle_lines
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_choice(deadline=0.0)
+        with pytest.raises(ValueError):
+            choose_sizes(
+                curve=sensitive_curve(),
+                c=1.0,
+                M=1.0,
+                active_lines=0.0,
+                deadline_cycles=1e6,
+                boost_max_lines=100.0,
+                batch_delta_hit_rate=flat_batch_gain,
+                idle_fraction=0.5,
+                activation_rate=1e-7,
+            )
+        with pytest.raises(ValueError):
+            run_choice(idle_fraction=1.5)
+
+    def test_cost_benefit_prefers_cheaper_options(self):
+        """When boosting is very expensive for batch apps, Ubik stays
+        conservative."""
+
+        def expensive_boost(delta_lines):
+            # Taking space from batch is catastrophic; giving helps little.
+            return delta_lines * (1e-4 if delta_lines < 0 else 1e-9)
+
+        option = run_choice(batch_fn=expensive_boost, activation_rate=1e-5)
+        conservative = run_choice(activation_rate=1e-5)
+        assert option.idle_lines >= conservative.idle_lines

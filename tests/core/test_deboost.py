@@ -1,0 +1,111 @@
+"""Tests for repro.core.deboost (the accurate de-boosting circuit)."""
+
+import pytest
+
+from repro.core.deboost import DeBoostEvent, DeBoostTracker
+from repro.policies.base import BoostPlan
+
+
+def make_tracker(watermark=None, guard=0.02, active_ratio=0.3):
+    plan = BoostPlan(
+        boost_lines=1000.0,
+        active_lines=600.0,
+        guard_fraction=guard,
+        watermark_factor=watermark,
+    )
+    return DeBoostTracker(plan, active_miss_ratio=active_ratio)
+
+
+class TestDeBoost:
+    def test_no_fire_while_behind(self):
+        tracker = make_tracker()
+        # Cold start: actual misses far above the projection.
+        event = tracker.observe(accesses=100, misses=80, resident_lines=500, now=1.0)
+        assert event is None
+        assert tracker.deficit > 0
+
+    def test_fires_when_repaid(self):
+        tracker = make_tracker(active_ratio=0.5)
+        tracker.observe(accesses=100, misses=80, resident_lines=500, now=1.0)
+        # Now at boost size the app misses much less than it would at
+        # s_active; the projection catches up.
+        event = None
+        now = 2.0
+        while event is None and now < 100:
+            event = tracker.observe(
+                accesses=100, misses=5, resident_lines=1000, now=now
+            )
+            now += 1
+        assert event is not None
+        assert event.kind == "deboost"
+        assert tracker.fired
+
+    def test_guard_delays_firing(self):
+        eager = make_tracker(guard=0.0, active_ratio=0.5)
+        guarded = make_tracker(guard=0.3, active_ratio=0.5)
+        for tracker in (eager, guarded):
+            tracker.observe(accesses=100, misses=60, resident_lines=900, now=0.0)
+        fire_time = {}
+        for name, tracker in (("eager", eager), ("guarded", guarded)):
+            now = 1.0
+            event = None
+            while event is None and now < 5000:
+                # Small steps so the two guards fire at distinct times.
+                event = tracker.observe(2, 0.2, 1000, now)
+                now += 1
+            fire_time[name] = now
+        assert fire_time["guarded"] > fire_time["eager"]
+
+    def test_fired_tracker_stays_quiet(self):
+        tracker = make_tracker(active_ratio=0.9)
+        event = tracker.observe(accesses=1000, misses=0, resident_lines=1000, now=0.0)
+        assert event is not None
+        assert tracker.observe(1000, 0, 1000, 1.0) is None
+
+
+class TestWatermark:
+    def test_fires_after_fill_when_suffering(self):
+        tracker = make_tracker(watermark=1.05, active_ratio=0.1)
+        # Filled to boost, but still missing far beyond projection.
+        event = None
+        now = 0.0
+        while event is None and now < 50:
+            event = tracker.observe(100, 90, 1000, now)
+            now += 1
+        assert event is not None
+        assert event.kind == "watermark"
+
+    def test_no_watermark_before_fill(self):
+        tracker = make_tracker(watermark=1.05, active_ratio=0.1)
+        for now in range(50):
+            event = tracker.observe(100, 90, resident_lines=500, now=float(now))
+            assert event is None  # still filling: misses are expected
+
+    def test_no_watermark_without_factor(self):
+        tracker = make_tracker(watermark=None, active_ratio=0.01)
+        for now in range(50):
+            event = tracker.observe(100, 90, 1000, float(now))
+            assert event is None
+
+
+class TestAccumulate:
+    def test_accumulate_never_fires(self):
+        tracker = make_tracker(active_ratio=0.9)
+        tracker.accumulate(accesses=1000, misses=0, resident_lines=1000)
+        assert not tracker.fired
+        # But the very next observe sees the crossing immediately.
+        event = tracker.observe(1, 0, 1000, now=5.0)
+        assert event is not None and event.kind == "deboost"
+
+    def test_validation(self):
+        tracker = make_tracker()
+        with pytest.raises(ValueError):
+            tracker.observe(-1, 0, 0, 0.0)
+        with pytest.raises(ValueError):
+            tracker.accumulate(-1, 0, 0)
+        with pytest.raises(ValueError):
+            DeBoostTracker(
+                BoostPlan(boost_lines=10, active_lines=5), active_miss_ratio=2.0
+            )
+        with pytest.raises(ValueError):
+            DeBoostEvent(kind="explode", at_cycle=0.0)

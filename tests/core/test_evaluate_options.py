@@ -1,0 +1,96 @@
+"""Tests for repro.core.boost.evaluate_options (the Figure 7 table)."""
+
+import math
+
+import pytest
+
+from repro.core.boost import evaluate_options
+from repro.monitor.miss_curve import MissCurve
+from repro.units import mb_to_lines
+
+
+def fig7_options(num_options=4, deadline=2.5e7):
+    curve = MissCurve(
+        [0, mb_to_lines(0.5), mb_to_lines(1), mb_to_lines(2), mb_to_lines(4)],
+        [0.8, 0.45, 0.25, 0.12, 0.04],
+    )
+    return evaluate_options(
+        curve=curve,
+        c=20.0,
+        M=100.0,
+        active_lines=mb_to_lines(2),
+        deadline_cycles=deadline,
+        boost_max_lines=mb_to_lines(4),
+        batch_delta_hit_rate=lambda d: d * 1e-6,
+        idle_fraction=0.85,
+        activation_rate=2e-8,
+        num_options=num_options,
+    )
+
+
+class TestOptionTable:
+    def test_option_zero_is_keep(self):
+        options = fig7_options()
+        first = options[0]
+        assert first.idle_lines == first.active_lines == first.boost_lines
+        assert first.feasible
+        assert first.net_gain == 0.0
+
+    def test_idle_sizes_strictly_decreasing(self):
+        options = fig7_options()
+        idles = [o.idle_lines for o in options]
+        assert all(b < a for a, b in zip(idles, idles[1:]))
+
+    def test_search_stops_at_first_infeasible(self):
+        options = fig7_options()
+        feasible_flags = [o.feasible for o in options]
+        if False in feasible_flags:
+            # Everything after the first False was never evaluated.
+            assert feasible_flags.index(False) == len(options) - 1
+
+    def test_infeasible_row_marked(self):
+        options = fig7_options()
+        assert not options[-1].feasible
+        assert math.isnan(options[-1].boost_lines)
+        assert options[-1].net_gain == float("-inf")
+
+    def test_lost_cycles_grow_with_downsizing(self):
+        options = [o for o in fig7_options() if o.feasible]
+        losts = [o.lost_cycles for o in options]
+        assert all(b >= a - 1e-9 for a, b in zip(losts, losts[1:]))
+
+    def test_benefit_grows_with_downsizing(self):
+        options = [o for o in fig7_options() if o.feasible][1:]
+        benefits = [o.benefit for o in options]
+        assert all(b >= a for a, b in zip(benefits, benefits[1:]))
+
+    def test_tiny_deadline_only_keep_option(self):
+        options = fig7_options(deadline=100.0)
+        assert options[0].feasible
+        assert len([o for o in options if o.feasible]) == 1
+
+    def test_choose_sizes_consistent_with_table(self):
+        from repro.core.boost import choose_sizes
+
+        options = fig7_options()
+        best_from_table = max(
+            (o for o in options if o.feasible), key=lambda o: o.net_gain
+        )
+        curve = MissCurve(
+            [0, mb_to_lines(0.5), mb_to_lines(1), mb_to_lines(2), mb_to_lines(4)],
+            [0.8, 0.45, 0.25, 0.12, 0.04],
+        )
+        chosen = choose_sizes(
+            curve=curve,
+            c=20.0,
+            M=100.0,
+            active_lines=mb_to_lines(2),
+            deadline_cycles=2.5e7,
+            boost_max_lines=mb_to_lines(4),
+            batch_delta_hit_rate=lambda d: d * 1e-6,
+            idle_fraction=0.85,
+            activation_rate=2e-8,
+            num_options=4,
+        )
+        assert chosen.idle_lines == best_from_table.idle_lines
+        assert chosen.boost_lines == best_from_table.boost_lines

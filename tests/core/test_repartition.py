@@ -1,0 +1,109 @@
+"""Tests for repro.core.repartition (Figure 8's table)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.repartition import RepartitionTable
+from repro.monitor.miss_curve import MissCurve
+
+LLC = 1000.0
+
+
+def make_table(avg=600.0, buckets=20):
+    curves = [
+        MissCurve([0, LLC], [0.9, 0.1]),  # friendly
+        MissCurve.constant(0.9, LLC),  # streaming
+        MissCurve([0, 200, LLC], [0.8, 0.2, 0.15]),  # small working set
+    ]
+    weights = [1.0, 1.0, 1.0]
+    return RepartitionTable(curves, weights, LLC, avg, buckets=buckets)
+
+
+class TestConstruction:
+    def test_validation(self):
+        curve = MissCurve([0, LLC], [0.5, 0.1])
+        with pytest.raises(ValueError):
+            RepartitionTable([curve], [1.0, 2.0], LLC, 500.0)
+        with pytest.raises(ValueError):
+            RepartitionTable([curve], [1.0], 0.0, 0.0)
+        with pytest.raises(ValueError):
+            RepartitionTable([curve], [1.0], LLC, 2 * LLC)
+        with pytest.raises(ValueError):
+            RepartitionTable([curve], [1.0], LLC, 500.0, buckets=0)
+
+    def test_empty_batch_side(self):
+        table = RepartitionTable([], [], LLC, 500.0)
+        assert table.allocations_at(500.0) == []
+
+    def test_rows_sum_to_level(self):
+        table = make_table()
+        for level in range(table.buckets + 1):
+            assert table.row(level).sum() == level
+
+    def test_rows_monotone_per_app(self):
+        """Walking up never takes space away from any app: the greedy
+        extension is incremental by construction."""
+        table = make_table()
+        prev = table.row(0)
+        for level in range(1, table.buckets + 1):
+            row = table.row(level)
+            assert np.all(row >= prev)
+            prev = row
+
+
+class TestLookups:
+    def test_level_for_clamps(self):
+        table = make_table()
+        assert table.level_for(-10.0) == 0
+        assert table.level_for(LLC * 2) == table.buckets
+
+    def test_allocations_in_lines(self):
+        table = make_table()
+        allocs = table.allocations_at(600.0)
+        assert sum(allocs) <= 600.0 + 1e-9
+        assert len(allocs) == 3
+
+    def test_streaming_app_starved_first(self):
+        """Shrinking batch space takes from the lowest-marginal-utility
+        app: the streaming app gives up its buckets before the
+        friendly app loses its knee."""
+        table = make_table()
+        small = table.allocations_at(200.0)
+        assert small[1] <= small[0]
+
+    def test_row_validation(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.row(-1)
+        with pytest.raises(ValueError):
+            table.row(table.buckets + 1)
+
+    def test_walk_is_cheap_diff(self):
+        """Fig 8's use: moving between levels is a small set of app
+        deltas, each level differing by exactly one bucket."""
+        table = make_table()
+        for level in range(1, table.buckets + 1):
+            diff = table.row(level) - table.row(level - 1)
+            assert diff.sum() == 1
+            assert np.count_nonzero(diff) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    avg_frac=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_table_consistent(avg_frac, seed):
+    rng = np.random.default_rng(seed)
+    curves = []
+    for _ in range(3):
+        ratios = np.sort(rng.uniform(0, 1, size=4))[::-1]
+        curves.append(MissCurve(np.linspace(0, LLC, 4), ratios))
+    weights = rng.uniform(0.1, 5.0, size=3)
+    table = RepartitionTable(curves, weights, LLC, avg_frac * LLC, buckets=16)
+    for level in range(17):
+        row = table.row(level)
+        assert row.sum() == level
+        assert np.all(row >= 0)

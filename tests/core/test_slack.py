@@ -1,0 +1,120 @@
+"""Tests for repro.core.slack (the miss-slack feedback controller)."""
+
+import pytest
+
+from repro.core.slack import SlackController
+from repro.monitor.miss_curve import MissCurve
+
+TARGET_TAIL = 1e6
+M = 100.0
+
+
+def make_controller(slack=0.05, **kwargs):
+    return SlackController(slack, TARGET_TAIL, M, **kwargs)
+
+
+class TestBudget:
+    def test_zero_slack_zero_budget(self):
+        ctrl = make_controller(slack=0.0)
+        assert ctrl.update([1.0, 2.0]) == 0.0
+        curve = MissCurve([0, 1000], [0.9, 0.1])
+        assert ctrl.active_size(curve, 800.0, 100.0) == 800.0
+
+    def test_initial_budget_proportional_to_slack(self):
+        small = make_controller(slack=0.01)
+        large = make_controller(slack=0.10)
+        assert large.miss_slack > small.miss_slack
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlackController(-0.1, TARGET_TAIL, M)
+        with pytest.raises(ValueError):
+            SlackController(0.05, 0.0, M)
+        with pytest.raises(ValueError):
+            SlackController(0.05, TARGET_TAIL, 0.0)
+        with pytest.raises(ValueError):
+            SlackController(0.05, TARGET_TAIL, M, gain=0.0)
+
+
+class TestFeedback:
+    def test_violation_shrinks_budget(self):
+        ctrl = make_controller()
+        before = ctrl.miss_slack
+        # Tail measured at 2x the target: way over the allowance.
+        ctrl.update([2 * TARGET_TAIL] * 20)
+        assert ctrl.miss_slack < before
+
+    def test_headroom_grows_budget(self):
+        ctrl = make_controller()
+        before = ctrl.miss_slack
+        ctrl.update([0.2 * TARGET_TAIL] * 20)
+        assert ctrl.miss_slack > before
+
+    def test_budget_never_negative(self):
+        ctrl = make_controller()
+        for _ in range(50):
+            ctrl.update([10 * TARGET_TAIL] * 20)
+        assert ctrl.miss_slack == 0.0
+
+    def test_budget_capped(self):
+        ctrl = make_controller()
+        for _ in range(100):
+            ctrl.update([0.01 * TARGET_TAIL] * 20)
+        assert ctrl.miss_slack <= ctrl._max_miss_slack + 1e-9
+
+    def test_violations_shrink_faster_than_headroom_grows(self):
+        """Asymmetric gains: tails are asymmetric risks."""
+        up = make_controller()
+        down = make_controller()
+        start = up.miss_slack
+        up.update([TARGET_TAIL * 0.95] * 20)  # 10% headroom vs allowed
+        down.update([TARGET_TAIL * 1.15] * 20)  # 10% violation
+        assert abs(down.miss_slack - start) > abs(up.miss_slack - start)
+
+    def test_load_hint_derates_ceiling(self):
+        light = make_controller()
+        heavy = make_controller()
+        light.update([0.1 * TARGET_TAIL] * 20, load_hint=0.1)
+        heavy.update([0.1 * TARGET_TAIL] * 20, load_hint=0.9)
+        assert heavy._max_miss_slack < light._max_miss_slack
+
+    def test_empty_update_keeps_budget(self):
+        ctrl = make_controller()
+        before = ctrl.miss_slack
+        assert ctrl.update([]) == before
+
+
+class TestActiveSize:
+    def test_shrinks_where_curve_is_flat(self):
+        """The moses case: flat curve at small sizes -> deep shrink."""
+        ctrl = make_controller(slack=0.05)
+        flat = MissCurve([0, 1000], [0.32, 0.30])
+        size = ctrl.active_size(flat, 800.0, accesses_per_request=100.0)
+        assert size < 800.0
+
+    def test_no_shrink_on_steep_curve(self):
+        ctrl = make_controller(slack=0.01)
+        steep = MissCurve([0, 800, 1000], [0.9, 0.1, 0.05])
+        # With few misses allowed, shrinking is unaffordable.
+        size = ctrl.active_size(steep, 800.0, accesses_per_request=1e6)
+        assert size == 800.0
+
+    def test_floor_prevents_vanishing(self):
+        ctrl = make_controller(slack=0.10)
+        flat = MissCurve.constant(0.3, 1000)
+        size = ctrl.active_size(flat, 800.0, accesses_per_request=1.0)
+        assert size >= 800.0 / 16.0
+
+    def test_zero_accesses_keeps_target(self):
+        ctrl = make_controller()
+        curve = MissCurve([0, 1000], [0.9, 0.1])
+        assert ctrl.active_size(curve, 800.0, 0.0) == 800.0
+
+    def test_validation(self):
+        ctrl = make_controller()
+        curve = MissCurve([0, 1000], [0.9, 0.1])
+        with pytest.raises(ValueError):
+            ctrl.active_size(curve, 0.0, 100.0)
+
+    def test_watermark_factor(self):
+        assert make_controller(slack=0.05).watermark_factor == pytest.approx(1.05)

@@ -1,0 +1,131 @@
+"""Tests for repro.core.transient (Section 5.1's bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.miss_curve import MissCurve
+from repro.core.transient import (
+    gain_rate_per_cycle,
+    lost_cycles_bound,
+    lost_cycles_exact,
+    transient_length_bound,
+    transient_length_exact,
+)
+
+
+def linear_curve(m0=0.2, m1=0.1, size=16384):
+    return MissCurve([0, size], [m0, m1])
+
+
+class TestPaperWorkedExample:
+    """Section 5.1: c=123, M=100, s1=1MB, s2=2MB (16384 lines apart),
+    p(s1)=0.2, p(s2)=0.1 -> transient <= 21.8e6 cycles, L <= 819k."""
+
+    def setup_method(self):
+        # Curve hitting p=0.2 at s1 and p=0.1 at s2, 16384 lines apart.
+        self.curve = MissCurve([0, 16384, 32768], [0.2, 0.2, 0.1])
+        self.s1, self.s2 = 16384.0, 32768.0
+        self.c, self.M = 123.0, 100.0
+
+    def test_transient_bound_matches_paper(self):
+        bound = transient_length_bound(self.curve, self.s1, self.s2, self.c, self.M)
+        assert bound == pytest.approx(16384 * (123 / 0.1 + 100), rel=1e-6)
+        assert bound == pytest.approx(21.8e6, rel=0.01)
+
+    def test_lost_cycles_bound_matches_paper(self):
+        bound = lost_cycles_bound(self.curve, self.s1, self.s2, self.M)
+        assert bound == pytest.approx(100 * 16384 * 0.5, rel=1e-6)
+        assert bound == pytest.approx(819e3, rel=0.01)
+
+
+class TestBoundsDominateExact:
+    def test_transient_bound_above_exact(self):
+        curve = linear_curve()
+        exact = transient_length_exact(curve, 1000, 15000, 123.0, 100.0)
+        bound = transient_length_bound(curve, 1000, 15000, 123.0, 100.0)
+        assert bound >= exact
+
+    def test_lost_bound_above_exact(self):
+        curve = linear_curve()
+        exact = lost_cycles_exact(curve, 1000, 15000, 100.0)
+        bound = lost_cycles_bound(curve, 1000, 15000, 100.0)
+        assert bound >= exact
+
+    def test_zero_width_transient(self):
+        curve = linear_curve()
+        assert transient_length_bound(curve, 500, 500, 100, 100) == 0.0
+        assert transient_length_exact(curve, 500, 500, 100, 100) == 0.0
+        assert lost_cycles_bound(curve, 500, 500, 100) == 0.0
+        assert lost_cycles_exact(curve, 500, 500, 100) == 0.0
+
+
+class TestEdgeCases:
+    def test_flat_curve_loses_nothing(self):
+        curve = MissCurve.constant(0.3, 10_000)
+        assert lost_cycles_bound(curve, 0, 10_000, 100.0) == 0.0
+        assert lost_cycles_exact(curve, 0, 10_000, 100.0) == pytest.approx(0.0)
+
+    def test_zero_miss_ratio_never_fills(self):
+        curve = MissCurve([0, 100, 10_000], [0.5, 0.0, 0.0])
+        assert transient_length_bound(curve, 0, 10_000, 100, 100) == float("inf")
+
+    def test_validation(self):
+        curve = linear_curve()
+        with pytest.raises(ValueError):
+            transient_length_bound(curve, 200, 100, 100, 100)
+        with pytest.raises(ValueError):
+            transient_length_bound(curve, 0, 1e9, 100, 100)
+
+    def test_exact_transient_with_flat_segment(self):
+        curve = MissCurve([0, 100, 200], [0.5, 0.5, 0.25])
+        exact = transient_length_exact(curve, 0, 200, 100.0, 50.0)
+        # Flat part: 100 lines at Tmiss = 100/0.5 + 50 = 250 cycles.
+        flat_part = 100 * 250.0
+        assert exact > flat_part
+
+
+class TestGainRate:
+    def test_positive_when_boost_helps(self):
+        curve = linear_curve(0.4, 0.1)
+        rate = gain_rate_per_cycle(curve, 8192, 16384, 123.0, 100.0)
+        assert rate > 0
+
+    def test_zero_on_flat_curve(self):
+        curve = MissCurve.constant(0.3, 10_000)
+        assert gain_rate_per_cycle(curve, 1000, 5000, 100.0, 100.0) == 0.0
+
+    def test_validation(self):
+        curve = linear_curve()
+        with pytest.raises(ValueError):
+            gain_rate_per_cycle(curve, 5000, 1000, 100.0, 100.0)
+
+    def test_matches_manual_computation(self):
+        curve = linear_curve(0.4, 0.2, size=1000)
+        # p(500)=0.3, p(1000)=0.2: save 0.1*M per access of c + 0.2*M.
+        rate = gain_rate_per_cycle(curve, 500, 1000, 100.0, 100.0)
+        assert rate == pytest.approx(0.1 * 100 / (100 + 0.2 * 100))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m0=st.floats(min_value=0.05, max_value=1.0),
+    m_ratio=st.floats(min_value=0.05, max_value=1.0),
+    s1_frac=st.floats(min_value=0.0, max_value=0.9),
+    width_frac=st.floats(min_value=0.01, max_value=1.0),
+    c=st.floats(min_value=1.0, max_value=500.0),
+    M=st.floats(min_value=10.0, max_value=500.0),
+)
+def test_property_bounds_always_dominate_exact(m0, m_ratio, s1_frac, width_frac, c, M):
+    """The controller's safety rests on this: paper bounds >= exact."""
+    size = 10_000.0
+    curve = MissCurve([0, size], [m0, m0 * m_ratio])
+    s1 = s1_frac * size
+    s2 = min(size, s1 + width_frac * (size - s1) + 1.0)
+    exact_t = transient_length_exact(curve, s1, s2, c, M)
+    bound_t = transient_length_bound(curve, s1, s2, c, M)
+    assert bound_t >= exact_t - 1e-6 or bound_t == float("inf")
+    exact_l = lost_cycles_exact(curve, s1, s2, M)
+    bound_l = lost_cycles_bound(curve, s1, s2, M)
+    assert bound_l >= exact_l - 1e-6

@@ -1,0 +1,114 @@
+"""Tests for repro.cpu core models."""
+
+import pytest
+
+from repro.cpu import (
+    AppProfile,
+    InOrderCore,
+    OutOfOrderCore,
+    make_core_model,
+)
+
+
+@pytest.fixture
+def profile():
+    # The paper's Section 5.1 worked example: IPC=1.5, 5 APKI.
+    return AppProfile("example", apki=5.0, base_cpi=1.0 / 1.5 * 0.925, mlp=2.0)
+
+
+class TestProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile("x", apki=-1, base_cpi=1.0)
+        with pytest.raises(ValueError):
+            AppProfile("x", apki=1, base_cpi=0.0)
+        with pytest.raises(ValueError):
+            AppProfile("x", apki=1, base_cpi=1.0, mlp=0.5)
+
+    def test_instructions_per_access(self):
+        profile = AppProfile("x", apki=5.0, base_cpi=1.0)
+        assert profile.instructions_per_access == pytest.approx(200.0)
+
+    def test_zero_apki_infinite_interval(self):
+        profile = AppProfile("x", apki=0.0, base_cpi=1.0)
+        assert profile.instructions_per_access == float("inf")
+        assert profile.accesses_for(1e6) == 0.0
+
+    def test_accesses_for(self):
+        profile = AppProfile("x", apki=5.0, base_cpi=1.0)
+        assert profile.accesses_for(10_000) == pytest.approx(50.0)
+
+
+class TestPaperWorkedExample:
+    """Section 5.1: IPC=1.5, 5 APKI, 10% miss, M=100 -> Taccess=133, c=123."""
+
+    def test_access_interval(self):
+        profile = AppProfile("x", apki=5.0, base_cpi=123.33 / 200.0, mlp=2.0)
+        core = OutOfOrderCore(mem_latency_cycles=200.0)
+        assert core.miss_penalty(profile) == pytest.approx(100.0)
+        assert core.hit_interval(profile) == pytest.approx(123.33, rel=0.001)
+        assert core.access_interval(profile, 0.1) == pytest.approx(133.33, rel=0.001)
+
+    def test_miss_interval(self):
+        profile = AppProfile("x", apki=5.0, base_cpi=123.33 / 200.0, mlp=2.0)
+        core = OutOfOrderCore(200.0)
+        # Tmiss = c/p + M = 1233.3 + 100
+        assert core.miss_interval(profile, 0.1) == pytest.approx(1333.3, rel=0.001)
+
+    def test_zero_miss_ratio_infinite_miss_interval(self):
+        profile = AppProfile("x", apki=5.0, base_cpi=1.0, mlp=2.0)
+        core = OutOfOrderCore(200.0)
+        assert core.miss_interval(profile, 0.0) == float("inf")
+
+
+class TestCoreKinds:
+    def test_ooo_scales_penalty_by_mlp(self, profile):
+        core = OutOfOrderCore(200.0)
+        assert core.miss_penalty(profile) == pytest.approx(100.0)
+
+    def test_inorder_full_penalty_and_unit_cpi(self, profile):
+        core = InOrderCore(200.0)
+        assert core.miss_penalty(profile) == pytest.approx(200.0)
+        assert core.base_cpi(profile) == 1.0
+
+    def test_inorder_more_sensitive_than_ooo(self, profile):
+        """Figure 11's premise: in-order cores suffer more per miss."""
+        ooo = OutOfOrderCore(200.0)
+        inorder = InOrderCore(200.0)
+        ooo_slowdown = ooo.cpi(profile, 0.5) / ooo.cpi(profile, 0.0)
+        inorder_slowdown = inorder.cpi(profile, 0.5) / inorder.cpi(profile, 0.0)
+        assert inorder_slowdown > ooo_slowdown
+
+    def test_cpi_monotone_in_miss_ratio(self, profile):
+        core = OutOfOrderCore(200.0)
+        cpis = [core.cpi(profile, p) for p in (0.0, 0.25, 0.5, 1.0)]
+        assert cpis == sorted(cpis)
+
+    def test_ipc_is_cpi_inverse(self, profile):
+        core = OutOfOrderCore(200.0)
+        assert core.ipc(profile, 0.3) == pytest.approx(1.0 / core.cpi(profile, 0.3))
+
+    def test_cycles_for(self, profile):
+        core = OutOfOrderCore(200.0)
+        assert core.cycles_for(profile, 1000, 0.0) == pytest.approx(
+            1000 * profile.base_cpi
+        )
+        with pytest.raises(ValueError):
+            core.cycles_for(profile, -1, 0.0)
+
+    def test_miss_ratio_validation(self, profile):
+        core = OutOfOrderCore(200.0)
+        with pytest.raises(ValueError):
+            core.cpi(profile, 1.5)
+        with pytest.raises(ValueError):
+            core.cpi(profile, -0.1)
+
+    def test_factory(self):
+        assert isinstance(make_core_model("ooo", 200.0), OutOfOrderCore)
+        assert isinstance(make_core_model("inorder", 200.0), InOrderCore)
+        with pytest.raises(ValueError):
+            make_core_model("quantum", 200.0)
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            OutOfOrderCore(0.0)

@@ -1,0 +1,88 @@
+"""Tiny-scale tests for the sensitivity, ablation and extension experiments."""
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.bandwidth_study import run_bandwidth_study
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig12_slack import run_fig12
+from repro.experiments.fig13_schemes import run_fig13
+from repro.experiments.scaleout import run_scaleout
+
+TINY = ExperimentScale(
+    requests=60,
+    lc_names=("shore",),
+    loads=(0.2,),
+    combos=("nft",),
+    mixes_per_combo=1,
+)
+
+
+class TestFig12Module:
+    def test_entries_cover_slacks(self):
+        entries = run_fig12(TINY, slacks=(0.0, 0.05))
+        slacks = {e.slack for e in entries}
+        assert slacks == {0.0, 0.05}
+        for e in entries:
+            assert e.worst_degradation >= e.average_degradation - 1e-9
+
+    def test_strict_is_safe(self):
+        entries = run_fig12(TINY, slacks=(0.0,))
+        assert all(e.worst_degradation < 1.1 for e in entries)
+
+
+class TestFig13Module:
+    def test_five_schemes_reported(self):
+        entries = run_fig13(TINY)
+        schemes = {e.scheme for e in entries}
+        assert schemes == {
+            "WayPart SA16",
+            "WayPart SA64",
+            "Vantage SA16",
+            "Vantage SA64",
+            "Vantage Z4/52",
+        }
+
+    def test_zcache_at_least_as_safe_as_waypart16(self):
+        entries = run_fig13(TINY)
+
+        def worst(name):
+            return max(e.worst_degradation for e in entries if e.scheme == name)
+
+        assert worst("Vantage Z4/52") <= worst("WayPart SA16") + 1e-9
+
+
+class TestAblationsModule:
+    def test_four_variants(self):
+        entries = run_ablations(TINY)
+        variants = {e.variant for e in entries}
+        assert variants == {"Ubik", "Ubik-noboost", "Ubik-nodeboost", "Ubik-exact"}
+
+    def test_all_variants_complete(self):
+        entries = run_ablations(TINY)
+        assert all(e.average_speedup_pct > -50 for e in entries)
+        assert all(e.worst_degradation > 0.5 for e in entries)
+
+
+class TestScaleOutModule:
+    def test_guarantees_scale(self):
+        results = run_scaleout(core_counts=(6,), requests=60)
+        by_policy = {r.policy: r for r in results}
+        assert by_policy["StaticLC"].tail_degradation < 1.05
+        assert by_policy["Ubik-5%"].tail_degradation < 1.10
+
+    def test_odd_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_scaleout(core_counts=(7,), requests=60)
+
+
+class TestBandwidthModule:
+    def test_monotone_degradation(self):
+        points = run_bandwidth_study(
+            peaks=(1e9, 90.0), requests=60, lc_name="specjbb"
+        )
+        by_policy = {}
+        for p in points:
+            by_policy.setdefault(p.policy, []).append(p.tail_degradation)
+        for policy, tails in by_policy.items():
+            assert tails[1] >= tails[0] - 0.02, policy

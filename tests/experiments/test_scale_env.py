@@ -1,0 +1,36 @@
+"""Tests for the environment-variable scale knobs."""
+
+import pytest
+
+from repro.experiments.common import default_scale
+from repro.workloads.latency_critical import LC_NAMES
+
+
+class TestDefaultScale:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REQUESTS", raising=False)
+        monkeypatch.delenv("REPRO_LC", raising=False)
+        monkeypatch.delenv("REPRO_MIXES", raising=False)
+        scale = default_scale()
+        assert scale.requests == 120
+        assert scale.lc_names == LC_NAMES
+        assert len(scale.combos) == 6  # representative subset
+
+    def test_requests_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUESTS", "300")
+        assert default_scale().requests == 300
+
+    def test_lc_subset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LC", "shore,specjbb")
+        assert default_scale().lc_names == ("shore", "specjbb")
+
+    def test_full_grid_via_mixes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MIXES", "2")
+        scale = default_scale()
+        assert len(scale.combos) == 20  # the paper's full combo grid
+        assert scale.mixes_per_combo == 2
+
+    def test_invalid_lc_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LC", "redis")
+        with pytest.raises(ValueError):
+            default_scale()

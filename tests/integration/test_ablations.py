@@ -1,0 +1,104 @@
+"""Ablations: isolate the contribution of each Ubik design choice.
+
+The paper motivates three mechanisms; removing each should show its
+fingerprint:
+
+* **boosting** (Sec 5.1.1): without it, transient losses after idle
+  downsizing are never repaid — tails degrade (OnOff-like failure);
+* **accurate de-boosting** (Sec 5.1.1): without it, boosts are held for
+  the whole active period — tails stay safe but batch throughput drops;
+* **conservative bounds** (Sec 5.1): exact bounds downsize at least as
+  aggressively while the engine's real transients (which the bounds
+  upper-bound) keep repayment feasible.
+"""
+
+import pytest
+
+from repro.core.ubik import UbikPolicy
+from repro.sim.mix_runner import MixRunner
+from repro.workloads.mixes import make_mix_specs
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MixRunner(requests=150, seed=11)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_mix_specs(lc_names=["specjbb"], loads=[0.2], mixes_per_combo=1)[5]
+
+
+@pytest.fixture(scope="module")
+def full(runner, spec):
+    return runner.run_mix(spec, UbikPolicy(slack=0.0))
+
+
+class TestNoBoost:
+    def test_tails_degrade_without_boosting(self, runner):
+        """Boosting earns its keep where downsizing is deep: the slack
+        variant on a reuse-heavy app.  (Strict Ubik only downsizes
+        where the refill loss is already cheap — matching the paper's
+        small strict-Ubik-vs-StaticLC gap.)"""
+        shore = make_mix_specs(
+            lc_names=["shore"], loads=[0.2], mixes_per_combo=1
+        )[5]
+        with_boost = runner.run_mix(shore, UbikPolicy(slack=0.05))
+        without = runner.run_mix(
+            shore, UbikPolicy(slack=0.05, boost_enabled=False)
+        )
+        assert without.tail_degradation() > with_boost.tail_degradation() + 0.01
+
+    def test_strict_noboost_still_functions(self, runner, spec, full):
+        result = runner.run_mix(spec, UbikPolicy(slack=0.0, boost_enabled=False))
+        assert result.lc_instances[0].requests_served > 0
+        assert result.weighted_speedup() > 1.0
+
+    def test_name_reflects_ablation(self):
+        assert UbikPolicy(boost_enabled=False).name == "Ubik-noboost"
+
+
+class TestNoDeboost:
+    def test_tails_stay_safe(self, runner, spec):
+        result = runner.run_mix(spec, UbikPolicy(slack=0.0, deboost_enabled=False))
+        assert result.tail_degradation() < 1.05
+
+    def test_batch_throughput_suffers(self, runner, spec, full):
+        result = runner.run_mix(spec, UbikPolicy(slack=0.0, deboost_enabled=False))
+        assert result.weighted_speedup() <= full.weighted_speedup() + 0.005
+
+    def test_no_deboost_interrupts_fire(self, runner, spec):
+        result = runner.run_mix(spec, UbikPolicy(slack=0.0, deboost_enabled=False))
+        assert sum(i.deboosts for i in result.lc_instances) == 0
+
+
+class TestExactBounds:
+    def test_exact_bounds_safe_in_engine(self, runner, spec):
+        """The engine integrates the exact transients, so sizing with
+        exact bounds must still repay by the deadline."""
+        result = runner.run_mix(spec, UbikPolicy(slack=0.0, use_exact_bounds=True))
+        assert result.tail_degradation() < 1.06
+
+    def test_exact_bounds_at_least_as_aggressive(self):
+        """Exact losses <= bounded losses, so the sizing search accepts
+        idle sizes at least as small."""
+        from repro.core.boost import choose_sizes
+        from repro.monitor.miss_curve import MissCurve
+
+        curve = MissCurve(
+            [0, 8192, 16384, 32768, 65536], [0.8, 0.45, 0.25, 0.12, 0.08]
+        )
+        common = dict(
+            curve=curve,
+            c=20.0,
+            M=100.0,
+            active_lines=32768.0,
+            deadline_cycles=5e6,
+            boost_max_lines=65536.0,
+            batch_delta_hit_rate=lambda d: d * 1e-6,
+            idle_fraction=0.9,
+            activation_rate=1e-8,
+        )
+        paper = choose_sizes(**common)
+        exact = choose_sizes(**common, use_exact_bounds=True)
+        assert exact.idle_lines <= paper.idle_lines + 1e-9

@@ -1,0 +1,84 @@
+"""Property-style invariants of full engine runs.
+
+Randomized small configurations; each run must satisfy conservation
+and safety properties regardless of policy or workload draw.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ubik import UbikPolicy
+from repro.policies.onoff import OnOffPolicy
+from repro.policies.static_lc import StaticLCPolicy
+from repro.policies.ucp import UCPPolicy
+from repro.sim.config import CMPConfig
+from repro.sim.engine import LCInstanceSpec, MixEngine
+from repro.workloads.batch import make_batch_workload
+from repro.workloads.latency_critical import LC_NAMES, make_lc_workload
+
+POLICIES = {
+    "static": StaticLCPolicy,
+    "ucp": UCPPolicy,
+    "onoff": OnOffPolicy,
+    "ubik": lambda: UbikPolicy(slack=0.05),
+}
+
+
+def build_engine(lc_name, load, policy_key, seed):
+    workload = make_lc_workload(lc_name)
+    rng = np.random.default_rng(seed)
+    requests = 40
+    works = np.asarray([workload.work.sample(rng) for _ in range(requests)])
+    mean_service = workload.mean_service_cycles()
+    arrivals = np.cumsum(rng.exponential(mean_service / load, size=requests))
+    spec = LCInstanceSpec(
+        workload=workload,
+        arrivals=arrivals,
+        works=works,
+        deadline_cycles=5 * mean_service,
+        target_tail_cycles=4 * mean_service,
+        load=load,
+    )
+    return MixEngine(
+        lc_specs=[spec],
+        batch_workloads=[make_batch_workload("f", seed=seed)],
+        policy=POLICIES[policy_key](),
+        config=CMPConfig(),
+        seed=seed,
+        warmup_fraction=0.0,
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    lc_name=st.sampled_from(LC_NAMES),
+    load=st.sampled_from([0.2, 0.5]),
+    policy_key=st.sampled_from(sorted(POLICIES)),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_engine_run_invariants(lc_name, load, policy_key, seed):
+    engine = build_engine(lc_name, load, policy_key, seed)
+    result = engine.run()
+    lc = result.lc_instances[0]
+
+    # Every request served exactly once.
+    assert lc.requests_served == 40
+    assert len(lc.latencies) == 40
+
+    # Latencies positive and at least one service time's worth.
+    workload = make_lc_workload(lc_name)
+    assert min(lc.latencies) > 0
+
+    # Time moves forward and covers all arrivals.
+    assert result.duration_cycles >= float(engine.lc_apps[0].spec.arrivals[-1])
+
+    # Batch app measured over the whole run; progress is positive.
+    batch = result.batch_apps[0]
+    assert batch.cycles == pytest.approx(result.duration_cycles, rel=0.02)
+    assert 0 < batch.ipc < 10
+
+    # Targets within the cache at end of run.
+    total_targets = sum(a.fill.target for a in engine.apps)
+    assert total_targets <= engine.llc_lines + 1e-6

@@ -1,0 +1,110 @@
+"""Integration tests asserting the paper's headline claims.
+
+These run small but complete mix simulations and check the *shape* of
+the results — who wins, in which direction — not absolute numbers.
+"""
+
+import pytest
+
+from repro.core.ubik import UbikPolicy
+from repro.policies.onoff import OnOffPolicy
+from repro.policies.static_lc import StaticLCPolicy
+from repro.policies.ucp import UCPPolicy
+from repro.sim.mix_runner import MixRunner
+from repro.workloads.mixes import make_mix_specs
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MixRunner(requests=150, seed=7)
+
+
+def pick_spec(lc_name, load, combo_index=5):
+    specs = make_mix_specs(lc_names=[lc_name], loads=[load], mixes_per_combo=1)
+    return specs[combo_index]
+
+
+@pytest.fixture(scope="module")
+def shore_results(runner):
+    spec = pick_spec("shore", 0.2)
+    return {
+        "StaticLC": runner.run_mix(spec, StaticLCPolicy()),
+        "OnOff": runner.run_mix(spec, OnOffPolicy()),
+        "UCP": runner.run_mix(spec, UCPPolicy()),
+        "Ubik": runner.run_mix(spec, UbikPolicy(slack=0.0)),
+        "Ubik-5%": runner.run_mix(spec, UbikPolicy(slack=0.05)),
+    }
+
+
+class TestTailLatencyClaims:
+    def test_staticlc_preserves_tails(self, shore_results):
+        assert shore_results["StaticLC"].tail_degradation() < 1.05
+
+    def test_strict_ubik_preserves_tails(self, shore_results):
+        """The core claim: Ubik strictly maintains tail latency."""
+        assert shore_results["Ubik"].tail_degradation() < 1.05
+
+    def test_onoff_degrades_tails(self, shore_results):
+        """Ignoring inertia (OnOff) hurts an app with cross-request
+        reuse."""
+        assert (
+            shore_results["OnOff"].tail_degradation()
+            > shore_results["StaticLC"].tail_degradation() + 0.02
+        )
+
+    def test_ucp_degrades_tails(self, shore_results):
+        """UCP treats the low-load LC app as low-utility and shrinks
+        it, violating its tail."""
+        assert shore_results["UCP"].tail_degradation() > 1.10
+
+    def test_slack_bounded(self, shore_results):
+        """Ubik with 5% slack keeps degradation near its bound."""
+        assert shore_results["Ubik-5%"].tail_degradation() < 1.15
+
+
+class TestThroughputClaims:
+    def test_ubik_beats_staticlc_throughput(self, shore_results):
+        """Exploiting idleness must buy batch throughput over pinning."""
+        assert (
+            shore_results["Ubik"].weighted_speedup()
+            > shore_results["StaticLC"].weighted_speedup()
+        )
+
+    def test_slack_buys_more_throughput(self, shore_results):
+        assert (
+            shore_results["Ubik-5%"].weighted_speedup()
+            >= shore_results["Ubik"].weighted_speedup() - 0.005
+        )
+
+    def test_all_schemes_beat_private_llcs(self, shore_results):
+        for name, result in shore_results.items():
+            assert result.weighted_speedup() > 1.0, name
+
+
+class TestMosesStory:
+    """Section 7.1: moses has nothing to lose at 2 MB; slack frees a
+    large amount of space at no tail cost."""
+
+    def test_moses_slack_free_lunch(self, runner):
+        spec = pick_spec("moses", 0.2)
+        strict = runner.run_mix(spec, UbikPolicy(slack=0.0))
+        slacked = runner.run_mix(spec, UbikPolicy(slack=0.05))
+        assert slacked.tail_degradation() < 1.06
+        assert slacked.weighted_speedup() >= strict.weighted_speedup()
+
+
+class TestXapianStory:
+    """Section 7.1: xapian is cache-insensitive at low load — every
+    scheme holds its tail, and Ubik downsizes it aggressively."""
+
+    def test_xapian_low_load_all_safe(self, runner):
+        spec = pick_spec("xapian", 0.2)
+        for policy in (StaticLCPolicy(), UbikPolicy(slack=0.05), UCPPolicy()):
+            result = runner.run_mix(spec, policy)
+            assert result.tail_degradation() < 1.10
+
+    def test_xapian_ubik_outperforms_static(self, runner):
+        spec = pick_spec("xapian", 0.2)
+        static = runner.run_mix(spec, StaticLCPolicy())
+        ubik = runner.run_mix(spec, UbikPolicy(slack=0.05))
+        assert ubik.weighted_speedup() > static.weighted_speedup()

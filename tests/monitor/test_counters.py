@@ -1,0 +1,72 @@
+"""Tests for repro.monitor.counters."""
+
+import pytest
+
+from repro.monitor.counters import PerfCounters
+
+
+class TestPerfCounters:
+    def test_accumulation(self):
+        counters = PerfCounters()
+        counters.add(cycles=100, instructions=150, accesses=10, misses=2)
+        counters.add(cycles=100, instructions=150, accesses=10, misses=2)
+        assert counters.cycles == 200
+        assert counters.misses == 4
+
+    def test_derived_metrics(self):
+        counters = PerfCounters(
+            cycles=1000, instructions=1500, accesses=7.5, misses=0.75
+        )
+        assert counters.ipc == pytest.approx(1.5)
+        assert counters.apki == pytest.approx(5.0)
+        assert counters.miss_ratio == pytest.approx(0.1)
+
+    def test_paper_worked_example(self):
+        # Section 5.1: IPC=1.5, 5 APKI, 10% miss, M=100 -> Taccess=133, c=123.
+        counters = PerfCounters(
+            cycles=1000.0 / 1.5, instructions=1000, accesses=5, misses=0.5
+        )
+        assert counters.access_interval() == pytest.approx(133.33, rel=0.01)
+        assert counters.hit_interval(100.0) == pytest.approx(123.33, rel=0.01)
+
+    def test_reset(self):
+        counters = PerfCounters(cycles=10, instructions=10, accesses=5, misses=1)
+        counters.reset()
+        assert counters.cycles == 0
+        assert counters.ipc == 0
+
+    def test_merge(self):
+        a = PerfCounters(cycles=10, instructions=20, accesses=2, misses=1)
+        b = PerfCounters(cycles=30, instructions=40, accesses=4, misses=2)
+        merged = a.merge(b)
+        assert merged.cycles == 40
+        assert merged.misses == 3
+        assert a.cycles == 10  # inputs untouched
+
+    def test_rejects_negative_increments(self):
+        counters = PerfCounters()
+        with pytest.raises(ValueError):
+            counters.add(cycles=-1)
+
+    def test_rejects_misses_exceeding_accesses(self):
+        counters = PerfCounters()
+        with pytest.raises(ValueError):
+            counters.add(accesses=1, misses=2)
+
+    def test_empty_counters_safe(self):
+        counters = PerfCounters()
+        assert counters.ipc == 0
+        assert counters.apki == 0
+        assert counters.miss_ratio == 0
+        assert counters.access_interval() == float("inf")
+        assert counters.hit_interval(100.0) == float("inf")
+
+    def test_hit_interval_floor_at_zero(self):
+        # Pathological: penalty larger than the measured interval.
+        counters = PerfCounters(cycles=10, instructions=10, accesses=10, misses=10)
+        assert counters.hit_interval(1000.0) == 0.0
+
+    def test_hit_interval_rejects_negative_penalty(self):
+        counters = PerfCounters(cycles=10, instructions=10, accesses=10, misses=1)
+        with pytest.raises(ValueError):
+            counters.hit_interval(-1.0)

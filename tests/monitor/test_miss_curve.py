@@ -1,0 +1,198 @@
+"""Tests for repro.monitor.miss_curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.miss_curve import MissCurve, combine_curves
+
+
+def simple_curve():
+    return MissCurve([0, 100, 200, 400], [0.8, 0.4, 0.2, 0.1])
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        curve = simple_curve()
+        assert curve.max_size == 400
+        assert curve(0) == pytest.approx(0.8)
+        assert curve(400) == pytest.approx(0.1)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            MissCurve([0, 1], [0.5])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            MissCurve([0], [0.5])
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError):
+            MissCurve([1, 2], [0.5, 0.4])
+
+    def test_rejects_unsorted_sizes(self):
+        with pytest.raises(ValueError):
+            MissCurve([0, 5, 3], [0.5, 0.4, 0.3])
+
+    def test_rejects_duplicate_sizes(self):
+        with pytest.raises(ValueError):
+            MissCurve([0, 5, 5], [0.5, 0.4, 0.3])
+
+    def test_rejects_out_of_range_ratios(self):
+        with pytest.raises(ValueError):
+            MissCurve([0, 1], [1.5, 0.4])
+        with pytest.raises(ValueError):
+            MissCurve([0, 1], [0.5, -0.1])
+
+    def test_enforces_monotonicity_from_noisy_input(self):
+        curve = MissCurve([0, 10, 20], [0.5, 0.6, 0.3])
+        assert curve(10) <= curve(0)
+        assert curve(20) <= curve(10)
+
+    def test_constant_constructor(self):
+        curve = MissCurve.constant(0.7, 1000)
+        assert curve(0) == pytest.approx(0.7)
+        assert curve(500) == pytest.approx(0.7)
+        assert curve(1000) == pytest.approx(0.7)
+
+
+class TestEvaluation:
+    def test_linear_interpolation_between_points(self):
+        curve = simple_curve()
+        assert curve(50) == pytest.approx(0.6)
+        assert curve(150) == pytest.approx(0.3)
+
+    def test_clamps_beyond_max_size(self):
+        curve = simple_curve()
+        assert curve(10_000) == pytest.approx(0.1)
+
+    def test_vectorized_evaluation(self):
+        curve = simple_curve()
+        values = curve(np.array([0, 100, 200]))
+        assert values == pytest.approx([0.8, 0.4, 0.2])
+
+    def test_misses_and_hits(self):
+        curve = simple_curve()
+        assert curve.misses(100, 1000) == pytest.approx(400)
+        assert curve.hits(100, 1000) == pytest.approx(600)
+
+    def test_utility_is_miss_reduction(self):
+        curve = simple_curve()
+        assert curve.utility(100, 200) == pytest.approx(0.2)
+
+    def test_marginal_utility(self):
+        curve = simple_curve()
+        assert curve.marginal_utility(100, 200) == pytest.approx(0.2 / 100)
+
+    def test_marginal_utility_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            simple_curve().marginal_utility(200, 100)
+
+
+class TestFromHitCounters:
+    def test_ucp_construction(self):
+        # 3-way UMON: hits at depths 0,1,2 = 50,30,10; misses 10.
+        curve = MissCurve.from_hit_counters([50, 30, 10], 10, lines_per_way=64)
+        assert curve(0) == pytest.approx(1.0)
+        assert curve(64) == pytest.approx(0.5)
+        assert curve(128) == pytest.approx(0.2)
+        assert curve(192) == pytest.approx(0.1)
+
+    def test_rejects_negative_counters(self):
+        with pytest.raises(ValueError):
+            MissCurve.from_hit_counters([5, -1], 2, 64)
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError):
+            MissCurve.from_hit_counters([0, 0], 0, 64)
+
+
+class TestTransformations:
+    def test_resample_preserves_endpoints(self):
+        curve = simple_curve().resample(33)
+        assert curve.sizes.size == 33
+        assert curve(0) == pytest.approx(0.8)
+        assert curve(400) == pytest.approx(0.1)
+
+    def test_resample_matches_interpolation(self):
+        curve = simple_curve()
+        resampled = curve.resample(257)
+        for s in (37.0, 123.0, 333.0):
+            assert resampled(s) == pytest.approx(curve(s), abs=1e-2)
+
+    def test_resample_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            simple_curve().resample(1)
+
+    def test_scaled(self):
+        curve = simple_curve().scaled(0.5)
+        assert curve(0) == pytest.approx(0.4)
+
+    def test_scaled_clamps_to_one(self):
+        curve = MissCurve([0, 10], [0.9, 0.8]).scaled(2.0)
+        assert curve(0) == pytest.approx(1.0)
+
+    def test_with_noise_stays_valid(self):
+        rng = np.random.default_rng(0)
+        noisy = simple_curve().with_noise(rng, 0.05)
+        assert np.all(noisy.miss_ratios >= 0)
+        assert np.all(noisy.miss_ratios <= 1)
+        assert np.all(np.diff(noisy.miss_ratios) <= 1e-12)
+
+    def test_equality(self):
+        assert simple_curve() == simple_curve()
+        assert simple_curve() != MissCurve([0, 1], [0.5, 0.4])
+
+    def test_repr_mentions_points(self):
+        assert "4 pts" in repr(simple_curve())
+
+
+class TestCombineCurves:
+    def test_single_curve_identity_weighting(self):
+        curve = simple_curve()
+        combined = combine_curves([curve], [1.0])
+        assert combined(200) == pytest.approx(curve(200), abs=0.02)
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            combine_curves([simple_curve()], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            combine_curves([], [])
+        with pytest.raises(ValueError):
+            combine_curves([simple_curve()], [0.0])
+
+    def test_heavier_app_dominates(self):
+        low = MissCurve.constant(0.1, 400)
+        high = MissCurve.constant(0.9, 400)
+        combined = combine_curves([low, high], [1.0, 9.0])
+        assert combined(200) > 0.7
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ratios=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=20
+    ),
+    query=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_interpolation_bounded_and_monotone(ratios, query):
+    sizes = np.arange(len(ratios), dtype=float) * 10
+    curve = MissCurve(sizes, ratios)
+    value = float(curve(query * curve.max_size))
+    assert 0.0 <= value <= 1.0
+    # Monotone: larger allocations never miss more.
+    bigger = float(curve(min(query * curve.max_size + 5, curve.max_size)))
+    assert bigger <= value + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hits=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=32),
+    misses=st.integers(min_value=1, max_value=1000),
+)
+def test_property_hit_counter_curve_endpoints(hits, misses):
+    curve = MissCurve.from_hit_counters(hits, misses, 64)
+    total = sum(hits) + misses
+    assert curve(0) == pytest.approx(1.0 if total == misses + sum(hits) else 1.0)
+    assert curve(curve.max_size) == pytest.approx(misses / total)

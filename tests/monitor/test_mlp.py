@@ -1,0 +1,55 @@
+"""Tests for repro.monitor.mlp."""
+
+import pytest
+
+from repro.monitor.mlp import MLPProfiler
+
+
+class TestMLPProfiler:
+    def test_initial_estimate(self):
+        profiler = MLPProfiler(initial_penalty=200.0)
+        assert profiler.effective_penalty == pytest.approx(200.0)
+
+    def test_converges_to_observed_penalty(self):
+        profiler = MLPProfiler(smoothing=0.5, initial_penalty=200.0)
+        for _ in range(20):
+            profiler.observe(stall_cycles=1000.0, misses=10.0)
+            profiler.end_interval()
+        assert profiler.effective_penalty == pytest.approx(100.0, rel=0.01)
+
+    def test_window_accumulates_before_interval_end(self):
+        profiler = MLPProfiler(smoothing=1.0, initial_penalty=200.0)
+        profiler.observe(500.0, 5.0)
+        profiler.observe(500.0, 5.0)
+        assert profiler.end_interval() == pytest.approx(100.0)
+
+    def test_empty_interval_keeps_estimate(self):
+        profiler = MLPProfiler(initial_penalty=150.0)
+        assert profiler.end_interval() == pytest.approx(150.0)
+
+    def test_observe_overlap_divides_latency(self):
+        profiler = MLPProfiler(smoothing=1.0, initial_penalty=200.0)
+        profiler.observe_overlap(raw_latency=200.0, concurrent=4.0)
+        assert profiler.end_interval() == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLPProfiler(smoothing=0.0)
+        with pytest.raises(ValueError):
+            MLPProfiler(smoothing=1.5)
+        with pytest.raises(ValueError):
+            MLPProfiler(initial_penalty=0.0)
+        profiler = MLPProfiler()
+        with pytest.raises(ValueError):
+            profiler.observe(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            profiler.observe_overlap(100.0, 0.5)
+
+    def test_smoothing_limits_adaptation_speed(self):
+        fast = MLPProfiler(smoothing=1.0, initial_penalty=200.0)
+        slow = MLPProfiler(smoothing=0.1, initial_penalty=200.0)
+        for profiler in (fast, slow):
+            profiler.observe(100.0, 10.0)  # sample penalty 10
+            profiler.end_interval()
+        assert fast.effective_penalty == pytest.approx(10.0)
+        assert slow.effective_penalty > 150.0

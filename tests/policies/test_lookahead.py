@@ -1,0 +1,112 @@
+"""Tests for repro.policies.lookahead (UCP's allocation algorithm)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.miss_curve import MissCurve
+from repro.policies.lookahead import lookahead_partition
+
+
+def curve(points):
+    sizes, ratios = zip(*points)
+    return MissCurve(sizes, ratios)
+
+
+class TestAllocation:
+    def test_single_app_gets_everything(self):
+        c = curve([(0, 0.9), (100, 0.1)])
+        allocs = lookahead_partition([c], [1.0], 100, buckets=10)
+        assert allocs == [100.0]
+
+    def test_useful_app_beats_streaming(self):
+        useful = curve([(0, 0.9), (100, 0.05)])
+        streaming = MissCurve.constant(0.95, 100)
+        allocs = lookahead_partition([useful, streaming], [1.0, 1.0], 100, buckets=20)
+        assert allocs[0] > allocs[1]
+
+    def test_weights_shift_allocation(self):
+        a = curve([(0, 0.8), (100, 0.2)])
+        b = curve([(0, 0.8), (100, 0.2)])
+        light = lookahead_partition([a, b], [1.0, 10.0], 100, buckets=20)
+        assert light[1] > light[0]
+
+    def test_sees_past_plateaus(self):
+        """The lookahead property: a knee beyond a flat region is found,
+        which pure hill-climbing would miss."""
+        kneed = curve([(0, 0.9), (50, 0.9), (60, 0.1), (100, 0.1)])
+        mild = curve([(0, 0.5), (100, 0.45)])
+        allocs = lookahead_partition([kneed, mild], [1.0, 1.0], 100, buckets=20)
+        assert allocs[0] >= 60.0
+
+    def test_budget_fully_distributed(self):
+        apps = [MissCurve.constant(0.5, 100) for _ in range(3)]
+        allocs = lookahead_partition(apps, [1.0, 1.0, 1.0], 90, buckets=9)
+        assert sum(allocs) == pytest.approx(90.0)
+
+    def test_min_buckets_respected(self):
+        a = curve([(0, 0.9), (100, 0.1)])
+        b = MissCurve.constant(0.9, 100)
+        allocs = lookahead_partition(
+            [a, b], [1.0, 1.0], 100, buckets=10, min_buckets=[0, 3]
+        )
+        assert allocs[1] >= 30.0
+
+    def test_empty_inputs(self):
+        assert lookahead_partition([], [], 100) == []
+
+    def test_zero_budget(self):
+        c = curve([(0, 0.9), (100, 0.1)])
+        assert lookahead_partition([c], [1.0], 0, buckets=10) == [0.0]
+
+    def test_validation(self):
+        c = curve([(0, 0.9), (100, 0.1)])
+        with pytest.raises(ValueError):
+            lookahead_partition([c], [1.0, 2.0], 100)
+        with pytest.raises(ValueError):
+            lookahead_partition([c], [-1.0], 100)
+        with pytest.raises(ValueError):
+            lookahead_partition([c], [1.0], -5)
+        with pytest.raises(ValueError):
+            lookahead_partition([c], [1.0], 100, buckets=0)
+        with pytest.raises(ValueError):
+            lookahead_partition([c], [1.0], 100, buckets=10, min_buckets=[20])
+        with pytest.raises(ValueError):
+            lookahead_partition([c], [1.0], 100, buckets=10, min_buckets=[-1])
+
+
+class TestOptimality:
+    def test_matches_exhaustive_on_small_instance(self):
+        """Greedy lookahead is near-optimal on convex-ish instances."""
+        a = curve([(0, 0.8), (40, 0.4), (100, 0.1)])
+        b = curve([(0, 0.6), (60, 0.2), (100, 0.15)])
+        weights = [2.0, 1.0]
+        buckets = 10
+        allocs = lookahead_partition([a, b], weights, 100, buckets=buckets)
+
+        def objective(x):
+            return weights[0] * float(a(x)) + weights[1] * float(b(100 - x))
+
+        best = min(objective(k * 10) for k in range(buckets + 1))
+        got = objective(allocs[0])
+        assert got <= best + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_apps=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_allocations_valid(num_apps, seed):
+    rng = np.random.default_rng(seed)
+    curves = []
+    for _ in range(num_apps):
+        ratios = np.sort(rng.uniform(0, 1, size=5))[::-1]
+        curves.append(MissCurve(np.arange(5) * 25.0, ratios))
+    weights = rng.uniform(0.1, 10, size=num_apps)
+    allocs = lookahead_partition(curves, weights, 100, buckets=20)
+    assert len(allocs) == num_apps
+    assert all(a >= 0 for a in allocs)
+    assert sum(allocs) <= 100 + 1e-9
+    assert sum(allocs) == pytest.approx(100.0)  # fully distributed

@@ -1,0 +1,181 @@
+"""Tests for the baseline policies (LRU, UCP, StaticLC, OnOff, Fixed)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.miss_curve import MissCurve
+from repro.policies.base import AppView, BoostPlan, Decision, PolicyContext
+from repro.policies.fixed import FixedPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.onoff import OnOffPolicy
+from repro.policies.static_lc import StaticLCPolicy
+from repro.policies.ucp import UCPPolicy
+
+LLC = 1000
+
+
+def make_view(index, kind, miss0=0.8, floor=0.1, access_rate=0.01, target=200.0):
+    curve = MissCurve([0, LLC], [miss0, floor])
+    return AppView(
+        index=index,
+        name=f"app{index}",
+        kind=kind,
+        curve=curve,
+        apki=5.0,
+        hit_interval=100.0,
+        miss_penalty=100.0,
+        access_rate=access_rate,
+        target_lines=target if kind == "lc" else 0.0,
+        deadline_cycles=1e6 if kind == "lc" else 0.0,
+        target_tail_cycles=1e6 if kind == "lc" else 0.0,
+    )
+
+
+def make_ctx(apps, active=None, targets=None):
+    return PolicyContext(
+        llc_lines=LLC,
+        apps=apps,
+        current_targets=targets or {a.index: 0.0 for a in apps},
+        now=0.0,
+        avg_batch_lines=600.0,
+        lc_active=active or {a.index: False for a in apps if a.is_lc},
+        rng=np.random.default_rng(0),
+        lc_boosted={a.index: False for a in apps if a.is_lc},
+    )
+
+
+@pytest.fixture
+def mixed_ctx():
+    apps = [
+        make_view(0, "lc"),
+        make_view(1, "lc"),
+        make_view(2, "batch", access_rate=0.02),
+        make_view(3, "batch", access_rate=0.01),
+    ]
+    return make_ctx(apps)
+
+
+class TestBaseTypes:
+    def test_appview_kind_validation(self):
+        with pytest.raises(ValueError):
+            make_view(0, "gpu")
+
+    def test_boost_plan_validation(self):
+        with pytest.raises(ValueError):
+            BoostPlan(boost_lines=100, active_lines=200)
+        with pytest.raises(ValueError):
+            BoostPlan(boost_lines=300, active_lines=200, guard_fraction=-1)
+        with pytest.raises(ValueError):
+            BoostPlan(boost_lines=300, active_lines=200, watermark_factor=0.5)
+
+    def test_decision_merge(self):
+        decision = Decision(targets={0: 100.0})
+        merged = decision.merged_over({0: 50.0, 1: 75.0})
+        assert merged == {0: 100.0, 1: 75.0}
+
+    def test_ctx_accessors(self, mixed_ctx):
+        assert [a.index for a in mixed_ctx.lc_apps] == [0, 1]
+        assert [a.index for a in mixed_ctx.batch_apps] == [2, 3]
+        assert mixed_ctx.app(2).index == 2
+        with pytest.raises(KeyError):
+            mixed_ctx.app(9)
+
+
+class TestLRU:
+    def test_no_partitioning(self):
+        assert LRUPolicy.uses_partitioning is False
+
+    def test_initialize_reports_even_split(self, mixed_ctx):
+        decision = LRUPolicy().initialize(mixed_ctx)
+        assert sum(decision.targets.values()) == pytest.approx(LLC)
+
+
+class TestUCP:
+    def test_partitions_everything(self, mixed_ctx):
+        decision = UCPPolicy().initialize(mixed_ctx)
+        assert set(decision.targets) == {0, 1, 2, 3}
+        assert sum(decision.targets.values()) == pytest.approx(LLC)
+
+    def test_idle_lc_apps_lose_space(self):
+        """The bias the paper criticizes: low average access rate ->
+        low utility -> small partition."""
+        apps = [
+            make_view(0, "lc", access_rate=0.0001),  # idle most of the time
+            make_view(1, "batch", access_rate=0.05),
+        ]
+        decision = UCPPolicy().initialize(make_ctx(apps))
+        assert decision.targets[1] > decision.targets[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UCPPolicy(buckets=0)
+
+
+class TestStaticLC:
+    def test_lc_pinned_at_target(self, mixed_ctx):
+        decision = StaticLCPolicy().initialize(mixed_ctx)
+        assert decision.targets[0] == 200.0
+        assert decision.targets[1] == 200.0
+
+    def test_batch_shares_remainder(self, mixed_ctx):
+        decision = StaticLCPolicy().initialize(mixed_ctx)
+        batch_total = decision.targets[2] + decision.targets[3]
+        assert batch_total == pytest.approx(LLC - 400.0)
+
+    def test_interval_is_stable_for_lc(self, mixed_ctx):
+        policy = StaticLCPolicy()
+        first = policy.initialize(mixed_ctx)
+        second = policy.on_interval(mixed_ctx)
+        assert second.targets[0] == first.targets[0] == 200.0
+
+
+class TestOnOff:
+    def test_idle_lc_gets_nothing(self, mixed_ctx):
+        decision = OnOffPolicy().initialize(mixed_ctx)
+        assert decision.targets[0] == 0.0
+        assert decision.targets[1] == 0.0
+
+    def test_active_lc_gets_full_target(self):
+        apps = [
+            make_view(0, "lc"),
+            make_view(1, "lc"),
+            make_view(2, "batch", access_rate=0.02),
+        ]
+        ctx = make_ctx(apps, active={0: True, 1: False})
+        policy = OnOffPolicy()
+        policy.initialize(ctx)
+        decision = policy.on_lc_active(ctx, 0)
+        assert decision.targets[0] == 200.0
+        assert decision.targets[1] == 0.0
+
+    def test_batch_absorbs_idle_space(self):
+        apps = [make_view(0, "lc"), make_view(1, "batch", access_rate=0.02)]
+        policy = OnOffPolicy()
+        idle_ctx = make_ctx(apps, active={0: False})
+        policy.initialize(idle_ctx)
+        idle_decision = policy.on_lc_idle(idle_ctx, 0)
+        active_ctx = make_ctx(apps, active={0: True})
+        policy._precompute(active_ctx)
+        active_decision = policy.on_lc_active(active_ctx, 0)
+        assert idle_decision.targets[1] > active_decision.targets[1]
+
+    def test_rows_cover_all_activity_levels(self, mixed_ctx):
+        policy = OnOffPolicy()
+        policy.initialize(mixed_ctx)
+        assert set(policy._rows) == {0, 1, 2}
+
+
+class TestFixed:
+    def test_explicit_targets(self, mixed_ctx):
+        policy = FixedPolicy({0: 123.0, 1: 45.0})
+        decision = policy.initialize(mixed_ctx)
+        assert decision.targets == {0: 123.0, 1: 45.0}
+
+    def test_unknown_app_rejected(self, mixed_ctx):
+        with pytest.raises(ValueError):
+            FixedPolicy({99: 1.0}).initialize(mixed_ctx)
+
+    def test_default_layout(self, mixed_ctx):
+        decision = FixedPolicy().initialize(mixed_ctx)
+        assert decision.targets[0] == 200.0
+        assert decision.targets[2] == pytest.approx((LLC - 400) / 2)

@@ -1,0 +1,70 @@
+"""Tests for repro.server.latency (the paper's tail metric)."""
+
+import numpy as np
+import pytest
+
+from repro.server.latency import (
+    percentile_latency,
+    summarize_latencies,
+    tail_degradation,
+    tail_mean,
+)
+
+
+class TestTailMean:
+    def test_uniform_example(self):
+        latencies = list(range(1, 101))  # 1..100
+        # p95 = 95.05; tail mean = mean of 96..100
+        assert tail_mean(latencies) == pytest.approx(98.0)
+
+    def test_includes_whole_tail(self):
+        """Unlike a pure percentile, degrading the extreme tail moves
+        the metric — the anti-gaming property the paper wants."""
+        base = list(range(1, 101))
+        gamed = base[:-1] + [10_000.0]
+        assert tail_mean(gamed) > tail_mean(base)
+        # The p95 percentile barely moves.
+        assert percentile_latency(gamed) == pytest.approx(
+            percentile_latency(base), rel=0.02
+        )
+
+    def test_constant_distribution(self):
+        assert tail_mean([5.0] * 50) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tail_mean([])
+        with pytest.raises(ValueError):
+            tail_mean([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            percentile_latency([1.0], pct=0)
+
+    def test_other_percentiles(self):
+        latencies = list(range(1, 101))
+        assert tail_mean(latencies, 50.0) > tail_mean(latencies, 5.0)
+
+
+class TestDegradation:
+    def test_identity(self):
+        lat = [1.0, 2.0, 3.0, 10.0]
+        assert tail_degradation(lat, lat) == pytest.approx(1.0)
+
+    def test_doubling(self):
+        base = [1.0, 2.0, 3.0, 10.0] * 10
+        slow = [2 * x for x in base]
+        assert tail_degradation(slow, base) == pytest.approx(2.0)
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = summarize_latencies(list(range(1, 101)))
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.max == 100
+        assert summary.tail95 == pytest.approx(98.0)
+
+    def test_scaled(self):
+        summary = summarize_latencies([1.0, 2.0, 3.0]).scaled(1000.0)
+        assert summary.mean == pytest.approx(2000.0)
+        assert summary.count == 3

@@ -1,0 +1,96 @@
+"""Tests for repro.server.queueing and request records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.queueing import (
+    build_requests,
+    run_fifo_server,
+    simulate_fixed_service,
+)
+from repro.server.request import CompletedRequest, Request
+
+
+class TestRequestRecords:
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, arrival=-1.0, work=1.0)
+        with pytest.raises(ValueError):
+            Request(0, arrival=0.0, work=0.0)
+
+    def test_completed_request_metrics(self):
+        done = CompletedRequest(0, arrival=10.0, start=15.0, completion=25.0)
+        assert done.latency == 15.0
+        assert done.queueing_delay == 5.0
+        assert done.service_time == 10.0
+
+    def test_completed_request_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            CompletedRequest(0, arrival=10.0, start=5.0, completion=25.0)
+
+
+class TestFifoServer:
+    def test_no_contention(self):
+        done = simulate_fixed_service([0.0, 100.0], [10.0, 10.0])
+        assert done[0].completion == 10.0
+        assert done[1].start == 100.0
+        assert done[1].latency == 10.0
+
+    def test_queueing_delay(self):
+        done = simulate_fixed_service([0.0, 1.0, 2.0], [10.0, 10.0, 10.0])
+        assert done[1].start == 10.0
+        assert done[1].latency == pytest.approx(19.0)
+        assert done[2].start == 20.0
+        assert done[2].latency == pytest.approx(28.0)
+
+    def test_fifo_order_preserved(self):
+        done = simulate_fixed_service([0.0, 0.5], [100.0, 1.0])
+        # Second request waits for the long first one.
+        assert done[1].start == pytest.approx(100.0)
+
+    def test_state_dependent_service(self):
+        requests = build_requests([0.0, 0.0], [1.0, 1.0])
+        # Service twice as slow when starting later (degenerate model).
+        done = run_fifo_server(
+            requests, lambda req, start: 10.0 if start == 0.0 else 20.0
+        )
+        assert done[0].service_time == 10.0
+        assert done[1].service_time == 20.0
+
+    def test_rejects_nonpositive_service(self):
+        requests = build_requests([0.0], [1.0])
+        with pytest.raises(ValueError):
+            run_fifo_server(requests, lambda req, start: 0.0)
+
+    def test_build_requests_validation(self):
+        with pytest.raises(ValueError):
+            build_requests([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            build_requests([1.0, 0.0], [1.0, 1.0])
+
+    def test_mismatched_fixed_service(self):
+        with pytest.raises(ValueError):
+            simulate_fixed_service([0.0], [1.0, 2.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    gaps=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40),
+    services=st.lists(
+        st.floats(min_value=0.1, max_value=100), min_size=1, max_size=40
+    ),
+)
+def test_property_fifo_conservation(gaps, services):
+    """FIFO invariants: starts ordered, no overlap, latency >= service."""
+    n = min(len(gaps), len(services))
+    arrivals = np.cumsum(gaps[:n])
+    done = simulate_fixed_service(arrivals, services[:n])
+    for i, d in enumerate(done):
+        assert d.latency >= d.service_time - 1e-9
+        if i:
+            assert d.start >= done[i - 1].completion - 1e-9
+    # Work conservation: total busy time equals sum of services.
+    busy = sum(d.service_time for d in done)
+    assert busy == pytest.approx(sum(services[:n]))

@@ -1,0 +1,52 @@
+"""Additional tests for server request records and latency summaries."""
+
+import numpy as np
+import pytest
+
+from repro.server.latency import LatencySummary, summarize_latencies, tail_mean
+from repro.server.request import CompletedRequest
+from repro.sim.results import LCInstanceResult
+
+
+class TestCompletedRequestEdges:
+    def test_zero_queueing(self):
+        done = CompletedRequest(0, arrival=5.0, start=5.0, completion=6.0)
+        assert done.queueing_delay == 0.0
+        assert done.latency == done.service_time == 1.0
+
+    def test_frozen(self):
+        done = CompletedRequest(0, arrival=0.0, start=0.0, completion=1.0)
+        with pytest.raises(Exception):
+            done.latency = 5.0  # frozen dataclass property
+
+
+class TestTailMetricProperties:
+    def test_tail_mean_at_least_percentile(self):
+        rng = np.random.default_rng(0)
+        latencies = rng.lognormal(0, 1, size=500)
+        p95 = float(np.percentile(latencies, 95))
+        assert tail_mean(latencies) >= p95
+
+    def test_tail_mean_monotone_under_scaling(self):
+        latencies = [1.0, 2.0, 5.0, 9.0] * 20
+        assert tail_mean([2 * x for x in latencies]) == pytest.approx(
+            2 * tail_mean(latencies)
+        )
+
+    def test_tail_mean_shift_invariance(self):
+        latencies = list(np.linspace(1, 10, 100))
+        shifted = [x + 7.0 for x in latencies]
+        assert tail_mean(shifted) == pytest.approx(tail_mean(latencies) + 7.0)
+
+
+class TestSummaries:
+    def test_summary_consistency(self):
+        rng = np.random.default_rng(1)
+        latencies = rng.exponential(5.0, size=300)
+        summary = summarize_latencies(latencies)
+        assert summary.p50 <= summary.p95 <= summary.tail95 <= summary.max
+        assert summary.count == 300
+
+    def test_instance_result_tail(self):
+        inst = LCInstanceResult("x", latencies=list(range(1, 101)))
+        assert inst.tail95() == pytest.approx(98.0)

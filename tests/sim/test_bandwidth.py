@@ -1,0 +1,87 @@
+"""Tests for repro.sim.bandwidth."""
+
+import numpy as np
+import pytest
+
+from repro.sim.bandwidth import BandwidthModel
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthModel(0.0)
+        with pytest.raises(ValueError):
+            BandwidthModel(10.0, contention_weight=-1.0)
+        with pytest.raises(ValueError):
+            BandwidthModel(10.0, max_utilization=1.0)
+        model = BandwidthModel(10.0)
+        with pytest.raises(ValueError):
+            model.utilization(-1.0)
+
+    def test_no_traffic_no_inflation(self):
+        model = BandwidthModel(10.0)
+        assert model.penalty_multiplier(0.0) == pytest.approx(1.0)
+
+    def test_multiplier_grows_with_traffic(self):
+        model = BandwidthModel(10.0)
+        values = [model.penalty_multiplier(x / 1000.0) for x in (1, 3, 6, 9)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_half_utilization(self):
+        model = BandwidthModel(10.0, contention_weight=1.0)
+        # rho = 0.5: multiplier = 1 + 0.5/0.5 = 2.
+        assert model.penalty_multiplier(5.0 / 1000.0) == pytest.approx(2.0)
+
+    def test_utilization_clamped(self):
+        model = BandwidthModel(10.0, max_utilization=0.9)
+        assert model.utilization(1e9) == pytest.approx(0.9)
+        # Bounded multiplier even at absurd traffic.
+        assert model.penalty_multiplier(1e9) == pytest.approx(1.0 + 0.9 / 0.1)
+
+
+class TestEngineIntegration:
+    def test_contention_slows_latency_critical_apps(self):
+        """With tight bandwidth and heavy batch traffic, LC latencies
+        must grow; with infinite bandwidth they match the unmodelled
+        engine exactly."""
+        from repro.policies.static_lc import StaticLCPolicy
+        from repro.sim.config import CMPConfig
+        from repro.sim.engine import LCInstanceSpec, MixEngine
+        from repro.workloads.batch import make_batch_workload
+        from repro.workloads.latency_critical import make_lc_workload
+
+        workload = make_lc_workload("specjbb")
+        rng = np.random.default_rng(0)
+        requests = 60
+        works = np.asarray([workload.work.sample(rng) for _ in range(requests)])
+        mean_service = workload.mean_service_cycles()
+        arrivals = np.cumsum(rng.exponential(mean_service / 0.3, size=requests))
+
+        def run(bandwidth):
+            spec = LCInstanceSpec(
+                workload=workload,
+                arrivals=arrivals.copy(),
+                works=works.copy(),
+                deadline_cycles=4 * mean_service,
+                target_tail_cycles=3 * mean_service,
+                load=0.3,
+            )
+            engine = MixEngine(
+                lc_specs=[spec],
+                batch_workloads=[
+                    make_batch_workload("s", seed=1),
+                    make_batch_workload("s", seed=2),
+                ],
+                policy=StaticLCPolicy(),
+                config=CMPConfig(),
+                seed=3,
+                bandwidth=bandwidth,
+            )
+            return engine.run()
+
+        unmodelled = run(None)
+        loose = run(BandwidthModel(1e9))
+        tight = run(BandwidthModel(60.0))
+        assert loose.tail95() == pytest.approx(unmodelled.tail95(), rel=1e-6)
+        assert tight.tail95() > unmodelled.tail95() * 1.05

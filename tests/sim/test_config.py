@@ -1,0 +1,50 @@
+"""Tests for repro.sim.config (Table 2)."""
+
+import pytest
+
+from repro.sim.config import CMPConfig, CoreKind, TABLE2_ROWS, westmere_config
+from repro.units import mb_to_lines
+
+
+class TestConfig:
+    def test_table2_defaults(self):
+        config = westmere_config()
+        assert config.num_cores == 6
+        assert config.freq_hz == 3.2e9
+        assert config.l1.size_kb == 32
+        assert config.l2.size_kb == 256
+        assert config.l3.size_mb == 12
+        assert config.l3.banks == 6
+        assert config.mem_latency_cycles == 200
+
+    def test_reconfig_interval_is_50ms(self):
+        config = westmere_config()
+        assert config.reconfig_interval_cycles == pytest.approx(0.05 * 3.2e9)
+
+    def test_coalescing_is_50us(self):
+        config = westmere_config()
+        assert config.coalescing_timeout_cycles == pytest.approx(50e-6 * 3.2e9)
+
+    def test_llc_lines(self):
+        assert westmere_config().llc_lines == mb_to_lines(12)
+
+    def test_with_llc_mb(self):
+        small = westmere_config().with_llc_mb(2.0)
+        assert small.llc_lines == mb_to_lines(2)
+        assert small.num_cores == 6  # everything else preserved
+
+    def test_with_core_kind(self):
+        inorder = westmere_config().with_core_kind(CoreKind.IN_ORDER)
+        assert inorder.core_kind == "inorder"
+        with pytest.raises(ValueError):
+            westmere_config().with_core_kind("vliw")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CMPConfig(num_cores=0)
+
+    def test_table2_rows_render(self):
+        labels = [row[0] for row in TABLE2_ROWS]
+        assert "Cores" in labels
+        assert "Memory" in labels
+        assert any("zcache" in desc for __, desc in TABLE2_ROWS)

@@ -1,0 +1,135 @@
+"""Engine accounting invariants: FIFO order, views, tracing, batch space."""
+
+import numpy as np
+import pytest
+
+from repro.core.ubik import UbikPolicy
+from repro.policies.base import Policy, Decision
+from repro.policies.static_lc import StaticLCPolicy
+from repro.sim.config import CMPConfig
+from repro.sim.engine import LCInstanceSpec, MixEngine
+from repro.workloads.batch import make_batch_workload
+from repro.workloads.latency_critical import make_lc_workload
+
+
+def make_spec(name="shore", load=0.4, requests=80, seed=0):
+    workload = make_lc_workload(name)
+    rng = np.random.default_rng(seed)
+    works = np.asarray([workload.work.sample(rng) for _ in range(requests)])
+    mean_service = workload.mean_service_cycles()
+    arrivals = np.cumsum(rng.exponential(mean_service / load, size=requests))
+    return LCInstanceSpec(
+        workload=workload,
+        arrivals=arrivals,
+        works=works,
+        deadline_cycles=6 * mean_service,
+        target_tail_cycles=5 * mean_service,
+        load=load,
+    )
+
+
+class _SpyPolicy(StaticLCPolicy):
+    """StaticLC that records every context it sees."""
+
+    def __init__(self):
+        super().__init__()
+        self.contexts = []
+
+    def on_interval(self, ctx):
+        self.contexts.append(ctx)
+        return super().on_interval(ctx)
+
+
+def run_engine(policy, spec=None, **kwargs):
+    engine = MixEngine(
+        lc_specs=[spec or make_spec()],
+        batch_workloads=[
+            make_batch_workload("f", seed=1),
+            make_batch_workload("s", seed=2),
+        ],
+        policy=policy,
+        config=CMPConfig(),
+        seed=5,
+        **kwargs,
+    )
+    return engine, engine.run()
+
+
+class TestFIFOOrdering:
+    def test_completions_in_arrival_order(self):
+        """Single-worker FIFO: request k completes before request k+1."""
+        spec = make_spec(load=0.7)  # heavy queueing
+        engine, result = run_engine(StaticLCPolicy(), spec=spec)
+        latencies = result.lc_instances[0].latencies
+        warmup = int(len(spec.arrivals) * 0.05)
+        completions = [
+            float(spec.arrivals[warmup + i]) + lat
+            for i, lat in enumerate(latencies)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(completions, completions[1:]))
+
+
+class TestViews:
+    def test_interval_views_measured_fields(self):
+        policy = _SpyPolicy()
+        engine, __ = run_engine(policy)
+        assert policy.contexts, "expected at least one reconfiguration"
+        ctx = policy.contexts[-1]
+        lc_view = ctx.lc_apps[0]
+        assert 0.0 <= lc_view.idle_fraction <= 1.0
+        assert lc_view.access_rate > 0
+        assert lc_view.accesses_per_request > 0
+        assert lc_view.tail_accesses_per_request >= lc_view.accesses_per_request * 0.5
+        batch_view = ctx.batch_apps[0]
+        assert batch_view.access_rate > 0
+        assert ctx.avg_batch_lines > 0
+
+    def test_umon_noise_perturbs_measured_curves(self):
+        policy = _SpyPolicy()
+        engine, __ = run_engine(policy, umon_noise=0.05)
+        ctx = policy.contexts[-1]
+        app = ctx.lc_apps[0]
+        true_curve = make_lc_workload("shore").miss_curve
+        sizes = true_curve.sizes[1:-1:32]
+        diffs = np.abs(np.asarray(app.curve(sizes)) - np.asarray(true_curve(sizes)))
+        assert diffs.max() > 0  # noisy
+        assert diffs.max() < 0.2  # but small, as the paper assumes
+
+
+class TestPartitionTrace:
+    def test_trace_disabled_by_default(self):
+        engine, __ = run_engine(StaticLCPolicy())
+        assert engine.partition_trace == {}
+
+    def test_trace_records_monotone_time(self):
+        engine, __ = run_engine(UbikPolicy(slack=0.05), trace_partitions=True)
+        trace = engine.partition_trace[0]
+        assert len(trace) > 10
+        times = [t for t, __, __ in trace]
+        assert times == sorted(times)
+
+    def test_resident_never_exceeds_target_plus_epsilon(self):
+        engine, __ = run_engine(UbikPolicy(slack=0.05), trace_partitions=True)
+        for t, target, resident in engine.partition_trace[0]:
+            assert resident <= target + 1e-6
+
+
+class TestBatchSpace:
+    def test_lc_plus_batch_targets_within_llc(self):
+        policy = _SpyPolicy()
+        engine, __ = run_engine(policy)
+        for ctx in policy.contexts:
+            total = sum(ctx.current_targets.values())
+            assert total <= engine.llc_lines + 1e-6
+
+    def test_no_batch_apps_run(self):
+        engine = MixEngine(
+            lc_specs=[make_spec()],
+            batch_workloads=[],
+            policy=StaticLCPolicy(),
+            config=CMPConfig(),
+            seed=5,
+        )
+        result = engine.run()
+        assert result.weighted_speedup() == 1.0
+        assert result.lc_instances[0].requests_served == 80

@@ -1,0 +1,76 @@
+"""Tests for repro.sim.results."""
+
+import pytest
+
+from repro.sim.results import BatchAppResult, LCInstanceResult, MixResult
+
+
+def make_result(latencies=(1.0, 2.0, 3.0, 10.0), baseline=2.0):
+    inst = LCInstanceResult(name="lc#0", latencies=list(latencies))
+    batch = BatchAppResult(
+        name="b0", instructions=1000.0, cycles=500.0, baseline_ipc=1.6
+    )
+    return MixResult(
+        mix_id="m",
+        policy="Test",
+        lc_instances=[inst],
+        batch_apps=[batch],
+        duration_cycles=500.0,
+        baseline_tail_cycles=baseline,
+    )
+
+
+class TestBatchAppResult:
+    def test_ipc_and_speedup(self):
+        batch = BatchAppResult("b", instructions=800.0, cycles=400.0, baseline_ipc=1.6)
+        assert batch.ipc == pytest.approx(2.0)
+        assert batch.speedup == pytest.approx(1.25)
+
+    def test_zero_cycles_safe(self):
+        batch = BatchAppResult("b", baseline_ipc=1.0)
+        assert batch.ipc == 0.0
+
+    def test_zero_baseline_safe(self):
+        batch = BatchAppResult("b", instructions=1.0, cycles=1.0, baseline_ipc=0.0)
+        assert batch.speedup == 0.0
+
+
+class TestMixResult:
+    def test_pooled_latencies(self):
+        result = make_result()
+        a, b = LCInstanceResult("x", [1.0]), LCInstanceResult("y", [2.0])
+        result.lc_instances = [a, b]
+        pooled = result.all_lc_latencies()
+        assert sorted(pooled.tolist()) == [1.0, 2.0]
+
+    def test_tail_degradation(self):
+        result = make_result(latencies=[4.0] * 50, baseline=2.0)
+        assert result.tail_degradation() == pytest.approx(2.0)
+
+    def test_degradation_requires_baseline(self):
+        result = make_result(baseline=0.0)
+        with pytest.raises(ValueError):
+            result.tail_degradation()
+
+    def test_weighted_speedup_mean(self):
+        result = make_result()
+        result.batch_apps = [
+            BatchAppResult("a", 100.0, 100.0, baseline_ipc=1.0),  # 1.0
+            BatchAppResult("b", 300.0, 100.0, baseline_ipc=2.0),  # 1.5
+        ]
+        assert result.weighted_speedup() == pytest.approx(1.25)
+
+    def test_no_batch_apps(self):
+        result = make_result()
+        result.batch_apps = []
+        assert result.weighted_speedup() == 1.0
+
+    def test_summary_dict(self):
+        summary = make_result(latencies=[4.0] * 50, baseline=2.0).summary()
+        assert summary["tail_degradation"] == pytest.approx(2.0)
+        assert "weighted_speedup" in summary
+
+    def test_lc_instance_metrics(self):
+        inst = LCInstanceResult("x", latencies=[1.0, 2.0, 3.0, 100.0])
+        assert inst.mean_latency() == pytest.approx(26.5)
+        assert inst.tail95() == pytest.approx(100.0)

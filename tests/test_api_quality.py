@@ -1,0 +1,120 @@
+"""Meta-tests: public API completeness and documentation quality."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.units",
+    "repro.cli",
+    "repro.monitor",
+    "repro.monitor.miss_curve",
+    "repro.monitor.umon",
+    "repro.monitor.mlp",
+    "repro.monitor.counters",
+    "repro.cache",
+    "repro.cache.set_assoc",
+    "repro.cache.zcache",
+    "repro.cache.vantage",
+    "repro.cache.way_partition",
+    "repro.cache.sharing",
+    "repro.cache.schemes",
+    "repro.cpu",
+    "repro.workloads",
+    "repro.workloads.service_time",
+    "repro.workloads.arrivals",
+    "repro.workloads.latency_critical",
+    "repro.workloads.batch",
+    "repro.workloads.mixes",
+    "repro.workloads.trace",
+    "repro.workloads.curve_shapes",
+    "repro.server",
+    "repro.server.request",
+    "repro.server.queueing",
+    "repro.server.latency",
+    "repro.policies",
+    "repro.policies.base",
+    "repro.policies.lookahead",
+    "repro.policies.lru",
+    "repro.policies.ucp",
+    "repro.policies.static_lc",
+    "repro.policies.onoff",
+    "repro.policies.fixed",
+    "repro.core",
+    "repro.core.transient",
+    "repro.core.boost",
+    "repro.core.repartition",
+    "repro.core.deboost",
+    "repro.core.slack",
+    "repro.core.ubik",
+    "repro.sim",
+    "repro.sim.config",
+    "repro.sim.fill",
+    "repro.sim.engine",
+    "repro.sim.mix_runner",
+    "repro.sim.results",
+    "repro.sim.trace_sim",
+    "repro.sim.bandwidth",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.analysis.stats",
+    "repro.analysis.ascii_plot",
+    "repro.analysis.queueing_theory",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_importable_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20, f"{module_name} docstring too thin"
+
+
+@pytest.mark.parametrize("module_name", [m for m in MODULES if m != "repro"])
+def test_public_items_documented(module_name):
+    """Every name a module exports must carry a docstring."""
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+def test_top_level_api_exports():
+    """The headline API is importable from the package root."""
+    for name in (
+        "UbikPolicy",
+        "UCPPolicy",
+        "StaticLCPolicy",
+        "OnOffPolicy",
+        "LRUPolicy",
+        "MixRunner",
+        "MixResult",
+        "CMPConfig",
+        "make_mix_specs",
+        "make_lc_workload",
+        "LC_NAMES",
+    ):
+        assert hasattr(repro, name), name
+        assert name in repro.__all__
+
+
+def test_version_is_set():
+    assert repro.__version__
+
+
+def test_all_subpackages_reachable():
+    """No orphan modules: everything under repro imports cleanly."""
+    failures = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(info.name)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            failures.append((info.name, exc))
+    assert not failures, failures

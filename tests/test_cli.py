@@ -1,0 +1,34 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "table3" in out
+
+    def test_fig1b_subset(self, capsys):
+        assert main(["fig1b", "--lc", "masstree"]) == 0
+        out = capsys.readouterr().out
+        assert "masstree" in out
+        assert "p95/mean" in out
+
+    def test_fig2_subset(self, capsys):
+        assert main(["fig2", "--lc", "shore"]) == 0
+        out = capsys.readouterr().out
+        assert "shore" in out
+        assert "2MB" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+    def test_fig1a_runs_small(self, capsys):
+        assert main(["fig1a", "--lc", "masstree", "--requests", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Tail95" in out

@@ -1,0 +1,44 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    cycles_to_ms,
+    cycles_to_us,
+    kb_to_lines,
+    lines_to_mb,
+    mb_to_lines,
+    ms_to_cycles,
+    us_to_cycles,
+)
+
+
+class TestCapacity:
+    def test_mb_to_lines(self):
+        assert mb_to_lines(2.0) == 32_768
+        assert mb_to_lines(12.0) == 196_608
+
+    def test_kb_to_lines(self):
+        assert kb_to_lines(32) == 512
+        assert kb_to_lines(256) == 4096
+
+    def test_roundtrip(self):
+        assert lines_to_mb(mb_to_lines(8.0)) == pytest.approx(8.0)
+
+
+class TestTime:
+    def test_cycles_to_ms_at_default_freq(self):
+        assert cycles_to_ms(3.2e9) == pytest.approx(1000.0)
+        assert cycles_to_ms(3.2e6) == pytest.approx(1.0)
+
+    def test_cycles_to_us(self):
+        assert cycles_to_us(3200.0) == pytest.approx(1.0)
+
+    def test_ms_roundtrip(self):
+        assert cycles_to_ms(ms_to_cycles(50.0)) == pytest.approx(50.0)
+
+    def test_us_roundtrip(self):
+        assert cycles_to_us(us_to_cycles(50.0)) == pytest.approx(50.0)
+
+    def test_custom_frequency(self):
+        assert cycles_to_ms(2e9, freq_hz=2e9) == pytest.approx(1000.0)

@@ -1,0 +1,91 @@
+"""Tests for repro.workloads.arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    InterruptCoalescer,
+    PoissonArrivals,
+    generate_arrivals,
+)
+
+
+class TestPoisson:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals.for_load(1.5, 100.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals.for_load(0.5, 0.0)
+
+    def test_for_load_rate(self):
+        proc = PoissonArrivals.for_load(0.2, 1000.0)
+        assert proc.rate == pytest.approx(2e-4)
+        assert proc.mean_interarrival == pytest.approx(5000.0)
+
+    def test_sample_sorted_and_exponential(self):
+        rng = np.random.default_rng(0)
+        proc = PoissonArrivals(0.001)
+        times = proc.sample_times(5000, rng)
+        assert np.all(np.diff(times) >= 0)
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert np.mean(gaps) == pytest.approx(1000.0, rel=0.05)
+        # Exponential: std ~ mean.
+        assert np.std(gaps) == pytest.approx(1000.0, rel=0.1)
+
+    def test_sample_count_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).sample_times(-1, rng)
+
+
+class TestCoalescer:
+    def test_zero_timeout_passthrough(self):
+        times = np.array([1.0, 2.0, 3.0])
+        out = InterruptCoalescer(0.0).apply(times)
+        assert out == pytest.approx(times)
+
+    def test_batches_within_timeout(self):
+        # Arrivals at 0, 10, 40 with timeout 50: all visible at 50.
+        out = InterruptCoalescer(50.0).apply(np.array([0.0, 10.0, 40.0]))
+        assert out == pytest.approx([50.0, 50.0, 50.0])
+
+    def test_new_batch_after_gap(self):
+        out = InterruptCoalescer(50.0).apply(np.array([0.0, 200.0]))
+        assert out == pytest.approx([50.0, 250.0])
+
+    def test_visible_times_never_early(self):
+        rng = np.random.default_rng(1)
+        times = np.sort(rng.uniform(0, 1e5, size=200))
+        out = InterruptCoalescer(160.0).apply(times)
+        assert np.all(out >= times)
+        assert np.all(out - times <= 160.0 + 1e-9)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            InterruptCoalescer(10.0).apply(np.array([2.0, 1.0]))
+
+    def test_rejects_negative_timeout(self):
+        with pytest.raises(ValueError):
+            InterruptCoalescer(-1.0)
+
+    def test_empty_input(self):
+        out = InterruptCoalescer(10.0).apply(np.array([]))
+        assert out.size == 0
+
+
+class TestGenerateArrivals:
+    def test_achieves_requested_load(self):
+        rng = np.random.default_rng(2)
+        arrivals = generate_arrivals(5000, 0.5, 1000.0, rng)
+        # lambda = 0.5/1000: mean gap 2000 cycles.
+        mean_gap = arrivals[-1] / arrivals.size
+        assert mean_gap == pytest.approx(2000.0, rel=0.05)
+
+    def test_coalescing_applied(self):
+        rng = np.random.default_rng(3)
+        raw_rng = np.random.default_rng(3)
+        arrivals = generate_arrivals(100, 0.5, 1000.0, rng, 500.0)
+        raw = generate_arrivals(100, 0.5, 1000.0, raw_rng, 0.0)
+        assert np.all(arrivals >= raw - 1e-9)

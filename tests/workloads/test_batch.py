@@ -1,0 +1,90 @@
+"""Tests for repro.workloads.batch."""
+
+import numpy as np
+import pytest
+
+from repro.units import mb_to_lines
+from repro.workloads.batch import (
+    BATCH_CLASSES,
+    BatchWorkload,
+    make_batch_workload,
+    random_batch_workload,
+)
+
+
+class TestClasses:
+    def test_four_classes(self):
+        assert BATCH_CLASSES == ("n", "f", "t", "s")
+
+    def test_unknown_class_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_batch_workload("x", rng)
+
+    def test_class_name_lookup(self):
+        app = make_batch_workload("s", seed=1)
+        assert app.class_name == "streaming"
+
+
+class TestClassBehaviours:
+    def test_streaming_flat_high_miss(self):
+        for seed in range(5):
+            app = make_batch_workload("s", seed=seed)
+            curve = app.miss_curve
+            assert curve(0) > 0.8
+            assert curve(mb_to_lines(12)) == pytest.approx(float(curve(0)))
+            assert app.profile.apki >= 15.0
+
+    def test_insensitive_low_utility(self):
+        for seed in range(5):
+            app = make_batch_workload("n", seed=seed)
+            # Gains beyond 1 MB are negligible: the working set fits
+            # in the private levels.
+            gain = app.miss_curve(mb_to_lines(1)) - app.miss_curve(mb_to_lines(12))
+            assert gain < 0.05
+            assert app.profile.apki <= 2.0
+
+    def test_friendly_declines_smoothly(self):
+        for seed in range(5):
+            curve = make_batch_workload("f", seed=seed).miss_curve
+            quarter = curve(mb_to_lines(3))
+            full = curve(mb_to_lines(12))
+            assert curve(0) > quarter > full
+
+    def test_fitting_has_knee(self):
+        for seed in range(5):
+            curve = make_batch_workload("t", seed=seed).miss_curve
+            # Big drop concentrated somewhere within the LLC range.
+            drops = -np.diff(curve(np.linspace(0, mb_to_lines(12), 49)))
+            assert drops.max() > 0.05
+
+    def test_profiles_valid(self):
+        for cls in BATCH_CLASSES:
+            for seed in range(3):
+                app = make_batch_workload(cls, seed=seed)
+                assert app.profile.apki > 0
+                assert app.profile.base_cpi > 0
+                assert app.profile.mlp >= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_app(self):
+        a = make_batch_workload("f", seed=42)
+        b = make_batch_workload("f", seed=42)
+        assert a.name == b.name
+        assert a.profile == b.profile
+        assert a.miss_curve == b.miss_curve
+
+    def test_different_seeds_differ(self):
+        a = make_batch_workload("f", seed=1)
+        b = make_batch_workload("f", seed=2)
+        assert a.profile != b.profile or a.miss_curve != b.miss_curve
+
+    def test_instance_suffix(self):
+        app = make_batch_workload("n", seed=3, instance=2)
+        assert app.name.endswith(".2")
+
+    def test_invalid_class_in_constructor(self):
+        app = make_batch_workload("n", seed=0)
+        with pytest.raises(ValueError):
+            BatchWorkload("x", "z", app.profile, app.miss_curve)

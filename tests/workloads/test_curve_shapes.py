@@ -1,0 +1,87 @@
+"""Tests for repro.workloads.curve_shapes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.curve_shapes import (
+    exponential_curve,
+    flat_curve,
+    knee_curve,
+    plateau_then_decline_curve,
+)
+
+
+class TestExponential:
+    def test_endpoints_and_half_life(self):
+        curve = exponential_curve(0.8, 0.2, half_size_lines=100, max_lines=1000)
+        assert curve(0) == pytest.approx(0.8)
+        # One half-size: halfway between m0 and the floor.
+        assert curve(100) == pytest.approx(0.2 + 0.6 / 2, abs=0.02)
+        assert curve(1000) == pytest.approx(0.2, abs=0.01)
+
+    def test_monotone(self):
+        curve = exponential_curve(0.9, 0.1, 50, 1000)
+        values = curve(np.linspace(0, 1000, 100))
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_curve(0.2, 0.8, 100, 1000)  # floor above m0
+        with pytest.raises(ValueError):
+            exponential_curve(0.8, 0.2, 0, 1000)
+        with pytest.raises(ValueError):
+            exponential_curve(0.8, 0.2, 100, 0)
+
+
+class TestKnee:
+    def test_knee_location(self):
+        curve = knee_curve(0.9, 0.1, knee_lines=500, max_lines=1000)
+        # Well before the knee: still high; well after: low.
+        assert curve(100) > 0.8
+        assert curve(900) < 0.2
+        # At the knee: mid-transition.
+        assert 0.3 < curve(500) < 0.7
+
+    def test_exact_start(self):
+        curve = knee_curve(0.9, 0.1, 500, 1000)
+        assert curve(0) == pytest.approx(0.9, abs=1e-6)
+
+    def test_sharpness(self):
+        soft = knee_curve(0.9, 0.1, 500, 1000, sharpness=4.0)
+        sharp = knee_curve(0.9, 0.1, 500, 1000, sharpness=16.0)
+        # Sharper knee: closer to m0 just before the knee.
+        assert sharp(400) > soft(400)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            knee_curve(0.1, 0.9, 500, 1000)
+        with pytest.raises(ValueError):
+            knee_curve(0.9, 0.1, 0, 1000)
+
+
+class TestFlatAndPlateau:
+    def test_flat(self):
+        curve = flat_curve(0.95, 1000)
+        assert curve(0) == curve(500) == curve(1000) == pytest.approx(0.95)
+
+    def test_plateau_then_decline(self):
+        curve = plateau_then_decline_curve(
+            miss_plateau=0.9,
+            miss_floor=0.3,
+            plateau_lines=400,
+            half_size_lines=100,
+            max_lines=1000,
+        )
+        # Flat on the plateau (the moses shape).
+        assert curve(100) == pytest.approx(0.9, abs=0.01)
+        assert curve(399) == pytest.approx(0.9, abs=0.01)
+        # Declines beyond it: one half-size past the plateau.
+        assert curve(500) == pytest.approx(0.3 + 0.6 / 2, abs=0.02)
+
+    def test_plateau_validation(self):
+        with pytest.raises(ValueError):
+            plateau_then_decline_curve(0.3, 0.9, 400, 100, 1000)
+        with pytest.raises(ValueError):
+            plateau_then_decline_curve(0.9, 0.3, -1, 100, 1000)
+        with pytest.raises(ValueError):
+            plateau_then_decline_curve(0.9, 0.3, 400, 0, 1000)

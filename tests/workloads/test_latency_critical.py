@@ -1,0 +1,117 @@
+"""Tests for repro.workloads.latency_critical (paper Table 1 / Fig 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import InOrderCore, OutOfOrderCore
+from repro.units import cycles_to_ms, mb_to_lines
+from repro.workloads.latency_critical import (
+    LC_NAMES,
+    TABLE1_ROWS,
+    all_lc_workloads,
+    make_lc_workload,
+)
+
+
+class TestRegistry:
+    def test_five_workloads(self):
+        assert set(LC_NAMES) == {"xapian", "masstree", "moses", "shore", "specjbb"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_lc_workload("memcached")
+
+    def test_table1_rows_match_paper(self):
+        by_name = {name: (cfg, reqs) for name, cfg, reqs in TABLE1_ROWS}
+        assert by_name["xapian"][1] == 6000
+        assert by_name["masstree"][1] == 9000
+        assert by_name["moses"][1] == 900
+        assert by_name["shore"][1] == 7500
+        assert by_name["specjbb"][1] == 37500
+        assert "Wikipedia" in by_name["xapian"][0]
+        assert "TPC-C" in by_name["shore"][0]
+
+
+class TestCalibration:
+    @pytest.mark.parametrize(
+        "name,mean_ms",
+        [
+            ("xapian", 0.75),
+            ("masstree", 0.105),
+            ("moses", 4.2),
+            ("shore", 0.90),
+            ("specjbb", 0.19),
+        ],
+    )
+    def test_mean_service_matches_fig1b(self, name, mean_ms):
+        workload = make_lc_workload(name)
+        assert cycles_to_ms(workload.mean_service_cycles()) == pytest.approx(
+            mean_ms, rel=0.01
+        )
+
+    def test_apki_matches_fig2(self):
+        apkis = {n: make_lc_workload(n).profile.apki for n in LC_NAMES}
+        assert apkis == {
+            "xapian": 0.1,
+            "masstree": 8.8,
+            "moses": 25.8,
+            "shore": 5.7,
+            "specjbb": 16.3,
+        }
+
+    def test_moses_has_no_reuse_at_2mb_but_reuse_at_larger(self):
+        """Section 7.1: moses barely hits at 2 MB; reuse appears ~4 MB."""
+        moses = make_lc_workload("moses")
+        assert moses.miss_curve(mb_to_lines(2)) > 0.85
+        assert moses.miss_curve(mb_to_lines(6)) < 0.6
+
+    def test_miss_rates_lower_at_8mb(self):
+        """Figure 2b: all workloads miss less at 8 MB than at 2 MB."""
+        for name in LC_NAMES:
+            curve = make_lc_workload(name).miss_curve
+            assert curve(mb_to_lines(8)) < curve(mb_to_lines(2))
+
+    def test_reuse_fractions_above_half(self):
+        """Figure 2a: most hits come from earlier requests."""
+        for name in LC_NAMES:
+            assert make_lc_workload(name).reuse_fraction >= 0.5
+
+
+class TestDerived:
+    def test_arrival_rate_for_load(self):
+        workload = make_lc_workload("masstree")
+        rate = workload.arrival_rate_for_load(0.2)
+        assert rate * workload.mean_service_cycles() == pytest.approx(0.2)
+
+    def test_arrival_rate_validation(self):
+        with pytest.raises(ValueError):
+            make_lc_workload("masstree").arrival_rate_for_load(0.0)
+
+    def test_inorder_core_changes_service_time(self):
+        workload = make_lc_workload("specjbb")
+        ooo = workload.mean_service_cycles(OutOfOrderCore(200.0))
+        inorder = workload.mean_service_cycles(InOrderCore(200.0))
+        assert inorder > ooo  # in-order exposes full miss latency
+
+    def test_all_lc_workloads(self):
+        all_wl = all_lc_workloads()
+        assert set(all_wl) == set(LC_NAMES)
+        assert all(w.target_lines == mb_to_lines(2) for w in all_wl.values())
+
+    def test_custom_target_size(self):
+        workload = make_lc_workload("shore", target_mb=4.0)
+        assert workload.target_lines == mb_to_lines(4)
+
+    def test_work_distribution_positive(self):
+        rng = np.random.default_rng(0)
+        for name in LC_NAMES:
+            dist = make_lc_workload(name).work
+            samples = [dist.sample(rng) for _ in range(200)]
+            assert min(samples) > 0
+
+    def test_service_shapes(self):
+        """Figure 1b shapes: xapian long-tailed, masstree near-constant."""
+        xapian = make_lc_workload("xapian").work
+        masstree = make_lc_workload("masstree").work
+        assert xapian.percentile(0.95) / xapian.mean() > 2.5
+        assert masstree.percentile(0.95) / masstree.mean() < 1.3

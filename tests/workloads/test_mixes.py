@@ -1,0 +1,91 @@
+"""Tests for repro.workloads.mixes (the paper's Section 6 methodology)."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    HIGH_LOAD,
+    LOW_LOAD,
+    batch_type_combos,
+    make_all_batch_mixes,
+    make_batch_mix,
+    make_mix_specs,
+)
+
+
+class TestCombos:
+    def test_twenty_combinations(self):
+        combos = batch_type_combos()
+        assert len(combos) == 20
+        assert len(set(combos)) == 20
+        assert ("n", "n", "n") in combos
+        assert ("s", "s", "s") in combos
+
+    def test_combos_sorted_multisets(self):
+        for combo in batch_type_combos():
+            assert tuple(sorted(combo, key="nfts".index)) == combo
+
+
+class TestBatchMixes:
+    def test_mix_has_three_apps_of_requested_types(self):
+        mix = make_batch_mix(("n", "f", "s"), seed=5)
+        assert [a.batch_class for a in mix] == ["n", "f", "s"]
+
+    def test_mix_deterministic(self):
+        a = make_batch_mix(("n", "f", "s"), seed=5)
+        b = make_batch_mix(("n", "f", "s"), seed=5)
+        assert [x.name for x in a] == [y.name for y in b]
+
+    def test_wrong_combo_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_batch_mix(("n", "f"), seed=0)
+
+    def test_forty_mixes_at_paper_scale(self):
+        mixes = make_all_batch_mixes(mixes_per_combo=2)
+        assert len(mixes) == 40
+        labels = [label for label, __ in mixes]
+        assert len(set(labels)) == 40
+
+    def test_mixes_per_combo_validation(self):
+        with pytest.raises(ValueError):
+            make_all_batch_mixes(mixes_per_combo=0)
+
+
+class TestMixSpecs:
+    def test_paper_scale_400(self):
+        specs = make_mix_specs(mixes_per_combo=2)
+        assert len(specs) == 5 * 2 * 40  # = 400
+
+    def test_scaled_grid(self):
+        specs = make_mix_specs(
+            lc_names=["shore"], loads=[LOW_LOAD], mixes_per_combo=1
+        )
+        assert len(specs) == 20
+        assert all(s.lc_workload.name == "shore" for s in specs)
+
+    def test_load_labels(self):
+        specs = make_mix_specs(lc_names=["shore"], mixes_per_combo=1)
+        labels = {s.load_label for s in specs}
+        assert labels == {"lo", "hi"}
+
+    def test_unique_mix_ids(self):
+        specs = make_mix_specs(mixes_per_combo=1)
+        ids = [s.mix_id for s in specs]
+        assert len(set(ids)) == len(ids)
+
+    def test_unknown_lc_rejected(self):
+        with pytest.raises(ValueError):
+            make_mix_specs(lc_names=["redis"])
+
+    def test_deterministic_in_seed(self):
+        a = make_mix_specs(lc_names=["moses"], mixes_per_combo=1, seed=9)
+        b = make_mix_specs(lc_names=["moses"], mixes_per_combo=1, seed=9)
+        assert [s.mix_id for s in a] == [s.mix_id for s in b]
+        assert [x.name for s in a for x in s.batch_apps] == [
+            x.name for s in b for x in s.batch_apps
+        ]
+
+    def test_spec_validation(self):
+        specs = make_mix_specs(lc_names=["shore"], mixes_per_combo=1)
+        spec = specs[0]
+        assert len(spec.batch_apps) == 3
+        assert 0 < spec.load < 1

@@ -1,0 +1,159 @@
+"""Tests for repro.workloads.service_time."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.service_time import (
+    DeterministicWork,
+    LognormalWork,
+    MixtureWork,
+    TruncatedNormalWork,
+)
+
+
+class TestDeterministic:
+    def test_sampling(self):
+        rng = np.random.default_rng(0)
+        dist = DeterministicWork(100.0)
+        assert dist.sample(rng) == 100.0
+        assert dist.mean() == 100.0
+
+    def test_cdf_step(self):
+        dist = DeterministicWork(100.0)
+        assert dist.cdf(99.9) == 0.0
+        assert dist.cdf(100.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicWork(0.0)
+
+    def test_scaled(self):
+        assert DeterministicWork(100.0).scaled(2.0).work == 200.0
+
+
+class TestTruncatedNormal:
+    def test_mean_matches(self):
+        rng = np.random.default_rng(1)
+        dist = TruncatedNormalWork(1000.0, cv=0.1)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(1000.0, rel=0.02)
+
+    def test_floor_enforced(self):
+        rng = np.random.default_rng(2)
+        dist = TruncatedNormalWork(1000.0, cv=2.0, floor_frac=0.1)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 100.0
+
+    def test_cdf_midpoint(self):
+        dist = TruncatedNormalWork(1000.0, cv=0.1)
+        assert dist.cdf(1000.0) == pytest.approx(0.5)
+
+    def test_zero_cv_degenerate(self):
+        dist = TruncatedNormalWork(1000.0, cv=0.0)
+        assert dist.cdf(999.0) == 0.0
+        assert dist.cdf(1000.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedNormalWork(0.0, 0.1)
+        with pytest.raises(ValueError):
+            TruncatedNormalWork(1.0, -0.1)
+        with pytest.raises(ValueError):
+            TruncatedNormalWork(1.0, 0.1, floor_frac=1.5)
+
+
+class TestLognormal:
+    def test_mean_matches(self):
+        rng = np.random.default_rng(3)
+        dist = LognormalWork(1000.0, sigma=1.0)
+        samples = [dist.sample(rng) for _ in range(50_000)]
+        assert np.mean(samples) == pytest.approx(1000.0, rel=0.05)
+
+    def test_long_tail(self):
+        """p95/mean should be well above a normal distribution's."""
+        dist = LognormalWork(1000.0, sigma=1.2)
+        assert dist.percentile(0.95) / dist.mean() > 2.5
+
+    def test_cdf_monotone(self):
+        dist = LognormalWork(1000.0, sigma=0.8)
+        values = [dist.cdf(x) for x in (0, 100, 500, 1000, 5000)]
+        assert values == sorted(values)
+        assert dist.cdf(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalWork(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LognormalWork(1.0, -1.0)
+
+
+class TestMixture:
+    def make(self):
+        return MixtureWork.of(
+            [TruncatedNormalWork(100.0, 0.1), TruncatedNormalWork(1000.0, 0.1)],
+            [0.8, 0.2],
+        )
+
+    def test_mean_is_weighted(self):
+        assert self.make().mean() == pytest.approx(0.8 * 100 + 0.2 * 1000)
+
+    def test_bimodal_cdf(self):
+        dist = self.make()
+        assert dist.cdf(500.0) == pytest.approx(0.8, abs=0.01)
+
+    def test_sampling_respects_weights(self):
+        rng = np.random.default_rng(4)
+        dist = self.make()
+        samples = np.array([dist.sample(rng) for _ in range(2000)])
+        heavy_frac = np.mean(samples > 500)
+        assert heavy_frac == pytest.approx(0.2, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixtureWork.of([DeterministicWork(1.0)], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            MixtureWork.of([], [])
+        with pytest.raises(ValueError):
+            MixtureWork.of([DeterministicWork(1.0)], [-1.0])
+
+    def test_scaled_scales_components(self):
+        scaled = self.make().scaled(2.0)
+        assert scaled.mean() == pytest.approx(2 * self.make().mean())
+
+
+class TestPercentile:
+    def test_inverts_cdf(self):
+        dist = LognormalWork(1000.0, sigma=0.7)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            x = dist.percentile(q)
+            assert dist.cdf(x) == pytest.approx(q, abs=1e-6)
+
+    def test_validation(self):
+        dist = DeterministicWork(1.0)
+        with pytest.raises(ValueError):
+            dist.percentile(0.0)
+        with pytest.raises(ValueError):
+            dist.percentile(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mean=st.floats(min_value=1.0, max_value=1e7),
+    sigma=st.floats(min_value=0.01, max_value=2.0),  # >0: continuous CDF
+    q=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_property_lognormal_percentile_cdf_roundtrip(mean, sigma, q):
+    dist = LognormalWork(mean, sigma)
+    x = dist.percentile(q)
+    assert dist.cdf(x) == pytest.approx(q, abs=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scale=st.floats(min_value=0.01, max_value=100.0))
+def test_property_scaling_scales_mean(scale):
+    dist = MixtureWork.of(
+        [LognormalWork(50.0, 0.5), TruncatedNormalWork(500.0, 0.2)], [0.5, 0.5]
+    )
+    assert dist.scaled(scale).mean() == pytest.approx(dist.mean() * scale, rel=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for repro.workloads.trace."""
+
+import numpy as np
+import pytest
+
+from repro.units import mb_to_lines
+from repro.workloads.latency_critical import make_lc_workload
+from repro.workloads.trace import (
+    TraceConfig,
+    ZipfSampler,
+    generate_request_trace,
+    lc_trace_config,
+)
+
+
+class TestZipfSampler:
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(100, alpha=0.8)
+        rng = np.random.default_rng(0)
+        ranks = sampler.sample(1000, rng)
+        assert ranks.min() >= 0
+        assert ranks.max() < 100
+
+    def test_popularity_skew(self):
+        sampler = ZipfSampler(1000, alpha=1.0)
+        rng = np.random.default_rng(1)
+        ranks = sampler.sample(20_000, rng)
+        top_frac = np.mean(ranks < 100)
+        assert top_frac > 0.4  # top 10% of ranks get >40% of draws
+
+    def test_alpha_zero_uniform(self):
+        sampler = ZipfSampler(10, alpha=0.0)
+        rng = np.random.default_rng(2)
+        ranks = sampler.sample(50_000, rng)
+        counts = np.bincount(ranks, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, alpha=-1.0)
+
+
+class TestTraceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(0, 1, 10, 0.5)
+        with pytest.raises(ValueError):
+            TraceConfig(10, -1, 10, 0.5)
+        with pytest.raises(ValueError):
+            TraceConfig(10, 1, 10, 1.5)
+
+    def test_lc_config_scales(self):
+        workload = make_lc_workload("shore")
+        full = lc_trace_config(workload, mb_to_lines(2), scale=1.0)
+        scaled = lc_trace_config(workload, mb_to_lines(2), scale=0.25)
+        assert scaled.hot_lines < full.hot_lines
+        assert scaled.accesses_per_request < full.accesses_per_request
+
+    def test_lc_config_shared_fraction_from_reuse(self):
+        workload = make_lc_workload("specjbb")
+        config = lc_trace_config(workload, mb_to_lines(2))
+        assert config.shared_fraction == workload.reuse_fraction
+
+
+class TestGeneration:
+    def test_request_count_and_shapes(self):
+        config = TraceConfig(100, 5, 50, 0.6)
+        rng = np.random.default_rng(3)
+        requests = generate_request_trace(config, 10, rng)
+        assert len(requests) == 10
+        assert all(len(r) == 50 for r in requests)
+
+    def test_private_addresses_never_repeat_across_requests(self):
+        config = TraceConfig(100, 5, 50, 0.6)
+        rng = np.random.default_rng(4)
+        requests = generate_request_trace(config, 20, rng)
+        private_sets = [set(r[r >= 100].tolist()) for r in requests]
+        for i in range(len(private_sets)):
+            for j in range(i + 1, len(private_sets)):
+                assert not (private_sets[i] & private_sets[j])
+
+    def test_shared_addresses_in_hot_range(self):
+        config = TraceConfig(100, 5, 50, 1.0)
+        rng = np.random.default_rng(5)
+        requests = generate_request_trace(config, 5, rng)
+        for req in requests:
+            assert req.max() < 100
+
+    def test_validation(self):
+        config = TraceConfig(100, 5, 50, 0.6)
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            generate_request_trace(config, 0, rng)
