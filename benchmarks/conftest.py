@@ -6,9 +6,12 @@ but methodologically identical configuration (see
 (visible with ``pytest -s``) and written to ``benchmarks/results/`` so
 the regenerated tables survive the run.
 
-Heavy sweeps are memoized inside ``repro.experiments.sweep``, so the
-benchmarks sharing data (Fig 9 / Fig 10 / Table 3) compute it once per
-session.
+Heavy sweeps run on the :mod:`repro.runtime` session: records are
+memoized in-process *and* persisted to the fingerprint-keyed result
+store (``REPRO_CACHE_DIR``, default ``~/.cache/repro-ubik``), so the
+benchmarks sharing data (Fig 9 / Fig 10 / Table 3) compute it once —
+across processes, not just within one.  Set ``REPRO_JOBS`` to fan
+sweep grids over worker processes.
 """
 
 from __future__ import annotations

@@ -8,43 +8,42 @@ load, across several batch mixes, and reports which schemes keep the
 tail within an acceptable bound — reproducing the decision the paper's
 Section 7.1 utilization argument formalizes.
 
+The whole grid is one declarative sweep on the runtime ``Session``:
+the five default ``PolicySpec`` entries times four batch-pressure
+combos, served from the persistent result store on repeat runs and
+fanned across cores with ``REPRO_JOBS``.
+
 Run:  python examples/colocation_study.py [app] [load]
       python examples/colocation_study.py specjbb 0.6
 """
 
 import sys
 
-from repro import (
-    LRUPolicy,
-    MixRunner,
-    OnOffPolicy,
-    StaticLCPolicy,
-    UbikPolicy,
-    UCPPolicy,
-    make_mix_specs,
-)
+from repro import Session
+from repro.experiments import ExperimentScale
 
 #: Tail degradation the operator tolerates.
 SLO_BOUND = 1.10
+
+#: A spread of batch pressure: insensitive-heavy through
+#: streaming-heavy trios.
+COMBOS = ("nnn", "nft", "fts", "sss")
 
 
 def main() -> None:
     app = sys.argv[1] if len(sys.argv) > 1 else "specjbb"
     load = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
 
-    specs = make_mix_specs(lc_names=[app], loads=[load], mixes_per_combo=1)
-    # A spread of batch pressure: insensitive-heavy through
-    # streaming-heavy trios.
-    chosen = [s for s in specs if s.batch_combo.split(".")[0] in ("nnn", "nft", "fts", "sss")]
-    runner = MixRunner(requests=150)
-
-    policies = [
-        ("LRU", LRUPolicy),
-        ("UCP", UCPPolicy),
-        ("OnOff", OnOffPolicy),
-        ("StaticLC", StaticLCPolicy),
-        ("Ubik", lambda: UbikPolicy(slack=0.05)),
-    ]
+    session = Session()
+    sweep = session.sweep(
+        ExperimentScale(
+            requests=150,
+            lc_names=(app,),
+            loads=(load,),
+            combos=COMBOS,
+            mixes_per_combo=1,
+        )
+    )
 
     print(f"Colocating 3x {app} at {load:.0%} load with batch work")
     print(f"SLO: tail latency within {SLO_BOUND:.2f}x of isolated baseline\n")
@@ -52,15 +51,11 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    for name, factory in policies:
-        degradations = []
-        speedups = []
-        for spec in chosen:
-            result = runner.run_mix(spec, factory())
-            degradations.append(result.tail_degradation())
-            speedups.append(result.weighted_speedup())
-        worst = max(degradations)
-        avg_speedup = sum(speedups) / len(speedups)
+    for name in sweep.policies():
+        # The grid has a single load, so no load_label filter needed.
+        records = sweep.for_policy(name)
+        worst = max(r.tail_degradation for r in records)
+        avg_speedup = sum(r.weighted_speedup for r in records) / len(records)
         verdict = "SAFE" if worst <= SLO_BOUND else "violates SLO"
         print(f"{name:<10} {worst:>10.3f}x {avg_speedup:>11.3f}x  {verdict}")
 

@@ -9,27 +9,31 @@ StaticLC pins each LC app at its 2 MB target — safe but wasteful.
 Ubik downsizes LC partitions while they are idle and boosts them on
 wakeup, repaying the refill transient before the tail-latency deadline.
 
+Everything below goes through the declarative runtime API: a
+``MixRef`` names the mix, ``PolicySpec`` names each policy by registry
+key, and the ``Session`` evaluates the specs — hitting the persistent
+result store on repeat runs, so the second invocation is instant.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import MixRunner, StaticLCPolicy, UbikPolicy, make_mix_specs
+from repro import MixRef, PolicySpec, RunSpec, Session
 from repro.units import cycles_to_ms
 
 
 def main() -> None:
     # One mix: shore at 20% load + a (n, f, t) batch trio.
-    spec = make_mix_specs(
-        lc_names=["shore"], loads=[0.2], mixes_per_combo=1
-    )[5]
-    print(f"Mix: {spec.mix_id}")
-    print(f"  LC app : 3x {spec.lc_workload.name} at {spec.load:.0%} load")
+    mix = MixRef(lc_name="shore", load=0.2, combo="nft")
+    built = mix.build()
+    print(f"Mix: {mix.mix_id}")
+    print(f"  LC app : 3x {built.lc_workload.name} at {mix.load:.0%} load")
     print(
         "  batch  : "
-        + ", ".join(f"{b.name} ({b.class_name})" for b in spec.batch_apps)
+        + ", ".join(f"{b.name} ({b.class_name})" for b in built.batch_apps)
     )
 
-    runner = MixRunner(requests=200)
-    baseline = runner.baseline(spec.lc_workload, spec.load)
+    session = Session()
+    baseline = session.baseline("shore", 0.2, requests=200)
     print(
         f"\nIsolated baseline (2 MB private LLC): "
         f"tail95 = {cycles_to_ms(baseline.tail95_cycles):.2f} ms"
@@ -37,11 +41,14 @@ def main() -> None:
 
     print(f"\n{'policy':<10} {'tail degradation':>18} {'weighted speedup':>18}")
     print("-" * 48)
-    for policy in (StaticLCPolicy(), UbikPolicy(slack=0.05)):
-        result = runner.run_mix(spec, policy)
+    for policy in (
+        PolicySpec.of("static_lc", label="StaticLC"),
+        PolicySpec.of("ubik", label="Ubik", slack=0.05),
+    ):
+        record = session.run(RunSpec(mix=mix, policy=policy, requests=200))
         print(
-            f"{policy.name:<10} {result.tail_degradation():>17.3f}x "
-            f"{result.weighted_speedup():>17.3f}x"
+            f"{record.policy:<10} {record.tail_degradation:>17.3f}x "
+            f"{record.weighted_speedup:>17.3f}x"
         )
 
     print(

@@ -8,12 +8,16 @@ slack for one workload and prints the tradeoff curve, including the
 de-boost and watermark interrupt counts that show the mechanism at
 work.
 
+Each point is one declarative ``RunSpec`` — the same mix under
+``PolicySpec.of("ubik", slack=...)`` — evaluated by the runtime
+``Session``, so re-runs come straight from the persistent store.
+
 Run:  python examples/slack_tuning.py [app] [load]
 """
 
 import sys
 
-from repro import MixRunner, UbikPolicy, make_mix_specs
+from repro import MixRef, PolicySpec, RunSpec, Session
 
 SLACKS = (0.0, 0.01, 0.05, 0.10)
 
@@ -22,10 +26,11 @@ def main() -> None:
     app = sys.argv[1] if len(sys.argv) > 1 else "moses"
     load = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
 
-    spec = make_mix_specs(lc_names=[app], loads=[load], mixes_per_combo=1)[7]
-    runner = MixRunner(requests=200)
+    # Mix #7 of the 20-combo grid: an (n, t, t) batch trio.
+    mix = MixRef(lc_name=app, load=load, combo="ntt")
+    session = Session()
 
-    print(f"Ubik slack sweep: 3x {app} at {load:.0%} load, mix {spec.mix_id}\n")
+    print(f"Ubik slack sweep: 3x {app} at {load:.0%} load, mix {mix.mix_id}\n")
     header = (
         f"{'slack':>6} {'tail degradation':>17} {'weighted speedup':>17} "
         f"{'deboosts':>9} {'watermarks':>11}"
@@ -34,13 +39,17 @@ def main() -> None:
     print("-" * len(header))
 
     for slack in SLACKS:
-        result = runner.run_mix(spec, UbikPolicy(slack=slack))
-        deboosts = sum(i.deboosts for i in result.lc_instances)
-        watermarks = sum(i.watermarks for i in result.lc_instances)
+        record = session.run(
+            RunSpec(
+                mix=mix,
+                policy=PolicySpec.of("ubik", slack=slack),
+                requests=200,
+            )
+        )
         print(
-            f"{slack:>5.0%} {result.tail_degradation():>16.3f}x "
-            f"{result.weighted_speedup():>16.3f}x "
-            f"{deboosts:>9d} {watermarks:>11d}"
+            f"{slack:>5.0%} {record.tail_degradation:>16.3f}x "
+            f"{record.weighted_speedup:>16.3f}x "
+            f"{record.deboosts:>9d} {record.watermarks:>11d}"
         )
 
     print(

@@ -1,21 +1,36 @@
 """repro: a reproduction of *Ubik: Efficient Cache Sharing with Strict
 QoS for Latency-Critical Workloads* (Kasture & Sanchez, ASPLOS 2014).
 
-Quick tour
-----------
+Quick tour — the declarative runtime API
+----------------------------------------
+
+>>> from repro import Session, RunSpec, MixRef, PolicySpec
+>>> session = Session()                 # persistent store + executor
+>>> spec = RunSpec(
+...     mix=MixRef(lc_name="shore", load=0.2, combo="nft"),
+...     policy=PolicySpec.of("ubik", slack=0.05),
+...     requests=100,
+... )
+>>> record = session.run(spec)                       # doctest: +SKIP
+>>> record.tail_degradation  # ~1.0: tail preserved  # doctest: +SKIP
+>>> record.weighted_speedup  # >1.0: batch sped up   # doctest: +SKIP
+
+Whole sweep grids run the same way (``session.sweep(scale)``), fanned
+across cores with ``Session(jobs=N)`` and served from the on-disk
+result store on repeat runs.  The imperative API remains::
 
 >>> from repro import make_mix_specs, MixRunner, UbikPolicy
 >>> spec = make_mix_specs(lc_names=["shore"], loads=[0.2], mixes_per_combo=1)[0]
 >>> runner = MixRunner(requests=100)
->>> result = runner.run_mix(spec, UbikPolicy(slack=0.05))
->>> result.tail_degradation()  # ~1.0: tail preserved       # doctest: +SKIP
->>> result.weighted_speedup()  # >1.0: batch apps sped up    # doctest: +SKIP
+>>> result = runner.run_mix(spec, UbikPolicy(slack=0.05))    # doctest: +SKIP
 
 Packages:
 
 * :mod:`repro.core` — Ubik itself: transient bounds, boost sizing,
   repartitioning table, de-boost circuit, slack controller.
 * :mod:`repro.policies` — LRU / UCP / StaticLC / OnOff baselines.
+* :mod:`repro.runtime` — registries, run specs, executors, the
+  persistent result store, and the :class:`Session` facade.
 * :mod:`repro.sim` — the event-driven mix engine and runners.
 * :mod:`repro.workloads` — the five LC workload models and SPEC-like
   batch classes; mix construction.
@@ -35,6 +50,19 @@ from .policies import (
     StaticLCPolicy,
     UCPPolicy,
 )
+from .runtime import (
+    MixRef,
+    PolicySpec,
+    ResultStore,
+    RunRecord,
+    RunSpec,
+    SchemeSpec,
+    Session,
+    list_policies,
+    list_schemes,
+    make_policy,
+    make_scheme,
+)
 from .sim import CMPConfig, CoreKind, MixRunner, MixResult, westmere_config
 from .workloads import (
     HIGH_LOAD,
@@ -47,7 +75,7 @@ from .workloads import (
     make_mix_specs,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "UbikPolicy",
@@ -70,5 +98,16 @@ __all__ = [
     "all_lc_workloads",
     "make_lc_workload",
     "make_mix_specs",
+    "Session",
+    "RunSpec",
+    "RunRecord",
+    "MixRef",
+    "PolicySpec",
+    "SchemeSpec",
+    "ResultStore",
+    "make_policy",
+    "list_policies",
+    "make_scheme",
+    "list_schemes",
     "__version__",
 ]

@@ -6,12 +6,17 @@ Usage::
     python -m repro fig1a --lc shore
     python -m repro fig2
     python -m repro fig9 --requests 100 --lc shore,specjbb
-    python -m repro table3
+    python -m repro table3 --jobs 4
     python -m repro fig12
     python -m repro scaleout --cores 6,12
+    python -m repro cache
+    python -m repro cache --clear
 
 Each command prints the same report its pytest benchmark writes to
-``benchmarks/results/``.
+``benchmarks/results/``.  ``--jobs N`` fans sweep grids over N worker
+processes (results are bit-identical to ``--jobs 1``); completed runs
+persist in the result store (``repro cache`` inspects it), so repeat
+invocations are served from disk.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from .experiments import (
     run_utilization,
 )
 from .experiments.table3_speedups import format_table3
+from .runtime.session import Session
 from .workloads.latency_critical import LC_NAMES
 
 __all__ = ["main"]
@@ -55,6 +61,7 @@ COMMANDS = (
     "utilization",
     "scaleout",
     "bandwidth",
+    "cache",
 )
 
 
@@ -66,9 +73,14 @@ def _scale_from_args(args) -> ExperimentScale:
     return ExperimentScale(
         requests=args.requests or base.requests,
         lc_names=lc_names,
+        loads=base.loads,
         combos=base.combos,
         mixes_per_combo=base.mixes_per_combo,
     )
+
+
+def _session_from_args(args) -> Session:
+    return Session(jobs=args.jobs)
 
 
 def _cmd_list(args) -> None:
@@ -84,6 +96,7 @@ def _cmd_list(args) -> None:
         ["utilization", "Section 7.1 utilization estimate"],
         ["scaleout", "larger-CMP extension"],
         ["bandwidth", "memory-bandwidth contention extension"],
+        ["cache", "inspect (or --clear) the persistent result store"],
     ]
     print(format_table(["Command", "Regenerates"], rows))
 
@@ -127,8 +140,11 @@ def _cmd_fig2(args) -> None:
 
 
 def _cmd_fig9(args) -> None:
-    data = run_fig9(_scale_from_args(args))
+    data = run_fig9(_scale_from_args(args), session=_session_from_args(args))
+    seen = {r.load_label for r in data.sweep.records}
     for load in ("lo", "hi"):
+        if load not in seen:
+            continue
         print(f"\n=== {'Low' if load == 'lo' else 'High'} load: tail degradation ===")
         print(distribution_plot(
             {p: data.sweep.sorted_degradations(p, load) for p in data.policies}
@@ -140,11 +156,15 @@ def _cmd_fig9(args) -> None:
 
 
 def _cmd_table3(args) -> None:
-    print(format_table3(run_table3(_scale_from_args(args))))
+    print(
+        format_table3(
+            run_table3(_scale_from_args(args), session=_session_from_args(args))
+        )
+    )
 
 
 def _cmd_fig12(args) -> None:
-    entries = run_fig12(_scale_from_args(args))
+    entries = run_fig12(_scale_from_args(args), session=_session_from_args(args))
     rows = [
         [
             f"{e.slack:.0%}",
@@ -158,7 +178,7 @@ def _cmd_fig12(args) -> None:
 
 
 def _cmd_fig13(args) -> None:
-    entries = run_fig13(_scale_from_args(args))
+    entries = run_fig13(_scale_from_args(args), session=_session_from_args(args))
     rows = [
         [e.scheme, e.load_label, f"{e.worst_degradation:.3f}", f"{e.average_speedup_pct:.1f}%"]
         for e in entries
@@ -167,7 +187,9 @@ def _cmd_fig13(args) -> None:
 
 
 def _cmd_ablations(args) -> None:
-    entries = run_ablations(_scale_from_args(args))
+    entries = run_ablations(
+        _scale_from_args(args), session=_session_from_args(args)
+    )
     rows = [
         [e.variant, e.load_label, f"{e.worst_degradation:.3f}", f"{e.average_speedup_pct:.1f}%"]
         for e in entries
@@ -176,7 +198,9 @@ def _cmd_ablations(args) -> None:
 
 
 def _cmd_utilization(args) -> None:
-    estimates = run_utilization(_scale_from_args(args))
+    estimates = run_utilization(
+        _scale_from_args(args), session=_session_from_args(args)
+    )
     rows = [
         [e.policy, f"{e.safe_fraction:.0%}", f"{e.utilization:.0%}"]
         for e in estimates.values()
@@ -208,6 +232,23 @@ def _cmd_bandwidth(args) -> None:
     print(format_table(["Peak (miss/kcyc)", "Policy", "Tail", "Speedup"], rows))
 
 
+def _cmd_cache(args) -> None:
+    store = Session(jobs=1).store
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} stored result(s)")
+        return
+    stats = store.stats()
+    rows = [
+        ["location", stats["root"] or "(in-memory only; set REPRO_CACHE_DIR)"],
+        ["disk entries", stats["disk_entries"]],
+        ["disk bytes", stats["disk_bytes"]],
+    ]
+    for kind, count in sorted(stats["by_kind"].items()):
+        rows.append([f"  kind: {kind}", count])
+    print(format_table(["Store", "Value"], rows, title="Result store"))
+
+
 _HANDLERS = {
     "list": _cmd_list,
     "fig1a": _cmd_fig1a,
@@ -221,6 +262,7 @@ _HANDLERS = {
     "utilization": _cmd_utilization,
     "scaleout": _cmd_scaleout,
     "bandwidth": _cmd_bandwidth,
+    "cache": _cmd_cache,
 }
 
 
@@ -234,6 +276,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--lc", help="comma-separated LC workload subset")
     parser.add_argument("--requests", type=int, help="requests per LC instance")
     parser.add_argument("--cores", help="scaleout core counts, e.g. 6,12,24")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep grids (default REPRO_JOBS or 1; "
+        "0 = all cores)",
+    )
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="with the cache command: delete every stored result",
+    )
     args = parser.parse_args(argv)
     _HANDLERS[args.command](args)
     return 0

@@ -38,6 +38,7 @@ from .fig10_per_app import PerAppEntry, run_fig10, run_fig11
 from .fig12_slack import DEFAULT_SLACKS, run_fig12
 from .fig13_schemes import SchemeEntry, run_fig13
 from .sweep import (
+    DEFAULT_POLICIES,
     DEFAULT_POLICY_FACTORIES,
     RunRecord,
     SweepResult,
@@ -73,6 +74,7 @@ __all__ = [
     "RunRecord",
     "SweepResult",
     "run_policy_sweep",
+    "DEFAULT_POLICIES",
     "DEFAULT_POLICY_FACTORIES",
     "PAPER_TABLE3",
     "run_table3",

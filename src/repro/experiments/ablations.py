@@ -22,7 +22,8 @@ from typing import List
 
 import numpy as np
 
-from ..core.ubik import UbikPolicy
+from ..runtime.session import Session
+from ..runtime.spec import PolicySpec
 from ..sim.config import CoreKind
 from .common import ExperimentScale, default_scale
 from .sweep import run_policy_sweep
@@ -44,26 +45,30 @@ class AblationEntry:
 def run_ablations(
     scale: ExperimentScale | None = None,
     slack: float = 0.05,
+    session: Session | None = None,
 ) -> List[AblationEntry]:
     """Run full Ubik and the three ablated variants over the grid."""
     scale = scale or default_scale()
-    factories = (
-        ("Ubik", lambda: UbikPolicy(slack=slack)),
-        ("Ubik-noboost", lambda: UbikPolicy(slack=slack, boost_enabled=False)),
-        (
-            "Ubik-nodeboost",
-            lambda: UbikPolicy(slack=slack, deboost_enabled=False),
+    policies = (
+        PolicySpec.of("ubik", label="Ubik", slack=slack),
+        PolicySpec.of(
+            "ubik", label="Ubik-noboost", slack=slack, boost_enabled=False
         ),
-        ("Ubik-exact", lambda: UbikPolicy(slack=slack, use_exact_bounds=True)),
+        PolicySpec.of(
+            "ubik", label="Ubik-nodeboost", slack=slack, deboost_enabled=False
+        ),
+        PolicySpec.of(
+            "ubik", label="Ubik-exact", slack=slack, use_exact_bounds=True
+        ),
     )
     sweep = run_policy_sweep(
         scale,
         core_kind=CoreKind.OOO,
-        policy_factories=factories,
-        cache_key_extra="ablations",
+        policies=policies,
+        session=session,
     )
     entries: List[AblationEntry] = []
-    for name, __ in factories:
+    for name in (p.display for p in policies):
         for load_label in ("lo", "hi"):
             records = sweep.for_policy(name, load_label)
             if not records:

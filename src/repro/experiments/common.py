@@ -10,10 +10,13 @@ let users dial the scale up toward the paper's:
 * ``REPRO_MIXES``     — batch mixes per type combination (default uses
   a representative subset of combos; set >0 for the full 20-combo grid)
 * ``REPRO_LC``        — comma-separated LC workload subset
+* ``REPRO_LOADS``     — comma-separated LC loads, e.g. ``0.2,0.6``
+  (default: the paper's low/high operating points)
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
@@ -61,21 +64,26 @@ def default_scale() -> ExperimentScale:
         tuple(name.strip() for name in lc_env.split(",") if name.strip())
         or LC_NAMES
     )
+    loads_env = os.environ.get("REPRO_LOADS", "")
+    loads = (
+        tuple(float(x) for x in loads_env.split(",") if x.strip())
+        or (LOW_LOAD, HIGH_LOAD)
+    )
     mixes_env = int(os.environ.get("REPRO_MIXES", "0"))
     if mixes_env > 0:
         # Full 20-combo grid, paper style.
         combos = tuple(
-            "".join(c) for c in __import__(
-                "itertools"
-            ).combinations_with_replacement("nfts", 3)
+            "".join(c)
+            for c in itertools.combinations_with_replacement("nfts", 3)
         )
         return ExperimentScale(
             requests=requests,
             lc_names=lc_names,
+            loads=loads,
             combos=combos,
             mixes_per_combo=mixes_env,
         )
-    return ExperimentScale(requests=requests, lc_names=lc_names)
+    return ExperimentScale(requests=requests, lc_names=lc_names, loads=loads)
 
 
 def scaled_mix_specs(scale: ExperimentScale) -> List[MixSpec]:

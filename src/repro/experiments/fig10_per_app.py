@@ -15,9 +15,10 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..runtime.session import Session
 from ..sim.config import CoreKind
 from .common import ExperimentScale, default_scale
-from .sweep import DEFAULT_POLICY_FACTORIES, SweepResult, run_policy_sweep
+from .sweep import SweepResult, run_policy_sweep
 
 __all__ = ["PerAppEntry", "run_fig10", "run_fig11"]
 
@@ -66,21 +67,23 @@ def _per_app_entries(sweep: SweepResult) -> List[PerAppEntry]:
     return entries
 
 
-def run_fig10(scale: ExperimentScale | None = None) -> List[PerAppEntry]:
+def run_fig10(
+    scale: ExperimentScale | None = None,
+    session: Session | None = None,
+) -> List[PerAppEntry]:
     """Per-app results with OOO cores (Figure 10)."""
     scale = scale or default_scale()
-    sweep = run_policy_sweep(
-        scale, core_kind=CoreKind.OOO, policy_factories=DEFAULT_POLICY_FACTORIES
-    )
+    sweep = run_policy_sweep(scale, core_kind=CoreKind.OOO, session=session)
     return _per_app_entries(sweep)
 
 
-def run_fig11(scale: ExperimentScale | None = None) -> List[PerAppEntry]:
+def run_fig11(
+    scale: ExperimentScale | None = None,
+    session: Session | None = None,
+) -> List[PerAppEntry]:
     """Per-app results with in-order cores (Figure 11)."""
     scale = scale or default_scale()
     sweep = run_policy_sweep(
-        scale,
-        core_kind=CoreKind.IN_ORDER,
-        policy_factories=DEFAULT_POLICY_FACTORIES,
+        scale, core_kind=CoreKind.IN_ORDER, session=session
     )
     return _per_app_entries(sweep)

@@ -14,7 +14,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..core.ubik import UbikPolicy
+from ..runtime.session import Session
+from ..runtime.spec import PolicySpec
 from ..sim.config import CoreKind
 from .common import ExperimentScale, default_scale
 from .sweep import run_policy_sweep
@@ -41,21 +42,24 @@ class SlackEntry:
 def run_fig12(
     scale: ExperimentScale | None = None,
     slacks: Sequence[float] = DEFAULT_SLACKS,
+    session: Session | None = None,
 ) -> List[SlackEntry]:
     """Sweep Ubik's slack parameter over the scaled mix grid."""
     scale = scale or default_scale()
-    factories = tuple(
-        (f"Ubik-{int(round(s * 100))}%", (lambda s=s: UbikPolicy(slack=s)))
+    policies = tuple(
+        PolicySpec.of(
+            "ubik", label=f"Ubik-{int(round(s * 100))}%", slack=s
+        )
         for s in slacks
     )
     sweep = run_policy_sweep(
         scale,
         core_kind=CoreKind.OOO,
-        policy_factories=factories,
-        cache_key_extra="fig12",
+        policies=policies,
+        session=session,
     )
     entries: List[SlackEntry] = []
-    for slack, (name, __) in zip(slacks, factories):
+    for slack, name in zip(slacks, (p.display for p in policies)):
         for load_label in ("lo", "hi"):
             records = sweep.for_policy(name, load_label)
             if not records:

@@ -19,16 +19,12 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..cache.schemes import (
-    SchemeModel,
-    vantage_setassoc,
-    vantage_zcache,
-    way_partitioning,
-)
-from ..core.ubik import UbikPolicy
+from ..runtime.registry import make_scheme
+from ..runtime.session import Session
+from ..runtime.spec import PolicySpec, SchemeSpec
 from ..sim.config import CMPConfig, CoreKind
 from .common import ExperimentScale, default_scale
-from .sweep import SweepResult, run_policy_sweep
+from .sweep import run_policy_sweep
 
 __all__ = ["SchemeEntry", "run_fig13"]
 
@@ -44,36 +40,42 @@ class SchemeEntry:
     average_speedup_pct: float
 
 
+#: Registry keys of the five scheme/array configurations of Figure 13.
+FIG13_SCHEME_NAMES = (
+    "waypart_sa16",
+    "waypart_sa64",
+    "vantage_sa16",
+    "vantage_sa64",
+    "vantage_zcache",
+)
+
+
 def run_fig13(
     scale: ExperimentScale | None = None,
     slack: float = 0.05,
+    session: Session | None = None,
 ) -> List[SchemeEntry]:
     """Run Ubik under each of the five scheme models."""
     scale = scale or default_scale()
     llc_lines = CMPConfig().llc_lines
-    schemes: List[SchemeModel] = [
-        way_partitioning(llc_lines, 16),
-        way_partitioning(llc_lines, 64),
-        vantage_setassoc(llc_lines, 16),
-        vantage_setassoc(llc_lines, 64),
-        vantage_zcache(llc_lines),
-    ]
+    policies = (PolicySpec.of("ubik", label="Ubik", slack=slack),)
     entries: List[SchemeEntry] = []
-    for scheme in schemes:
+    for scheme_name in FIG13_SCHEME_NAMES:
         sweep = run_policy_sweep(
             scale,
             core_kind=CoreKind.OOO,
-            policy_factories=(("Ubik", lambda: UbikPolicy(slack=slack)),),
-            scheme=scheme,
-            cache_key_extra="fig13",
+            policies=policies,
+            scheme=SchemeSpec.of(scheme_name),
+            session=session,
         )
+        display = make_scheme(scheme_name, llc_lines).name
         for load_label in ("lo", "hi"):
             records = sweep.for_policy("Ubik", load_label)
             if not records:
                 continue
             entries.append(
                 SchemeEntry(
-                    scheme=scheme.name,
+                    scheme=display,
                     load_label=load_label,
                     worst_degradation=max(r.tail_degradation for r in records),
                     average_degradation=float(

@@ -16,9 +16,10 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..runtime.session import Session
 from ..sim.config import CoreKind
 from .common import ExperimentScale, default_scale
-from .sweep import DEFAULT_POLICY_FACTORIES, SweepResult, run_policy_sweep
+from .sweep import SweepResult, run_policy_sweep
 
 __all__ = ["Fig9Data", "run_fig9"]
 
@@ -58,10 +59,9 @@ class Fig9Data:
 def run_fig9(
     scale: ExperimentScale | None = None,
     core_kind: str = CoreKind.OOO,
+    session: Session | None = None,
 ) -> Fig9Data:
     """Run (or fetch) the Figure 9 sweep."""
     scale = scale or default_scale()
-    sweep = run_policy_sweep(
-        scale, core_kind=core_kind, policy_factories=DEFAULT_POLICY_FACTORIES
-    )
+    sweep = run_policy_sweep(scale, core_kind=core_kind, session=session)
     return Fig9Data(sweep)

@@ -2,33 +2,41 @@
 
 A sweep runs every scaled mix under every scheme and records the two
 paper metrics per run: tail-latency degradation and weighted speedup.
-Results are memoized per (scale, core kind) so that the several
-benchmarks reading the same data (Fig 9, Fig 10, Table 3) trigger a
-single computation.
+Sweeps execute on the :mod:`repro.runtime` session — declarative
+:class:`~repro.runtime.spec.RunSpec` grids served from the persistent
+result store and fanned across cores by the session's executor — so
+the several benchmarks reading the same data (Fig 9, Fig 10, Table 3)
+trigger a single computation *across processes*, not just within one.
+
+:func:`run_policy_sweep` remains the load-bearing entry point.  New
+callers pass ``policies`` (a sequence of
+:class:`~repro.runtime.spec.PolicySpec`); the historical
+``policy_factories`` tuples of ``(name, callable)`` still work and run
+through an in-process legacy path (callables cannot be fingerprinted,
+so only their baselines hit the store).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cache.schemes import SchemeModel
-from ..core.ubik import UbikPolicy
 from ..policies.base import Policy
-from ..policies.lru import LRUPolicy
-from ..policies.onoff import OnOffPolicy
-from ..policies.static_lc import StaticLCPolicy
-from ..policies.ucp import UCPPolicy
 from ..sim.config import CMPConfig, CoreKind
 from ..sim.mix_runner import MixRunner
-from ..workloads.mixes import MixSpec
+from ..runtime.session import (
+    DEFAULT_POLICIES,
+    Session,
+    get_session,
+    record_from_result,
+)
+from ..runtime.spec import PolicySpec, RunRecord, SchemeSpec, SweepResult
 from .common import ExperimentScale, scaled_mix_specs
 
 __all__ = [
     "PolicyFactory",
     "DEFAULT_POLICY_FACTORIES",
+    "DEFAULT_POLICIES",
     "RunRecord",
     "SweepResult",
     "run_policy_sweep",
@@ -36,113 +44,134 @@ __all__ = [
 
 PolicyFactory = Tuple[str, Callable[[], Policy]]
 
-#: The five schemes of Figures 9-11, in the paper's order.
-DEFAULT_POLICY_FACTORIES: Tuple[PolicyFactory, ...] = (
-    ("LRU", LRUPolicy),
-    ("UCP", UCPPolicy),
-    ("OnOff", OnOffPolicy),
-    ("StaticLC", StaticLCPolicy),
-    ("Ubik", lambda: UbikPolicy(slack=0.05)),
-)
+
+def _legacy_default_factories() -> Tuple[PolicyFactory, ...]:
+    """The historical (name, callable) tuples, built via the registry."""
+    return tuple((p.display, p.build) for p in DEFAULT_POLICIES)
 
 
-@dataclass(frozen=True)
-class RunRecord:
-    """One (mix, policy) run's metrics."""
+#: Backwards-compatible alias of the five paper schemes as factories.
+DEFAULT_POLICY_FACTORIES: Tuple[PolicyFactory, ...] = _legacy_default_factories()
 
-    mix_id: str
-    lc_name: str
-    load_label: str
-    policy: str
-    tail_degradation: float
-    weighted_speedup: float
-    lc_tail_cycles: float
-    baseline_tail_cycles: float
-
-
-@dataclass
-class SweepResult:
-    """All runs of a sweep plus grouped accessors."""
-
-    records: List[RunRecord]
-
-    def for_policy(self, policy: str, load_label: Optional[str] = None) -> List[RunRecord]:
-        return [
-            r
-            for r in self.records
-            if r.policy == policy
-            and (load_label is None or r.load_label == load_label)
-        ]
-
-    def policies(self) -> List[str]:
-        seen: Dict[str, None] = {}
-        for r in self.records:
-            seen.setdefault(r.policy, None)
-        return list(seen)
-
-    def sorted_degradations(self, policy: str, load_label: str) -> np.ndarray:
-        vals = [r.tail_degradation for r in self.for_policy(policy, load_label)]
-        return np.sort(np.asarray(vals))[::-1]  # worst first, paper style
-
-    def sorted_speedups(self, policy: str, load_label: str) -> np.ndarray:
-        vals = [r.weighted_speedup for r in self.for_policy(policy, load_label)]
-        return np.sort(np.asarray(vals))
-
-    def average_speedup(self, policy: str, load_label: str) -> float:
-        vals = [r.weighted_speedup for r in self.for_policy(policy, load_label)]
-        return float(np.mean(vals)) if vals else float("nan")
-
-    def per_app(
-        self, policy: str, lc_name: str, load_label: str
-    ) -> List[RunRecord]:
-        return [
-            r
-            for r in self.for_policy(policy, load_label)
-            if r.lc_name == lc_name
-        ]
-
-
+#: Process-local identity memo so repeated calls (and tests asserting
+#: ``again is sweep``) get the same object back without re-reading the
+#: store.
 _CACHE: Dict[Tuple, SweepResult] = {}
+
+
+def _legacy_sweep(
+    scale: ExperimentScale,
+    core_kind: str,
+    factories: Sequence[PolicyFactory],
+    scheme: Optional[SchemeModel],
+    session: Session,
+) -> SweepResult:
+    """In-process sweep over opaque factory callables.
+
+    Kept for callers that pass live callables (which have no content
+    fingerprint).  Baselines still go through the session store, so
+    even this path shares the expensive isolated runs across processes.
+    """
+    config = CMPConfig(core_kind=core_kind)
+    runner = MixRunner(
+        config=config,
+        requests=scale.requests,
+        seed=scale.seed,
+        store=session.store,
+    )
+    records: List[RunRecord] = []
+    for spec in scaled_mix_specs(scale):
+        for name, factory in factories:
+            result = runner.run_mix(spec, factory(), scheme=scheme)
+            records.append(
+                record_from_result(
+                    result,
+                    policy_label=name,
+                    lc_name=spec.lc_workload.name,
+                    load_label=spec.load_label,
+                )
+            )
+    return SweepResult(records=records)
 
 
 def run_policy_sweep(
     scale: ExperimentScale,
     core_kind: str = CoreKind.OOO,
-    policy_factories: Tuple[PolicyFactory, ...] = DEFAULT_POLICY_FACTORIES,
-    scheme: Optional[SchemeModel] = None,
+    policy_factories: Optional[Sequence[PolicyFactory]] = None,
+    scheme: Union[SchemeModel, SchemeSpec, str, None] = None,
     cache_key_extra: str = "",
+    policies: Optional[Sequence[PolicySpec]] = None,
+    session: Optional[Session] = None,
 ) -> SweepResult:
-    """Run (or fetch) the full mixes x policies sweep."""
+    """Run (or fetch) the full mixes x policies sweep.
+
+    Preferred form: pass ``policies`` as
+    :class:`~repro.runtime.spec.PolicySpec` entries (and ``scheme`` as
+    a :class:`~repro.runtime.spec.SchemeSpec` or registry name); the
+    grid then runs on the runtime session — persistent store plus the
+    configured executor.  The historical ``policy_factories`` form is
+    honoured via the in-process legacy path.
+    """
+    if policies is not None and policy_factories is not None:
+        raise ValueError("pass either policies or policy_factories, not both")
+    session = session or get_session()
+    if policies is None and (
+        policy_factories is None
+        or policy_factories is DEFAULT_POLICY_FACTORIES
+    ):
+        policies = DEFAULT_POLICIES
+
+    if policies is not None and not isinstance(scheme, SchemeModel):
+        scheme_spec = (
+            SchemeSpec.of(scheme) if isinstance(scheme, str) else scheme
+        )
+        # Key the memo on the store's identity too: a sweep served from
+        # one store must not satisfy a request aimed at another.
+        store_key = str(session.store.root) if session.store.root else id(
+            session.store
+        )
+        key = (
+            scale,
+            core_kind,
+            tuple(policies),
+            scheme_spec,
+            cache_key_extra,
+            store_key,
+            "spec",
+        )
+        hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
+        sweep = session.sweep(
+            scale, policies=policies, scheme=scheme_spec, core_kind=core_kind
+        )
+        _CACHE[key] = sweep
+        return sweep
+
+    factories: Sequence[PolicyFactory]
+    if policy_factories is not None:
+        factories = tuple(policy_factories)
+    else:
+        factories = tuple((p.display, p.build) for p in policies or ())
+    scheme_model: Optional[SchemeModel]
+    if isinstance(scheme, SchemeModel) or scheme is None:
+        scheme_model = scheme
+    else:
+        # Honour declarative scheme arguments on the legacy path too.
+        spec = SchemeSpec.of(scheme) if isinstance(scheme, str) else scheme
+        scheme_model = spec.build(CMPConfig(core_kind=core_kind).llc_lines)
     key = (
         scale,
         core_kind,
-        tuple(name for name, __ in policy_factories),
-        scheme.name if scheme else "ideal",
+        tuple(name for name, __ in factories),
+        scheme_model.name if scheme_model is not None else "ideal",
         cache_key_extra,
+        str(session.store.root) if session.store.root else id(session.store),
+        "legacy",
     )
     hit = _CACHE.get(key)
     if hit is not None:
         return hit
-
-    config = CMPConfig(core_kind=core_kind)
-    runner = MixRunner(config=config, requests=scale.requests, seed=scale.seed)
-    specs = scaled_mix_specs(scale)
-    records: List[RunRecord] = []
-    for spec in specs:
-        for name, factory in policy_factories:
-            result = runner.run_mix(spec, factory(), scheme=scheme)
-            records.append(
-                RunRecord(
-                    mix_id=spec.mix_id,
-                    lc_name=spec.lc_workload.name,
-                    load_label=spec.load_label,
-                    policy=name,
-                    tail_degradation=result.tail_degradation(),
-                    weighted_speedup=result.weighted_speedup(),
-                    lc_tail_cycles=result.tail95(),
-                    baseline_tail_cycles=result.baseline_tail_cycles,
-                )
-            )
-    sweep = SweepResult(records=records)
+    sweep = _legacy_sweep(scale, core_kind, factories, scheme_model, session)
     _CACHE[key] = sweep
     return sweep

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..runtime.session import Session
 from ..sim.config import CoreKind
 from .common import ExperimentScale, default_scale, format_table
-from .sweep import DEFAULT_POLICY_FACTORIES, run_policy_sweep
+from .sweep import run_policy_sweep
 
 __all__ = ["PAPER_TABLE3", "run_table3", "format_table3"]
 
@@ -34,12 +35,11 @@ PAPER_TABLE3 = {
 def run_table3(
     scale: ExperimentScale | None = None,
     core_kind: str = CoreKind.OOO,
+    session: Session | None = None,
 ) -> Dict[str, Dict[str, float]]:
     """Measured average weighted speedups, percent, by load."""
     scale = scale or default_scale()
-    sweep = run_policy_sweep(
-        scale, core_kind=core_kind, policy_factories=DEFAULT_POLICY_FACTORIES
-    )
+    sweep = run_policy_sweep(scale, core_kind=core_kind, session=session)
     table: Dict[str, Dict[str, float]] = {}
     for load_label in ("lo", "hi"):
         table[load_label] = {

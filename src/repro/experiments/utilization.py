@@ -18,9 +18,10 @@ from typing import Dict
 
 import numpy as np
 
+from ..runtime.session import Session
 from ..sim.config import CoreKind
 from .common import ExperimentScale, default_scale
-from .sweep import DEFAULT_POLICY_FACTORIES, run_policy_sweep
+from .sweep import run_policy_sweep
 
 __all__ = ["UtilizationEstimate", "run_utilization"]
 
@@ -42,12 +43,11 @@ class UtilizationEstimate:
 
 def run_utilization(
     scale: ExperimentScale | None = None,
+    session: Session | None = None,
 ) -> Dict[str, UtilizationEstimate]:
     """Estimate per-scheme utilization from low-load sweep data."""
     scale = scale or default_scale()
-    sweep = run_policy_sweep(
-        scale, core_kind=CoreKind.OOO, policy_factories=DEFAULT_POLICY_FACTORIES
-    )
+    sweep = run_policy_sweep(scale, core_kind=CoreKind.OOO, session=session)
     out: Dict[str, UtilizationEstimate] = {}
     for policy in sweep.policies():
         records = sweep.for_policy(policy, "lo")

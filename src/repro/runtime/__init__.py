@@ -1,0 +1,100 @@
+"""Unified experiment runtime: registries, specs, executors, store.
+
+This package is the execution backbone of the reproduction.  Instead
+of ad-hoc loops over hard-coded factory tuples with process-local
+memoization, experiments describe work declaratively and hand it to a
+:class:`Session`:
+
+* :mod:`~repro.runtime.registry` — string-keyed factories for
+  policies, schemes, and LC/batch workloads (``make_policy("ubik",
+  slack=0.05)``).
+* :mod:`~repro.runtime.spec` — frozen, JSON-serializable
+  :class:`RunSpec` descriptions with canonical content fingerprints.
+* :mod:`~repro.runtime.executors` — serial and process-pool executors
+  with bit-identical results (``REPRO_JOBS`` / ``--jobs``).
+* :mod:`~repro.runtime.store` — a persistent fingerprint-keyed result
+  store shared across processes (``REPRO_CACHE_DIR``).
+* :mod:`~repro.runtime.session` — the :class:`Session` facade tying
+  them together.
+"""
+
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    make_executor,
+)
+from .registry import (
+    BATCH_WORKLOADS,
+    LC_WORKLOADS,
+    POLICIES,
+    SCHEMES,
+    Registry,
+    list_batch_classes,
+    list_lc_workloads,
+    list_policies,
+    list_schemes,
+    make_batch_workload_named,
+    make_lc_workload_named,
+    make_policy,
+    make_scheme,
+    register_policy,
+    register_scheme,
+)
+from .session import (
+    DEFAULT_POLICIES,
+    Session,
+    execute_spec,
+    get_session,
+    reset_session,
+)
+from .spec import (
+    BaselineSpec,
+    MixRef,
+    PolicySpec,
+    RunRecord,
+    RunSpec,
+    SchemeSpec,
+    SweepResult,
+    mix_refs,
+)
+from .store import ResultStore, default_store_root
+
+__all__ = [
+    "Registry",
+    "POLICIES",
+    "SCHEMES",
+    "LC_WORKLOADS",
+    "BATCH_WORKLOADS",
+    "register_policy",
+    "make_policy",
+    "list_policies",
+    "register_scheme",
+    "make_scheme",
+    "list_schemes",
+    "make_lc_workload_named",
+    "list_lc_workloads",
+    "make_batch_workload_named",
+    "list_batch_classes",
+    "PolicySpec",
+    "SchemeSpec",
+    "MixRef",
+    "BaselineSpec",
+    "RunSpec",
+    "RunRecord",
+    "SweepResult",
+    "mix_refs",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_jobs",
+    "make_executor",
+    "ResultStore",
+    "default_store_root",
+    "DEFAULT_POLICIES",
+    "Session",
+    "execute_spec",
+    "get_session",
+    "reset_session",
+]

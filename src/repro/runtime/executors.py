@@ -1,0 +1,113 @@
+"""Executors: how a batch of independent run specs gets evaluated.
+
+Every spec in the sweep grid is an independent, deterministic
+simulation, so fanning the grid across cores must not change any
+result — only wall-clock time.  Executors therefore share one tiny
+contract (:class:`Executor.map`): apply a picklable function to a
+sequence of items and return the results *in input order*.
+
+* :class:`SerialExecutor` — plain in-process loop; the reference
+  behaviour.
+* :class:`ParallelExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` fan-out.  Worker count comes from the
+  constructor, else the ``REPRO_JOBS`` environment variable, else 1.
+
+Because ``map`` preserves order and each simulation seeds its own RNGs
+from the spec, serial and parallel execution are bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Sequence
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_jobs",
+    "make_executor",
+]
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1; 0 = all cores)."""
+    raw = os.environ.get("REPRO_JOBS", "1").strip()
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("REPRO_JOBS must be non-negative")
+    return jobs
+
+
+class Executor:
+    """Protocol: evaluate ``fn`` over ``items``, preserving order."""
+
+    #: Human-readable name for reports.
+    name = "abstract"
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Apply ``fn`` to every item; results line up with inputs."""
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Reference executor: evaluate everything in-process, in order."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Plain loop over the items."""
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool executor fanning specs across cores.
+
+    ``fn`` and the items must be picklable (run specs are plain
+    dataclasses, so they are).  Results are returned in input order,
+    making the fan-out invisible to callers.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError("ParallelExecutor needs at least one worker")
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Fan the items over a process pool (order-preserving)."""
+        items = list(items)
+        workers = min(self.jobs, len(items))
+        if workers <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+def make_executor(jobs: int | None = None) -> Executor:
+    """Executor for a worker count (``None`` = ``REPRO_JOBS``)."""
+    if jobs is None:
+        resolved = default_jobs()
+    elif jobs == 0:
+        resolved = os.cpu_count() or 1
+    elif jobs < 0:
+        raise ValueError("jobs must be non-negative")
+    else:
+        resolved = jobs
+    if resolved <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(resolved)

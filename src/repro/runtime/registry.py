@@ -1,0 +1,211 @@
+"""Named factories for policies, schemes, and workloads.
+
+Experiments used to hard-code ``DEFAULT_POLICY_FACTORIES`` tuples and
+import concrete policy classes module by module.  The registries make
+every buildable object addressable by a short string key, which is what
+lets :class:`~repro.runtime.spec.RunSpec` stay declarative (and
+JSON-serializable) while still being able to rebuild live objects in a
+worker process::
+
+    >>> from repro.runtime import make_policy, list_policies
+    >>> make_policy("ubik", slack=0.05)           # doctest: +ELLIPSIS
+    <repro.core.ubik.UbikPolicy object at ...>
+    >>> sorted(list_policies())                    # doctest: +ELLIPSIS
+    ['fixed', 'lru', 'onoff', ...]
+
+Unknown names raise :class:`KeyError` with the full key table and the
+closest match, so a typo in a spec fails loudly and helpfully.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Registry",
+    "POLICIES",
+    "SCHEMES",
+    "LC_WORKLOADS",
+    "BATCH_WORKLOADS",
+    "register_policy",
+    "make_policy",
+    "list_policies",
+    "register_scheme",
+    "make_scheme",
+    "list_schemes",
+    "make_lc_workload_named",
+    "list_lc_workloads",
+    "make_batch_workload_named",
+    "list_batch_classes",
+]
+
+
+class Registry:
+    """A string-keyed factory table for one kind of object.
+
+    Factories are callables; :meth:`make` forwards keyword arguments so
+    parametrized objects (``make("ubik", slack=0.05)``) need no special
+    casing.  Lookups are case-insensitive on the key.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., Any]] = {}
+
+    def register(
+        self, name: str, factory: Optional[Callable[..., Any]] = None
+    ) -> Callable[..., Any]:
+        """Register ``factory`` under ``name``; usable as a decorator."""
+
+        def _add(fn: Callable[..., Any]) -> Callable[..., Any]:
+            key = name.lower()
+            if key in self._factories:
+                raise ValueError(f"{self.kind} {name!r} already registered")
+            self._factories[key] = fn
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory for ``name``; raises a descriptive KeyError."""
+        key = name.lower()
+        try:
+            return self._factories[key]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            close = difflib.get_close_matches(key, self._factories, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise KeyError(
+                f"unknown {self.kind} {name!r} (known: {known}){hint}"
+            ) from None
+
+    def make(self, name: str, **kwargs: Any) -> Any:
+        """Build the object registered under ``name``."""
+        return self.get(name)(**kwargs)
+
+    def names(self) -> List[str]:
+        """All registered keys, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+#: Partitioning policies: ``make_policy("ubik", slack=0.05)``.
+POLICIES = Registry("policy")
+
+#: Partitioning-scheme models; factories take ``llc_lines``.
+SCHEMES = Registry("scheme")
+
+#: Latency-critical workload models, keyed by paper name.
+LC_WORKLOADS = Registry("LC workload")
+
+#: Batch workload classes (n/f/t/s), as in paper Section 6.
+BATCH_WORKLOADS = Registry("batch workload class")
+
+
+def register_policy(name: str, factory: Optional[Callable[..., Any]] = None):
+    """Register a policy factory under ``name`` (decorator-friendly)."""
+    return POLICIES.register(name, factory)
+
+
+def make_policy(name: str, **kwargs: Any):
+    """Instantiate the policy registered under ``name``."""
+    return POLICIES.make(name, **kwargs)
+
+
+def list_policies() -> List[str]:
+    """Sorted names of all registered policies."""
+    return POLICIES.names()
+
+
+def register_scheme(name: str, factory: Optional[Callable[..., Any]] = None):
+    """Register a scheme-model factory under ``name``."""
+    return SCHEMES.register(name, factory)
+
+
+def make_scheme(name: str, llc_lines: int, **kwargs: Any):
+    """Instantiate the scheme model ``name`` for an LLC size."""
+    return SCHEMES.make(name, llc_lines=llc_lines, **kwargs)
+
+
+def list_schemes() -> List[str]:
+    """Sorted names of all registered scheme models."""
+    return SCHEMES.names()
+
+
+def make_lc_workload_named(name: str, **kwargs: Any):
+    """Instantiate the LC workload model registered under ``name``."""
+    return LC_WORKLOADS.make(name, **kwargs)
+
+
+def list_lc_workloads() -> List[str]:
+    """Sorted names of all registered LC workloads."""
+    return LC_WORKLOADS.names()
+
+
+def make_batch_workload_named(name: str, **kwargs: Any):
+    """Instantiate a batch workload from a registered class key."""
+    return BATCH_WORKLOADS.make(name, **kwargs)
+
+
+def list_batch_classes() -> List[str]:
+    """Sorted keys of all registered batch workload classes."""
+    return BATCH_WORKLOADS.names()
+
+
+def _register_builtins() -> None:
+    """Populate the registries with everything the repo ships."""
+    from ..cache import schemes as _schemes
+    from ..core.ubik import UbikPolicy
+    from ..policies.fixed import FixedPolicy
+    from ..policies.lru import LRUPolicy
+    from ..policies.onoff import OnOffPolicy
+    from ..policies.static_lc import StaticLCPolicy
+    from ..policies.ucp import UCPPolicy
+    from ..workloads.batch import BATCH_CLASSES, make_batch_workload
+    from ..workloads.latency_critical import LC_NAMES, make_lc_workload
+
+    POLICIES.register("lru", LRUPolicy)
+    POLICIES.register("ucp", UCPPolicy)
+    POLICIES.register("onoff", OnOffPolicy)
+    POLICIES.register("static_lc", StaticLCPolicy)
+    POLICIES.register("fixed", FixedPolicy)
+    POLICIES.register("ubik", UbikPolicy)
+
+    SCHEMES.register("vantage_zcache", _schemes.vantage_zcache)
+    SCHEMES.register(
+        "vantage_sa16", lambda llc_lines: _schemes.vantage_setassoc(llc_lines, 16)
+    )
+    SCHEMES.register(
+        "vantage_sa64", lambda llc_lines: _schemes.vantage_setassoc(llc_lines, 64)
+    )
+    SCHEMES.register(
+        "waypart_sa16", lambda llc_lines: _schemes.way_partitioning(llc_lines, 16)
+    )
+    SCHEMES.register(
+        "waypart_sa64", lambda llc_lines: _schemes.way_partitioning(llc_lines, 64)
+    )
+
+    for lc_name in LC_NAMES:
+        LC_WORKLOADS.register(
+            lc_name,
+            lambda name=lc_name, **kw: make_lc_workload(name, **kw),
+        )
+    for cls in BATCH_CLASSES:
+        BATCH_WORKLOADS.register(
+            cls,
+            lambda batch_class=cls, **kw: make_batch_workload(batch_class, **kw),
+        )
+
+
+_register_builtins()

@@ -1,0 +1,285 @@
+"""The Session facade: specs in, records out, cache in between.
+
+A :class:`Session` ties the runtime's pieces together:
+
+* it owns a :class:`~repro.runtime.store.ResultStore` (persistent by
+  default; see ``REPRO_CACHE_DIR`` / ``REPRO_STORE``),
+* it owns an :class:`~repro.runtime.executors.Executor` (serial by
+  default; ``jobs``/``REPRO_JOBS`` selects the process-pool fan-out),
+* and it evaluates :class:`~repro.runtime.spec.RunSpec` batches by
+  serving store hits in-process and dispatching only the misses.
+
+Typical use::
+
+    >>> from repro.runtime import Session, PolicySpec
+    >>> from repro.experiments import ExperimentScale
+    >>> session = Session(jobs=4)
+    >>> sweep = session.sweep(ExperimentScale(requests=60,
+    ...     lc_names=("masstree",), loads=(0.2,), combos=("nft",)))
+    ...                                            # doctest: +SKIP
+
+Results are bit-identical across executors and across processes: every
+simulation is seeded from its spec alone, and the store is keyed by the
+spec's content fingerprint.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..sim.config import CoreKind
+from ..sim.mix_runner import BaselineResult, MixRunner
+from .executors import Executor, SerialExecutor, make_executor
+from .spec import (
+    PolicySpec,
+    RunRecord,
+    RunSpec,
+    SchemeSpec,
+    SweepResult,
+    mix_refs,
+)
+from .store import ResultStore, default_store_root
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "Session",
+    "execute_spec",
+    "record_from_result",
+    "get_session",
+    "reset_session",
+]
+
+#: The five schemes of Figures 9-11, in the paper's order.
+DEFAULT_POLICIES: Tuple[PolicySpec, ...] = (
+    PolicySpec.of("lru", label="LRU"),
+    PolicySpec.of("ucp", label="UCP"),
+    PolicySpec.of("onoff", label="OnOff"),
+    PolicySpec.of("static_lc", label="StaticLC"),
+    PolicySpec.of("ubik", label="Ubik", slack=0.05),
+)
+
+SchemeLike = Union[SchemeSpec, str, None]
+
+
+def _as_scheme_spec(scheme: SchemeLike) -> Optional[SchemeSpec]:
+    """Normalize a scheme argument (name, spec, or None)."""
+    if scheme is None or isinstance(scheme, SchemeSpec):
+        return scheme
+    return SchemeSpec.of(scheme)
+
+
+def record_from_result(result, policy_label: str, lc_name: str, load_label: str) -> RunRecord:
+    """One sweep :class:`RunRecord` from a :class:`MixResult`.
+
+    The single place the record's metrics are derived, shared by the
+    declarative path (:func:`execute_spec`) and the legacy factory
+    path in :mod:`repro.experiments.sweep`, so the two stay
+    record-for-record identical as fields are added.
+    """
+    return RunRecord(
+        mix_id=result.mix_id,
+        lc_name=lc_name,
+        load_label=load_label,
+        policy=policy_label,
+        tail_degradation=result.tail_degradation(),
+        weighted_speedup=result.weighted_speedup(),
+        lc_tail_cycles=result.tail95(),
+        baseline_tail_cycles=result.baseline_tail_cycles,
+        deboosts=sum(i.deboosts for i in result.lc_instances),
+        watermarks=sum(i.watermarks for i in result.lc_instances),
+    )
+
+
+def execute_spec(
+    spec: RunSpec, store: Optional[ResultStore] = None
+) -> RunRecord:
+    """Evaluate one run spec (store-aware, deterministic).
+
+    On a store hit the stored record is returned (relabeled to the
+    spec's display label); otherwise the mix is rebuilt from the spec,
+    simulated, and the fresh record is persisted before returning.
+    """
+    fingerprint = spec.fingerprint()
+    if store is not None:
+        hit = store.get_record(fingerprint)
+        if hit is not None:
+            return hit.relabeled(spec.policy.display)
+    config = spec.config()
+    runner = MixRunner(
+        config=config,
+        requests=spec.requests,
+        seed=spec.seed,
+        umon_noise=spec.umon_noise,
+        warmup_fraction=spec.warmup_fraction,
+        store=store,
+    )
+    mix = spec.mix.build()
+    scheme = spec.scheme.build(config.llc_lines) if spec.scheme else None
+    result = runner.run_mix(mix, spec.policy.build(), scheme=scheme)
+    record = record_from_result(
+        result,
+        policy_label=spec.policy.display,
+        lc_name=mix.lc_workload.name,
+        load_label=mix.load_label,
+    )
+    if store is not None:
+        store.put_record(fingerprint, record)
+    return record
+
+
+#: Per-process store handles, keyed by root (None = memory-only).
+#: Reusing one handle across the specs a worker evaluates lets its
+#: in-memory layer share isolated baselines between specs — matching
+#: the old shared-MixRunner behaviour even with the disk layer off.
+_WORKER_STORES: dict = {}
+
+
+def _execute_in_worker(spec: RunSpec, store_root: Optional[str]) -> RunRecord:
+    """Module-level worker entry point (picklable for process pools)."""
+    store = _WORKER_STORES.get(store_root)
+    if store is None:
+        store = ResultStore(store_root)
+        _WORKER_STORES[store_root] = store
+    return execute_spec(spec, store)
+
+
+class Session:
+    """Facade running declarative specs through a store and executor."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        executor: Optional[Executor] = None,
+        jobs: Optional[int] = None,
+    ):
+        if store is None:
+            store = ResultStore(default_store_root())
+        self.store = store
+        self.executor = executor if executor is not None else make_executor(jobs)
+
+    # ------------------------------------------------------------------
+    # Spec evaluation
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunRecord:
+        """Evaluate one spec in-process (store-aware)."""
+        return execute_spec(spec, self.store)
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Evaluate a batch: serve store hits, fan out the misses.
+
+        Results are returned in spec order regardless of executor, so
+        downstream reports are byte-identical at any ``--jobs``.
+        """
+        specs = list(specs)
+        records: List[Optional[RunRecord]] = [None] * len(specs)
+        misses: List[Tuple[int, RunSpec, str]] = []
+        for index, spec in enumerate(specs):
+            fingerprint = spec.fingerprint()
+            hit = self.store.get_record(fingerprint)
+            if hit is not None:
+                records[index] = hit.relabeled(spec.policy.display)
+            else:
+                misses.append((index, spec, fingerprint))
+        if misses:
+            if isinstance(self.executor, SerialExecutor):
+                # In-process: share this session's store directly, so
+                # its memory layer (baselines included) accumulates.
+                worker = functools.partial(execute_spec, store=self.store)
+            else:
+                worker = functools.partial(
+                    _execute_in_worker,
+                    store_root=(
+                        str(self.store.root) if self.store.root else None
+                    ),
+                )
+            fresh = self.executor.map(worker, [s for _, s, _ in misses])
+            for (index, __, fingerprint), record in zip(misses, fresh):
+                records[index] = record
+                # Workers already persisted to disk; keep the parent's
+                # in-memory layer warm without a second disk write.
+                self.store.cache_record(fingerprint, record)
+        return [r for r in records if r is not None]
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def sweep_specs(
+        self,
+        scale,
+        policies: Sequence[PolicySpec] = DEFAULT_POLICIES,
+        scheme: SchemeLike = None,
+        core_kind: str = CoreKind.OOO,
+    ) -> List[RunSpec]:
+        """The full (mix x policy) spec grid for an experiment scale."""
+        scheme_spec = _as_scheme_spec(scheme)
+        refs = mix_refs(
+            lc_names=scale.lc_names,
+            loads=scale.loads,
+            combos=scale.combos,
+            mixes_per_combo=scale.mixes_per_combo,
+            seed=scale.seed,
+        )
+        return [
+            RunSpec(
+                mix=ref,
+                policy=policy,
+                scheme=scheme_spec,
+                core_kind=core_kind,
+                requests=scale.requests,
+                seed=scale.seed,
+            )
+            for ref in refs
+            for policy in policies
+        ]
+
+    def sweep(
+        self,
+        scale,
+        policies: Sequence[PolicySpec] = DEFAULT_POLICIES,
+        scheme: SchemeLike = None,
+        core_kind: str = CoreKind.OOO,
+    ) -> SweepResult:
+        """Run (or fetch) a mixes x policies sweep as a SweepResult."""
+        specs = self.sweep_specs(scale, policies, scheme, core_kind)
+        return SweepResult(records=self.run_specs(specs))
+
+    # ------------------------------------------------------------------
+    # Baselines
+    # ------------------------------------------------------------------
+    def baseline(
+        self,
+        lc_name: str,
+        load: float,
+        core_kind: str = CoreKind.OOO,
+        requests: int = 120,
+        seed: int = 2014,
+    ) -> BaselineResult:
+        """Isolated 2 MB-private baseline for one (app, load) point."""
+        from ..sim.config import CMPConfig
+        from ..workloads.latency_critical import make_lc_workload
+
+        runner = MixRunner(
+            config=CMPConfig(core_kind=core_kind),
+            requests=requests,
+            seed=seed,
+            store=self.store,
+        )
+        return runner.baseline(make_lc_workload(lc_name), load)
+
+
+_SESSION: Optional[Session] = None
+
+
+def get_session() -> Session:
+    """The process-wide default session (created on first use)."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = Session()
+    return _SESSION
+
+
+def reset_session() -> None:
+    """Drop the default session (tests use this to repoint the store)."""
+    global _SESSION
+    _SESSION = None

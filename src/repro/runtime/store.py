@@ -1,0 +1,223 @@
+"""Persistent, fingerprint-keyed result store.
+
+Replaces the two process-local caches the experiments grew up with —
+``sweep._CACHE`` and ``MixRunner._baseline_cache`` — with a two-layer
+store every process can share:
+
+* an **in-memory layer** (a plain dict) for hot lookups within a
+  process, and
+* an **on-disk layer** of small JSON documents, sharded by fingerprint
+  prefix (``<root>/ab/abcdef….json``), written atomically
+  (temp file + :func:`os.replace`) so concurrent executor workers and
+  benchmark processes never observe torn entries.
+
+Keys are the canonical content fingerprints of
+:class:`~repro.runtime.spec.RunSpec` / ``BaselineSpec``; values are
+JSON documents wrapping a :class:`~repro.runtime.spec.RunRecord` or a
+baseline's latency summary.  The store location comes from
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro-ubik``); set
+``REPRO_STORE=0`` to keep everything in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from ..sim.mix_runner import BaselineResult
+from .spec import RunRecord, canonical_json
+
+__all__ = [
+    "ResultStore",
+    "default_store_root",
+    "DEFAULT_STORE_DIRNAME",
+]
+
+#: Directory under the user cache dir holding the default store.
+DEFAULT_STORE_DIRNAME = "repro-ubik"
+
+
+def default_store_root() -> Optional[Path]:
+    """Resolve the on-disk store location from the environment.
+
+    ``REPRO_STORE=0`` (or ``off``/``false``) disables the disk layer;
+    ``REPRO_CACHE_DIR`` overrides the location; otherwise the store
+    lives in ``~/.cache/repro-ubik`` (honouring ``XDG_CACHE_HOME``).
+    """
+    toggle = os.environ.get("REPRO_STORE", "").strip().lower()
+    if toggle in ("0", "off", "false", "no"):
+        return None
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override).expanduser()
+    cache_home = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(cache_home).expanduser() if cache_home else Path.home() / ".cache"
+    return base / DEFAULT_STORE_DIRNAME
+
+
+class ResultStore:
+    """Two-layer (memory + disk) JSON store keyed by fingerprint."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else None
+        self._mem: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Raw document layer
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> Path:
+        assert self.root is not None
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored document for a fingerprint, or ``None``."""
+        hit = self._mem.get(fingerprint)
+        if hit is not None:
+            return hit
+        if self.root is None:
+            return None
+        path = self._path(fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        self._mem[fingerprint] = payload
+        return payload
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        """Store a document in memory and (atomically) on disk."""
+        self._mem[fingerprint] = payload
+        if self.root is None:
+            return
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The .tmp suffix keeps in-flight files out of _disk_files().
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json.tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(canonical_json(payload))
+            try:
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                # A concurrent clear() swept our temp: the store is a
+                # cache, so losing this write is benign — the entry
+                # stays in the memory layer.
+                pass
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get(fingerprint) is not None
+
+    # ------------------------------------------------------------------
+    # Typed wrappers
+    # ------------------------------------------------------------------
+    def get_record(self, fingerprint: str) -> Optional[RunRecord]:
+        """A stored sweep :class:`RunRecord`, or ``None``."""
+        doc = self.get(fingerprint)
+        if doc is None or doc.get("kind") != "run":
+            return None
+        return RunRecord.from_dict(doc["record"])
+
+    def put_record(self, fingerprint: str, record: RunRecord) -> None:
+        """Persist one sweep record under its spec fingerprint."""
+        self.put(fingerprint, {"kind": "run", "record": record.to_dict()})
+
+    def cache_record(self, fingerprint: str, record: RunRecord) -> None:
+        """Warm the in-memory layer only (no disk write).
+
+        Used when another process is known to have persisted the entry
+        already — e.g. executor workers write to the shared disk root,
+        and the parent only needs fast in-process lookups.
+        """
+        self._mem[fingerprint] = {"kind": "run", "record": record.to_dict()}
+
+    def get_baseline(self, fingerprint: str) -> Optional[BaselineResult]:
+        """A stored isolated-baseline result, or ``None``."""
+        doc = self.get(fingerprint)
+        if doc is None or doc.get("kind") != "baseline":
+            return None
+        return BaselineResult(
+            tail95_cycles=doc["tail95_cycles"],
+            p95_cycles=doc["p95_cycles"],
+            latencies=tuple(doc["latencies"]),
+        )
+
+    def put_baseline(self, fingerprint: str, baseline: BaselineResult) -> None:
+        """Persist one isolated-baseline result."""
+        self.put(
+            fingerprint,
+            {
+                "kind": "baseline",
+                "tail95_cycles": baseline.tail95_cycles,
+                "p95_cycles": baseline.p95_cycles,
+                "latencies": list(baseline.latencies),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance / inspection
+    # ------------------------------------------------------------------
+    def _disk_files(self) -> Iterator[Path]:
+        if self.root is None or not self.root.exists():
+            return iter(())
+        return (
+            p for p in self.root.glob("??/*.json") if not p.name.startswith(".")
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry counts and disk footprint for ``repro cache``."""
+        files = list(self._disk_files())
+        kinds: Dict[str, int] = {}
+        disk_bytes = 0
+        for path in files:
+            try:
+                kind = json.loads(path.read_text()).get("kind", "?")
+                disk_bytes += path.stat().st_size
+            except OSError:
+                # Entry vanished mid-scan (a concurrent clear): the
+                # store tolerates this race everywhere else, too.
+                kind = "vanished"
+            except ValueError:
+                kind = "corrupt"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "root": str(self.root) if self.root else None,
+            "memory_entries": len(self._mem),
+            "disk_entries": len(files),
+            "disk_bytes": disk_bytes,
+            "by_kind": kinds,
+        }
+
+    def clear(self) -> int:
+        """Drop every entry (both layers); returns disk entries removed.
+
+        Also sweeps temp files orphaned by killed writers.  Temps of
+        *live* writers are never unlinked mid-write thanks to the
+        ``.json.tmp`` suffix keeping them out of :meth:`_disk_files` —
+        but the orphan sweep here is best-effort by nature.
+        """
+        self._mem.clear()
+        removed = 0
+        for path in self._disk_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root is not None and self.root.exists():
+            for orphan in self.root.glob("??/.tmp-*.json.tmp"):
+                try:
+                    orphan.unlink()
+                except OSError:
+                    pass
+        return removed

@@ -62,6 +62,7 @@ class MixRunner:
         seed: int = 1,
         umon_noise: float = 0.02,
         warmup_fraction: float = 0.05,
+        store: Optional["ResultStore"] = None,
     ):
         self.config = config or CMPConfig()
         if requests < 20:
@@ -70,6 +71,10 @@ class MixRunner:
         self.seed = seed
         self.umon_noise = umon_noise
         self.warmup_fraction = warmup_fraction
+        #: Optional persistent result store; when set, isolated
+        #: baselines are fetched from / written to it so every process
+        #: sharing the store computes each baseline exactly once.
+        self.store = store
         self._baseline_cache: Dict[Tuple[str, float, str], BaselineResult] = {}
 
     # ------------------------------------------------------------------
@@ -100,12 +105,39 @@ class MixRunner:
     # ------------------------------------------------------------------
     # Baselines
     # ------------------------------------------------------------------
+    def _baseline_fingerprint(self, workload: LCWorkload, load: float) -> str:
+        """Store key capturing everything the baseline depends on."""
+        from ..runtime.spec import BaselineSpec, config_fingerprint
+
+        return BaselineSpec(
+            lc_name=workload.name,
+            load=load,
+            core_kind=self.config.core_kind,
+            requests=self.requests,
+            seed=self.seed,
+            warmup_fraction=self.warmup_fraction,
+            target_lines=int(workload.target_lines),
+            config_key=config_fingerprint(self.config),
+        ).fingerprint()
+
     def baseline(self, workload: LCWorkload, load: float) -> BaselineResult:
-        """Isolated run at the target allocation (cached)."""
+        """Isolated run at the target allocation (cached).
+
+        Lookup order: in-memory cache, then the persistent store (if
+        attached), then a fresh three-instance isolated simulation
+        whose result is written back to both layers.
+        """
         key = (workload.name, load, self.config.core_kind)
         hit = self._baseline_cache.get(key)
         if hit is not None:
             return hit
+        fingerprint = ""
+        if self.store is not None:
+            fingerprint = self._baseline_fingerprint(workload, load)
+            stored = self.store.get_baseline(fingerprint)
+            if stored is not None:
+                self._baseline_cache[key] = stored
+                return stored
         pooled: List[float] = []
         for instance in range(LC_INSTANCES):
             arrivals, works = self._stream(workload, load, instance)
@@ -136,6 +168,8 @@ class MixRunner:
             latencies=tuple(pooled),
         )
         self._baseline_cache[key] = baseline
+        if self.store is not None:
+            self.store.put_baseline(fingerprint, baseline)
         return baseline
 
     # ------------------------------------------------------------------

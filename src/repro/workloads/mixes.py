@@ -23,6 +23,7 @@ from .latency_critical import LC_NAMES, LCWorkload, make_lc_workload
 __all__ = [
     "LOW_LOAD",
     "HIGH_LOAD",
+    "load_label",
     "MixSpec",
     "batch_type_combos",
     "make_batch_mix",
@@ -37,6 +38,11 @@ HIGH_LOAD = 0.6
 #: LC instances and batch apps per six-core mix.
 LC_INSTANCES = 3
 BATCH_APPS = 3
+
+
+def load_label(load: float) -> str:
+    """``"lo"``/``"hi"`` bucket for an LC load (midpoint threshold)."""
+    return "lo" if load <= (LOW_LOAD + HIGH_LOAD) / 2 else "hi"
 
 
 @dataclass(frozen=True)
@@ -57,7 +63,7 @@ class MixSpec:
 
     @property
     def load_label(self) -> str:
-        return "lo" if self.load <= (LOW_LOAD + HIGH_LOAD) / 2 else "hi"
+        return load_label(self.load)
 
 
 def batch_type_combos() -> List[Tuple[str, str, str]]:
@@ -119,10 +125,9 @@ def make_mix_specs(
         workload = make_lc_workload(name, target_mb=target_mb)
         for load in loads:
             for combo_label, batch_apps in batch_mixes:
-                load_label = "lo" if load <= (LOW_LOAD + HIGH_LOAD) / 2 else "hi"
                 specs.append(
                     MixSpec(
-                        mix_id=f"{name}-{load_label}-{combo_label}",
+                        mix_id=f"{name}-{load_label(load)}-{combo_label}",
                         lc_workload=workload,
                         load=load,
                         batch_apps=batch_apps,

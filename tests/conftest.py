@@ -1,0 +1,24 @@
+"""Test-suite isolation for the persistent result store.
+
+The runtime's default ``Session`` persists results under
+``~/.cache/repro-ubik`` so real experiment processes share work.  The
+test suite must stay hermetic: point the store at a throwaway
+directory for the whole session unless the environment explicitly
+chose one (the CI workflow does, to exercise cross-process reuse).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    if os.environ.get("REPRO_CACHE_DIR") or os.environ.get("REPRO_STORE"):
+        yield
+        return
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-store"))
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)

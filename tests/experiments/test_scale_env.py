@@ -11,10 +11,12 @@ class TestDefaultScale:
         monkeypatch.delenv("REPRO_REQUESTS", raising=False)
         monkeypatch.delenv("REPRO_LC", raising=False)
         monkeypatch.delenv("REPRO_MIXES", raising=False)
+        monkeypatch.delenv("REPRO_LOADS", raising=False)
         scale = default_scale()
         assert scale.requests == 120
         assert scale.lc_names == LC_NAMES
         assert len(scale.combos) == 6  # representative subset
+        assert scale.loads == (0.2, 0.6)
 
     def test_requests_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_REQUESTS", "300")
@@ -34,3 +36,14 @@ class TestDefaultScale:
         monkeypatch.setenv("REPRO_LC", "redis")
         with pytest.raises(ValueError):
             default_scale()
+
+    def test_loads_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOADS", "0.2")
+        assert default_scale().loads == (0.2,)
+
+    def test_loads_override_in_full_grid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOADS", "0.3,0.7")
+        monkeypatch.setenv("REPRO_MIXES", "1")
+        scale = default_scale()
+        assert scale.loads == (0.3, 0.7)
+        assert len(scale.combos) == 20

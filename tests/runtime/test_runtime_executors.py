@@ -1,0 +1,64 @@
+"""Tests for the serial and process-pool executors."""
+
+import pytest
+
+from repro.runtime.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    make_executor,
+)
+
+
+def _square(x: int) -> int:
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+
+class TestParallelExecutor:
+    def test_maps_in_order_across_processes(self):
+        result = ParallelExecutor(2).map(_square, list(range(8)))
+        assert result == [x * x for x in range(8)]
+
+    def test_single_item_stays_in_process(self):
+        assert ParallelExecutor(4).map(_square, [5]) == [25]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestDefaultJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        assert isinstance(make_executor(), SerialExecutor)
+
+    def test_env_selects_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        executor = make_executor()
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() >= 1
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_explicit_jobs_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert make_executor(2).jobs == 2

@@ -1,0 +1,187 @@
+"""Tests for declarative run specs and their fingerprints."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.spec import (
+    BaselineSpec,
+    MixRef,
+    PolicySpec,
+    RunRecord,
+    RunSpec,
+    SchemeSpec,
+    mix_refs,
+)
+from repro.workloads.mixes import make_mix_specs
+
+
+def _spec() -> RunSpec:
+    return RunSpec(
+        mix=MixRef(lc_name="shore", load=0.2, combo="nft"),
+        policy=PolicySpec.of("ubik", label="Ubik", slack=0.05),
+        scheme=SchemeSpec.of("vantage_sa16"),
+        requests=80,
+        seed=7,
+    )
+
+
+class TestPolicySpec:
+    def test_kwargs_canonical_order(self):
+        a = PolicySpec.of("ubik", slack=0.05, boost_enabled=False)
+        b = PolicySpec.of("ubik", boost_enabled=False, slack=0.05)
+        assert a == b
+
+    def test_display_defaults_to_name(self):
+        assert PolicySpec.of("lru").display == "lru"
+        assert PolicySpec.of("lru", label="LRU").display == "LRU"
+
+    def test_non_scalar_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            PolicySpec.of("ubik", slack=[0.05])
+
+    def test_build(self):
+        policy = PolicySpec.of("ubik", slack=0.01).build()
+        assert policy.slack == 0.01
+
+
+class TestMixRef:
+    def test_matches_make_mix_specs(self):
+        old = make_mix_specs(
+            lc_names=["shore"], loads=[0.2], mixes_per_combo=1
+        )[5]
+        ref = MixRef(lc_name="shore", load=0.2, combo="nft")
+        built = ref.build()
+        assert built.mix_id == old.mix_id
+        assert [b.name for b in built.batch_apps] == [
+            b.name for b in old.batch_apps
+        ]
+        assert [b.profile for b in built.batch_apps] == [
+            b.profile for b in old.batch_apps
+        ]
+
+    def test_unknown_combo_rejected(self):
+        with pytest.raises(ValueError, match="unknown batch combo"):
+            MixRef(lc_name="shore", load=0.2, combo="xyz").build()
+
+    def test_mix_refs_grid_matches_scaled_specs(self):
+        from repro.experiments.common import ExperimentScale, scaled_mix_specs
+
+        scale = ExperimentScale(
+            requests=60,
+            lc_names=("shore", "masstree"),
+            loads=(0.2, 0.6),
+            combos=("nft", "sss"),
+            mixes_per_combo=1,
+        )
+        refs = mix_refs(
+            scale.lc_names,
+            scale.loads,
+            scale.combos,
+            scale.mixes_per_combo,
+            scale.seed,
+        )
+        assert [r.mix_id for r in refs] == [
+            s.mix_id for s in scaled_mix_specs(scale)
+        ]
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert _spec().fingerprint() == _spec().fingerprint()
+
+    def test_label_does_not_affect_fingerprint(self):
+        a = _spec()
+        b = RunSpec(
+            mix=a.mix,
+            policy=PolicySpec.of("ubik", label="Renamed", slack=0.05),
+            scheme=a.scheme,
+            requests=a.requests,
+            seed=a.seed,
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_content_changes_fingerprint(self):
+        a = _spec()
+        variants = [
+            RunSpec(mix=a.mix, policy=PolicySpec.of("ubik", slack=0.10),
+                    scheme=a.scheme, requests=a.requests, seed=a.seed),
+            RunSpec(mix=a.mix, policy=a.policy, scheme=None,
+                    requests=a.requests, seed=a.seed),
+            RunSpec(mix=a.mix, policy=a.policy, scheme=a.scheme,
+                    requests=a.requests, seed=a.seed + 1),
+            RunSpec(mix=MixRef(lc_name="moses", load=0.2, combo="nft"),
+                    policy=a.policy, scheme=a.scheme,
+                    requests=a.requests, seed=a.seed),
+        ]
+        fingerprints = {v.fingerprint() for v in variants}
+        assert a.fingerprint() not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_stable_across_processes(self):
+        """The store key must not depend on per-process hash state."""
+        code = (
+            "from repro.runtime.spec import RunSpec, MixRef, PolicySpec, "
+            "SchemeSpec\n"
+            "spec = RunSpec(mix=MixRef(lc_name='shore', load=0.2, "
+            "combo='nft'), policy=PolicySpec.of('ubik', label='Ubik', "
+            "slack=0.05), scheme=SchemeSpec.of('vantage_sa16'), "
+            "requests=80, seed=7)\n"
+            "print(spec.fingerprint())"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == _spec().fingerprint()
+
+    def test_json_round_trip(self):
+        spec = _spec()
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_baseline_spec_fingerprint_differs_by_field(self):
+        a = BaselineSpec(
+            lc_name="shore", load=0.2, core_kind="ooo", requests=80, seed=7
+        )
+        b = BaselineSpec(
+            lc_name="shore", load=0.2, core_kind="ooo", requests=80, seed=8
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestRunRecord:
+    def test_round_trip_ignores_unknown_keys(self):
+        record = RunRecord(
+            mix_id="m",
+            lc_name="shore",
+            load_label="lo",
+            policy="Ubik",
+            tail_degradation=1.0,
+            weighted_speedup=1.2,
+            lc_tail_cycles=10.0,
+            baseline_tail_cycles=10.0,
+        )
+        payload = dict(record.to_dict(), future_field=123)
+        assert RunRecord.from_dict(payload) == record
+
+    def test_relabeled(self):
+        record = RunRecord(
+            mix_id="m",
+            lc_name="shore",
+            load_label="lo",
+            policy="Ubik",
+            tail_degradation=1.0,
+            weighted_speedup=1.2,
+            lc_tail_cycles=10.0,
+            baseline_tail_cycles=10.0,
+        )
+        assert record.relabeled("Ubik") is record
+        assert record.relabeled("Ubik-5%").policy == "Ubik-5%"

@@ -52,6 +52,12 @@ MODULES = [
     "repro.core.deboost",
     "repro.core.slack",
     "repro.core.ubik",
+    "repro.runtime",
+    "repro.runtime.registry",
+    "repro.runtime.spec",
+    "repro.runtime.store",
+    "repro.runtime.executors",
+    "repro.runtime.session",
     "repro.sim",
     "repro.sim.config",
     "repro.sim.fill",

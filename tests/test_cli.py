@@ -32,3 +32,26 @@ class TestCLI:
         assert main(["fig1a", "--lc", "masstree", "--requests", "40"]) == 0
         out = capsys.readouterr().out
         assert "Tail95" in out
+
+    def test_list_mentions_cache(self, capsys):
+        assert main(["list"]) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_cache_stats_and_clear(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert main(["cache", "--clear"]) == 0
+        assert "cleared 0" in capsys.readouterr().out
+
+    def test_jobs_flag_accepted(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_LC", "masstree")
+        monkeypatch.setenv("REPRO_REQUESTS", "40")
+        monkeypatch.setenv("REPRO_LOADS", "0.2")
+        assert main(["utilization", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Utilization" in out
