@@ -1,0 +1,63 @@
+"""Stream a large spec grid through the async batched scheduler.
+
+Builds a multi-figure grid (the Table 3 policies plus a slack sweep
+and both extension studies), then drains it through
+``Session.run_many(..., scheduler="async")`` with a progress printer.
+Run it twice: the second pass is served entirely from the persistent
+result store — watch the ``cached`` counter.
+
+Usage::
+
+    PYTHONPATH=src python examples/async_grid.py
+"""
+
+from repro.experiments.bandwidth_study import BandwidthSpec
+from repro.experiments.common import ExperimentScale
+from repro.experiments.scaleout import ScaleoutSpec
+from repro.runtime import PolicySpec, Session
+from repro.runtime.session import DEFAULT_POLICIES
+
+
+def main() -> None:
+    scale = ExperimentScale(
+        requests=60,
+        lc_names=("masstree", "shore"),
+        loads=(0.2, 0.6),
+        combos=("nft", "sss"),
+    )
+    session = Session(jobs=4, scheduler="async", progress=_print_every_tenth)
+
+    specs = []
+    specs += session.sweep_specs(scale, policies=DEFAULT_POLICIES)
+    specs += session.sweep_specs(
+        scale,
+        policies=tuple(
+            PolicySpec.of("ubik", label=f"Ubik-{s:.0%}", slack=s)
+            for s in (0.0, 0.01, 0.10)
+        ),
+    )
+    specs += [
+        ScaleoutSpec(cores=cores, policy=PolicySpec.of("ubik", slack=0.05), requests=60)
+        for cores in (6, 12)
+    ]
+    specs += [
+        BandwidthSpec(
+            peak_misses_per_kilocycle=peak,
+            policy=PolicySpec.of("ubik", slack=0.05),
+            requests=60,
+        )
+        for peak in (1e9, 100.0)
+    ]
+
+    print(f"draining {len(specs)} specs through the async scheduler…")
+    results = session.run_many(specs)
+    print(f"done: {len(results)} results (mix of RunRecords and task points)")
+
+
+def _print_every_tenth(event) -> None:
+    if event.phase in ("done", "cancelled") or event.done % 10 == 0:
+        print(f"  [{event.phase:>9}] {event}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,7 @@ Packages:
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
+from ._version import __version__
 from .core import UbikPolicy
 from .monitor import MissCurve
 from .policies import (
@@ -74,8 +75,6 @@ from .workloads import (
     make_lc_workload,
     make_mix_specs,
 )
-
-__version__ = "1.1.0"
 
 __all__ = [
     "UbikPolicy",

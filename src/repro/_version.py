@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+Lives in its own leaf module so low-level code (e.g. the result store,
+which stamps every record it writes) can read the version without
+importing the full :mod:`repro` package and risking import cycles.
+"""
+
+__version__ = "1.2.0"

@@ -7,16 +7,20 @@ Usage::
     python -m repro fig2
     python -m repro fig9 --requests 100 --lc shore,specjbb
     python -m repro table3 --jobs 4
+    python -m repro table3 --scheduler async --jobs 4
     python -m repro fig12
     python -m repro scaleout --cores 6,12
     python -m repro cache
+    python -m repro cache --prune
     python -m repro cache --clear
 
 Each command prints the same report its pytest benchmark writes to
 ``benchmarks/results/``.  ``--jobs N`` fans sweep grids over N worker
-processes (results are bit-identical to ``--jobs 1``); completed runs
-persist in the result store (``repro cache`` inspects it), so repeat
-invocations are served from disk.
+processes and ``--scheduler async`` streams them through the batched
+asyncio engine with a live progress ticker on stderr (results are
+bit-identical to ``--jobs 1`` either way); completed runs persist in
+the result store (``repro cache`` inspects, ``--prune`` garbage-collects
+stale schema generations), so repeat invocations are served from disk.
 """
 
 from __future__ import annotations
@@ -43,6 +47,8 @@ from .experiments import (
     run_utilization,
 )
 from .experiments.table3_speedups import format_table3
+from .runtime.executors import EXECUTOR_KINDS
+from .runtime.scheduler import ProgressEvent
 from .runtime.session import Session
 from .workloads.latency_critical import LC_NAMES
 
@@ -79,8 +85,28 @@ def _scale_from_args(args) -> ExperimentScale:
     )
 
 
+def _progress_ticker(stream=None):
+    """A live one-line progress ticker consuming scheduler events."""
+    stream = stream if stream is not None else sys.stderr
+
+    def tick(event: ProgressEvent) -> None:
+        stream.write(f"\r[repro] {event}\x1b[K")
+        if event.phase in ("done", "cancelled"):
+            stream.write("\n")
+        stream.flush()
+
+    return tick
+
+
 def _session_from_args(args) -> Session:
-    return Session(jobs=args.jobs)
+    scheduler = getattr(args, "scheduler", "auto")
+    if scheduler == "auto":
+        return Session(jobs=args.jobs)
+    return Session(
+        jobs=args.jobs,
+        scheduler=scheduler,
+        progress=_progress_ticker() if scheduler == "async" else None,
+    )
 
 
 def _cmd_list(args) -> None:
@@ -210,7 +236,11 @@ def _cmd_utilization(args) -> None:
 
 def _cmd_scaleout(args) -> None:
     cores = tuple(int(c) for c in (args.cores or "6,12").split(","))
-    results = run_scaleout(core_counts=cores, requests=args.requests or 80)
+    results = run_scaleout(
+        core_counts=cores,
+        requests=args.requests or 80,
+        session=_session_from_args(args),
+    )
     rows = [
         [r.cores, r.policy, f"{r.tail_degradation:.3f}", f"{r.weighted_speedup:.3f}"]
         for r in results
@@ -219,7 +249,9 @@ def _cmd_scaleout(args) -> None:
 
 
 def _cmd_bandwidth(args) -> None:
-    points = run_bandwidth_study(requests=args.requests or 100)
+    points = run_bandwidth_study(
+        requests=args.requests or 100, session=_session_from_args(args)
+    )
     rows = [
         [
             "inf" if p.peak_misses_per_kilocycle > 1e6 else f"{p.peak_misses_per_kilocycle:.0f}",
@@ -237,6 +269,13 @@ def _cmd_cache(args) -> None:
     if args.clear:
         removed = store.clear()
         print(f"cleared {removed} stored result(s)")
+        return
+    if args.prune:
+        counts = store.prune()
+        print(
+            f"pruned {counts['pruned']} stale result(s), "
+            f"kept {counts['kept']} current"
+        )
         return
     stats = store.stats()
     rows = [
@@ -284,9 +323,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "0 = all cores)",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=EXECUTOR_KINDS,
+        default="auto",
+        help="batch engine: auto (serial/parallel by --jobs), serial, "
+        "parallel, or async (bounded streaming pool with a live "
+        "progress ticker)",
+    )
+    parser.add_argument(
         "--clear",
         action="store_true",
         help="with the cache command: delete every stored result",
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="with the cache command: drop results from stale schema "
+        "generations",
     )
     args = parser.parse_args(argv)
     _HANDLERS[args.command](args)

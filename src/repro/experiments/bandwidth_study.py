@@ -10,24 +10,22 @@ Expected shape: with generous bandwidth, Ubik and StaticLC hold tails
 at ~1.0x; as the channel tightens, *both* degrade — the interference
 arrives through a resource neither manages — demonstrating why the
 paper calls for pairing Ubik with bandwidth partitioning.
+
+Each (channel capacity, policy) point is a declarative
+:class:`BandwidthSpec` evaluated by the runtime session — store,
+``--jobs``, and scheduler included; the engine driving lives in
+:func:`repro.sim.study_runner.run_bandwidth_point`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import ClassVar, List, Optional, Sequence
 
-import numpy as np
+from ..runtime.session import Session, get_session
+from ..runtime.spec import PolicySpec, TaskSpec
 
-from ..core.ubik import UbikPolicy
-from ..policies.static_lc import StaticLCPolicy
-from ..sim.bandwidth import BandwidthModel
-from ..sim.config import CMPConfig
-from ..sim.engine import LCInstanceSpec, MixEngine
-from ..sim.mix_runner import MixRunner
-from ..workloads.mixes import make_mix_specs
-
-__all__ = ["BandwidthPoint", "run_bandwidth_study"]
+__all__ = ["BandwidthPoint", "BandwidthSpec", "run_bandwidth_study"]
 
 
 @dataclass(frozen=True)
@@ -40,12 +38,46 @@ class BandwidthPoint:
     weighted_speedup: float
 
 
+@dataclass(frozen=True)
+class BandwidthSpec(TaskSpec):
+    """One (channel capacity, policy) contention point, declaratively.
+
+    ``mix_index`` selects which of the twenty single-replicate batch
+    combos hosts the study (the historical default is index 9, a
+    streaming-heavy trio that actually pressures the channel).
+    """
+
+    kind: ClassVar[str] = "bandwidth"
+    result_type: ClassVar[Optional[type]] = BandwidthPoint
+
+    peak_misses_per_kilocycle: float
+    policy: PolicySpec
+    lc_name: str = "specjbb"
+    load: float = 0.3
+    requests: int = 120
+    seed: int = 31
+    mix_index: int = 9
+
+    def compute(self, store) -> BandwidthPoint:
+        from ..sim.study_runner import run_bandwidth_point
+
+        return run_bandwidth_point(self, store)
+
+
+#: StaticLC versus Ubik, as in the historical study.
+_BANDWIDTH_POLICIES = (
+    PolicySpec.of("static_lc"),
+    PolicySpec.of("ubik", slack=0.05),
+)
+
+
 def run_bandwidth_study(
     peaks: Sequence[float] = (1e9, 160.0, 100.0, 70.0),
     lc_name: str = "specjbb",
     load: float = 0.3,
     requests: int = 120,
     seed: int = 31,
+    session: Optional[Session] = None,
 ) -> List[BandwidthPoint]:
     """Sweep channel capacity for one mix under StaticLC and Ubik.
 
@@ -54,47 +86,17 @@ def run_bandwidth_study(
     the rest put the streaming-heavy mix at roughly 30%, 50% and 70%
     channel utilization.
     """
-    spec = make_mix_specs(
-        lc_names=[lc_name], loads=[load], mixes_per_combo=1
-    )[9]
-    runner = MixRunner(requests=requests, seed=seed)
-    baseline = runner.baseline(spec.lc_workload, load)
-    results: List[BandwidthPoint] = []
-    for peak in peaks:
-        bandwidth = BandwidthModel(peak_misses_per_kilocycle=peak)
-        for policy_factory in (StaticLCPolicy, lambda: UbikPolicy(slack=0.05)):
-            policy = policy_factory()
-            lc_specs = []
-            for instance in range(3):
-                arrivals, works = runner._stream(spec.lc_workload, load, instance)
-                lc_specs.append(
-                    LCInstanceSpec(
-                        workload=spec.lc_workload,
-                        arrivals=arrivals,
-                        works=works,
-                        deadline_cycles=baseline.p95_cycles,
-                        target_tail_cycles=baseline.tail95_cycles,
-                        load=load,
-                    )
-                )
-            engine = MixEngine(
-                lc_specs=lc_specs,
-                batch_workloads=list(spec.batch_apps),
-                policy=policy,
-                config=CMPConfig(),
-                seed=seed,
-                baseline_lines=float(spec.lc_workload.target_lines),
-                mix_id=f"bw-{peak}",
-                bandwidth=bandwidth,
-            )
-            result = engine.run()
-            result.baseline_tail_cycles = baseline.tail95_cycles
-            results.append(
-                BandwidthPoint(
-                    peak_misses_per_kilocycle=peak,
-                    policy=policy.name,
-                    tail_degradation=result.tail_degradation(),
-                    weighted_speedup=result.weighted_speedup(),
-                )
-            )
-    return results
+    specs = [
+        BandwidthSpec(
+            peak_misses_per_kilocycle=float(peak),
+            policy=policy,
+            lc_name=lc_name,
+            load=load,
+            requests=requests,
+            seed=seed,
+        )
+        for peak in peaks
+        for policy in _BANDWIDTH_POLICIES
+    ]
+    session = session or get_session()
+    return session.run_many(specs)

@@ -7,26 +7,23 @@ machine — N latency-critical instances plus N batch apps sharing an
 LLC that grows proportionally (2 MB per core, as in the baseline) — and
 checks that Ubik's guarantees are scale-free: tails stay at the
 baseline while batch throughput keeps its gains.
+
+Each (machine size, policy) point is a declarative
+:class:`ScaleoutSpec` evaluated by the runtime session, so the study
+rides the persistent store, ``--jobs``, and the async scheduler like
+every sweep; the engine driving lives in
+:func:`repro.sim.study_runner.run_scaleout_point`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import ClassVar, List, Optional, Sequence
 
-import numpy as np
+from ..runtime.session import Session, get_session
+from ..runtime.spec import PolicySpec, TaskSpec
 
-from ..core.ubik import UbikPolicy
-from ..policies.fixed import FixedPolicy
-from ..policies.static_lc import StaticLCPolicy
-from ..server.latency import percentile_latency, tail_mean
-from ..sim.config import CMPConfig
-from ..sim.engine import LCInstanceSpec, MixEngine
-from ..workloads.arrivals import generate_arrivals
-from ..workloads.batch import make_batch_workload
-from ..workloads.latency_critical import make_lc_workload
-
-__all__ = ["ScaleOutResult", "run_scaleout"]
+__all__ = ["ScaleOutResult", "ScaleoutSpec", "run_scaleout"]
 
 
 @dataclass(frozen=True)
@@ -39,49 +36,35 @@ class ScaleOutResult:
     weighted_speedup: float
 
 
-def _lc_specs(workload, load, instances, requests, seed, config):
-    specs = []
-    for instance in range(instances):
-        rng = np.random.default_rng((seed, instance))
-        works = np.asarray([workload.work.sample(rng) for _ in range(requests)])
-        arrivals = generate_arrivals(
-            requests,
-            load,
-            workload.mean_service_cycles(),
-            rng,
-            coalescing_timeout_cycles=config.coalescing_timeout_cycles,
-        )
-        specs.append(
-            LCInstanceSpec(
-                workload=workload,
-                arrivals=arrivals,
-                works=works,
-                deadline_cycles=1.0,  # refined after the baseline run
-                target_tail_cycles=1.0,
-                load=load,
-            )
-        )
-    return specs
+@dataclass(frozen=True)
+class ScaleoutSpec(TaskSpec):
+    """One (machine size, policy) scaleout point, declaratively."""
+
+    kind: ClassVar[str] = "scaleout"
+    result_type: ClassVar[Optional[type]] = ScaleOutResult
+
+    cores: int
+    policy: PolicySpec
+    lc_name: str = "shore"
+    load: float = 0.2
+    requests: int = 100
+    seed: int = 21
+
+    def __post_init__(self) -> None:
+        if self.cores % 2 != 0:
+            raise ValueError("core counts must be even (half LC, half batch)")
+
+    def compute(self, store) -> ScaleOutResult:
+        from ..sim.study_runner import run_scaleout_point
+
+        return run_scaleout_point(self, store)
 
 
-def _isolated_baseline(workload, specs, config, seed):
-    """Pooled tail of the same streams run alone at the target size.
-
-    Using the identical fixed-work streams keeps the comparison
-    sample-balanced (the paper's methodology)."""
-    pooled = []
-    for spec in specs:
-        engine = MixEngine(
-            lc_specs=[spec],
-            batch_workloads=[],
-            policy=FixedPolicy({0: float(workload.target_lines)}),
-            config=config,
-            seed=seed,
-            umon_noise=0.0,
-            mix_id="scaleout-baseline",
-        )
-        pooled.extend(engine.run().lc_instances[0].latencies)
-    return tail_mean(pooled, 95.0), percentile_latency(pooled, 95.0)
+#: The two policies whose scale behaviour the study contrasts.
+_SCALEOUT_POLICIES = (
+    PolicySpec.of("static_lc"),
+    PolicySpec.of("ubik", slack=0.05),
+)
 
 
 def run_scaleout(
@@ -90,51 +73,20 @@ def run_scaleout(
     load: float = 0.2,
     requests: int = 100,
     seed: int = 21,
+    session: Optional[Session] = None,
 ) -> List[ScaleOutResult]:
     """Sweep machine sizes; half the cores run LC, half batch."""
-    results: List[ScaleOutResult] = []
-    workload = make_lc_workload(lc_name)
-    batch_classes = ("n", "f", "t", "s")
-    for cores in core_counts:
-        if cores % 2 != 0:
-            raise ValueError("core counts must be even (half LC, half batch)")
-        config = CMPConfig(num_cores=cores).with_llc_mb(2.0 * cores)
-        lc_instances = cores // 2
-        batch_apps = [
-            make_batch_workload(batch_classes[i % 4], seed=seed + i, instance=i)
-            for i in range(cores - lc_instances)
-        ]
-        specs = _lc_specs(workload, load, lc_instances, requests, seed, config)
-        tail95, p95 = _isolated_baseline(workload, specs, config, seed)
-        specs = [
-            LCInstanceSpec(
-                workload=s.workload,
-                arrivals=s.arrivals,
-                works=s.works,
-                deadline_cycles=p95,
-                target_tail_cycles=tail95,
-                load=s.load,
-            )
-            for s in specs
-        ]
-        for policy in (StaticLCPolicy(), UbikPolicy(slack=0.05)):
-            engine = MixEngine(
-                lc_specs=specs,
-                batch_workloads=batch_apps,
-                policy=policy,
-                config=config,
-                seed=seed,
-                baseline_lines=float(workload.target_lines),
-                mix_id=f"scaleout-{cores}",
-            )
-            result = engine.run()
-            result.baseline_tail_cycles = tail95
-            results.append(
-                ScaleOutResult(
-                    cores=cores,
-                    policy=policy.name,
-                    tail_degradation=result.tail_degradation(),
-                    weighted_speedup=result.weighted_speedup(),
-                )
-            )
-    return results
+    specs = [
+        ScaleoutSpec(
+            cores=cores,
+            policy=policy,
+            lc_name=lc_name,
+            load=load,
+            requests=requests,
+            seed=seed,
+        )
+        for cores in core_counts
+        for policy in _SCALEOUT_POLICIES
+    ]
+    session = session or get_session()
+    return session.run_many(specs)

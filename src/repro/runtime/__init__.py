@@ -12,6 +12,9 @@ memoization, experiments describe work declaratively and hand it to a
   :class:`RunSpec` descriptions with canonical content fingerprints.
 * :mod:`~repro.runtime.executors` — serial and process-pool executors
   with bit-identical results (``REPRO_JOBS`` / ``--jobs``).
+* :mod:`~repro.runtime.scheduler` — the asyncio executor and the
+  batched :class:`SpecScheduler`: bounded-pool streaming with
+  store-hit short-circuiting, in-flight dedup, and progress events.
 * :mod:`~repro.runtime.store` — a persistent fingerprint-keyed result
   store shared across processes (``REPRO_CACHE_DIR``).
 * :mod:`~repro.runtime.session` — the :class:`Session` facade tying
@@ -19,11 +22,19 @@ memoization, experiments describe work declaratively and hand it to a
 """
 
 from .executors import (
+    EXECUTOR_KINDS,
     Executor,
     ParallelExecutor,
     SerialExecutor,
     default_jobs,
     make_executor,
+    resolve_jobs,
+)
+from .scheduler import (
+    AsyncExecutor,
+    ProgressEvent,
+    SchedulerCancelled,
+    SpecScheduler,
 )
 from .registry import (
     BATCH_WORKLOADS,
@@ -57,6 +68,7 @@ from .spec import (
     RunSpec,
     SchemeSpec,
     SweepResult,
+    TaskSpec,
     mix_refs,
 )
 from .store import ResultStore, default_store_root
@@ -82,13 +94,20 @@ __all__ = [
     "MixRef",
     "BaselineSpec",
     "RunSpec",
+    "TaskSpec",
     "RunRecord",
     "SweepResult",
     "mix_refs",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "AsyncExecutor",
+    "SpecScheduler",
+    "ProgressEvent",
+    "SchedulerCancelled",
+    "EXECUTOR_KINDS",
     "default_jobs",
+    "resolve_jobs",
     "make_executor",
     "ResultStore",
     "default_store_root",

@@ -11,9 +11,12 @@ sequence of items and return the results *in input order*.
 * :class:`ParallelExecutor` — a ``concurrent.futures``
   ``ProcessPoolExecutor`` fan-out.  Worker count comes from the
   constructor, else the ``REPRO_JOBS`` environment variable, else 1.
+* :class:`~repro.runtime.scheduler.AsyncExecutor` (in the scheduler
+  module) — an asyncio event loop over the same process pool, built by
+  :func:`make_executor(kind="async") <make_executor>`.
 
 Because ``map`` preserves order and each simulation seeds its own RNGs
-from the spec, serial and parallel execution are bit-identical.
+from the spec, serial, parallel, and async execution are bit-identical.
 """
 
 from __future__ import annotations
@@ -26,9 +29,14 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "EXECUTOR_KINDS",
     "default_jobs",
+    "resolve_jobs",
     "make_executor",
 ]
+
+#: Names accepted by :func:`make_executor` (and the CLI ``--scheduler``).
+EXECUTOR_KINDS = ("auto", "serial", "parallel", "async")
 
 
 def default_jobs() -> int:
@@ -98,16 +106,40 @@ class ParallelExecutor(Executor):
             return list(pool.map(fn, items))
 
 
-def make_executor(jobs: int | None = None) -> Executor:
-    """Executor for a worker count (``None`` = ``REPRO_JOBS``)."""
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Validate and resolve a worker count (``None`` = ``REPRO_JOBS``,
+    ``0`` = all cores; negative or non-integer counts are rejected)."""
     if jobs is None:
-        resolved = default_jobs()
-    elif jobs == 0:
-        resolved = os.cpu_count() or 1
-    elif jobs < 0:
+        return default_jobs()
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(f"jobs must be an integer, got {jobs!r}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
         raise ValueError("jobs must be non-negative")
-    else:
-        resolved = jobs
+    return jobs
+
+
+def make_executor(jobs: int | None = None, kind: str = "auto") -> Executor:
+    """Executor for a worker count (``None`` = ``REPRO_JOBS``).
+
+    ``kind`` picks the engine: ``"auto"`` (serial at one worker, the
+    process pool above that — the historical behaviour), or an explicit
+    ``"serial"`` / ``"parallel"`` / ``"async"``.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor kind {kind!r} (known: {', '.join(EXECUTOR_KINDS)})"
+        )
+    resolved = resolve_jobs(jobs)
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "parallel":
+        return ParallelExecutor(resolved)
+    if kind == "async":
+        from .scheduler import AsyncExecutor
+
+        return AsyncExecutor(resolved)
     if resolved <= 1:
         return SerialExecutor()
     return ParallelExecutor(resolved)

@@ -5,9 +5,11 @@ A :class:`Session` ties the runtime's pieces together:
 * it owns a :class:`~repro.runtime.store.ResultStore` (persistent by
   default; see ``REPRO_CACHE_DIR`` / ``REPRO_STORE``),
 * it owns an :class:`~repro.runtime.executors.Executor` (serial by
-  default; ``jobs``/``REPRO_JOBS`` selects the process-pool fan-out),
-* and it evaluates :class:`~repro.runtime.spec.RunSpec` batches by
-  serving store hits in-process and dispatching only the misses.
+  default; ``jobs``/``REPRO_JOBS`` selects the process-pool fan-out,
+  ``scheduler="async"`` the asyncio engine),
+* and it evaluates :class:`~repro.runtime.spec.RunSpec` /
+  :class:`~repro.runtime.spec.TaskSpec` batches by serving store hits
+  in-process and dispatching only the misses.
 
 Typical use::
 
@@ -18,6 +20,11 @@ Typical use::
     ...     lc_names=("masstree",), loads=(0.2,), combos=("nft",)))
     ...                                            # doctest: +SKIP
 
+Large batches can stream through the batched async engine instead of
+one blocking ``map``::
+
+    >>> records = session.run_many(specs, scheduler="async")  # doctest: +SKIP
+
 Results are bit-identical across executors and across processes: every
 simulation is seeded from its spec alone, and the store is keyed by the
 spec's content fingerprint.
@@ -26,11 +33,12 @@ spec's content fingerprint.
 from __future__ import annotations
 
 import functools
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from ..sim.config import CoreKind
 from ..sim.mix_runner import BaselineResult, MixRunner
 from .executors import Executor, SerialExecutor, make_executor
+from .scheduler import ProgressEvent, SpecScheduler
 from .spec import (
     PolicySpec,
     RunRecord,
@@ -40,6 +48,14 @@ from .spec import (
     mix_refs,
 )
 from .store import ResultStore, default_store_root
+from .work import (
+    adopt,
+    cache_result,
+    execute_in_worker,
+    execute_spec,
+    record_from_result,
+    store_lookup,
+)
 
 __all__ = [
     "DEFAULT_POLICIES",
@@ -61,6 +77,8 @@ DEFAULT_POLICIES: Tuple[PolicySpec, ...] = (
 
 SchemeLike = Union[SchemeSpec, str, None]
 
+SchedulerLike = Union[SpecScheduler, str, None]
+
 
 def _as_scheme_spec(scheme: SchemeLike) -> Optional[SchemeSpec]:
     """Normalize a scheme argument (name, spec, or None)."""
@@ -69,116 +87,97 @@ def _as_scheme_spec(scheme: SchemeLike) -> Optional[SchemeSpec]:
     return SchemeSpec.of(scheme)
 
 
-def record_from_result(result, policy_label: str, lc_name: str, load_label: str) -> RunRecord:
-    """One sweep :class:`RunRecord` from a :class:`MixResult`.
-
-    The single place the record's metrics are derived, shared by the
-    declarative path (:func:`execute_spec`) and the legacy factory
-    path in :mod:`repro.experiments.sweep`, so the two stay
-    record-for-record identical as fields are added.
-    """
-    return RunRecord(
-        mix_id=result.mix_id,
-        lc_name=lc_name,
-        load_label=load_label,
-        policy=policy_label,
-        tail_degradation=result.tail_degradation(),
-        weighted_speedup=result.weighted_speedup(),
-        lc_tail_cycles=result.tail95(),
-        baseline_tail_cycles=result.baseline_tail_cycles,
-        deboosts=sum(i.deboosts for i in result.lc_instances),
-        watermarks=sum(i.watermarks for i in result.lc_instances),
-    )
-
-
-def execute_spec(
-    spec: RunSpec, store: Optional[ResultStore] = None
-) -> RunRecord:
-    """Evaluate one run spec (store-aware, deterministic).
-
-    On a store hit the stored record is returned (relabeled to the
-    spec's display label); otherwise the mix is rebuilt from the spec,
-    simulated, and the fresh record is persisted before returning.
-    """
-    fingerprint = spec.fingerprint()
-    if store is not None:
-        hit = store.get_record(fingerprint)
-        if hit is not None:
-            return hit.relabeled(spec.policy.display)
-    config = spec.config()
-    runner = MixRunner(
-        config=config,
-        requests=spec.requests,
-        seed=spec.seed,
-        umon_noise=spec.umon_noise,
-        warmup_fraction=spec.warmup_fraction,
-        store=store,
-    )
-    mix = spec.mix.build()
-    scheme = spec.scheme.build(config.llc_lines) if spec.scheme else None
-    result = runner.run_mix(mix, spec.policy.build(), scheme=scheme)
-    record = record_from_result(
-        result,
-        policy_label=spec.policy.display,
-        lc_name=mix.lc_workload.name,
-        load_label=mix.load_label,
-    )
-    if store is not None:
-        store.put_record(fingerprint, record)
-    return record
-
-
-#: Per-process store handles, keyed by root (None = memory-only).
-#: Reusing one handle across the specs a worker evaluates lets its
-#: in-memory layer share isolated baselines between specs — matching
-#: the old shared-MixRunner behaviour even with the disk layer off.
-_WORKER_STORES: dict = {}
-
-
-def _execute_in_worker(spec: RunSpec, store_root: Optional[str]) -> RunRecord:
-    """Module-level worker entry point (picklable for process pools)."""
-    store = _WORKER_STORES.get(store_root)
-    if store is None:
-        store = ResultStore(store_root)
-        _WORKER_STORES[store_root] = store
-    return execute_spec(spec, store)
-
-
 class Session:
-    """Facade running declarative specs through a store and executor."""
+    """Facade running declarative specs through a store and executor.
+
+    ``scheduler`` picks the default batch engine: ``None`` keeps the
+    executor's blocking ``map``; ``"async"`` streams batches through a
+    :class:`~repro.runtime.scheduler.SpecScheduler` (bounded pool,
+    store-hit short-circuiting, progress events to ``progress``).
+    """
 
     def __init__(
         self,
         store: Optional[ResultStore] = None,
         executor: Optional[Executor] = None,
         jobs: Optional[int] = None,
+        scheduler: SchedulerLike = None,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
     ):
         if store is None:
             store = ResultStore(default_store_root())
         self.store = store
-        self.executor = executor if executor is not None else make_executor(jobs)
+        self.progress = progress
+        self._default_scheduler = scheduler
+        if executor is None:
+            kind = scheduler if isinstance(scheduler, str) else "auto"
+            executor = make_executor(jobs, kind=kind)
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # Spec evaluation
     # ------------------------------------------------------------------
-    def run(self, spec: RunSpec) -> RunRecord:
+    def run(self, spec) -> Any:
         """Evaluate one spec in-process (store-aware)."""
         return execute_spec(spec, self.store)
 
-    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+    def _make_scheduler(
+        self,
+        scheduler: SchedulerLike,
+        progress: Optional[Callable[[ProgressEvent], None]],
+    ) -> Optional[SpecScheduler]:
+        """Resolve a scheduler argument against the session defaults."""
+        if scheduler is None:
+            scheduler = self._default_scheduler
+        if scheduler is None:
+            return None
+        if isinstance(scheduler, SpecScheduler):
+            return scheduler
+        if scheduler in ("serial", "parallel", "auto"):
+            # Explicit non-async names mean: use the executor path.
+            return None
+        if scheduler != "async":
+            raise ValueError(
+                f"unknown scheduler {scheduler!r} (known: serial, parallel, async)"
+            )
+        return SpecScheduler(
+            store=self.store,
+            jobs=getattr(self.executor, "jobs", 1),
+            progress=progress if progress is not None else self.progress,
+        )
+
+    def run_many(
+        self,
+        specs: Sequence[Any],
+        scheduler: SchedulerLike = None,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> List[Any]:
+        """Evaluate a batch of specs (sweep runs and tasks alike).
+
+        With a scheduler (an instance, ``"async"``, or the session
+        default) the batch streams through the bounded async engine;
+        otherwise store hits are served inline and the misses fan out
+        through the executor's ``map``.  Results always come back in
+        spec order, byte-identical either way.
+        """
+        engine = self._make_scheduler(scheduler, progress)
+        if engine is not None:
+            return engine.run(specs)
+        return self.run_specs(specs)
+
+    def run_specs(self, specs: Sequence[Any]) -> List[Any]:
         """Evaluate a batch: serve store hits, fan out the misses.
 
         Results are returned in spec order regardless of executor, so
         downstream reports are byte-identical at any ``--jobs``.
         """
         specs = list(specs)
-        records: List[Optional[RunRecord]] = [None] * len(specs)
-        misses: List[Tuple[int, RunSpec, str]] = []
+        results: List[Optional[Any]] = [None] * len(specs)
+        misses: List[Tuple[int, Any, str]] = []
         for index, spec in enumerate(specs):
-            fingerprint = spec.fingerprint()
-            hit = self.store.get_record(fingerprint)
+            fingerprint, hit = store_lookup(spec, self.store)
             if hit is not None:
-                records[index] = hit.relabeled(spec.policy.display)
+                results[index] = hit
             else:
                 misses.append((index, spec, fingerprint))
         if misses:
@@ -188,18 +187,20 @@ class Session:
                 worker = functools.partial(execute_spec, store=self.store)
             else:
                 worker = functools.partial(
-                    _execute_in_worker,
+                    execute_in_worker,
                     store_root=(
                         str(self.store.root) if self.store.root else None
                     ),
                 )
             fresh = self.executor.map(worker, [s for _, s, _ in misses])
-            for (index, __, fingerprint), record in zip(misses, fresh):
-                records[index] = record
-                # Workers already persisted to disk; keep the parent's
-                # in-memory layer warm without a second disk write.
-                self.store.cache_record(fingerprint, record)
-        return [r for r in records if r is not None]
+            for (index, spec, fingerprint), result in zip(misses, fresh):
+                results[index] = adopt(spec, result)
+                if not isinstance(self.executor, SerialExecutor):
+                    # Workers already persisted to disk; keep the
+                    # parent's in-memory layer warm without a second
+                    # disk write.
+                    cache_result(spec, self.store, fingerprint, result)
+        return [r for r in results if r is not None]
 
     # ------------------------------------------------------------------
     # Sweeps
@@ -242,7 +243,7 @@ class Session:
     ) -> SweepResult:
         """Run (or fetch) a mixes x policies sweep as a SweepResult."""
         specs = self.sweep_specs(scale, policies, scheme, core_kind)
-        return SweepResult(records=self.run_specs(specs))
+        return SweepResult(records=self.run_many(specs))
 
     # ------------------------------------------------------------------
     # Baselines

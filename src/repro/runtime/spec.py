@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, fields, replace
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import asdict, dataclass, fields, is_dataclass, replace
+from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ __all__ = [
     "MixRef",
     "BaselineSpec",
     "RunSpec",
+    "TaskSpec",
     "RunRecord",
     "SweepResult",
     "canonical_json",
@@ -314,6 +315,86 @@ class RunSpec:
         payload.update(self.to_dict())
         payload["policy"] = dict(payload["policy"], label="")
         return fingerprint_payload(payload)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Base for declarative non-sweep tasks (scaleout, bandwidth, …).
+
+    A task spec is the :class:`RunSpec` idea generalized: a frozen
+    dataclass of JSON scalars (plus nested specs like
+    :class:`PolicySpec`) naming everything one deterministic
+    computation depends on.  Subclasses set two class attributes —
+
+    * ``kind`` — the store document kind (and fingerprint namespace),
+    * ``result_type`` — the frozen dataclass the task returns
+      (``None`` means the result is already a JSON-ready dict) —
+
+    and implement :meth:`compute`.  Fingerprinting, store lookup, and
+    persistence are inherited, so any task spec rides executors, the
+    :class:`~repro.runtime.scheduler.SpecScheduler`, and the persistent
+    store exactly like a sweep spec.
+    """
+
+    #: Store document kind; subclasses must override.
+    kind: ClassVar[str] = "task"
+    #: Result dataclass rebuilt by :meth:`decode` (``None`` = plain dict).
+    result_type: ClassVar[Optional[type]] = None
+
+    def payload(self) -> Dict[str, Any]:
+        """Fingerprint payload: every field, nested specs flattened.
+
+        Policy labels are blanked (matching :meth:`RunSpec.fingerprint`)
+        so relabeled-but-identical tasks share one stored result.
+        """
+        data = asdict(self)
+        policy = data.get("policy")
+        if isinstance(policy, dict) and "label" in policy:
+            policy["label"] = ""
+        data["kind"] = self.kind
+        data["v"] = SPEC_SCHEMA_VERSION
+        return data
+
+    def fingerprint(self) -> str:
+        """Stable content hash keying the persistent store."""
+        return fingerprint_payload(self.payload())
+
+    def encode(self, result: Any) -> Dict[str, Any]:
+        """JSON-ready representation of a computed result."""
+        return asdict(result) if is_dataclass(result) else dict(result)
+
+    @classmethod
+    def decode(cls, payload: Mapping[str, Any]) -> Any:
+        """Inverse of :meth:`encode`."""
+        if cls.result_type is None:
+            return dict(payload)
+        return cls.result_type(**payload)
+
+    def lookup(self, store) -> Optional[Any]:
+        """The stored result for this task, or ``None``."""
+        if store is None:
+            return None
+        doc = store.get(self.fingerprint())
+        if doc is None or doc.get("kind") != self.kind:
+            return None
+        return self.decode(doc["result"])
+
+    def compute(self, store) -> Any:
+        """Produce the result from scratch (deterministic in the spec)."""
+        raise NotImplementedError
+
+    def execute(self, store=None) -> Any:
+        """Serve from the store, else compute and persist."""
+        hit = self.lookup(store)
+        if hit is not None:
+            return hit
+        result = self.compute(store)
+        if store is not None:
+            store.put(
+                self.fingerprint(),
+                {"kind": self.kind, "result": self.encode(result)},
+            )
+        return result
 
 
 @dataclass(frozen=True)

@@ -27,8 +27,9 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
+from .._version import __version__
 from ..sim.mix_runner import BaselineResult
-from .spec import RunRecord, canonical_json
+from .spec import SPEC_SCHEMA_VERSION, RunRecord, canonical_json
 
 __all__ = [
     "ResultStore",
@@ -87,8 +88,21 @@ class ResultStore:
         self._mem[fingerprint] = payload
         return payload
 
+    @staticmethod
+    def _stamp(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp a document with its schema generation and writer.
+
+        ``schema`` is :data:`~repro.runtime.spec.SPEC_SCHEMA_VERSION`
+        at write time — what :meth:`prune` keys on — and ``repro`` is
+        the package version that produced the entry (provenance only).
+        """
+        if payload.get("schema") == SPEC_SCHEMA_VERSION:
+            return payload
+        return dict(payload, schema=SPEC_SCHEMA_VERSION, repro=__version__)
+
     def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
         """Store a document in memory and (atomically) on disk."""
+        payload = self._stamp(payload)
         self._mem[fingerprint] = payload
         if self.root is None:
             return
@@ -132,14 +146,18 @@ class ResultStore:
         """Persist one sweep record under its spec fingerprint."""
         self.put(fingerprint, {"kind": "run", "record": record.to_dict()})
 
-    def cache_record(self, fingerprint: str, record: RunRecord) -> None:
+    def cache_doc(self, fingerprint: str, payload: Dict[str, Any]) -> None:
         """Warm the in-memory layer only (no disk write).
 
         Used when another process is known to have persisted the entry
         already — e.g. executor workers write to the shared disk root,
         and the parent only needs fast in-process lookups.
         """
-        self._mem[fingerprint] = {"kind": "run", "record": record.to_dict()}
+        self._mem[fingerprint] = self._stamp(payload)
+
+    def cache_record(self, fingerprint: str, record: RunRecord) -> None:
+        """Warm the in-memory layer with one sweep record."""
+        self.cache_doc(fingerprint, {"kind": "run", "record": record.to_dict()})
 
     def get_baseline(self, fingerprint: str) -> Optional[BaselineResult]:
         """A stored isolated-baseline result, or ``None``."""
@@ -197,6 +215,46 @@ class ResultStore:
             "disk_bytes": disk_bytes,
             "by_kind": kinds,
         }
+
+    def prune(self) -> Dict[str, int]:
+        """Drop entries from stale schema generations; keep the rest.
+
+        ``SPEC_SCHEMA_VERSION`` is bumped whenever engine semantics
+        change, which makes every previously stored fingerprint
+        unreachable — the entries are dead weight on disk.  Every
+        written document is stamped with the schema it was produced
+        under (see :meth:`_stamp`); prune deletes documents whose stamp
+        differs from the current generation, documents predating the
+        stamp (unknowable provenance), and unparseable files.  Returns
+        ``{"kept": …, "pruned": …}``.
+        """
+        kept = 0
+        pruned = 0
+        for path in self._disk_files():
+            try:
+                stale = (
+                    json.loads(path.read_text()).get("schema")
+                    != SPEC_SCHEMA_VERSION
+                )
+            except OSError:
+                continue  # vanished mid-scan: nothing left to prune
+            except ValueError:
+                stale = True  # corrupt: reclaim it
+            if not stale:
+                kept += 1
+                continue
+            try:
+                path.unlink()
+                pruned += 1
+            except OSError:
+                pass
+        for fingerprint in [
+            fp
+            for fp, doc in self._mem.items()
+            if doc.get("schema") != SPEC_SCHEMA_VERSION
+        ]:
+            del self._mem[fingerprint]
+        return {"kept": kept, "pruned": pruned}
 
     def clear(self) -> int:
         """Drop every entry (both layers); returns disk entries removed.

@@ -1,0 +1,157 @@
+"""Spec evaluation primitives shared by the session and the scheduler.
+
+Both the :class:`~repro.runtime.session.Session` executor path and the
+:class:`~repro.runtime.scheduler.SpecScheduler` need the same four
+operations on a unit of work — a :class:`~repro.runtime.spec.RunSpec`
+or any :class:`~repro.runtime.spec.TaskSpec`:
+
+* :func:`store_lookup` — fingerprint it and probe the store (a hit
+  never occupies a worker),
+* :func:`execute_spec` — evaluate it in-process, store-aware,
+* :func:`execute_in_worker` — the picklable process-pool entry point
+  (per-process store handles so workers share warmed baselines),
+* :func:`adopt` — adapt a shared result to the requesting spec (two
+  specs differing only in display label share one computation).
+
+Keeping them here, below the session facade, lets the scheduler stream
+work without importing the session (and vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..sim.mix_runner import MixRunner
+from .spec import RunRecord, RunSpec, TaskSpec
+from .store import ResultStore
+
+__all__ = [
+    "record_from_result",
+    "execute_spec",
+    "execute_in_worker",
+    "store_lookup",
+    "adopt",
+    "cache_result",
+]
+
+
+def record_from_result(
+    result, policy_label: str, lc_name: str, load_label: str
+) -> RunRecord:
+    """One sweep :class:`RunRecord` from a :class:`MixResult`.
+
+    The single place the record's metrics are derived, shared by the
+    declarative path (:func:`execute_spec`) and the legacy factory
+    path in :mod:`repro.experiments.sweep`, so the two stay
+    record-for-record identical as fields are added.
+    """
+    return RunRecord(
+        mix_id=result.mix_id,
+        lc_name=lc_name,
+        load_label=load_label,
+        policy=policy_label,
+        tail_degradation=result.tail_degradation(),
+        weighted_speedup=result.weighted_speedup(),
+        lc_tail_cycles=result.tail95(),
+        baseline_tail_cycles=result.baseline_tail_cycles,
+        deboosts=sum(i.deboosts for i in result.lc_instances),
+        watermarks=sum(i.watermarks for i in result.lc_instances),
+    )
+
+
+def _execute_run_spec(spec: RunSpec, store: Optional[ResultStore]) -> RunRecord:
+    """Evaluate one sweep spec: rebuild the mix, simulate, persist."""
+    fingerprint = spec.fingerprint()
+    if store is not None:
+        hit = store.get_record(fingerprint)
+        if hit is not None:
+            return hit.relabeled(spec.policy.display)
+    config = spec.config()
+    runner = MixRunner(
+        config=config,
+        requests=spec.requests,
+        seed=spec.seed,
+        umon_noise=spec.umon_noise,
+        warmup_fraction=spec.warmup_fraction,
+        store=store,
+    )
+    mix = spec.mix.build()
+    scheme = spec.scheme.build(config.llc_lines) if spec.scheme else None
+    result = runner.run_mix(mix, spec.policy.build(), scheme=scheme)
+    record = record_from_result(
+        result,
+        policy_label=spec.policy.display,
+        lc_name=mix.lc_workload.name,
+        load_label=mix.load_label,
+    )
+    if store is not None:
+        store.put_record(fingerprint, record)
+    return record
+
+
+def execute_spec(spec, store: Optional[ResultStore] = None):
+    """Evaluate one spec of any kind (store-aware, deterministic).
+
+    On a store hit the stored result is returned (sweep records
+    relabeled to the spec's display label); otherwise the work is
+    rebuilt from the spec, computed, and persisted before returning.
+    """
+    if isinstance(spec, RunSpec):
+        return _execute_run_spec(spec, store)
+    if isinstance(spec, TaskSpec):
+        return spec.execute(store)
+    raise TypeError(f"cannot execute {type(spec).__name__}: not a spec")
+
+
+def store_lookup(spec, store: Optional[ResultStore]) -> Tuple[str, Optional[Any]]:
+    """(fingerprint, stored result or ``None``) for any spec kind."""
+    if isinstance(spec, RunSpec):
+        fingerprint = spec.fingerprint()
+        if store is None:
+            return fingerprint, None
+        hit = store.get_record(fingerprint)
+        return fingerprint, (
+            hit.relabeled(spec.policy.display) if hit is not None else None
+        )
+    if isinstance(spec, TaskSpec):
+        return spec.fingerprint(), spec.lookup(store)
+    raise TypeError(f"cannot look up {type(spec).__name__}: not a spec")
+
+
+def adopt(spec, result):
+    """Adapt a result computed for a fingerprint-equal spec.
+
+    Sweep records carry a display label that is excluded from the
+    fingerprint, so a deduplicated computation must be relabeled for
+    each requesting spec; task results are shared as-is.
+    """
+    if isinstance(spec, RunSpec) and isinstance(result, RunRecord):
+        return result.relabeled(spec.policy.display)
+    return result
+
+
+def cache_result(spec, store: ResultStore, fingerprint: str, result) -> None:
+    """Warm the parent store's memory layer after a worker computed
+    (and persisted) a result in another process — no second disk write."""
+    if isinstance(spec, RunSpec) and isinstance(result, RunRecord):
+        store.cache_record(fingerprint, result)
+    elif isinstance(spec, TaskSpec):
+        store.cache_doc(
+            fingerprint, {"kind": spec.kind, "result": spec.encode(result)}
+        )
+
+
+#: Per-process store handles, keyed by root (None = memory-only).
+#: Reusing one handle across the specs a worker evaluates lets its
+#: in-memory layer share isolated baselines between specs — matching
+#: the old shared-MixRunner behaviour even with the disk layer off.
+_WORKER_STORES: dict = {}
+
+
+def execute_in_worker(spec, store_root: Optional[str]):
+    """Module-level worker entry point (picklable for process pools)."""
+    store = _WORKER_STORES.get(store_root)
+    if store is None:
+        store = ResultStore(store_root)
+        _WORKER_STORES[store_root] = store
+    return execute_spec(spec, store)

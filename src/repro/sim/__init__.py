@@ -5,6 +5,7 @@ from .engine import LCInstanceSpec, MixEngine
 from .fill import Advance, FillState
 from .mix_runner import BaselineResult, MixRunner
 from .results import BatchAppResult, LCInstanceResult, MixResult
+from .study_runner import run_bandwidth_point, run_scaleout_point
 from .trace_sim import (
     PhasedGenerator,
     ScanGenerator,
@@ -27,6 +28,8 @@ __all__ = [
     "MixResult",
     "LCInstanceResult",
     "BatchAppResult",
+    "run_scaleout_point",
+    "run_bandwidth_point",
     "TraceDrivenSimulator",
     "TraceApp",
     "ZipfWorkingSetGenerator",

@@ -80,7 +80,7 @@ class MixRunner:
     # ------------------------------------------------------------------
     # Request streams
     # ------------------------------------------------------------------
-    def _stream(
+    def stream(
         self, workload: LCWorkload, load: float, instance: int
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(arrivals, works) for one instance, deterministic in seed."""
@@ -101,6 +101,9 @@ class MixRunner:
             coalescing_timeout_cycles=self.config.coalescing_timeout_cycles,
         )
         return arrivals, works
+
+    #: Backwards-compatible alias from when the method was private.
+    _stream = stream
 
     # ------------------------------------------------------------------
     # Baselines
@@ -140,7 +143,7 @@ class MixRunner:
                 return stored
         pooled: List[float] = []
         for instance in range(LC_INSTANCES):
-            arrivals, works = self._stream(workload, load, instance)
+            arrivals, works = self.stream(workload, load, instance)
             spec = LCInstanceSpec(
                 workload=workload,
                 arrivals=arrivals,
@@ -185,7 +188,7 @@ class MixRunner:
         baseline = self.baseline(spec.lc_workload, spec.load)
         lc_specs = []
         for instance in range(LC_INSTANCES):
-            arrivals, works = self._stream(spec.lc_workload, spec.load, instance)
+            arrivals, works = self.stream(spec.lc_workload, spec.load, instance)
             lc_specs.append(
                 LCInstanceSpec(
                     workload=spec.lc_workload,

@@ -1,0 +1,235 @@
+"""Engine drivers for the extension studies (scaleout, bandwidth).
+
+The scaleout and bandwidth experiments used to build
+:class:`~repro.sim.engine.MixEngine` instances inline, which kept them
+off the runtime: no result store, no ``--jobs``, no scheduler.  Their
+engine-driving code now lives here, below the runtime, as two plain
+functions taking a declarative spec plus an optional store; the
+experiment modules define the spec types and hand batches to a
+:class:`~repro.runtime.session.Session`.
+
+Both drivers reproduce the historical experiments' streams and seeds
+exactly, so migrating onto the runtime changed no numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..policies.fixed import FixedPolicy
+from ..server.latency import percentile_latency, tail_mean
+from ..workloads.arrivals import generate_arrivals
+from ..workloads.batch import make_batch_workload
+from ..workloads.latency_critical import make_lc_workload
+from ..workloads.mixes import make_mix_specs
+from .bandwidth import BandwidthModel
+from .config import CMPConfig
+from .engine import LCInstanceSpec, MixEngine
+from .mix_runner import MixRunner
+
+__all__ = ["run_scaleout_point", "run_bandwidth_point"]
+
+
+# ----------------------------------------------------------------------
+# Scaleout
+# ----------------------------------------------------------------------
+def _scaleout_lc_specs(
+    workload, load: float, instances: int, requests: int, seed: int, config
+) -> List[LCInstanceSpec]:
+    """Per-instance fixed-work streams (historical seeding preserved)."""
+    specs = []
+    for instance in range(instances):
+        rng = np.random.default_rng((seed, instance))
+        works = np.asarray([workload.work.sample(rng) for _ in range(requests)])
+        arrivals = generate_arrivals(
+            requests,
+            load,
+            workload.mean_service_cycles(),
+            rng,
+            coalescing_timeout_cycles=config.coalescing_timeout_cycles,
+        )
+        specs.append(
+            LCInstanceSpec(
+                workload=workload,
+                arrivals=arrivals,
+                works=works,
+                deadline_cycles=1.0,  # refined after the baseline run
+                target_tail_cycles=1.0,
+                load=load,
+            )
+        )
+    return specs
+
+
+def _scaleout_baseline(
+    workload,
+    specs: List[LCInstanceSpec],
+    config,
+    seed: int,
+    store,
+    identity: dict,
+) -> Tuple[float, float]:
+    """Pooled tail of the same streams run alone at the target size.
+
+    Using the identical fixed-work streams keeps the comparison
+    sample-balanced (the paper's methodology).  The result is shared
+    through the store — the study's per-machine-size baseline is
+    policy-independent, so every policy point reuses one computation.
+    """
+    fingerprint = None
+    if store is not None:
+        from ..runtime.spec import SPEC_SCHEMA_VERSION, fingerprint_payload
+
+        fingerprint = fingerprint_payload(
+            dict(identity, kind="scaleout_baseline", v=SPEC_SCHEMA_VERSION)
+        )
+        doc = store.get(fingerprint)
+        if doc is not None and doc.get("kind") == "scaleout_baseline":
+            return doc["tail95_cycles"], doc["p95_cycles"]
+    pooled: List[float] = []
+    for spec in specs:
+        engine = MixEngine(
+            lc_specs=[spec],
+            batch_workloads=[],
+            policy=FixedPolicy({0: float(workload.target_lines)}),
+            config=config,
+            seed=seed,
+            umon_noise=0.0,
+            mix_id="scaleout-baseline",
+        )
+        pooled.extend(engine.run().lc_instances[0].latencies)
+    tail95 = tail_mean(pooled, 95.0)
+    p95 = percentile_latency(pooled, 95.0)
+    if store is not None:
+        store.put(
+            fingerprint,
+            {
+                "kind": "scaleout_baseline",
+                "tail95_cycles": tail95,
+                "p95_cycles": p95,
+            },
+        )
+    return tail95, p95
+
+
+def run_scaleout_point(spec, store=None):
+    """One (machine size, policy) scaleout measurement.
+
+    ``spec`` is a :class:`~repro.experiments.scaleout.ScaleoutSpec`;
+    half the cores run LC instances, half batch apps, with the LLC
+    growing proportionally (2 MB per core, as in the baseline).
+    """
+    from ..experiments.scaleout import ScaleOutResult
+
+    cores = spec.cores
+    workload = make_lc_workload(spec.lc_name)
+    batch_classes = ("n", "f", "t", "s")
+    config = CMPConfig(num_cores=cores).with_llc_mb(2.0 * cores)
+    lc_instances = cores // 2
+    batch_apps = [
+        make_batch_workload(batch_classes[i % 4], seed=spec.seed + i, instance=i)
+        for i in range(cores - lc_instances)
+    ]
+    lc_specs = _scaleout_lc_specs(
+        workload, spec.load, lc_instances, spec.requests, spec.seed, config
+    )
+    tail95, p95 = _scaleout_baseline(
+        workload,
+        lc_specs,
+        config,
+        spec.seed,
+        store,
+        identity={
+            "cores": cores,
+            "lc_name": spec.lc_name,
+            "load": spec.load,
+            "requests": spec.requests,
+            "seed": spec.seed,
+        },
+    )
+    lc_specs = [
+        LCInstanceSpec(
+            workload=s.workload,
+            arrivals=s.arrivals,
+            works=s.works,
+            deadline_cycles=p95,
+            target_tail_cycles=tail95,
+            load=s.load,
+        )
+        for s in lc_specs
+    ]
+    policy = spec.policy.build()
+    engine = MixEngine(
+        lc_specs=lc_specs,
+        batch_workloads=batch_apps,
+        policy=policy,
+        config=config,
+        seed=spec.seed,
+        baseline_lines=float(workload.target_lines),
+        mix_id=f"scaleout-{cores}",
+    )
+    result = engine.run()
+    result.baseline_tail_cycles = tail95
+    return ScaleOutResult(
+        cores=cores,
+        policy=policy.name,
+        tail_degradation=result.tail_degradation(),
+        weighted_speedup=result.weighted_speedup(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Bandwidth
+# ----------------------------------------------------------------------
+def run_bandwidth_point(spec, store=None):
+    """One (channel capacity, policy) bandwidth-contention measurement.
+
+    ``spec`` is a
+    :class:`~repro.experiments.bandwidth_study.BandwidthSpec`.  The
+    isolated baseline goes through :class:`MixRunner` with the store
+    attached, so it is computed once and shared with the sweep grids.
+    """
+    from ..experiments.bandwidth_study import BandwidthPoint
+
+    mix = make_mix_specs(
+        lc_names=[spec.lc_name], loads=[spec.load], mixes_per_combo=1
+    )[spec.mix_index]
+    runner = MixRunner(requests=spec.requests, seed=spec.seed, store=store)
+    baseline = runner.baseline(mix.lc_workload, spec.load)
+    bandwidth = BandwidthModel(
+        peak_misses_per_kilocycle=spec.peak_misses_per_kilocycle
+    )
+    policy = spec.policy.build()
+    lc_specs = []
+    for instance in range(3):
+        arrivals, works = runner.stream(mix.lc_workload, spec.load, instance)
+        lc_specs.append(
+            LCInstanceSpec(
+                workload=mix.lc_workload,
+                arrivals=arrivals,
+                works=works,
+                deadline_cycles=baseline.p95_cycles,
+                target_tail_cycles=baseline.tail95_cycles,
+                load=spec.load,
+            )
+        )
+    engine = MixEngine(
+        lc_specs=lc_specs,
+        batch_workloads=list(mix.batch_apps),
+        policy=policy,
+        config=CMPConfig(),
+        seed=spec.seed,
+        baseline_lines=float(mix.lc_workload.target_lines),
+        mix_id=f"bw-{spec.peak_misses_per_kilocycle}",
+        bandwidth=bandwidth,
+    )
+    result = engine.run()
+    result.baseline_tail_cycles = baseline.tail95_cycles
+    return BandwidthPoint(
+        peak_misses_per_kilocycle=spec.peak_misses_per_kilocycle,
+        policy=policy.name,
+        tail_degradation=result.tail_degradation(),
+        weighted_speedup=result.weighted_speedup(),
+    )

@@ -75,6 +75,23 @@ class TestScaleOutModule:
         with pytest.raises(ValueError):
             run_scaleout(core_counts=(7,), requests=60)
 
+    def test_rides_the_result_store(self, tmp_path):
+        from repro.runtime import ResultStore, Session
+
+        first = run_scaleout(
+            core_counts=(6,),
+            requests=60,
+            session=Session(store=ResultStore(tmp_path)),
+        )
+        store = ResultStore(tmp_path)
+        stats = store.stats()
+        assert stats["by_kind"]["scaleout"] == 2
+        assert stats["by_kind"]["scaleout_baseline"] == 1
+        again = run_scaleout(
+            core_counts=(6,), requests=60, session=Session(store=store)
+        )
+        assert again == first
+
 
 class TestBandwidthModule:
     def test_monotone_degradation(self):
@@ -86,3 +103,39 @@ class TestBandwidthModule:
             by_policy.setdefault(p.policy, []).append(p.tail_degradation)
         for policy, tails in by_policy.items():
             assert tails[1] >= tails[0] - 0.02, policy
+
+    def test_rides_the_result_store(self, tmp_path):
+        from repro.runtime import ResultStore, Session
+
+        first = run_bandwidth_study(
+            peaks=(1e9,),
+            requests=60,
+            session=Session(store=ResultStore(tmp_path)),
+        )
+        store = ResultStore(tmp_path)
+        stats = store.stats()
+        assert stats["by_kind"]["bandwidth"] == 2
+        assert stats["by_kind"]["baseline"] == 1
+        again = run_bandwidth_study(
+            peaks=(1e9,), requests=60, session=Session(store=store)
+        )
+        assert again == first
+
+
+class TestEnginesRetiredFromExperiments:
+    """Scaleout and bandwidth are declarative now: the experiment
+    modules build specs and hand them to the session; only the sim
+    layer (``repro.sim.study_runner``) drives ``MixEngine``."""
+
+    @pytest.mark.parametrize(
+        "module", ["scaleout", "bandwidth_study"]
+    )
+    def test_no_direct_mix_engine(self, module):
+        import inspect
+        import importlib
+
+        source = inspect.getsource(
+            importlib.import_module(f"repro.experiments.{module}")
+        )
+        assert "MixEngine" not in source
+        assert "TaskSpec" in source

@@ -2,11 +2,14 @@
 
 import pytest
 
+import os
+
 from repro.runtime.executors import (
     ParallelExecutor,
     SerialExecutor,
     default_jobs,
     make_executor,
+    resolve_jobs,
 )
 
 
@@ -62,3 +65,44 @@ class TestDefaultJobs:
         monkeypatch.setenv("REPRO_JOBS", "7")
         assert isinstance(make_executor(1), SerialExecutor)
         assert make_executor(2).jobs == 2
+
+    def test_negative_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ValueError, match="non-negative"):
+            default_jobs()
+
+    def test_float_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2.5")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+
+class TestMakeExecutorEdgeCases:
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_executor(-1)
+
+    def test_non_integer_jobs_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            make_executor(2.5)
+        with pytest.raises(ValueError, match="integer"):
+            make_executor(True)
+
+    def test_zero_means_all_cores(self):
+        executor = make_executor(0)
+        cores = os.cpu_count() or 1
+        assert getattr(executor, "jobs", 1) == (cores if cores > 1 else 1)
+        assert resolve_jobs(0) == cores
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            make_executor(2, kind="quantum")
+
+    def test_explicit_kinds(self):
+        from repro.runtime.scheduler import AsyncExecutor
+
+        assert isinstance(make_executor(4, kind="serial"), SerialExecutor)
+        assert isinstance(make_executor(1, kind="parallel"), ParallelExecutor)
+        async_executor = make_executor(3, kind="async")
+        assert isinstance(async_executor, AsyncExecutor)
+        assert async_executor.jobs == 3

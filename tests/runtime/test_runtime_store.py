@@ -28,7 +28,13 @@ class TestDocuments:
     def test_memory_only_round_trip(self):
         store = ResultStore(None)
         store.put("ab" * 32, {"kind": "run", "x": 1})
-        assert store.get("ab" * 32) == {"kind": "run", "x": 1}
+        doc = store.get("ab" * 32)
+        assert doc["kind"] == "run"
+        assert doc["x"] == 1
+        # Every written document carries its schema generation and the
+        # writing package version (what `prune` keys on).
+        assert doc["schema"] == 1
+        assert doc["repro"]
         assert "ab" * 32 in store
         assert "cd" * 32 not in store
 
@@ -88,6 +94,56 @@ class TestMaintenance:
         assert store.clear() == 2
         assert store.stats()["disk_entries"] == 0
         assert store.get_record("dd" * 32) is None
+
+    def test_prune_keeps_current_generation(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_record("dd" * 32, _record())
+        store.put_baseline(
+            "ee" * 32,
+            BaselineResult(tail95_cycles=1.0, p95_cycles=1.0, latencies=(1.0,)),
+        )
+        counts = store.prune()
+        assert counts == {"kept": 2, "pruned": 0}
+        assert ResultStore(tmp_path).get_record("dd" * 32) == _record()
+
+    def test_prune_drops_stale_generations(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_record("dd" * 32, _record())
+        # A record written by a previous schema generation…
+        stale = tmp_path / "ab" / ("ab" * 32 + ".json")
+        stale.parent.mkdir(parents=True)
+        stale.write_text(json.dumps({"kind": "run", "schema": 0}))
+        # …one predating the stamp entirely, and one corrupt file.
+        legacy = tmp_path / "cd" / ("cd" * 32 + ".json")
+        legacy.parent.mkdir(parents=True)
+        legacy.write_text(json.dumps({"kind": "run", "record": {}}))
+        corrupt = tmp_path / "ef" / ("ef" * 32 + ".json")
+        corrupt.parent.mkdir(parents=True)
+        corrupt.write_text("{not json")
+        counts = store.prune()
+        assert counts == {"kept": 1, "pruned": 3}
+        assert not stale.exists()
+        assert not legacy.exists()
+        assert not corrupt.exists()
+        assert ResultStore(tmp_path).get_record("dd" * 32) == _record()
+
+    def test_prune_sweeps_stale_memory_entries(self):
+        store = ResultStore(None)
+        store.put_record("dd" * 32, _record())
+        store._mem["ab" * 32] = {"kind": "run", "schema": 0}
+        store.prune()
+        assert store.get("ab" * 32) is None
+        assert store.get_record("dd" * 32) == _record()
+
+    def test_new_records_stamped_with_package_version(self, tmp_path):
+        import repro
+
+        fingerprint = "aa" * 32
+        ResultStore(tmp_path).put_record(fingerprint, _record())
+        path = tmp_path / fingerprint[:2] / f"{fingerprint}.json"
+        doc = json.loads(path.read_text())
+        assert doc["repro"] == repro.__version__
+        assert doc["schema"] == 1
 
     def test_stats_memory_only(self):
         store = ResultStore(None)

@@ -57,6 +57,8 @@ MODULES = [
     "repro.runtime.spec",
     "repro.runtime.store",
     "repro.runtime.executors",
+    "repro.runtime.scheduler",
+    "repro.runtime.work",
     "repro.runtime.session",
     "repro.sim",
     "repro.sim.config",
@@ -66,6 +68,7 @@ MODULES = [
     "repro.sim.results",
     "repro.sim.trace_sim",
     "repro.sim.bandwidth",
+    "repro.sim.study_runner",
     "repro.experiments",
     "repro.analysis",
     "repro.analysis.stats",

@@ -55,3 +55,38 @@ class TestCLI:
         assert main(["utilization", "--jobs", "1"]) == 0
         out = capsys.readouterr().out
         assert "Utilization" in out
+
+    def test_async_scheduler_matches_serial_and_ticks(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_LC", "masstree")
+        monkeypatch.setenv("REPRO_REQUESTS", "40")
+        monkeypatch.setenv("REPRO_LOADS", "0.2")
+        assert main(["table3", "--scheduler", "async", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        async_out = captured.out
+        assert "Table 3" in async_out
+        # The live ticker writes progress events to stderr.
+        assert "done" in captured.err
+        # A serial re-run is byte-identical and served from the store.
+        assert main(["table3", "--jobs", "1"]) == 0
+        assert capsys.readouterr().out == async_out
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--scheduler", "warp"])
+
+    def test_cache_prune(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        stale = tmp_path / "ab" / ("ab" * 32 + ".json")
+        stale.parent.mkdir(parents=True)
+        stale.write_text(json.dumps({"kind": "run", "schema": 0}))
+        assert main(["cache", "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1" in out
+        assert not stale.exists()
