@@ -9,6 +9,7 @@ Usage::
     python -m repro table3 --jobs 4
     python -m repro table3 --scheduler async --jobs 4
     python -m repro fig12
+    python -m repro run --lc masstree --load 0.2 --policy ubik --shards 4
     python -m repro scaleout --cores 6,12
     python -m repro cache
     python -m repro cache --prune
@@ -21,6 +22,13 @@ asyncio engine with a live progress ticker on stderr (results are
 bit-identical to ``--jobs 1`` either way); completed runs persist in
 the result store (``repro cache`` inspects, ``--prune`` garbage-collects
 stale schema generations), so repeat invocations are served from disk.
+
+``run`` evaluates a single (mix, policy) spec; ``--shards N`` (or
+``auto``) additionally parallelizes *inside* the run by fanning its
+per-instance baseline simulations across the workers
+(:mod:`repro.runtime.sharding`) — the stored result is byte-identical
+at any shard count.  ``--shards`` applies to the sweep commands too,
+where ``auto`` shards only when the grid is narrower than ``--jobs``.
 """
 
 from __future__ import annotations
@@ -56,6 +64,7 @@ __all__ = ["main"]
 
 COMMANDS = (
     "list",
+    "run",
     "fig1a",
     "fig1b",
     "fig2",
@@ -85,6 +94,22 @@ def _scale_from_args(args) -> ExperimentScale:
     )
 
 
+def _shards_arg(value: str):
+    """argparse type for ``--shards``: a positive integer or ``auto``."""
+    text = value.strip().lower()
+    if text == "auto":
+        return text
+    try:
+        count = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--shards must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("--shards must be at least 1")
+    return count
+
+
 def _progress_ticker(stream=None):
     """A live one-line progress ticker consuming scheduler events."""
     stream = stream if stream is not None else sys.stderr
@@ -100,17 +125,20 @@ def _progress_ticker(stream=None):
 
 def _session_from_args(args) -> Session:
     scheduler = getattr(args, "scheduler", "auto")
+    shards = getattr(args, "shards", None)
     if scheduler == "auto":
-        return Session(jobs=args.jobs)
+        return Session(jobs=args.jobs, shards=shards)
     return Session(
         jobs=args.jobs,
         scheduler=scheduler,
+        shards=shards,
         progress=_progress_ticker() if scheduler == "async" else None,
     )
 
 
 def _cmd_list(args) -> None:
     rows = [
+        ["run", "one (mix, policy) spec; --shards parallelizes inside it"],
         ["fig1a", "load-latency curves (Figure 1a)"],
         ["fig1b", "service-time CDFs (Figure 1b)"],
         ["fig2", "cross-request reuse breakdown (Figure 2)"],
@@ -125,6 +153,58 @@ def _cmd_list(args) -> None:
         ["cache", "inspect (or --clear) the persistent result store"],
     ]
     print(format_table(["Command", "Regenerates"], rows))
+
+
+def _cmd_run(args) -> None:
+    from .runtime import MixRef, PolicySpec, RunSpec, SchemeSpec
+
+    lc = (args.lc or "masstree").split(",")[0].strip()
+    policy_kwargs = {}
+    if args.slack is not None:
+        policy_kwargs["slack"] = args.slack
+    spec = RunSpec(
+        mix=MixRef(
+            lc_name=lc,
+            load=args.load,
+            combo=args.combo,
+            rep=args.rep,
+            seed=args.seed,
+        ),
+        policy=PolicySpec.of(args.policy, **policy_kwargs),
+        scheme=SchemeSpec.of(args.scheme) if args.scheme else None,
+        requests=args.requests or 60,
+        seed=args.seed,
+    )
+    session = _session_from_args(args)
+    record = session.run(spec)
+    doc = session.store.document_path(spec.fingerprint())
+    # Report what actually happened: the session default (REPRO_SHARDS)
+    # applies when the flag is absent, "auto" resolves against the
+    # worker budget, and requests beyond the instance count are
+    # clamped.
+    from .runtime.sharding import resolve_shards
+
+    requested = session.shards
+    effective = resolve_shards(
+        requested, jobs=getattr(session.executor, "jobs", 1), grid_size=1
+    )
+    shards_text = (
+        str(effective)
+        if str(requested) == str(effective)
+        else f"{effective} (requested {requested})"
+    )
+    rows = [
+        ["mix", record.mix_id],
+        ["policy", record.policy],
+        ["tail degradation", f"{record.tail_degradation:.6f}"],
+        ["weighted speedup", f"{record.weighted_speedup:.6f}"],
+        ["deboosts", record.deboosts],
+        ["watermarks", record.watermarks],
+        ["shards", shards_text],
+        ["fingerprint", spec.fingerprint()],
+        ["store document", str(doc) if doc else "(memory-only store)"],
+    ]
+    print(format_table(["Field", "Value"], rows, title="Run"))
 
 
 def _cmd_fig1a(args) -> None:
@@ -290,6 +370,7 @@ def _cmd_cache(args) -> None:
 
 _HANDLERS = {
     "list": _cmd_list,
+    "run": _cmd_run,
     "fig1a": _cmd_fig1a,
     "fig1b": _cmd_fig1b,
     "fig2": _cmd_fig2,
@@ -329,6 +410,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="batch engine: auto (serial/parallel by --jobs), serial, "
         "parallel, or async (bounded streaming pool with a live "
         "progress ticker)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_shards_arg,
+        default=None,
+        help="intra-run trace sharding: split each run's per-instance "
+        "baseline streams into N shards fanned across the workers "
+        "(auto = shard only when the grid leaves workers idle; "
+        "results are byte-identical at any value)",
+    )
+    parser.add_argument(
+        "--load", type=float, default=0.2, help="run: LC offered load"
+    )
+    parser.add_argument(
+        "--combo", default="nft", help="run: three batch-type letters"
+    )
+    parser.add_argument(
+        "--rep", type=int, default=0, help="run: mix replicate index"
+    )
+    parser.add_argument(
+        "--policy", default="ubik", help="run: policy registry name"
+    )
+    parser.add_argument(
+        "--slack", type=float, default=None, help="run: Ubik slack kwarg"
+    )
+    parser.add_argument(
+        "--scheme", default=None, help="run: partitioning-scheme registry name"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2014, help="run: spec seed"
     )
     parser.add_argument(
         "--clear",

@@ -15,6 +15,10 @@ memoization, experiments describe work declaratively and hand it to a
 * :mod:`~repro.runtime.scheduler` — the asyncio executor and the
   batched :class:`SpecScheduler`: bounded-pool streaming with
   store-hit short-circuiting, in-flight dedup, and progress events.
+* :mod:`~repro.runtime.sharding` — intra-run trace sharding: one run's
+  independent per-instance baseline streams split into
+  :class:`ShardSpec` slices that ride any executor and merge back
+  bit-identically (``--shards`` / ``Session(shards=...)``).
 * :mod:`~repro.runtime.store` — a persistent fingerprint-keyed result
   store shared across processes (``REPRO_CACHE_DIR``).
 * :mod:`~repro.runtime.session` — the :class:`Session` facade tying
@@ -59,6 +63,15 @@ from .session import (
     execute_spec,
     get_session,
     reset_session,
+)
+from .sharding import (
+    MergedBaseline,
+    ShardSpec,
+    interleave_shards,
+    merge_shard_results,
+    plan_shards,
+    resolve_shards,
+    shard_instances,
 )
 from .spec import (
     BaselineSpec,
@@ -109,6 +122,13 @@ __all__ = [
     "default_jobs",
     "resolve_jobs",
     "make_executor",
+    "ShardSpec",
+    "MergedBaseline",
+    "shard_instances",
+    "plan_shards",
+    "merge_shard_results",
+    "interleave_shards",
+    "resolve_shards",
     "ResultStore",
     "default_store_root",
     "DEFAULT_POLICIES",

@@ -24,6 +24,16 @@ it drains.  This module provides both halves:
 Determinism is untouched: every simulation seeds its RNGs from the
 spec alone, so serial, parallel, and async execution of the same batch
 produce byte-identical store records at any worker count.
+
+The scheduler is agnostic to *what* a spec is — sweep runs, task
+specs, and the trace shards of :mod:`repro.runtime.sharding` all queue
+the same way.  When the session shards a batch, it interleaves shard
+specs from different runs round-robin *before* handing them here
+(:func:`repro.runtime.sharding.interleave_shards`), so the bounded
+submission window always holds shards of many runs at once: intra-run
+parallelism fills idle workers without starving the rest of the grid,
+and the in-flight fingerprint dedup collapses identical shards the
+moment two specs share a baseline.
 """
 
 from __future__ import annotations
@@ -184,6 +194,7 @@ class SpecScheduler:
 
     @property
     def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been requested for this batch."""
         return self._cancelled
 
     def run(self, specs: Sequence[Any]) -> List[Any]:

@@ -1,0 +1,400 @@
+"""Intra-run trace sharding: parallelize *inside* one mix run.
+
+The executors and the :class:`~repro.runtime.scheduler.SpecScheduler`
+fan a *grid* of specs across cores, but before this module a single
+:class:`~repro.runtime.spec.RunSpec` still evaluated serially: three
+isolated per-instance baseline simulations, then the joint six-app mix
+replay, all in one worker.  Trace sharding splits the independent part
+— the per-instance request streams — into :class:`ShardSpec`\\ s that
+ride the existing serial/parallel/async machinery, and merges their
+latency pools back deterministically so the final result is
+**bit-identical** to the unsharded run.
+
+What is (and is not) shardable
+------------------------------
+
+A mix run has two phases with very different coupling:
+
+* **Isolated baselines** (one per LC instance): each instance is
+  simulated *alone* at a fixed partition, with its own pre-drawn
+  request stream (:meth:`~repro.sim.mix_runner.MixRunner.stream`, RNG
+  seeded by ``(seed, workload, instance)``) and its own engine seed
+  (``seed + instance``).  Instances share no state, so any subset can
+  run in any process — this is the shardable work.
+* **The joint mix replay**: the six apps interact through policy
+  decisions, the shared batch-space integral, and one engine RNG, so
+  it is a single sequential event timeline and stays one unit of work.
+
+Determinism contract
+--------------------
+
+Sharded evaluation reproduces the serial path exactly because
+
+1. every shard re-derives its request streams from the spec's seeds
+   (nothing is split mid-stream — shards are whole instances),
+2. shards are merged in **fixed instance-index order**, the same
+   ``pooled.extend`` order :meth:`MixRunner.baseline` uses, and
+3. the merged :class:`~repro.sim.mix_runner.BaselineResult` is stored
+   under the *unsharded* baseline fingerprint, so the mix phase cannot
+   tell how its baseline was produced.
+
+Shard *documents* in the store record their topology (``shard_index``,
+``num_shards``, covered ``instances``) while the shard phase runs —
+serving crash resume and cross-spec dedup — and are reclaimed once
+their merged baseline is persisted, so a sharded store ends up byte-
+identical to an unsharded one.  Topology never enters the logical
+run's fingerprint: rerunning with a different ``--shards`` hits the
+same stored result, byte for byte.
+
+Typical use goes through the session (or ``repro run --shards``)::
+
+    >>> from repro.runtime import MixRef, PolicySpec, RunSpec
+    >>> from repro.runtime.sharding import plan_shards
+    >>> spec = RunSpec(mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+    ...                policy=PolicySpec.of("ubik", slack=0.05), requests=60)
+    >>> [s.instances for s in plan_shards(spec, 2)]
+    [(0, 1), (2,)]
+    >>> plan_shards(spec, 8)[0].num_shards  # clamped to the instance count
+    3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import zip_longest
+from typing import Any, ClassVar, Dict, List, Mapping, Sequence, Tuple, Union
+
+from ..server.latency import percentile_latency, tail_mean
+from ..sim.mix_runner import LC_INSTANCES, BaselineResult
+from .spec import BaselineSpec, RunSpec, TaskSpec, config_fingerprint
+
+__all__ = [
+    "ShardSpec",
+    "MergedBaseline",
+    "shard_instances",
+    "plan_shards",
+    "merge_shard_results",
+    "interleave_shards",
+    "resolve_shards",
+    "default_shards",
+]
+
+#: Values accepted wherever a shard count is configured.
+ShardCount = Union[int, str, None]
+
+
+def shard_instances(
+    instance_count: int, shards: int
+) -> List[Tuple[int, ...]]:
+    """Split ``range(instance_count)`` into ``shards`` contiguous runs.
+
+    The split is deterministic and order-preserving — shard ``i`` holds
+    a contiguous block of instance indices, with the first
+    ``instance_count % shards`` shards one instance larger.  ``shards``
+    is clamped to ``[1, instance_count]`` so no shard is ever empty.
+
+    >>> shard_instances(3, 2)
+    [(0, 1), (2,)]
+    >>> shard_instances(3, 99)
+    [(0,), (1,), (2,)]
+    """
+    if instance_count < 1:
+        raise ValueError("need at least one instance to shard")
+    shards = max(1, min(int(shards), instance_count))
+    base, extra = divmod(instance_count, shards)
+    chunks: List[Tuple[int, ...]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        chunks.append(tuple(range(start, start + size)))
+        start += size
+    return chunks
+
+
+@dataclass(frozen=True)
+class ShardSpec(TaskSpec):
+    """One shard of a run's isolated-baseline work.
+
+    A shard names the *logical* baseline it belongs to (workload, load,
+    machine, measurement knobs — the same identity as
+    :class:`~repro.runtime.spec.BaselineSpec`) plus the slice of
+    instance indices it covers and its position in the shard topology.
+    It is a :class:`~repro.runtime.spec.TaskSpec`, so it fingerprints,
+    rides any executor or the scheduler, and persists its result like
+    every other unit of work; its store documents are ``kind =
+    "baseline_shard"`` and record the topology for provenance.  The
+    session reclaims them once the merged baseline is stored — they
+    exist to survive a mid-phase crash and to deduplicate concurrent
+    shard batches, not to duplicate latency pools forever.
+
+    Shards covering different slices of the same baseline have
+    different fingerprints (the slice is part of the identity), but all
+    of them merge — via :func:`merge_shard_results` — into one
+    :class:`~repro.sim.mix_runner.BaselineResult` that is bit-identical
+    to the unsharded computation.
+    """
+
+    kind: ClassVar[str] = "baseline_shard"
+
+    lc_name: str = ""
+    load: float = 0.0
+    core_kind: str = "ooo"
+    requests: int = 120
+    seed: int = 2014
+    warmup_fraction: float = 0.05
+    target_mb: float = 2.0
+    shard_index: int = 0
+    num_shards: int = 1
+    instances: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.lc_name:
+            raise ValueError("ShardSpec needs an LC workload name")
+        if not self.instances:
+            raise ValueError("ShardSpec needs at least one instance")
+        if not 0 <= self.shard_index < self.num_shards:
+            raise ValueError("shard_index must lie inside num_shards")
+
+    def base_spec(self) -> BaselineSpec:
+        """The *unsharded* baseline identity this shard contributes to.
+
+        Every shard of a baseline maps to the same
+        :class:`~repro.runtime.spec.BaselineSpec` fingerprint — the key
+        the merged result is stored under, and the key the joint mix
+        replay looks up.  Matches
+        :meth:`repro.runtime.spec.RunSpec.baseline_spec` field for
+        field.
+        """
+        from ..sim.config import CMPConfig
+        from ..units import mb_to_lines
+
+        return BaselineSpec(
+            lc_name=self.lc_name,
+            load=self.load,
+            core_kind=self.core_kind,
+            requests=self.requests,
+            seed=self.seed,
+            warmup_fraction=self.warmup_fraction,
+            target_lines=mb_to_lines(self.target_mb),
+            config_key=config_fingerprint(CMPConfig(core_kind=self.core_kind)),
+        )
+
+    def compute(self, store) -> Dict[str, Any]:
+        """Simulate this shard's instances alone, in instance order.
+
+        Returns a JSON-ready document: the shard topology plus one
+        slice per covered instance carrying its post-warmup latency
+        pool and utilization counters (requests served, activations).
+        The per-instance simulation is exactly
+        :meth:`~repro.sim.mix_runner.MixRunner.baseline_instance`, so
+        merging shard slices in instance order reproduces the serial
+        baseline bit for bit.
+        """
+        from ..sim.config import CMPConfig
+        from ..sim.mix_runner import MixRunner
+        from .registry import LC_WORKLOADS
+
+        workload = LC_WORKLOADS.make(self.lc_name, target_mb=self.target_mb)
+        runner = MixRunner(
+            config=CMPConfig(core_kind=self.core_kind),
+            requests=self.requests,
+            seed=self.seed,
+            warmup_fraction=self.warmup_fraction,
+        )
+        slices = []
+        for instance in self.instances:
+            result = runner.baseline_instance(workload, self.load, instance)
+            slices.append(
+                {
+                    "instance": instance,
+                    "latencies": list(result.latencies),
+                    "requests_served": result.requests_served,
+                    "activations": result.activations,
+                }
+            )
+        return {
+            "shard_index": self.shard_index,
+            "num_shards": self.num_shards,
+            "instances": list(self.instances),
+            "slices": slices,
+        }
+
+
+@dataclass(frozen=True)
+class MergedBaseline:
+    """A sharded baseline reassembled into its serial-path equivalent.
+
+    ``baseline`` is bit-identical to what
+    :meth:`~repro.sim.mix_runner.MixRunner.baseline` computes serially;
+    the counters aggregate the shards' utilization stats (they are
+    reporting-only and never persisted into the baseline document, so
+    sharded and unsharded store bytes stay equal).
+    """
+
+    baseline: BaselineResult
+    instance_count: int
+    shard_count: int
+    requests_served: int
+    activations: int
+
+
+def plan_shards(
+    spec: RunSpec,
+    shards: int,
+    instance_count: int = LC_INSTANCES,
+) -> List[ShardSpec]:
+    """The shard batch covering one run's isolated-baseline work.
+
+    Splits the run's ``instance_count`` per-instance streams into (at
+    most) ``shards`` contiguous :class:`ShardSpec` slices.  ``shards``
+    beyond the instance count is clamped — there is no finer-grained
+    independent work to hand out.
+    """
+    if not isinstance(spec, RunSpec):
+        raise TypeError(f"can only shard a RunSpec, got {type(spec).__name__}")
+    chunks = shard_instances(instance_count, shards)
+    return [
+        ShardSpec(
+            lc_name=spec.mix.lc_name,
+            load=spec.mix.load,
+            core_kind=spec.core_kind,
+            requests=spec.requests,
+            seed=spec.seed,
+            warmup_fraction=spec.warmup_fraction,
+            target_mb=spec.mix.target_mb,
+            shard_index=index,
+            num_shards=len(chunks),
+            instances=chunk,
+        )
+        for index, chunk in enumerate(chunks)
+    ]
+
+
+def merge_shard_results(
+    results: Sequence[Mapping[str, Any]],
+) -> MergedBaseline:
+    """Deterministically reassemble shard documents into one baseline.
+
+    The merge is keyed by **instance index** — shard arrival order is
+    irrelevant — and requires exactly one slice per instance
+    ``0..N-1`` (duplicates and gaps raise, catching mismatched shard
+    batches early).  Latency pools concatenate in instance order, the
+    same order the serial path pools them, then the tail metrics are
+    recomputed with the same estimators — so the resulting
+    :class:`~repro.sim.mix_runner.BaselineResult` is bit-identical to
+    the unsharded computation.
+    """
+    slices: Dict[int, Mapping[str, Any]] = {}
+    for result in results:
+        for entry in result["slices"]:
+            instance = int(entry["instance"])
+            if instance in slices:
+                raise ValueError(
+                    f"instance {instance} covered by more than one shard"
+                )
+            slices[instance] = entry
+    if not slices:
+        raise ValueError("no shard slices to merge")
+    expected = range(len(slices))
+    if sorted(slices) != list(expected):
+        raise ValueError(
+            f"shard slices cover instances {sorted(slices)}, "
+            f"expected exactly 0..{len(slices) - 1}"
+        )
+    pooled: List[float] = []
+    requests_served = 0
+    activations = 0
+    for instance in expected:
+        entry = slices[instance]
+        pooled.extend(float(x) for x in entry["latencies"])
+        requests_served += int(entry["requests_served"])
+        activations += int(entry["activations"])
+    baseline = BaselineResult(
+        tail95_cycles=tail_mean(pooled, 95.0),
+        p95_cycles=percentile_latency(pooled, 95.0),
+        latencies=tuple(pooled),
+    )
+    return MergedBaseline(
+        baseline=baseline,
+        instance_count=len(slices),
+        shard_count=len(results),
+        requests_served=requests_served,
+        activations=activations,
+    )
+
+
+def interleave_shards(
+    plans: Sequence[Sequence[ShardSpec]],
+) -> List[ShardSpec]:
+    """Round-robin shard batches from different specs into one queue.
+
+    Ordering is shard-major: shard 0 of every spec, then shard 1 of
+    every spec, and so on.  With a bounded scheduler window this is
+    what keeps one run's shards from monopolizing the worker slots —
+    every spec in the grid gets a shard in flight before any spec gets
+    its second — so intra-run parallelism never starves the grid.
+
+    >>> from repro.runtime import MixRef, PolicySpec, RunSpec
+    >>> a = plan_shards(RunSpec(mix=MixRef(lc_name="masstree", load=0.2,
+    ...     combo="nft"), policy=PolicySpec.of("ubik")), 3)
+    >>> [s.shard_index for s in interleave_shards([a, a])]
+    [0, 0, 1, 1, 2, 2]
+    """
+    return [
+        shard
+        for tier in zip_longest(*plans)
+        for shard in tier
+        if shard is not None
+    ]
+
+
+def default_shards() -> ShardCount:
+    """Shard count from ``REPRO_SHARDS`` (default 1; ``auto`` allowed)."""
+    import os
+
+    raw = os.environ.get("REPRO_SHARDS", "").strip()
+    return raw if raw else 1
+
+
+def resolve_shards(
+    shards: ShardCount,
+    instance_count: int = LC_INSTANCES,
+    jobs: int = 1,
+    grid_size: int = 1,
+) -> int:
+    """Validate and resolve a shard count to a concrete integer.
+
+    ``None`` means unsharded (1).  ``"auto"`` applies the heuristic:
+    shard only when the grid leaves workers idle — the per-run shard
+    count is the worker budget per grid entry, ``jobs // grid_size``,
+    clamped to ``[1, instance_count]``.  A wide grid therefore runs
+    unsharded (grid-level parallelism already fills the pool), while a
+    single run on a 4-worker session fans its instances out.  Integers
+    (or integer strings) are validated and clamped to the instance
+    count; zero and negatives are rejected.
+
+    >>> resolve_shards("auto", jobs=4, grid_size=1)
+    3
+    >>> resolve_shards("auto", jobs=4, grid_size=40)
+    1
+    >>> resolve_shards(4)
+    3
+    """
+    if shards is None:
+        return 1
+    if isinstance(shards, str):
+        text = shards.strip().lower()
+        if text == "auto":
+            budget = max(1, jobs) // max(1, grid_size)
+            return max(1, min(instance_count, budget))
+        try:
+            shards = int(text)
+        except ValueError:
+            raise ValueError(
+                f"shards must be an integer or 'auto', got {shards!r}"
+            ) from None
+    if isinstance(shards, bool) or not isinstance(shards, int):
+        raise ValueError(f"shards must be an integer or 'auto', got {shards!r}")
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    return min(shards, instance_count)

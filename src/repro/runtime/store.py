@@ -73,6 +73,15 @@ class ResultStore:
         assert self.root is not None
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
 
+    def document_path(self, fingerprint: str) -> Optional[Path]:
+        """Where a fingerprint's document lives on disk (``None`` when
+        the store is memory-only).  The file need not exist yet; the
+        path is deterministic, which is what ``repro run`` prints and
+        what byte-identity tests compare across shard counts."""
+        if self.root is None:
+            return None
+        return self._path(fingerprint)
+
     def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         """The stored document for a fingerprint, or ``None``."""
         hit = self._mem.get(fingerprint)
@@ -128,6 +137,27 @@ class ResultStore:
             except OSError:
                 pass
             raise
+
+    def discard(self, fingerprint: str) -> None:
+        """Drop one entry from both layers (a no-op when absent).
+
+        Used to reclaim documents a later write supersedes — e.g. the
+        per-shard documents of a sharded baseline once their merged
+        result is persisted, which would otherwise duplicate every
+        latency pool on disk indefinitely.
+        """
+        self._mem.pop(fingerprint, None)
+        if self.root is None:
+            return
+        path = self._path(fingerprint)
+        try:
+            path.unlink()
+        except OSError:
+            return
+        try:
+            path.parent.rmdir()  # drop the prefix dir if now empty
+        except OSError:
+            pass
 
     def __contains__(self, fingerprint: str) -> bool:
         return self.get(fingerprint) is not None

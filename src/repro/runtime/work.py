@@ -15,6 +15,13 @@ or any :class:`~repro.runtime.spec.TaskSpec`:
 
 Keeping them here, below the session facade, lets the scheduler stream
 work without importing the session (and vice versa).
+
+Every unit of work the runtime knows — sweep :class:`RunSpec`\\ s,
+scaleout/bandwidth tasks, and the
+:class:`~repro.runtime.sharding.ShardSpec` slices of a sharded run —
+flows through these four functions, which is what makes new spec kinds
+cheap: implement :meth:`TaskSpec.compute` and every executor, the
+scheduler, the store, and the CLI handle it with no further wiring.
 """
 
 from __future__ import annotations

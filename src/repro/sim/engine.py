@@ -18,6 +18,15 @@ Two execution modes:
 The policy only sees monitor data (noisy UMON curves, counters), never
 engine-internal state, so policy decisions carry hardware-realistic
 information error.
+
+Parallelism note (see ``docs/ARCHITECTURE.md``, "Trace sharding"):
+one engine run is a single sequential event timeline — the six apps
+are coupled through policy decisions, the shared batch-space integral,
+and one RNG, so a *joint* mix replay cannot be split without changing
+its semantics.  What *is* independent is each LC instance's isolated
+baseline run (:meth:`MixEngine.isolated`): one instance, no batch
+apps, a fixed partition, its own seed.  The runtime's trace sharding
+(:mod:`repro.runtime.sharding`) exploits exactly that boundary.
 """
 
 from __future__ import annotations
@@ -232,6 +241,41 @@ class MixEngine:
         self.trace_partitions = trace_partitions
         self.partition_trace: Dict[int, List[Tuple[float, float, float]]] = (
             {a.index: [] for a in self.apps} if trace_partitions else {}
+        )
+
+    @classmethod
+    def isolated(
+        cls,
+        spec: LCInstanceSpec,
+        config: CMPConfig,
+        target_lines: float,
+        seed: int,
+        warmup_fraction: float = 0.05,
+        mix_id: str = "isolated",
+    ) -> "MixEngine":
+        """An engine running one LC instance alone at a fixed partition.
+
+        This is the paper's private-LLC baseline configuration (noise
+        off, no batch apps, a :class:`~repro.policies.fixed.FixedPolicy`
+        pinned at ``target_lines``) — and the unit of work the runtime's
+        trace sharding fans across workers: isolated instances share no
+        state, so any subset can run anywhere and merge exactly.
+        Both :meth:`repro.sim.mix_runner.MixRunner.baseline_instance`
+        and the scaleout study's baseline build their engines here so
+        the sharded and serial paths cannot drift apart.
+        """
+        from ..policies.fixed import FixedPolicy
+
+        return cls(
+            lc_specs=[spec],
+            batch_workloads=[],
+            policy=FixedPolicy({0: float(target_lines)}),
+            config=config,
+            scheme=None,
+            seed=seed,
+            umon_noise=0.0,
+            warmup_fraction=warmup_fraction,
+            mix_id=mix_id,
         )
 
     # ------------------------------------------------------------------

@@ -25,7 +25,6 @@ import numpy as np
 from ..cache.schemes import SchemeModel
 from ..cpu import make_core_model
 from ..policies.base import Policy
-from ..policies.fixed import FixedPolicy
 from ..server.latency import percentile_latency, tail_mean
 from ..workloads.arrivals import generate_arrivals
 from ..workloads.latency_critical import LCWorkload
@@ -123,12 +122,49 @@ class MixRunner:
             config_key=config_fingerprint(self.config),
         ).fingerprint()
 
+    def baseline_instance(self, workload: LCWorkload, load: float, instance: int):
+        """Run one LC instance alone at its target allocation.
+
+        Returns the instance's
+        :class:`~repro.sim.results.LCInstanceResult` (post-warmup
+        latency pool plus served/activation counters).  This is the
+        *shardable unit* of a baseline: instances share no state — each
+        draws its own request stream (:meth:`stream`) and its own
+        engine seed (``seed + instance``) — so any subset of instances
+        can be simulated in any process and merged in instance order
+        to reproduce :meth:`baseline` exactly.
+        :class:`repro.runtime.sharding.ShardSpec` calls this for the
+        instances its shard covers.
+        """
+        arrivals, works = self.stream(workload, load, instance)
+        spec = LCInstanceSpec(
+            workload=workload,
+            arrivals=arrivals,
+            works=works,
+            deadline_cycles=1.0,  # unused by FixedPolicy
+            target_tail_cycles=1.0,
+            load=load,
+        )
+        engine = MixEngine.isolated(
+            spec,
+            config=self.config,
+            target_lines=float(workload.target_lines),
+            seed=self.seed + instance,
+            warmup_fraction=self.warmup_fraction,
+            mix_id=f"baseline-{workload.name}",
+        )
+        return engine.run().lc_instances[0]
+
     def baseline(self, workload: LCWorkload, load: float) -> BaselineResult:
         """Isolated run at the target allocation (cached).
 
         Lookup order: in-memory cache, then the persistent store (if
         attached), then a fresh three-instance isolated simulation
-        whose result is written back to both layers.
+        whose result is written back to both layers.  The simulation
+        itself is :meth:`baseline_instance` applied to instances
+        ``0..LC_INSTANCES-1`` with the pools concatenated in instance
+        order — the exact merge rule trace sharding replays, which is
+        why a sharded baseline is bit-identical to this serial one.
         """
         key = (workload.name, load, self.config.core_kind)
         hit = self._baseline_cache.get(key)
@@ -143,28 +179,7 @@ class MixRunner:
                 return stored
         pooled: List[float] = []
         for instance in range(LC_INSTANCES):
-            arrivals, works = self.stream(workload, load, instance)
-            spec = LCInstanceSpec(
-                workload=workload,
-                arrivals=arrivals,
-                works=works,
-                deadline_cycles=1.0,  # unused by FixedPolicy
-                target_tail_cycles=1.0,
-                load=load,
-            )
-            engine = MixEngine(
-                lc_specs=[spec],
-                batch_workloads=[],
-                policy=FixedPolicy({0: float(workload.target_lines)}),
-                config=self.config,
-                scheme=None,
-                seed=self.seed + instance,
-                umon_noise=0.0,
-                warmup_fraction=self.warmup_fraction,
-                mix_id=f"baseline-{workload.name}",
-            )
-            result = engine.run()
-            pooled.extend(result.lc_instances[0].latencies)
+            pooled.extend(self.baseline_instance(workload, load, instance).latencies)
         baseline = BaselineResult(
             tail95_cycles=tail_mean(pooled, 95.0),
             p95_cycles=percentile_latency(pooled, 95.0),

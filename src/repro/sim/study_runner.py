@@ -18,7 +18,6 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..policies.fixed import FixedPolicy
 from ..server.latency import percentile_latency, tail_mean
 from ..workloads.arrivals import generate_arrivals
 from ..workloads.batch import make_batch_workload
@@ -90,13 +89,11 @@ def _scaleout_baseline(
             return doc["tail95_cycles"], doc["p95_cycles"]
     pooled: List[float] = []
     for spec in specs:
-        engine = MixEngine(
-            lc_specs=[spec],
-            batch_workloads=[],
-            policy=FixedPolicy({0: float(workload.target_lines)}),
+        engine = MixEngine.isolated(
+            spec,
             config=config,
+            target_lines=float(workload.target_lines),
             seed=seed,
-            umon_noise=0.0,
             mix_id="scaleout-baseline",
         )
         pooled.extend(engine.run().lc_instances[0].latencies)

@@ -1,0 +1,110 @@
+"""Sharded-vs-unsharded determinism matrix on a golden-suite spec.
+
+The acceptance bar for trace sharding is *byte identity*: splitting a
+run's per-instance baseline streams across workers must change nothing
+about what lands in the store — not a float, not a byte.  This matrix
+evaluates one golden-suite spec (the Ubik cell of the pinned
+``tests/golden`` grid) at 1/2/4 shards under each of the three
+executors and compares the raw on-disk store documents — the run
+record *and* the merged baseline — against the serial unsharded
+reference, byte for byte.
+"""
+
+import pytest
+
+from repro.runtime import (
+    MixRef,
+    PolicySpec,
+    ResultStore,
+    RunSpec,
+    Session,
+    make_executor,
+)
+
+#: The Ubik run of the golden grid (see test_golden.GOLDEN_SCALE):
+#: masstree at low load against the nft batch trio, 60 requests.
+GOLDEN_SPEC = RunSpec(
+    mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+    policy=PolicySpec.of("ubik", slack=0.05),
+    requests=60,
+)
+
+EXECUTORS = ("serial", "parallel", "async")
+SHARD_COUNTS = (1, 2, 4)
+
+
+def evaluate(tmp_path, kind, shards):
+    """Run the golden spec in a fresh store; return both documents' bytes."""
+    root = tmp_path / f"{kind}-{shards}"
+    session = Session(
+        store=ResultStore(root),
+        executor=make_executor(2, kind=kind),
+        shards=shards,
+    )
+    record = session.run(GOLDEN_SPEC)
+    run_doc = session.store.document_path(GOLDEN_SPEC.fingerprint())
+    base_doc = session.store.document_path(
+        GOLDEN_SPEC.baseline_spec().fingerprint()
+    )
+    assert run_doc.exists() and base_doc.exists()
+    return record, run_doc.read_bytes(), base_doc.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The serial, unsharded ground truth every cell must reproduce."""
+    return evaluate(tmp_path_factory.mktemp("reference"), "serial", 1)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("kind", EXECUTORS)
+def test_store_documents_byte_identical(kind, shards, tmp_path, reference):
+    ref_record, ref_run, ref_base = reference
+    record, run_bytes, base_bytes = evaluate(tmp_path, kind, shards)
+    assert record == ref_record
+    assert run_bytes == ref_run, (
+        f"run document drifted at {kind}/--shards {shards}"
+    )
+    assert base_bytes == ref_base, (
+        f"baseline document drifted at {kind}/--shards {shards}"
+    )
+
+
+def test_sharded_store_tree_identical_to_unsharded(tmp_path):
+    """Stronger than per-document identity: after shard-document
+    reclamation, the *entire store tree* matches an unsharded run's —
+    same files, same bytes, nothing left behind."""
+
+    def tree(root):
+        return {
+            p.relative_to(root).as_posix(): p.read_bytes()
+            for p in root.rglob("*")
+            if p.is_file()
+        }
+
+    sharded_root = tmp_path / "sharded"
+    plain_root = tmp_path / "plain"
+    Session(
+        store=ResultStore(sharded_root),
+        executor=make_executor(2, kind="parallel"),
+        shards=4,
+    ).run(GOLDEN_SPEC)
+    Session(
+        store=ResultStore(plain_root), executor=make_executor(1, kind="serial")
+    ).run(GOLDEN_SPEC)
+    assert tree(sharded_root) == tree(plain_root)
+
+
+def test_resharded_rerun_hits_the_same_logical_result(tmp_path):
+    """Shard topology never enters the logical fingerprints: a store
+    populated at one shard count serves a rerun at any other."""
+    root = tmp_path / "store"
+    first = Session(
+        store=ResultStore(root), executor=make_executor(2, kind="parallel"),
+        shards=4,
+    ).run(GOLDEN_SPEC)
+    reread = Session(
+        store=ResultStore(root), executor=make_executor(1, kind="serial"),
+        shards=2,
+    ).run(GOLDEN_SPEC)
+    assert reread == first

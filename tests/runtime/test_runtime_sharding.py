@@ -1,0 +1,304 @@
+"""Unit tests for intra-run trace sharding (repro.runtime.sharding)."""
+
+import pytest
+
+from repro.runtime import (
+    MixRef,
+    PolicySpec,
+    ResultStore,
+    RunSpec,
+    SerialExecutor,
+    Session,
+)
+from repro.runtime.sharding import (
+    ShardSpec,
+    interleave_shards,
+    merge_shard_results,
+    plan_shards,
+    resolve_shards,
+    shard_instances,
+)
+from repro.sim.config import CMPConfig
+from repro.sim.mix_runner import LC_INSTANCES, MixRunner
+from repro.workloads.latency_critical import make_lc_workload
+
+
+def small_spec(policy="ubik", load=0.2, **kwargs):
+    policy_kwargs = {"slack": 0.05} if policy == "ubik" else {}
+    return RunSpec(
+        mix=MixRef(lc_name="masstree", load=load, combo="nft"),
+        policy=PolicySpec.of(policy, **policy_kwargs),
+        requests=kwargs.pop("requests", 24),
+        **kwargs,
+    )
+
+
+class TestShardPlanning:
+    def test_contiguous_cover_without_overlap(self):
+        for count in range(1, 7):
+            chunks = shard_instances(5, count)
+            flat = [i for chunk in chunks for i in chunk]
+            assert flat == list(range(5))
+            assert all(chunk for chunk in chunks)
+
+    def test_clamped_to_instance_count(self):
+        assert shard_instances(3, 99) == [(0,), (1,), (2,)]
+        assert shard_instances(3, 0) == [(0, 1, 2)]
+
+    def test_plan_matches_run_identity(self):
+        spec = small_spec()
+        shards = plan_shards(spec, 2)
+        assert [s.instances for s in shards] == [(0, 1), (2,)]
+        assert {s.num_shards for s in shards} == {2}
+        base_fp = spec.baseline_spec().fingerprint()
+        assert all(s.base_spec().fingerprint() == base_fp for s in shards)
+
+    def test_plan_rejects_task_specs(self):
+        with pytest.raises(TypeError):
+            plan_shards(object(), 2)
+
+    def test_shard_fingerprints_distinct_by_slice(self):
+        spec = small_spec()
+        fps = {s.fingerprint() for s in plan_shards(spec, 3)}
+        assert len(fps) == 3
+
+    def test_invalid_shard_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ShardSpec(lc_name="masstree", instances=())
+        with pytest.raises(ValueError):
+            ShardSpec(lc_name="", instances=(0,))
+        with pytest.raises(ValueError):
+            ShardSpec(
+                lc_name="masstree", instances=(0,), shard_index=2, num_shards=2
+            )
+
+
+class TestResolveShards:
+    def test_none_and_one_mean_unsharded(self):
+        assert resolve_shards(None) == 1
+        assert resolve_shards(1) == 1
+        assert resolve_shards("1") == 1
+
+    def test_integers_clamped_to_instances(self):
+        assert resolve_shards(2) == 2
+        assert resolve_shards(16) == LC_INSTANCES
+
+    def test_auto_uses_idle_worker_budget(self):
+        # A lone run on a wide pool shards fully ...
+        assert resolve_shards("auto", jobs=8, grid_size=1) == LC_INSTANCES
+        # ... a wide grid saturates the pool already.
+        assert resolve_shards("auto", jobs=4, grid_size=40) == 1
+        assert resolve_shards("auto", jobs=1, grid_size=1) == 1
+
+    def test_rejects_junk(self):
+        for bad in (0, -3, "zero", 2.5, True):
+            with pytest.raises(ValueError):
+                resolve_shards(bad)
+
+
+class TestInterleaving:
+    def test_round_robin_across_specs(self):
+        a = plan_shards(small_spec(policy="lru"), 3)
+        b = plan_shards(small_spec(policy="ucp", load=0.6), 2)
+        queue = interleave_shards([a, b])
+        assert [(s.shard_index, s.load) for s in queue] == [
+            (0, 0.2),
+            (0, 0.6),
+            (1, 0.2),
+            (1, 0.6),
+            (2, 0.2),
+        ]
+
+    def test_empty_plans(self):
+        assert interleave_shards([]) == []
+
+
+class TestMerge:
+    def make_results(self, shards, store=None):
+        return [s.compute(store) for s in shards]
+
+    def test_merge_equals_serial_baseline(self):
+        spec = small_spec()
+        runner = MixRunner(config=CMPConfig(), requests=spec.requests, seed=spec.seed)
+        reference = runner.baseline(make_lc_workload("masstree"), 0.2)
+        for count in (1, 2, 3):
+            merged = merge_shard_results(
+                self.make_results(plan_shards(spec, count))
+            )
+            assert merged.baseline == reference
+            assert merged.instance_count == LC_INSTANCES
+            assert merged.shard_count == count
+
+    def test_merge_is_order_independent(self):
+        spec = small_spec()
+        results = self.make_results(plan_shards(spec, 3))
+        forward = merge_shard_results(results)
+        backward = merge_shard_results(list(reversed(results)))
+        assert forward.baseline == backward.baseline
+
+    def test_merge_rejects_duplicates_and_gaps(self):
+        spec = small_spec()
+        results = self.make_results(plan_shards(spec, 2))
+        with pytest.raises(ValueError, match="more than one shard"):
+            merge_shard_results(results + [results[0]])
+        with pytest.raises(ValueError, match="expected exactly"):
+            merge_shard_results(results[1:])
+        with pytest.raises(ValueError, match="no shard slices"):
+            merge_shard_results([])
+
+    def test_shard_documents_record_topology(self):
+        spec = small_spec()
+        shard = plan_shards(spec, 2)[1]
+        store = ResultStore(None)
+        result = shard.execute(store)
+        assert result["shard_index"] == 1
+        assert result["num_shards"] == 2
+        assert result["instances"] == [2]
+        doc = store.get(shard.fingerprint())
+        assert doc["kind"] == "baseline_shard"
+        assert doc["result"]["num_shards"] == 2
+        # Utilization stats merge alongside the latency pools.
+        merged = merge_shard_results(
+            self.make_results(plan_shards(spec, 2))
+        )
+        assert merged.requests_served > 0
+        assert merged.activations > 0
+
+
+class TestSessionSharding:
+    def test_sharded_record_equals_unsharded(self):
+        spec = small_spec()
+        plain = Session(store=ResultStore(None), executor=SerialExecutor())
+        sharded = Session(
+            store=ResultStore(None), executor=SerialExecutor(), shards=3
+        )
+        assert sharded.run(spec) == plain.run(spec)
+
+    def test_sharded_baseline_store_entry_matches(self):
+        spec = small_spec()
+        plain_store = ResultStore(None)
+        shard_store = ResultStore(None)
+        Session(store=plain_store, executor=SerialExecutor()).run(spec)
+        Session(store=shard_store, executor=SerialExecutor(), shards=2).run(spec)
+        base_fp = spec.baseline_spec().fingerprint()
+        assert plain_store.get_baseline(base_fp) == shard_store.get_baseline(
+            base_fp
+        )
+
+    def test_shared_baseline_planned_once_and_shards_reclaimed(self):
+        # Two specs differing only in policy share one baseline: the
+        # shard phase must not duplicate its work — and once the merged
+        # baseline is persisted, the shard documents are reclaimed.
+        class RecordingStore(ResultStore):
+            def __init__(self):
+                super().__init__(None)
+                self.put_kinds = []
+
+            def put(self, fingerprint, payload):
+                self.put_kinds.append(payload.get("kind"))
+                super().put(fingerprint, payload)
+
+        store = RecordingStore()
+        session = Session(store=store, executor=SerialExecutor(), shards=2)
+        records = session.run_many(
+            [small_spec(policy="lru"), small_spec(policy="ucp")]
+        )
+        assert len(records) == 2
+        assert store.put_kinds.count("baseline_shard") == 2  # one plan
+        assert store.put_kinds.count("baseline") == 1
+        assert store.put_kinds.count("run") == 2
+        remaining = {doc["kind"] for doc in store._mem.values()}
+        assert "baseline_shard" not in remaining  # reclaimed post-merge
+        assert {"baseline", "run"} <= remaining
+
+    def test_sharded_store_on_disk_keeps_no_shard_documents(self, tmp_path):
+        import json
+
+        store = ResultStore(tmp_path)
+        Session(store=store, executor=SerialExecutor(), shards=3).run(
+            small_spec()
+        )
+        kinds = sorted(
+            json.loads(p.read_text())["kind"]
+            for p in tmp_path.glob("??/*.json")
+        )
+        assert kinds == ["baseline", "run"]
+
+    def test_memory_store_with_process_pool_skips_shard_phase(self):
+        # A memory-only store cannot carry merged baselines into pool
+        # workers, so sharding there would double the baseline work;
+        # the session falls back to the (identical) unsharded path.
+        from repro.runtime import ParallelExecutor
+
+        class RecordingStore(ResultStore):
+            def __init__(self):
+                super().__init__(None)
+                self.put_kinds = []
+
+            def put(self, fingerprint, payload):
+                self.put_kinds.append(payload.get("kind"))
+                super().put(fingerprint, payload)
+
+        spec = small_spec()
+        store = RecordingStore()
+        session = Session(store=store, executor=ParallelExecutor(2), shards=3)
+        record = session.run(spec)
+        assert "baseline_shard" not in store.put_kinds
+        plain = Session(store=ResultStore(None), executor=SerialExecutor())
+        assert record == plain.run(spec)
+
+    def test_auto_budget_counts_only_store_misses(self):
+        # A mostly-cached grid must still shard its lone miss: the
+        # auto heuristic divides the worker budget by the number of
+        # specs that actually simulate, not the raw grid size.
+        specs = [small_spec(policy=p) for p in ("lru", "ucp", "static_lc")]
+        store = ResultStore(None)
+        warm = Session(store=store, executor=SerialExecutor())
+        warm.run_many(specs[:2])  # two of three now cached
+
+        class RecordingStore(ResultStore):
+            def __init__(self, seed_mem):
+                super().__init__(None)
+                self._mem.update(seed_mem)
+                self.put_kinds = []
+
+            def put(self, fingerprint, payload):
+                self.put_kinds.append(payload.get("kind"))
+                super().put(fingerprint, payload)
+
+        # Drop the baseline so the lone miss has shardable work, keep
+        # the two run records.
+        seed = {
+            fp: doc
+            for fp, doc in store._mem.items()
+            if doc["kind"] == "run"
+        }
+        recording = RecordingStore(seed)
+        session = Session(
+            store=recording, executor=SerialExecutor(), shards="auto"
+        )
+        # Pretend a 4-worker budget: 3 cached + 1 miss -> 4 // 1 = full
+        # sharding for the miss despite the wide-looking grid.
+        session.executor.jobs = 4
+        session.run_many(specs)
+        assert recording.put_kinds.count("baseline_shard") == 3
+
+    def test_task_specs_pass_through(self):
+        # A non-RunSpec batch routed through run_sharded is untouched.
+        from repro.experiments.scaleout import ScaleoutSpec
+
+        spec = ScaleoutSpec(
+            cores=4, lc_name="masstree", load=0.2, requests=24,
+            policy=PolicySpec.of("lru"),
+        )
+        session = Session(store=ResultStore(None), executor=SerialExecutor())
+        assert session.run_sharded([spec], shards=3) == [
+            Session(store=ResultStore(None), executor=SerialExecutor()).run(spec)
+        ]
+
+    def test_run_honors_explicit_shards_argument(self):
+        spec = small_spec()
+        session = Session(store=ResultStore(None), executor=SerialExecutor())
+        unsharded = session.run(spec)
+        fresh = Session(store=ResultStore(None), executor=SerialExecutor())
+        assert fresh.run(spec, shards=2) == unsharded

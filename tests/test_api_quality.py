@@ -58,6 +58,7 @@ MODULES = [
     "repro.runtime.store",
     "repro.runtime.executors",
     "repro.runtime.scheduler",
+    "repro.runtime.sharding",
     "repro.runtime.work",
     "repro.runtime.session",
     "repro.sim",
@@ -93,6 +94,56 @@ def test_public_items_documented(module_name):
         obj = getattr(module, name)
         if inspect.isclass(obj) or inspect.isfunction(obj):
             assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+RUNTIME_MODULES = [m for m in MODULES if m.startswith("repro.runtime")]
+
+
+def _undocumented_members(cls):
+    """Public methods/properties of ``cls`` lacking a real docstring."""
+    missing = []
+    for attr, member in vars(cls).items():
+        if attr.startswith("_"):
+            continue
+        if isinstance(member, (classmethod, staticmethod)):
+            target = member.__func__
+        elif inspect.isfunction(member):
+            target = member
+        elif isinstance(member, property):
+            target = member.fget
+        else:
+            continue  # plain class attribute / ClassVar default
+        doc = getattr(target, "__doc__", None)
+        if not doc or len(doc.strip()) < 10:
+            missing.append(attr)
+    return missing
+
+
+@pytest.mark.parametrize("module_name", RUNTIME_MODULES)
+def test_runtime_docstring_coverage(module_name):
+    """The runtime package holds itself to a stricter bar: every
+    exported name *and every public method, classmethod, staticmethod,
+    and property on every exported class* must carry a substantive
+    docstring.  (The base check above only covers the exported names
+    themselves.)"""
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{module_name} must declare __all__"
+    problems = []
+    for name in exported:
+        obj = getattr(module, name)
+        if inspect.isclass(obj):
+            if not obj.__doc__ or len(obj.__doc__.strip()) < 10:
+                problems.append(name)
+            problems.extend(
+                f"{name}.{attr}" for attr in _undocumented_members(obj)
+            )
+        elif inspect.isfunction(obj):
+            if not obj.__doc__ or len(obj.__doc__.strip()) < 10:
+                problems.append(name)
+    assert not problems, (
+        f"{module_name} exports lacking docstrings: {problems}"
+    )
 
 
 def test_top_level_api_exports():

@@ -78,6 +78,43 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["table3", "--scheduler", "warp"])
 
+    def test_run_command_sharded_matches_unsharded(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        args = [
+            "run", "--lc", "masstree", "--load", "0.2", "--combo", "nft",
+            "--policy", "ubik", "--slack", "0.05", "--requests", "24",
+        ]
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sharded"))
+        assert main(args + ["--shards", "4", "--jobs", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert "fingerprint" in sharded_out
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "plain"))
+        assert main(args + ["--shards", "1"]) == 0
+        plain_out = capsys.readouterr().out
+        # Same record, same fingerprint; only the shards line and the
+        # store path differ between the two reports.
+        def field(text, name):
+            return [l for l in text.splitlines() if l.startswith(name)][0].split()[-1]
+
+        assert field(sharded_out, "fingerprint") == field(plain_out, "fingerprint")
+        sharded_doc = field(sharded_out, "store document")
+        plain_doc = field(plain_out, "store document")
+        from pathlib import Path
+
+        assert Path(sharded_doc).read_bytes() == Path(plain_doc).read_bytes()
+
+    def test_run_rejects_bad_shards(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--shards", "warp"])
+        with pytest.raises(SystemExit):
+            main(["run", "--shards", "0"])
+
+    def test_list_mentions_run(self, capsys):
+        assert main(["list"]) == 0
+        assert "--shards" in capsys.readouterr().out
+
     def test_cache_prune(self, capsys, monkeypatch, tmp_path):
         import json
 
