@@ -1,0 +1,374 @@
+"""Tracked performance benchmarks: the ``repro bench`` harness.
+
+The ROADMAP's north star is "as fast as the hardware allows", which is
+only meaningful with a *trajectory*: numbers written down, schema-
+stable, and comparable across revisions.  This module times four
+canonical kernels that cover the stack's hot layers and writes a
+``BENCH_<revision>.json`` document (under ``benchmarks/perf/`` by
+convention):
+
+``mix_run``
+    One full cold (mix, policy) evaluation — isolated baselines plus
+    the joint six-app Ubik replay — through
+    :func:`repro.runtime.work.execute_spec`.  The sim-layer kernel.
+``isolated_baseline``
+    A single LC instance simulated alone at its target partition
+    (:meth:`~repro.sim.mix_runner.MixRunner.baseline_instance`) — the
+    unit trace sharding fans out.
+``trace_replay``
+    One million line addresses through
+    :meth:`~repro.cache.set_assoc.SetAssociativeCache.access_many`
+    — *and* through the kept naive reference implementation
+    (:class:`~repro.cache.reference.NaiveSetAssociativeCache`), so the
+    recorded ``speedup`` always compares against the pre-optimization
+    code path on the same machine, never against a stale number from
+    different hardware.  The two replays are asserted access-for-access
+    identical before their times are recorded.
+``store_roundtrip``
+    Writing and (cold) re-reading a batch of result documents through
+    :class:`~repro.runtime.store.ResultStore` on a temporary directory.
+
+Timing methodology: each kernel runs ``repeats`` times and records the
+**minimum** (the standard microbenchmark estimator — system noise only
+ever adds time) alongside every raw sample.  ``--quick`` shrinks the
+workloads for CI smoke jobs; the schema is identical, so
+``tools/check_bench.py`` gates schema drift without ever failing on
+timing noise.
+
+Usage::
+
+    python -m repro bench                 # full kernels, BENCH_<rev>.json
+    python -m repro bench --quick         # CI-sized workloads
+    python -m repro bench --out my.json   # explicit destination
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ._version import __version__
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "KERNEL_NAMES",
+    "run_bench",
+    "write_bench",
+    "default_bench_path",
+    "validate_bench",
+    "bench_revision",
+]
+
+#: Schema identifier stamped into every document; bump only when the
+#: document layout changes (CI fails on drift against this module).
+BENCH_SCHEMA = "repro-bench/1"
+
+#: The canonical kernels, in reporting order.
+KERNEL_NAMES = ("mix_run", "isolated_baseline", "trace_replay", "store_roundtrip")
+
+#: Per-kernel keys every document must carry (see :func:`validate_bench`).
+_KERNEL_KEYS = ("seconds", "runs", "units", "unit", "ns_per_unit")
+
+
+def bench_revision() -> str:
+    """The revision label stamped into the document and its filename.
+
+    ``REPRO_BENCH_REVISION`` overrides (useful when benchmarking a tree
+    whose commit does not exist yet, e.g. the PR that lands the file);
+    otherwise the short git revision, else the package version.
+    """
+    import os
+
+    override = os.environ.get("REPRO_BENCH_REVISION", "").strip()
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or f"v{__version__}"
+    except Exception:
+        return f"v{__version__}"
+
+
+def _time_repeats(fn: Callable[[], Any], repeats: int) -> List[float]:
+    """Wall-clock samples of ``fn`` (one warm call is *not* added: every
+    kernel builds its own fresh state, so all samples are cold runs)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _kernel_entry(samples: List[float], units: int, unit: str, **extra: Any) -> Dict[str, Any]:
+    """One kernel's schema-stable document entry."""
+    best = min(samples)
+    entry: Dict[str, Any] = {
+        "seconds": best,
+        "runs": samples,
+        "units": units,
+        "unit": unit,
+        "ns_per_unit": best / units * 1e9,
+    }
+    entry.update(extra)
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def _bench_mix_run(requests: int, repeats: int) -> Dict[str, Any]:
+    """Cold (mix, policy) evaluation: baselines + joint Ubik replay."""
+    from .runtime.spec import MixRef, PolicySpec, RunSpec
+    from .runtime.work import execute_spec
+
+    spec = RunSpec(
+        mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+        policy=PolicySpec.of("ubik", slack=0.05),
+        requests=requests,
+    )
+    samples = _time_repeats(lambda: execute_spec(spec, None), repeats)
+    return _kernel_entry(samples, units=requests, unit="requests")
+
+
+def _bench_isolated_baseline(requests: int, repeats: int) -> Dict[str, Any]:
+    """One LC instance alone at its target partition (the shard unit)."""
+    from .sim.mix_runner import MixRunner
+    from .workloads.latency_critical import make_lc_workload
+
+    workload = make_lc_workload("masstree")
+
+    def run() -> None:
+        MixRunner(requests=requests, seed=2014).baseline_instance(
+            workload, 0.2, 0
+        )
+
+    samples = _time_repeats(run, repeats)
+    return _kernel_entry(samples, units=requests, unit="requests")
+
+
+def _trace_stream(accesses: int, seed: int = 7) -> np.ndarray:
+    """The replay kernel's Zipf-over-100k-lines address stream."""
+    rng = np.random.default_rng(seed)
+    return (rng.zipf(1.3, size=accesses) % 100_000).astype(np.int64)
+
+
+def _bench_trace_replay(
+    accesses: int, repeats: int, num_lines: int = 16384, ways: int = 16
+) -> Dict[str, Any]:
+    """Batched replay vs the kept naive reference, verified identical."""
+    from .cache.reference import NaiveSetAssociativeCache
+    from .cache.set_assoc import SetAssociativeCache
+
+    addrs = _trace_stream(accesses)
+    addr_list = addrs.tolist()
+
+    # Verify once, outside the timed region: the optimized replay must
+    # be access-for-access identical to the reference before its time
+    # means anything.
+    optimized = SetAssociativeCache(num_lines, ways)
+    hit_mask = optimized.access_many(addrs)
+    naive = NaiveSetAssociativeCache(num_lines, ways)
+    naive_hits = [naive.access(addr).hit for addr in addr_list]
+    if hit_mask.tolist() != naive_hits or (optimized.hits, optimized.misses) != (
+        naive.hits,
+        naive.misses,
+    ):  # pragma: no cover - would mean a real regression
+        raise RuntimeError("optimized trace replay diverged from the reference")
+
+    samples = _time_repeats(
+        lambda: SetAssociativeCache(num_lines, ways).access_many(addrs), repeats
+    )
+
+    def run_naive() -> None:
+        cache = NaiveSetAssociativeCache(num_lines, ways)
+        access = cache.access
+        for addr in addr_list:
+            access(addr)
+
+    naive_samples = _time_repeats(run_naive, repeats)
+    best, naive_best = min(samples), min(naive_samples)
+    return _kernel_entry(
+        samples,
+        units=accesses,
+        unit="accesses",
+        baseline_seconds=naive_best,
+        baseline_runs=naive_samples,
+        speedup=naive_best / best,
+        verified_identical=True,
+    )
+
+
+def _bench_store_roundtrip(documents: int, repeats: int) -> Dict[str, Any]:
+    """Write + cold re-read of result documents on a temp directory."""
+    from .runtime.store import ResultStore
+
+    payload = {
+        "kind": "bench",
+        "result": {"metric": 1.0, "values": list(range(32))},
+    }
+
+    def run() -> None:
+        with tempfile.TemporaryDirectory() as root:
+            writer = ResultStore(root)
+            for index in range(documents):
+                writer.put(f"{index:064x}", dict(payload))
+            reader = ResultStore(root)  # fresh memory layer: disk reads
+            for index in range(documents):
+                if reader.get(f"{index:064x}") is None:
+                    raise RuntimeError("store round-trip lost a document")
+
+    samples = _time_repeats(run, repeats)
+    return _kernel_entry(samples, units=documents, unit="documents")
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, Any]:
+    """Run every kernel and return the schema-stable document."""
+    repeats = repeats if repeats is not None else (2 if quick else 3)
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    accesses = 100_000 if quick else 1_000_000
+    requests = 30 if quick else 60
+    documents = 50 if quick else 200
+    kernels = {
+        "mix_run": _bench_mix_run(requests, repeats),
+        "isolated_baseline": _bench_isolated_baseline(requests, repeats),
+        "trace_replay": _bench_trace_replay(accesses, repeats),
+        "store_roundtrip": _bench_store_roundtrip(documents, repeats),
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "revision": bench_revision(),
+        "quick": quick,
+        "repeats": repeats,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro_version": __version__,
+        "platform": platform.platform(),
+        "kernels": kernels,
+    }
+
+
+def default_bench_path(revision: str) -> Path:
+    """``<repo root>/benchmarks/perf/BENCH_<rev>.json`` inside a
+    checkout (whatever the current directory), else the current
+    directory (running from an installed package)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        perf_dir = Path(out.stdout.strip()) / "benchmarks" / "perf"
+    except Exception:
+        perf_dir = Path("benchmarks") / "perf"
+    base = perf_dir if perf_dir.is_dir() else Path(".")
+    return base / f"BENCH_{revision}.json"
+
+
+def write_bench(payload: Dict[str, Any], out: Optional[Path] = None) -> Path:
+    """Write a bench document (pretty JSON, trailing newline)."""
+    path = Path(out) if out is not None else default_bench_path(payload["revision"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_bench(payload: Any) -> List[str]:
+    """Schema-drift check: the list of problems (empty = valid).
+
+    Validates structure and types only — never timing values — so CI
+    can gate on drift without flaking on machine noise.  Used by
+    ``tools/check_bench.py`` and the tier-1 bench test.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"document must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key, kinds in (
+        ("revision", str),
+        ("quick", bool),
+        ("repeats", int),
+        ("created", str),
+        ("python", str),
+        ("numpy", str),
+        ("repro_version", str),
+        ("platform", str),
+        ("kernels", dict),
+    ):
+        if not isinstance(payload.get(key), kinds):
+            problems.append(f"missing or mistyped field {key!r}")
+    kernels = payload.get("kernels")
+    if not isinstance(kernels, dict):
+        return problems
+    for name in KERNEL_NAMES:
+        entry = kernels.get(name)
+        if not isinstance(entry, dict):
+            problems.append(f"missing kernel {name!r}")
+            continue
+        for key in _KERNEL_KEYS:
+            if key not in entry:
+                problems.append(f"kernel {name!r} missing {key!r}")
+        runs = entry.get("runs")
+        if not (
+            isinstance(runs, list)
+            and runs
+            and all(isinstance(x, (int, float)) for x in runs)
+        ):
+            problems.append(f"kernel {name!r} runs must be a non-empty number list")
+    replay = kernels.get("trace_replay")
+    if isinstance(replay, dict):
+        for key in ("baseline_seconds", "baseline_runs", "speedup", "verified_identical"):
+            if key not in replay:
+                problems.append(f"kernel 'trace_replay' missing {key!r}")
+    return problems
+
+
+def format_bench(payload: Dict[str, Any]) -> str:
+    """Human-readable kernel table for the CLI."""
+    from .experiments.common import format_table
+
+    rows: List[List[str]] = []
+    for name in KERNEL_NAMES:
+        entry = payload["kernels"][name]
+        note = ""
+        if "speedup" in entry:
+            note = f"{entry['speedup']:.2f}x vs naive ({entry['baseline_seconds']:.3f}s)"
+        rows.append(
+            [
+                name,
+                f"{entry['seconds']:.4f}s",
+                f"{entry['units']} {entry['unit']}",
+                f"{entry['ns_per_unit']:,.0f}",
+                note,
+            ]
+        )
+    title = f"repro bench @ {payload['revision']}" + (
+        " (quick)" if payload["quick"] else ""
+    )
+    return format_table(
+        ["Kernel", "Best", "Work", "ns/unit", "Notes"], rows, title=title
+    )

@@ -16,6 +16,14 @@ demotion/eviction.  The properties Ubik depends on (paper Section 5.1):
 This model reproduces those properties over the statistical zcache
 candidate machinery, and is used to validate the behavioural transient
 model the mix engine uses.
+
+Slot state (tag, partition, LRU time) lives in flat preallocated
+line-indexed arrays — plain Python lists, the fastest random-access
+store the interpreter offers — shared by the scalar :meth:`access` and
+the batched :meth:`access_many` hot path, so batching carries no
+per-call conversion cost.  The per-miss candidate draw still comes
+from the numpy RNG, one draw per miss, so scalar and batched execution
+consume the exact same RNG stream.
 """
 
 from __future__ import annotations
@@ -49,14 +57,15 @@ class VantageCache:
         self.ways = ways
         self.candidates = min(candidates, num_lines)
         self._rng = np.random.default_rng(seed)
-        self._slot_addr = np.full(num_lines, -1, dtype=np.int64)
-        self._slot_part = np.full(num_lines, -1, dtype=np.int64)
-        self._slot_time = np.zeros(num_lines, dtype=np.int64)
+        # Flat preallocated slot arrays (see module docstring).
+        self._slot_addr: List[int] = [-1] * num_lines
+        self._slot_part: List[int] = [-1] * num_lines
+        self._slot_time: List[int] = [0] * num_lines
         self._where: Dict[int, int] = {}
         self._free = list(range(num_lines - 1, -1, -1))
         self._clock = 0
-        self._targets = np.zeros(num_partitions, dtype=np.int64)
-        self._actual = np.zeros(num_partitions, dtype=np.int64)
+        self._targets: List[int] = [0] * num_partitions
+        self._actual: List[int] = [0] * num_partitions
         self.hits = np.zeros(num_partitions, dtype=np.int64)
         self.misses = np.zeros(num_partitions, dtype=np.int64)
         #: Lines lost by under-target partitions (should stay ~0).
@@ -84,6 +93,46 @@ class VantageCache:
     # ------------------------------------------------------------------
     # Access path
     # ------------------------------------------------------------------
+    def _evict_slot(self) -> int:
+        """Pick and clear a victim slot (two-stage Vantage selection).
+
+        Among R uniform candidate slots: the LRU line of an over-target
+        partition; else the LRU of an at-target partition; else the
+        global LRU of the candidates.  Ties (impossible while the clock
+        is strictly monotonic) would resolve to the first-drawn
+        candidate, matching ``np.argmin``.
+        """
+        slot_time = self._slot_time
+        slot_part = self._slot_part
+        actual = self._actual
+        targets = self._targets
+        picks = self._rng.integers(0, self.num_lines, size=self.candidates).tolist()
+        best_over = best_at = best_any = None
+        t_over = t_at = t_any = None
+        for pick in picks:
+            tm = slot_time[pick]
+            if t_any is None or tm < t_any:
+                t_any, best_any = tm, pick
+            part = slot_part[pick]
+            occupied = actual[part]
+            target = targets[part]
+            if occupied >= target:
+                if t_at is None or tm < t_at:
+                    t_at, best_at = tm, pick
+                if occupied > target and (t_over is None or tm < t_over):
+                    t_over, best_over = tm, pick
+        slot = (
+            best_over
+            if best_over is not None
+            else best_at if best_at is not None else best_any
+        )
+        victim_part = slot_part[slot]
+        if actual[victim_part] < targets[victim_part]:
+            self.under_target_evictions[victim_part] += 1
+        actual[victim_part] -= 1
+        del self._where[self._slot_addr[slot]]
+        return slot
+
     def access(self, partition: int, addr: int) -> AccessResult:
         """Access ``addr`` on behalf of ``partition``."""
         self._check_partition(partition)
@@ -98,13 +147,8 @@ class VantageCache:
         if self._free:
             slot = self._free.pop()
         else:
-            slot = self._pick_victim(partition)
-            evicted = int(self._slot_addr[slot])
-            victim_part = int(self._slot_part[slot])
-            if self._actual[victim_part] < self._targets[victim_part]:
-                self.under_target_evictions[victim_part] += 1
-            self._actual[victim_part] -= 1
-            del self._where[evicted]
+            slot = self._evict_slot()
+            evicted = self._slot_addr[slot]  # unlinked, tag still readable
         self._slot_addr[slot] = addr
         self._slot_part[slot] = partition
         self._slot_time[slot] = self._clock
@@ -112,27 +156,49 @@ class VantageCache:
         self._actual[partition] += 1
         return AccessResult(hit=False, evicted=evicted)
 
-    def _pick_victim(self, inserting: int) -> int:
-        """Two-stage victim selection among R uniform candidates.
+    def access_many(self, partition: int, addrs) -> np.ndarray:
+        """Access a whole address vector on behalf of one partition.
 
-        Stage 1 (demotion targets): candidates from partitions holding
-        at least their target, preferring over-target ones.  Stage 2:
-        if every candidate belongs to under-target partitions (rare by
-        construction), fall back to global LRU among candidates.
+        Identical to per-element :meth:`access` calls in order — same
+        slot state, same per-miss RNG draws — without the per-access
+        result allocation and method dispatch.  Returns the boolean hit
+        mask; this is the trace-driven simulator's hot path.
         """
-        picks = self._rng.integers(0, self.num_lines, size=self.candidates)
-        parts = self._slot_part[picks]
-        actual = self._actual[parts]
-        targets = self._targets[parts]
-        over = actual > targets
-        at_or_over = actual >= targets
-        for mask in (over, at_or_over):
-            if mask.any():
-                group = picks[mask]
-                times = self._slot_time[group]
-                return int(group[int(np.argmin(times))])
-        times = self._slot_time[picks]
-        return int(picks[int(np.argmin(times))])
+        self._check_partition(partition)
+        addr_list = np.asarray(addrs, dtype=np.int64).tolist()
+        slot_time = self._slot_time
+        slot_addr = self._slot_addr
+        slot_part = self._slot_part
+        actual = self._actual
+        where = self._where
+        get = where.get
+        free = self._free
+        clock = self._clock
+        hits = 0
+        misses = 0
+        out = bytearray(len(addr_list))
+        for i, addr in enumerate(addr_list):
+            clock += 1
+            slot = get(addr)
+            if slot is not None:
+                slot_time[slot] = clock
+                hits += 1
+                out[i] = 1
+                continue
+            misses += 1
+            if free:
+                slot = free.pop()
+            else:
+                slot = self._evict_slot()
+            slot_addr[slot] = addr
+            slot_part[slot] = partition
+            slot_time[slot] = clock
+            where[addr] = slot
+            actual[partition] += 1
+        self._clock = clock
+        self.hits[partition] += hits
+        self.misses[partition] += misses
+        return np.frombuffer(bytes(out), dtype=np.bool_)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -11,11 +11,41 @@ weaknesses — the reason Ubik needs Vantage (paper Sections 2.2 and
 * resizing is slow and pattern-dependent: after a way is reassigned,
   the old owner's lines remain until the new owner happens to miss in
   each set, so transients cannot be bounded analytically.
+
+Replacement-order contract
+--------------------------
+
+Eviction *order* is part of this model's observable behaviour (the
+slow-transient experiments above depend on exactly which line leaves
+when), so it is an explicit, tested contract rather than an accident
+of the data structure:
+
+1. Every access — hit or miss — advances a strictly monotonic access
+   clock; a **hit** restamps the line with the clock wherever it sits
+   in the set, regardless of which partition owns it.
+2. A **miss** considers only the accessing partition's contiguous way
+   range.  It claims the *lowest-indexed empty way* if one exists;
+   otherwise it evicts the line with the **minimum LRU stamp** in the
+   range (the least recently used candidate).
+3. Stamps are unique (one clock tick per access), so the victim is
+   always unique — there is no tie to break, and the historical
+   list-ordered implementation (kept as
+   :class:`repro.cache.reference.NaiveWayPartitionedCache`) picks the
+   identical line.  ``tests/cache/test_way_partition.py`` pins the
+   order and ``tests/cache/test_cache_equivalence.py`` property-tests
+   the two implementations against each other.
+
+Storage is the flat-array layout of
+:mod:`repro.cache.set_assoc` (slot ``set * ways + way``) plus an owner
+array, with a batched :meth:`WayPartitionedCache.access_many` hot
+path.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from .set_assoc import AccessResult
 
@@ -23,7 +53,10 @@ __all__ = ["WayPartitionedCache"]
 
 
 class WayPartitionedCache:
-    """Set-associative cache with per-partition way masks."""
+    """Set-associative cache with per-partition way masks.
+
+    See the module docstring for the replacement-order contract.
+    """
 
     def __init__(self, num_lines: int, ways: int, num_partitions: int):
         if num_lines < 1 or ways < 1:
@@ -36,11 +69,11 @@ class WayPartitionedCache:
         self.ways = ways
         self.num_sets = num_lines // ways
         self.num_partitions = num_partitions
-        # Per set: way -> (addr, lru_time, owner_partition); None if empty.
-        self._sets: List[List[Optional[tuple]]] = [
-            [None] * ways for _ in range(self.num_sets)
-        ]
-        self._where: Dict[int, tuple] = {}
+        # Flat preallocated slot arrays: slot = set * ways + way.
+        self._tags: List[int] = [-1] * num_lines
+        self._stamps: List[int] = [0] * num_lines
+        self._owner: List[int] = [-1] * num_lines
+        self._where: Dict[int, int] = {}  # addr -> slot
         self._clock = 0
         # Contiguous way ranges per partition.
         base = ways // num_partitions
@@ -78,37 +111,79 @@ class WayPartitionedCache:
         """Access ``addr``: hit anywhere in the set, insert in own ways."""
         self._check_partition(partition)
         self._clock += 1
-        index = addr % self.num_sets
-        ways = self._sets[index]
-        found = self._where.get(addr)
-        if found is not None:
-            __, way = found
-            entry = ways[way]
-            ways[way] = (entry[0], self._clock, entry[2])
+        slot = self._where.get(addr)
+        if slot is not None:
+            self._stamps[slot] = self._clock
             self.hits[partition] += 1
             return AccessResult(hit=True)
         self.misses[partition] += 1
-        victim_way = None
-        oldest = None
-        for way in self._way_range(partition):
-            entry = ways[way]
-            if entry is None:
-                victim_way = way
-                oldest = None
-                break
-            if oldest is None or entry[1] < oldest:
-                oldest = entry[1]
-                victim_way = way
-        if victim_way is None:  # pragma: no cover - guarded by constructor
-            raise RuntimeError("partition has no ways")
-        evicted = None
-        old = ways[victim_way]
-        if old is not None:
-            evicted = old[0]
+        way_range = self._way_range(partition)
+        base = (addr % self.num_sets) * self.ways
+        lo = base + way_range.start
+        hi = base + way_range.stop
+        tags = self._tags
+        evicted: Optional[int] = None
+        try:
+            victim = tags.index(-1, lo, hi)
+        except ValueError:
+            stamps = self._stamps[lo:hi]
+            victim = lo + stamps.index(min(stamps))
+            evicted = tags[victim]
             del self._where[evicted]
-        ways[victim_way] = (addr, self._clock, partition)
-        self._where[addr] = (index, victim_way)
+        tags[victim] = addr
+        self._stamps[victim] = self._clock
+        self._owner[victim] = partition
+        self._where[addr] = victim
         return AccessResult(hit=False, evicted=evicted)
+
+    def access_many(self, partition: int, addrs) -> np.ndarray:
+        """Access a whole address vector on behalf of one partition.
+
+        Semantically identical to per-element :meth:`access` calls in
+        order (same hits, evictions, stamps, and owners) without the
+        per-access result allocation; returns the boolean hit mask.
+        """
+        self._check_partition(partition)
+        addr_list = np.asarray(addrs, dtype=np.int64).tolist()
+        way_range = self._way_range(partition)
+        start, stop = way_range.start, way_range.stop
+        tags = self._tags
+        stamps = self._stamps
+        owner = self._owner
+        where = self._where
+        get = where.get
+        ways = self.ways
+        num_sets = self.num_sets
+        clock = self._clock
+        hits = 0
+        misses = 0
+        out = bytearray(len(addr_list))
+        for i, addr in enumerate(addr_list):
+            clock += 1
+            slot = get(addr)
+            if slot is not None:
+                stamps[slot] = clock
+                hits += 1
+                out[i] = 1
+                continue
+            misses += 1
+            base = (addr % num_sets) * ways
+            lo = base + start
+            hi = base + stop
+            try:
+                victim = tags.index(-1, lo, hi)
+            except ValueError:
+                seg = stamps[lo:hi]
+                victim = lo + seg.index(min(seg))
+                del where[tags[victim]]
+            tags[victim] = addr
+            stamps[victim] = clock
+            owner[victim] = partition
+            where[addr] = victim
+        self._clock = clock
+        self.hits[partition] += hits
+        self.misses[partition] += misses
+        return np.frombuffer(bytes(out), dtype=np.bool_)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -116,21 +191,43 @@ class WayPartitionedCache:
     def resident_lines(self, partition: int) -> int:
         """Lines whose *owner* is ``partition`` (wherever they sit)."""
         self._check_partition(partition)
-        count = 0
-        for ways in self._sets:
-            for entry in ways:
-                if entry is not None and entry[2] == partition:
-                    count += 1
-        return count
+        return self._owner.count(partition)
 
     def __contains__(self, addr: int) -> bool:
         return addr in self._where
 
     @property
     def occupancy(self) -> int:
+        """Lines currently resident across all partitions."""
         return len(self._where)
 
+    @property
+    def owners(self) -> np.ndarray:
+        """Flat slot->owner-partition array (``-1`` = empty slot)."""
+        return np.asarray(self._owner, dtype=np.int64)
+
+    def lru_order(self, index: int) -> List[int]:
+        """Resident lines of one set, least recently used first."""
+        base = index * self.ways
+        entries = [
+            (self._stamps[base + way], self._tags[base + way])
+            for way in range(self.ways)
+            if self._tags[base + way] != -1
+        ]
+        return [tag for __, tag in sorted(entries)]
+
+    def tags_of_set(self, index: int) -> List[int]:
+        """One set's tags in way order (``-1`` = empty way)."""
+        base = index * self.ways
+        return self._tags[base : base + self.ways]
+
+    def stamps_of_set(self, index: int) -> List[int]:
+        """One set's LRU stamps in way order."""
+        base = index * self.ways
+        return self._stamps[base : base + self.ways]
+
     def partition_miss_ratio(self, partition: int) -> float:
+        """Observed miss ratio of one partition (0 before any access)."""
         self._check_partition(partition)
         total = self.hits[partition] + self.misses[partition]
         return self.misses[partition] / total if total else 0.0

@@ -8,11 +8,19 @@ an unbiased uniform sample of cache contents, independent of the access
 pattern.  This model keeps exactly that property: it tracks per-line
 last-access times and, on a miss, samples ``candidates`` occupied slots
 uniformly at random and evicts the oldest.
+
+Slot tags and last-access times live in flat preallocated line-indexed
+arrays (plain Python lists — the fastest random-access store the
+interpreter offers), shared by the scalar :meth:`ZCache.access` and
+the batched :meth:`ZCache.access_many`, so batching carries no
+per-call conversion cost.  Candidate draws come from the numpy RNG one
+miss at a time in both paths, so scalar and batched execution consume
+the exact same RNG stream.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -41,8 +49,8 @@ class ZCache:
         self.ways = ways
         self.candidates = min(candidates, num_lines)
         self._rng = np.random.default_rng(seed)
-        self._slot_addr = np.full(num_lines, -1, dtype=np.int64)
-        self._slot_time = np.zeros(num_lines, dtype=np.int64)
+        self._slot_addr: List[int] = [-1] * num_lines
+        self._slot_time: List[int] = [0] * num_lines
         self._where: Dict[int, int] = {}
         self._free = list(range(num_lines - 1, -1, -1))
         self._clock = 0
@@ -63,17 +71,59 @@ class ZCache:
             slot = self._free.pop()
         else:
             slot = self._pick_victim()
-            evicted = int(self._slot_addr[slot])
+            evicted = self._slot_addr[slot]
             del self._where[evicted]
         self._slot_addr[slot] = addr
         self._slot_time[slot] = self._clock
         self._where[addr] = slot
         return AccessResult(hit=False, evicted=evicted)
 
+    def access_many(self, addrs) -> np.ndarray:
+        """Access a whole address vector; returns the boolean hit mask.
+
+        Identical to per-element :meth:`access` calls in order (same
+        slot state, same per-miss RNG draws) without the per-access
+        result allocation and method dispatch.
+        """
+        addr_list = np.asarray(addrs, dtype=np.int64).tolist()
+        slot_addr = self._slot_addr
+        slot_time = self._slot_time
+        where = self._where
+        get = where.get
+        free = self._free
+        clock = self._clock
+        hits = 0
+        misses = 0
+        pick_victim = self._pick_victim
+        out = bytearray(len(addr_list))
+        for i, addr in enumerate(addr_list):
+            clock += 1
+            slot = get(addr)
+            if slot is not None:
+                slot_time[slot] = clock
+                hits += 1
+                out[i] = 1
+                continue
+            misses += 1
+            if free:
+                slot = free.pop()
+            else:
+                slot = pick_victim()
+                del where[slot_addr[slot]]
+            slot_addr[slot] = addr
+            slot_time[slot] = clock
+            where[addr] = slot
+        self._clock = clock
+        self.hits += hits
+        self.misses += misses
+        return np.frombuffer(bytes(out), dtype=np.bool_)
+
     def _pick_victim(self) -> int:
-        picks = self._rng.integers(0, self.num_lines, size=self.candidates)
-        times = self._slot_time[picks]
-        return int(picks[int(np.argmin(times))])
+        """The LRU slot among R uniform candidates (first-drawn wins a
+        tie, matching ``np.argmin`` — though ties cannot occur while
+        every occupied slot carries a unique clock value)."""
+        picks = self._rng.integers(0, self.num_lines, size=self.candidates).tolist()
+        return min(picks, key=self._slot_time.__getitem__)
 
     def __contains__(self, addr: int) -> bool:
         return addr in self._where

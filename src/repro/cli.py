@@ -14,6 +14,12 @@ Usage::
     python -m repro cache
     python -m repro cache --prune
     python -m repro cache --clear
+    python -m repro bench --quick
+
+``bench`` times the hot-path kernels (mix run, isolated baseline,
+1M-access trace replay vs the naive reference, store round-trip) and
+writes a schema-stable ``BENCH_<rev>.json`` under ``benchmarks/perf/``
+— the performance trajectory future PRs must not regress.
 
 Each command prints the same report its pytest benchmark writes to
 ``benchmarks/results/``.  ``--jobs N`` fans sweep grids over N worker
@@ -77,6 +83,7 @@ COMMANDS = (
     "scaleout",
     "bandwidth",
     "cache",
+    "bench",
 )
 
 
@@ -151,6 +158,7 @@ def _cmd_list(args) -> None:
         ["scaleout", "larger-CMP extension"],
         ["bandwidth", "memory-bandwidth contention extension"],
         ["cache", "inspect (or --clear) the persistent result store"],
+        ["bench", "time the hot-path kernels, write BENCH_<rev>.json"],
     ]
     print(format_table(["Command", "Regenerates"], rows))
 
@@ -368,6 +376,15 @@ def _cmd_cache(args) -> None:
     print(format_table(["Store", "Value"], rows, title="Result store"))
 
 
+def _cmd_bench(args) -> None:
+    from .bench import format_bench, run_bench, write_bench
+
+    payload = run_bench(quick=args.quick)
+    path = write_bench(payload, out=args.out)
+    print(format_bench(payload))
+    print(f"wrote {path}")
+
+
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -383,6 +400,7 @@ _HANDLERS = {
     "scaleout": _cmd_scaleout,
     "bandwidth": _cmd_bandwidth,
     "cache": _cmd_cache,
+    "bench": _cmd_bench,
 }
 
 
@@ -451,6 +469,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="with the cache command: drop results from stale schema "
         "generations",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="with the bench command: CI-sized workloads (same schema)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="with the bench command: output path "
+        "(default benchmarks/perf/BENCH_<rev>.json)",
     )
     args = parser.parse_args(argv)
     _HANDLERS[args.command](args)

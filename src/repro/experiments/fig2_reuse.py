@@ -85,19 +85,22 @@ def reuse_breakdown(
     misses = 0
     total = 0
     warmup = max(8, num_requests // 8)
+    top_class = NUM_CLASSES - 1
     for req_id, addrs in enumerate(requests):
-        for addr in addrs:
-            addr = int(addr)
-            result = cache.access(addr)
-            counted = req_id >= warmup
-            if counted:
-                total += 1
-            if result.hit:
-                ago = req_id - last_touch.get(addr, req_id)
-                if counted:
-                    class_counts[min(ago, NUM_CLASSES - 1)] += 1
-            elif counted:
-                misses += 1
+        addr_list = np.asarray(addrs, dtype=np.int64).tolist()
+        hit_mask = cache.access_many(addr_list)
+        if req_id < warmup:
+            # Warmup requests only feed the cache and the touch map.
+            last_touch.update(dict.fromkeys(addr_list, req_id))
+            continue
+        total += len(addr_list)
+        batch_hits = int(np.count_nonzero(hit_mask))
+        misses += len(addr_list) - batch_hits
+        get = last_touch.get
+        for addr, hit in zip(addr_list, hit_mask.tolist()):
+            if hit:
+                ago = req_id - get(addr, req_id)
+                class_counts[min(ago, top_class)] += 1
             last_touch[addr] = req_id
     if total == 0:
         raise RuntimeError("no post-warmup accesses")

@@ -42,7 +42,7 @@ class MissCurve:
         (LRU) that UMONs model.
     """
 
-    __slots__ = ("_sizes", "_ratios")
+    __slots__ = ("_sizes", "_ratios", "_sizes_view", "_ratios_view")
 
     def __init__(self, sizes: Iterable[float], miss_ratios: Iterable[float]):
         sizes_arr = _as_float_array(sizes)
@@ -62,6 +62,15 @@ class MissCurve:
         ratios_arr = np.minimum.accumulate(ratios_arr)
         self._sizes = sizes_arr
         self._ratios = ratios_arr
+        # Read-only views are built once: `sizes`/`miss_ratios` sit on
+        # the engine's fill-transient hot path, and materializing a
+        # fresh view per property call measurably added up there.
+        sizes_view = sizes_arr.view()
+        sizes_view.flags.writeable = False
+        ratios_view = ratios_arr.view()
+        ratios_view.flags.writeable = False
+        self._sizes_view = sizes_view
+        self._ratios_view = ratios_view
 
     # ------------------------------------------------------------------
     # Constructors
@@ -101,16 +110,12 @@ class MissCurve:
     @property
     def sizes(self) -> np.ndarray:
         """Sample allocations, in lines (read-only view)."""
-        view = self._sizes.view()
-        view.flags.writeable = False
-        return view
+        return self._sizes_view
 
     @property
     def miss_ratios(self) -> np.ndarray:
         """Miss ratio at each sample allocation (read-only view)."""
-        view = self._ratios.view()
-        view.flags.writeable = False
-        return view
+        return self._ratios_view
 
     @property
     def max_size(self) -> float:
@@ -120,6 +125,19 @@ class MissCurve:
     def __call__(self, size):
         """Miss ratio at ``size`` lines (clamped to the sampled range)."""
         return np.interp(size, self._sizes, self._ratios)
+
+    def lookup_many(self, sizes) -> np.ndarray:
+        """Miss ratios at a whole allocation vector, in one call.
+
+        ``np.interp`` evaluates elementwise, so
+        ``curve.lookup_many(a)[i]`` is bit-identical to ``curve(a[i])``
+        — batching changes the cost, never the numbers.  This is the
+        batched lookup used wherever many allocations are evaluated at
+        once (:meth:`resample`, :func:`combine_curves`); the *scalar*
+        hot paths are instead served by the value-keyed memos in
+        :class:`repro.sim.fill.FillState`.
+        """
+        return np.interp(np.asarray(sizes, dtype=float), self._sizes, self._ratios)
 
     def misses(self, size: float, accesses: float) -> float:
         """Expected misses over ``accesses`` at a fixed allocation."""
@@ -157,7 +175,7 @@ class MissCurve:
             raise ValueError("need at least two points")
         top = self.max_size if max_size is None else float(max_size)
         sizes = np.linspace(0.0, top, num_points)
-        return MissCurve(sizes, self(sizes))
+        return MissCurve(sizes, self.lookup_many(sizes))
 
     def scaled(self, ratio_scale: float) -> "MissCurve":
         """Scale all miss ratios by ``ratio_scale`` (clamped to [0,1])."""
@@ -176,6 +194,28 @@ class MissCurve:
     # ------------------------------------------------------------------
     # Dunder support
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle only the backing arrays (views rebuilt on load).
+
+        Letting the default slot pickling ship the cached views would
+        resurrect them as *writable copies* detached from the backing
+        arrays, silently dropping the read-only contract for curves
+        shipped to process-pool workers.
+        """
+        return (self._sizes, self._ratios)
+
+    def __setstate__(self, state) -> None:
+        """Restore the arrays and rebuild the read-only views."""
+        sizes_arr, ratios_arr = state
+        self._sizes = sizes_arr
+        self._ratios = ratios_arr
+        sizes_view = sizes_arr.view()
+        sizes_view.flags.writeable = False
+        ratios_view = ratios_arr.view()
+        ratios_view.flags.writeable = False
+        self._sizes_view = sizes_view
+        self._ratios_view = ratios_view
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MissCurve):
             return NotImplemented
@@ -215,5 +255,5 @@ def combine_curves(curves: Sequence[MissCurve], weights: Sequence[float]) -> Mis
     sizes = np.linspace(0.0, top, 257)
     ratios = np.zeros_like(sizes)
     for curve, share in zip(curves, shares):
-        ratios += share * curve(sizes * share)
+        ratios += share * curve.lookup_many(sizes * share)
     return MissCurve(sizes, np.clip(ratios, 0.0, 1.0))

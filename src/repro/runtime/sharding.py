@@ -70,9 +70,11 @@ from .spec import BaselineSpec, RunSpec, TaskSpec, config_fingerprint
 
 __all__ = [
     "ShardSpec",
+    "ScaleoutShardSpec",
     "MergedBaseline",
     "shard_instances",
     "plan_shards",
+    "plan_scaleout_shards",
     "merge_shard_results",
     "interleave_shards",
     "resolve_shards",
@@ -218,6 +220,112 @@ class ShardSpec(TaskSpec):
             "instances": list(self.instances),
             "slices": slices,
         }
+
+
+@dataclass(frozen=True)
+class ScaleoutShardSpec(TaskSpec):
+    """One shard of a scaleout study's per-machine-size baseline.
+
+    The scaleout extension's baseline has the same split-by-instance
+    shape as a sweep run's (each LC instance simulated alone), but on a
+    **size-parameterized machine**: ``cores`` determines the config —
+    ``CMPConfig(num_cores=cores)`` with a 2 MB-per-core LLC — and the
+    study's historical stream seeding (``default_rng((seed, instance))``
+    with a shared engine seed) differs from the sweep path, so it gets
+    its own spec type rather than overloading :class:`ShardSpec`.
+
+    Like every shard, it is a plain :class:`~repro.runtime.spec.TaskSpec`
+    — fingerprinted, store-deduplicated, executor-ready — and its
+    ``slices`` documents merge through :func:`merge_shard_results` into
+    a baseline bit-identical to the serial loop it replaced
+    (:func:`repro.sim.study_runner._scaleout_baseline` plans, merges,
+    and then reclaims the shard documents).
+    """
+
+    kind: ClassVar[str] = "scaleout_baseline_shard"
+
+    lc_name: str = ""
+    load: float = 0.0
+    requests: int = 100
+    seed: int = 21
+    cores: int = 6
+    shard_index: int = 0
+    num_shards: int = 1
+    instances: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.lc_name:
+            raise ValueError("ScaleoutShardSpec needs an LC workload name")
+        if self.cores < 2 or self.cores % 2 != 0:
+            raise ValueError("core counts must be even (half LC, half batch)")
+        if not self.instances:
+            raise ValueError("ScaleoutShardSpec needs at least one instance")
+        if not 0 <= self.shard_index < self.num_shards:
+            raise ValueError("shard_index must lie inside num_shards")
+
+    def compute(self, store) -> Dict[str, Any]:
+        """Simulate this shard's instances alone on the scaled machine.
+
+        Returns the same ``slices`` document shape as
+        :meth:`ShardSpec.compute`, so :func:`merge_shard_results`
+        reassembles scaleout baselines and sweep baselines identically.
+        """
+        from ..sim.study_runner import scaleout_baseline_instance
+
+        slices = []
+        for instance in self.instances:
+            result = scaleout_baseline_instance(
+                lc_name=self.lc_name,
+                load=self.load,
+                requests=self.requests,
+                seed=self.seed,
+                cores=self.cores,
+                instance=instance,
+            )
+            slices.append(
+                {
+                    "instance": instance,
+                    "latencies": list(result.latencies),
+                    "requests_served": result.requests_served,
+                    "activations": result.activations,
+                }
+            )
+        return {
+            "shard_index": self.shard_index,
+            "num_shards": self.num_shards,
+            "instances": list(self.instances),
+            "slices": slices,
+        }
+
+
+def plan_scaleout_shards(
+    lc_name: str,
+    load: float,
+    requests: int,
+    seed: int,
+    cores: int,
+    shards: int,
+) -> List["ScaleoutShardSpec"]:
+    """The shard batch covering one machine size's baseline work.
+
+    The machine runs ``cores // 2`` LC instances (half the cores run
+    batch apps); ``shards`` is clamped to that count exactly like
+    :func:`plan_shards`.
+    """
+    chunks = shard_instances(cores // 2, shards)
+    return [
+        ScaleoutShardSpec(
+            lc_name=lc_name,
+            load=load,
+            requests=requests,
+            seed=seed,
+            cores=cores,
+            shard_index=index,
+            num_shards=len(chunks),
+            instances=chunk,
+        )
+        for index, chunk in enumerate(chunks)
+    ]
 
 
 @dataclass(frozen=True)

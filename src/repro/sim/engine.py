@@ -143,6 +143,11 @@ class _LCApp(_App):
         self.spec = spec
         apki = spec.workload.profile.apki
         self.req_accesses = spec.works * apki / 1000.0
+        # Stream-constant statistics, computed once: _make_views used
+        # to re-derive these on every policy interaction (hundreds of
+        # np.percentile calls per run on identical input).
+        self.mean_req_accesses = float(np.mean(self.req_accesses))
+        self.tail_req_accesses = float(np.percentile(self.req_accesses, 95))
         self.arrival_ptr = 0
         self.queue: List[int] = []
         self.serving: Optional[int] = None
@@ -330,13 +335,11 @@ class MixEngine:
                 view.recent_latencies = tuple(app.stats.latencies)
                 served = max(app.requests_done, 1)
                 view.accesses_per_request = (
-                    float(np.mean(app.req_accesses))
+                    app.mean_req_accesses
                     if self._first_interval
                     else app.total_accesses / served
                 )
-                view.tail_accesses_per_request = float(
-                    np.percentile(app.req_accesses, 95)
-                )
+                view.tail_accesses_per_request = app.tail_req_accesses
             views.append(view)
         return views
 
@@ -451,10 +454,25 @@ class MixEngine:
     # Service walking
     # ------------------------------------------------------------------
     def _schedule_service(self, lc: _LCApp) -> None:
-        """Walk the in-flight request and schedule its future events."""
+        """Walk the in-flight request and schedule its future events.
+
+        The walk advances a detached fill clone through the request in
+        ``_WALK_CHUNKS`` chunks, checking the de-boost and watermark
+        crossings after each.  Chunks inside a fill transient integrate
+        one at a time (residency, and hence the miss ratio, moves every
+        chunk); once the partition sits at its target the miss ratio is
+        constant, so all remaining chunks are evaluated **in one numpy
+        batch**: the per-chunk cycle/projection/actual accumulators
+        become seeded prefix sums (``np.cumsum`` over ``[seed, inc...]``
+        is exactly the sequential ``+=`` recurrence, element for
+        element) and the crossing checks become boolean masks.  The
+        first triggered index reproduces the scalar loop's break
+        behaviour, so event times are bit-identical to the chunked
+        walk the golden suite pinned.
+        """
         if lc.serving is None:
             return
-        fill = self._clone_fill(lc.fill)
+        fill = lc.fill.clone()
         remaining = lc.remaining
         t = self.now
         tracker = lc.tracker
@@ -472,31 +490,111 @@ class MixEngine:
         deboost_at: Optional[float] = None
         watermark_at: Optional[float] = None
         while remaining > _COMPLETION_TOL:
-            step = min(chunk, remaining)
-            adv = fill.advance_accesses(step)
-            t += adv.cycles
-            remaining -= step
+            if fill.filling:
+                # Transient: exact closed-form integration, one chunk
+                # at a time (each chunk moves the resident count).
+                step = min(chunk, remaining)
+                adv = fill.advance_accesses(step)
+                t += adv.cycles
+                remaining -= step
+                if armed:
+                    plan = tracker.plan
+                    proj += step * tracker.active_miss_ratio
+                    actual += adv.misses
+                    if fill.resident >= plan.boost_lines * (1.0 - 1e-9):
+                        filled = True
+                    guard = plan.guard_fraction * proj
+                    if proj >= actual + guard and proj > 0:
+                        deboost_at = t
+                        fill.set_target(plan.active_lines)
+                        armed = False
+                    elif (
+                        plan.watermark_factor is not None
+                        and filled
+                        and proj > 0
+                        and actual > proj * plan.watermark_factor
+                    ):
+                        watermark_at = t
+                        break
+                if t >= limit:
+                    break
+                continue
+
+            # Steady state: replay the remaining chunk sequence (the
+            # same min/subtract recurrence the scalar loop runs), then
+            # batch the accumulators and crossing checks.
+            steps: List[float] = []
+            rems: List[float] = []
+            r = remaining
+            while r > _COMPLETION_TOL:
+                s = min(chunk, r)
+                steps.append(s)
+                r -= s
+                rems.append(r)
+            step_arr = np.asarray(steps)
+            p = fill.miss_ratio()
+            miss_arr = step_arr * p
+            cyc_arr = step_arr * fill.hit_interval + miss_arr * fill.miss_penalty
+            t_arr = np.cumsum(np.concatenate(((t,), cyc_arr)))[1:]
+            limit_mask = t_arr >= limit
+            k_limit = int(np.argmax(limit_mask)) if limit_mask.any() else None
+
+            k_deboost = None
+            k_water = None
             if armed:
                 plan = tracker.plan
-                proj += step * tracker.active_miss_ratio
-                actual += adv.misses
-                if fill.resident >= plan.boost_lines * (1.0 - 1e-9):
+                if not filled and fill.resident >= plan.boost_lines * (1.0 - 1e-9):
                     filled = True
-                guard = plan.guard_fraction * proj
-                if proj >= actual + guard and proj > 0:
-                    deboost_at = t
-                    fill.set_target(plan.active_lines)
-                    armed = False
-                elif (
-                    plan.watermark_factor is not None
-                    and filled
-                    and proj > 0
-                    and actual > proj * plan.watermark_factor
-                ):
-                    watermark_at = t
+                proj_arr = np.cumsum(
+                    np.concatenate(((proj,), step_arr * tracker.active_miss_ratio))
+                )[1:]
+                act_arr = np.cumsum(np.concatenate(((actual,), miss_arr)))[1:]
+                deboost_mask = (
+                    proj_arr >= act_arr + plan.guard_fraction * proj_arr
+                ) & (proj_arr > 0)
+                if deboost_mask.any():
+                    k_deboost = int(np.argmax(deboost_mask))
+                if plan.watermark_factor is not None and filled:
+                    water_mask = (
+                        ~deboost_mask
+                        & (proj_arr > 0)
+                        & (act_arr > proj_arr * plan.watermark_factor)
+                    )
+                    if water_mask.any():
+                        k_water = int(np.argmax(water_mask))
+                # A crossing is only live while the walk is still going
+                # and still armed: a watermark (or the reconfig limit)
+                # at an earlier chunk ends/disarms the walk first.
+                if k_water is not None and k_deboost is not None:
+                    if k_water < k_deboost:
+                        k_deboost = None
+                    else:
+                        k_water = None
+                if k_deboost is not None and k_limit is not None and k_limit < k_deboost:
+                    k_deboost = None
+                if k_water is not None and k_limit is not None and k_limit < k_water:
+                    k_water = None
+
+            if k_deboost is not None:
+                deboost_at = float(t_arr[k_deboost])
+                fill.set_target(tracker.plan.active_lines)
+                armed = False
+                t = float(t_arr[k_deboost])
+                remaining = rems[k_deboost]
+                if k_limit is not None and k_limit == k_deboost:
                     break
-            if t >= limit:
+                # Re-enter: the de-boost may have moved the target (and
+                # the miss ratio), so later chunks need a fresh batch.
+                continue
+            if k_water is not None:
+                watermark_at = float(t_arr[k_water])
                 break
+            if k_limit is not None:
+                t = float(t_arr[k_limit])
+                remaining = rems[k_limit]
+                break
+            t = float(t_arr[-1])
+            remaining = rems[-1]
 
         if deboost_at is not None:
             self._push(deboost_at, "deboost", lc.index, lc.version)
@@ -506,19 +604,6 @@ class MixEngine:
         if remaining <= _COMPLETION_TOL and t <= limit:
             self._push(t, "complete", lc.index, lc.version)
         # Otherwise the reconfig event will re-walk this app.
-
-    @staticmethod
-    def _clone_fill(fill: FillState) -> FillState:
-        clone = FillState.__new__(FillState)
-        clone.curve = fill.curve
-        clone.hit_interval = fill.hit_interval
-        clone.miss_penalty = fill.miss_penalty
-        clone.scheme = fill.scheme
-        clone._fill_efficiency = fill._fill_efficiency
-        clone._miss_multiplier = fill._miss_multiplier
-        clone.resident = fill.resident
-        clone.target = fill.target
-        return clone
 
     def _next_reconfig_time(self) -> float:
         interval = self.config.reconfig_interval_cycles
@@ -715,22 +800,32 @@ class MixEngine:
         model = SharedOccupancyModel(self.llc_lines)
         n = len(self.apps)
         occ = np.full(n, self.llc_lines / n, dtype=float)
-        arrivals = [
-            [(float(t), i) for i, t in enumerate(lc.spec.arrivals)]
-            for lc in self.lc_apps
-        ]
+        # Per-LC arrival times as plain floats, materialized **once**:
+        # the request index is just the list position, so the old
+        # per-run (time, index) tuple lists carried no information.
+        arrival_times = [lc.spec.arrivals.tolist() for lc in self.lc_apps]
         ptrs = [0] * len(self.lc_apps)
 
         while not all(lc.exhausted for lc in self.lc_apps):
+            # Per-app miss ratio and access interval at the frozen
+            # occupancies, computed once per epoch and shared by the
+            # candidate-time scan and the advancement loop (both used
+            # to evaluate the identical expressions independently).
+            p_vals = [0.0] * n
+            per_access_vals = [0.0] * n
+            for app in self.apps:
+                p = min(1.0, float(app.curve(occ[app.index])))
+                p_vals[app.index] = p
+                per_access_vals[app.index] = app.hit_interval + p * app.miss_penalty
+
             # Candidate event times.
             t_next = self.now + _LRU_EPOCH
             for k, lc in enumerate(self.lc_apps):
-                if ptrs[k] < len(arrivals[k]):
-                    t_next = min(t_next, arrivals[k][ptrs[k]][0])
+                if ptrs[k] < len(arrival_times[k]):
+                    t_next = min(t_next, arrival_times[k][ptrs[k]])
                 if lc.serving is not None:
-                    p = min(1.0, float(lc.curve(occ[lc.index])))
-                    per_access = lc.hit_interval + p * lc.miss_penalty
                     if lc.remaining > 0:
+                        per_access = per_access_vals[lc.index]
                         t_next = min(t_next, self.now + lc.remaining * per_access)
                     else:
                         t_next = min(t_next, lc._fixed_end)
@@ -739,8 +834,8 @@ class MixEngine:
             # Advance everyone by dt at frozen occupancies.
             rates = np.zeros(n)
             for app in self.apps:
-                p = min(1.0, float(app.curve(occ[app.index])))
-                per_access = app.hit_interval + p * app.miss_penalty
+                p = p_vals[app.index]
+                per_access = per_access_vals[app.index]
                 if isinstance(app, _BatchApp):
                     accesses = dt / per_access
                     app.result.instructions += (
@@ -780,11 +875,9 @@ class MixEngine:
 
             # Arrivals.
             for k, lc in enumerate(self.lc_apps):
-                while (
-                    ptrs[k] < len(arrivals[k])
-                    and arrivals[k][ptrs[k]][0] <= self.now + 1e-9
-                ):
-                    __, req_idx = arrivals[k][ptrs[k]]
+                times = arrival_times[k]
+                while ptrs[k] < len(times) and times[ptrs[k]] <= self.now + 1e-9:
+                    req_idx = ptrs[k]
                     ptrs[k] += 1
                     lc.arrival_ptr = ptrs[k]
                     lc.queue.append(req_idx)

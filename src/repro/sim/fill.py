@@ -86,9 +86,41 @@ class FillState:
         self._miss_multiplier = 1.0
         self.resident = float(resident)
         self.target = 0.0
+        # Value-keyed memos for the two curve lookups on the engine's
+        # event hot path.  Keys are the exact state values the result
+        # depends on, so staleness is impossible: any state change
+        # changes the key and forces a recompute of the same expression
+        # the uncached code evaluated — cached results are bit-identical
+        # by construction.
+        self._p_key: float | None = None  # resident -> base miss ratio
+        self._p_val = 0.0
+        self._seg_key: tuple | None = None  # (resident, target) -> segment
+        self._seg_val: tuple = (0.0, 0.0, 0.0)
         self.set_target(target)
         if resident > self.effective_target:
             self.resident = self.effective_target
+
+    def clone(self) -> "FillState":
+        """A detached copy for projection walks (no shared mutable state).
+
+        The engine's service walk advances a clone to *predict* event
+        times without disturbing the committed state; memos start cold
+        (they are value-keyed, so warm and cold caches agree exactly).
+        """
+        clone = FillState.__new__(FillState)
+        clone.curve = self.curve
+        clone.hit_interval = self.hit_interval
+        clone.miss_penalty = self.miss_penalty
+        clone.scheme = self.scheme
+        clone._fill_efficiency = self._fill_efficiency
+        clone._miss_multiplier = self._miss_multiplier
+        clone.resident = self.resident
+        clone.target = self.target
+        clone._p_key = None
+        clone._p_val = 0.0
+        clone._seg_key = None
+        clone._seg_val = (0.0, 0.0, 0.0)
+        return clone
 
     # ------------------------------------------------------------------
     # Target management
@@ -135,7 +167,10 @@ class FillState:
     # ------------------------------------------------------------------
     def base_miss_ratio(self) -> float:
         """Miss ratio from the curve at current residency (no penalty)."""
-        return float(self.curve(self.resident))
+        if self._p_key != self.resident:
+            self._p_val = float(self.curve(self.resident))
+            self._p_key = self.resident
+        return self._p_val
 
     def miss_ratio(self) -> float:
         """Observed miss ratio, including associativity penalties."""
@@ -216,7 +251,16 @@ class FillState:
     # Segment machinery
     # ------------------------------------------------------------------
     def _segment(self):
-        """Current curve segment: (p0, slope b, lines to segment end)."""
+        """Current curve segment: (p0, slope b, lines to segment end).
+
+        Memoized on ``(resident, target)`` — the exact values the
+        result depends on — because one growth step queries the same
+        segment several times (:meth:`_growth_step`,
+        :meth:`_growth_over`, :meth:`_invert_segment_time`).
+        """
+        key = (self.resident, self.target)
+        if key == self._seg_key:
+            return self._seg_val
         sizes = self.curve.sizes
         ratios = self.curve.miss_ratios
         idx = int(np.searchsorted(sizes, self.resident, side="right")) - 1
@@ -226,7 +270,10 @@ class FillState:
         b = (m_hi - m_lo) / (s_hi - s_lo)
         p0 = m_lo + b * (self.resident - s_lo)
         seg_end = min(s_hi, self.effective_target)
-        return p0, b, max(0.0, seg_end - self.resident)
+        result = (p0, b, max(0.0, seg_end - self.resident))
+        self._seg_key = key
+        self._seg_val = result
+        return result
 
     def _growth_step(self, max_accesses: float | None):
         """One growth step within the current segment.

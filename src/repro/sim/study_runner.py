@@ -28,26 +28,51 @@ from .config import CMPConfig
 from .engine import LCInstanceSpec, MixEngine
 from .mix_runner import MixRunner
 
-__all__ = ["run_scaleout_point", "run_bandwidth_point"]
+__all__ = [
+    "run_scaleout_point",
+    "run_bandwidth_point",
+    "scaleout_baseline_instance",
+]
 
 
 # ----------------------------------------------------------------------
 # Scaleout
 # ----------------------------------------------------------------------
+def _scaleout_stream(
+    workload, load: float, instance: int, requests: int, seed: int, config
+):
+    """One instance's fixed-work stream (historical seeding preserved).
+
+    The scaleout study predates :meth:`MixRunner.stream` and seeds
+    differently — ``default_rng((seed, instance))``, service time from
+    the default core — so its streams are derived here, once, for both
+    the baseline shards and the joint replay.
+    """
+    rng = np.random.default_rng((seed, instance))
+    works = np.asarray([workload.work.sample(rng) for _ in range(requests)])
+    arrivals = generate_arrivals(
+        requests,
+        load,
+        workload.mean_service_cycles(),
+        rng,
+        coalescing_timeout_cycles=config.coalescing_timeout_cycles,
+    )
+    return arrivals, works
+
+
+def _scaleout_config(cores: int):
+    """The size-parameterized machine: 2 MB of LLC per core."""
+    return CMPConfig(num_cores=cores).with_llc_mb(2.0 * cores)
+
+
 def _scaleout_lc_specs(
     workload, load: float, instances: int, requests: int, seed: int, config
 ) -> List[LCInstanceSpec]:
-    """Per-instance fixed-work streams (historical seeding preserved)."""
+    """Per-instance fixed-work streams for the joint replay."""
     specs = []
     for instance in range(instances):
-        rng = np.random.default_rng((seed, instance))
-        works = np.asarray([workload.work.sample(rng) for _ in range(requests)])
-        arrivals = generate_arrivals(
-            requests,
-            load,
-            workload.mean_service_cycles(),
-            rng,
-            coalescing_timeout_cycles=config.coalescing_timeout_cycles,
+        arrivals, works = _scaleout_stream(
+            workload, load, instance, requests, seed, config
         )
         specs.append(
             LCInstanceSpec(
@@ -62,20 +87,61 @@ def _scaleout_lc_specs(
     return specs
 
 
-def _scaleout_baseline(
-    workload,
-    specs: List[LCInstanceSpec],
-    config,
+def scaleout_baseline_instance(
+    lc_name: str,
+    load: float,
+    requests: int,
     seed: int,
-    store,
-    identity: dict,
-) -> Tuple[float, float]:
-    """Pooled tail of the same streams run alone at the target size.
+    cores: int,
+    instance: int,
+):
+    """Run one scaleout LC instance alone on the ``cores``-core machine.
+
+    This is the compute body of
+    :class:`~repro.runtime.sharding.ScaleoutShardSpec`: the stream and
+    engine seeding reproduce the study's historical serial loop exactly
+    (stream RNG ``(seed, instance)``, engine seed ``seed`` shared by
+    all instances), so shard merges are bit-identical to it.  Returns
+    the instance's :class:`~repro.sim.results.LCInstanceResult`.
+    """
+    workload = make_lc_workload(lc_name)
+    config = _scaleout_config(cores)
+    arrivals, works = _scaleout_stream(
+        workload, load, instance, requests, seed, config
+    )
+    spec = LCInstanceSpec(
+        workload=workload,
+        arrivals=arrivals,
+        works=works,
+        deadline_cycles=1.0,
+        target_tail_cycles=1.0,
+        load=load,
+    )
+    engine = MixEngine.isolated(
+        spec,
+        config=config,
+        target_lines=float(workload.target_lines),
+        seed=seed,
+        mix_id="scaleout-baseline",
+    )
+    return engine.run().lc_instances[0]
+
+
+def _scaleout_baseline(store, identity: dict) -> Tuple[float, float]:
+    """Pooled tail of the study's streams run alone at the target size.
 
     Using the identical fixed-work streams keeps the comparison
-    sample-balanced (the paper's methodology).  The result is shared
-    through the store — the study's per-machine-size baseline is
-    policy-independent, so every policy point reuses one computation.
+    sample-balanced (the paper's methodology).  The per-instance work
+    rides :class:`~repro.runtime.sharding.ScaleoutShardSpec` — one
+    shard per instance, each deduplicated and crash-resumable through
+    the store — and the slices merge through
+    :func:`~repro.runtime.sharding.merge_shard_results`, the same
+    fixed-instance-order reassembly the sweep baselines use, so the
+    result is bit-identical to the historical serial loop.  The merged
+    summary is stored under the same policy-independent
+    ``scaleout_baseline`` fingerprint as before (every policy point
+    reuses one computation) and the shard documents are reclaimed once
+    it is persisted.
     """
     fingerprint = None
     if store is not None:
@@ -87,18 +153,20 @@ def _scaleout_baseline(
         doc = store.get(fingerprint)
         if doc is not None and doc.get("kind") == "scaleout_baseline":
             return doc["tail95_cycles"], doc["p95_cycles"]
-    pooled: List[float] = []
-    for spec in specs:
-        engine = MixEngine.isolated(
-            spec,
-            config=config,
-            target_lines=float(workload.target_lines),
-            seed=seed,
-            mix_id="scaleout-baseline",
-        )
-        pooled.extend(engine.run().lc_instances[0].latencies)
-    tail95 = tail_mean(pooled, 95.0)
-    p95 = percentile_latency(pooled, 95.0)
+    from ..runtime.sharding import merge_shard_results, plan_scaleout_shards
+
+    instance_count = identity["cores"] // 2
+    shards = plan_scaleout_shards(
+        lc_name=identity["lc_name"],
+        load=identity["load"],
+        requests=identity["requests"],
+        seed=identity["seed"],
+        cores=identity["cores"],
+        shards=instance_count,
+    )
+    merged = merge_shard_results([shard.execute(store) for shard in shards])
+    tail95 = merged.baseline.tail95_cycles
+    p95 = merged.baseline.p95_cycles
     if store is not None:
         store.put(
             fingerprint,
@@ -108,6 +176,9 @@ def _scaleout_baseline(
                 "p95_cycles": p95,
             },
         )
+        # The merged summary supersedes the per-shard latency pools.
+        for shard in shards:
+            store.discard(shard.fingerprint())
     return tail95, p95
 
 
@@ -123,7 +194,7 @@ def run_scaleout_point(spec, store=None):
     cores = spec.cores
     workload = make_lc_workload(spec.lc_name)
     batch_classes = ("n", "f", "t", "s")
-    config = CMPConfig(num_cores=cores).with_llc_mb(2.0 * cores)
+    config = _scaleout_config(cores)
     lc_instances = cores // 2
     batch_apps = [
         make_batch_workload(batch_classes[i % 4], seed=spec.seed + i, instance=i)
@@ -133,10 +204,6 @@ def run_scaleout_point(spec, store=None):
         workload, spec.load, lc_instances, spec.requests, spec.seed, config
     )
     tail95, p95 = _scaleout_baseline(
-        workload,
-        lc_specs,
-        config,
-        spec.seed,
         store,
         identity={
             "cores": cores,

@@ -232,14 +232,14 @@ class TraceDrivenSimulator:
                 for index, app in enumerate(self.apps):
                     addrs = app.generator.next_batch(per_round[index], self.rng)
                     addrs = addrs + self._bases[index]
-                    umon = self.umons[index]
-                    for addr in addrs:
-                        addr = int(addr)
-                        umon.observe(addr)
-                        if self.cache.access(index, addr).hit:
-                            window_hits[index] += 1
-                        else:
-                            window_misses[index] += 1
+                    # UMON and cache share no state, so feeding each a
+                    # whole batch preserves per-access semantics while
+                    # using the vectorized/batched hot paths.
+                    self.umons[index].observe_many(addrs)
+                    hit_mask = self.cache.access_many(index, addrs)
+                    batch_hits = int(np.count_nonzero(hit_mask))
+                    window_hits[index] += batch_hits
+                    window_misses[index] += int(hit_mask.size) - batch_hits
             for index, app in enumerate(self.apps):
                 result.windows.append(
                     TraceWindowStats(

@@ -90,3 +90,36 @@ class TestLRUReplacement:
         # After the first cold pass, everything hits (no conflicts at
         # 2x headroom and uniform mapping).
         assert cache.hits == 4 * 32
+
+
+class TestBatchedAccess:
+    def test_access_many_hit_mask(self):
+        import numpy as np
+
+        cache = SetAssociativeCache(16, 4)
+        hits = cache.access_many(np.array([5, 5, 6, 5]))
+        assert hits.dtype == np.bool_
+        assert hits.tolist() == [False, True, False, True]
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_access_many_equals_scalar_sequence(self):
+        import numpy as np
+
+        rng = np.random.default_rng(12)
+        stream = rng.integers(0, 64, size=800)
+        batched = SetAssociativeCache(32, 4)
+        scalar = SetAssociativeCache(32, 4)
+        mask = batched.access_many(stream)
+        want = [scalar.access(int(a)).hit for a in stream]
+        assert mask.tolist() == want
+        assert batched.tags.tolist() == scalar.tags.tolist()
+        assert batched.stamps.tolist() == scalar.stamps.tolist()
+        for index in range(batched.num_sets):
+            assert batched.lru_order(index) == scalar.lru_order(index)
+
+    def test_flush_resets_batched_state(self):
+        cache = SetAssociativeCache(16, 4)
+        cache.access_many([1, 2, 3])
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.access_many([1]).tolist() == [False]

@@ -92,3 +92,68 @@ class TestSlowTransients:
         cache.access(0, 0)
         assert cache.partition_miss_ratio(0) == pytest.approx(0.5)
         assert cache.partition_miss_ratio(1) == 0.0
+
+
+class TestReplacementOrderContract:
+    """The explicit eviction-order rules (module docstring): empty ways
+    claimed lowest-index-first, then the minimum-stamp (LRU) line in
+    the partition's range; hits restamp wherever the line sits."""
+
+    def test_empty_ways_claimed_lowest_index_first(self):
+        cache = WayPartitionedCache(4, 4, 1)  # 1 set, 4 ways
+        for addr in (0, 1, 2):
+            cache.access(0, addr)
+        # Slots fill in way order: tags reflect insertion sequence.
+        assert cache.tags_of_set(0)[:3] == [0, 1, 2]
+
+    def test_victim_is_minimum_stamp_in_range(self):
+        cache = WayPartitionedCache(4, 4, 1)  # 1 set, 4 ways
+        for addr in (0, 1, 2, 3):
+            cache.access(0, addr)
+        cache.access(0, 1)  # restamp 1: 0 is now the oldest
+        assert cache.access(0, 4).evicted == 0
+        # Next-oldest is 2 (1 and 3 were touched later than it).
+        assert cache.access(0, 5).evicted == 2
+
+    def test_hit_restamps_across_partition_boundary(self):
+        """A hit on another partition's line refreshes its recency
+        without transferring ownership."""
+        cache = WayPartitionedCache(8, 4, 2)  # 2 sets
+        cache.set_allocation([2, 2])
+        cache.access(0, 0)  # p0 inserts addr 0 (set 0)
+        cache.access(0, 2)  # p0 inserts addr 2 (set 0): 0 is older
+        cache.access(1, 0)  # p1 *hits* p0's line: restamped, not moved
+        assert cache.resident_lines(0) == 2
+        assert cache.resident_lines(1) == 0
+        # p0's next eviction takes addr 2 — the restamp made 0 younger.
+        assert cache.access(0, 4).evicted == 2
+
+    def test_eviction_restricted_to_own_range_even_when_older_elsewhere(self):
+        cache = WayPartitionedCache(4, 4, 2)  # 1 set
+        cache.set_allocation([2, 2])
+        cache.access(0, 0)  # oldest line overall, in p0's ways
+        cache.access(1, 1)
+        cache.access(1, 2)
+        # p1 is full; its victim must come from its own ways, never p0's
+        # strictly older line.
+        assert cache.access(1, 3).evicted == 1
+
+    def test_stamps_strictly_increase(self):
+        """The clock ticks once per access (hit or miss), so stamps are
+        unique and the LRU victim is always unambiguous."""
+        cache = WayPartitionedCache(8, 4, 2)
+        rng_addrs = [0, 1, 0, 2, 1, 3, 0, 5, 7]
+        for addr in rng_addrs:
+            cache.access(addr % 2, addr)
+        stamps = [s for s, t in zip(cache.stamps_of_set(0) + cache.stamps_of_set(1),
+                                    cache.tags_of_set(0) + cache.tags_of_set(1))
+                  if t != -1]
+        assert len(stamps) == len(set(stamps))
+
+    def test_access_many_matches_scalar_contract(self):
+        batched = WayPartitionedCache(4, 4, 1)
+        scalar = WayPartitionedCache(4, 4, 1)
+        stream = [0, 1, 2, 3, 1, 4, 5]
+        hits = batched.access_many(0, stream).tolist()
+        assert hits == [scalar.access(0, a).hit for a in stream]
+        assert batched.lru_order(0) == scalar.lru_order(0)

@@ -196,3 +196,22 @@ def test_property_hit_counter_curve_endpoints(hits, misses):
     total = sum(hits) + misses
     assert curve(0) == pytest.approx(1.0 if total == misses + sum(hits) else 1.0)
     assert curve(curve.max_size) == pytest.approx(misses / total)
+
+
+class TestPickling:
+    """Curves pickle to process-pool workers; the read-only contract
+    and view/backing-array aliasing must survive the round trip."""
+
+    def test_round_trip_preserves_readonly_views(self):
+        import pickle
+
+        curve = MissCurve([0.0, 10.0, 20.0], [1.0, 0.5, 0.2])
+        loaded = pickle.loads(pickle.dumps(curve))
+        assert loaded == curve
+        assert not loaded.sizes.flags.writeable
+        assert not loaded.miss_ratios.flags.writeable
+        with pytest.raises(ValueError):
+            loaded.sizes[0] = 99.0
+        # The views alias the backing arrays, not detached copies.
+        assert loaded.sizes.base is loaded._sizes
+        assert loaded.miss_ratios.base is loaded._ratios

@@ -302,3 +302,92 @@ class TestSessionSharding:
         unsharded = session.run(spec)
         fresh = Session(store=ResultStore(None), executor=SerialExecutor())
         assert fresh.run(spec, shards=2) == unsharded
+
+
+class TestScaleoutShards:
+    """ScaleoutShardSpec: the scaleout study's per-machine-size baseline
+    riding the shard machinery with a size-parameterized config."""
+
+    def test_plan_covers_lc_instances(self):
+        from repro.runtime.sharding import plan_scaleout_shards
+
+        shards = plan_scaleout_shards(
+            lc_name="shore", load=0.2, requests=20, seed=21, cores=6, shards=3
+        )
+        assert [s.instances for s in shards] == [(0,), (1,), (2,)]
+        assert {s.cores for s in shards} == {6}
+        assert {s.num_shards for s in shards} == {3}
+        # Clamped: a 4-core machine has only two LC instances.
+        small = plan_scaleout_shards(
+            lc_name="shore", load=0.2, requests=20, seed=21, cores=4, shards=8
+        )
+        assert [s.instances for s in small] == [(0,), (1,)]
+
+    def test_fingerprints_distinct_by_size_and_slice(self):
+        from repro.runtime.sharding import plan_scaleout_shards
+
+        a = plan_scaleout_shards("shore", 0.2, 20, 21, cores=4, shards=2)
+        b = plan_scaleout_shards("shore", 0.2, 20, 21, cores=6, shards=2)
+        fingerprints = {s.fingerprint() for s in a} | {s.fingerprint() for s in b}
+        assert len(fingerprints) == len(a) + len(b)
+
+    def test_validation(self):
+        from repro.runtime.sharding import ScaleoutShardSpec
+
+        with pytest.raises(ValueError):
+            ScaleoutShardSpec(lc_name="", instances=(0,))
+        with pytest.raises(ValueError):
+            ScaleoutShardSpec(lc_name="shore", cores=5, instances=(0,))
+        with pytest.raises(ValueError):
+            ScaleoutShardSpec(lc_name="shore", cores=4, instances=())
+        with pytest.raises(ValueError):
+            ScaleoutShardSpec(
+                lc_name="shore", cores=4, instances=(0,), shard_index=2, num_shards=2
+            )
+
+    def test_merge_equals_serial_instance_loop(self):
+        """Shard compute + merge == pooling the per-instance results in
+        instance order (the historical serial baseline)."""
+        from repro.runtime.sharding import plan_scaleout_shards
+        from repro.server.latency import percentile_latency, tail_mean
+        from repro.sim.study_runner import scaleout_baseline_instance
+
+        shards = plan_scaleout_shards(
+            lc_name="shore", load=0.2, requests=20, seed=21, cores=4, shards=2
+        )
+        merged = merge_shard_results([s.compute(None) for s in shards])
+        pooled = []
+        for instance in range(2):
+            pooled.extend(
+                scaleout_baseline_instance(
+                    lc_name="shore",
+                    load=0.2,
+                    requests=20,
+                    seed=21,
+                    cores=4,
+                    instance=instance,
+                ).latencies
+            )
+        assert merged.baseline.latencies == tuple(pooled)
+        assert merged.baseline.tail95_cycles == tail_mean(pooled, 95.0)
+        assert merged.baseline.p95_cycles == percentile_latency(pooled, 95.0)
+
+    def test_store_dedup_and_reclaim(self, tmp_path):
+        """_scaleout_baseline executes each shard once, reclaims the
+        shard documents, and serves reruns from the merged summary."""
+        from repro.sim.study_runner import _scaleout_baseline
+
+        store = ResultStore(tmp_path)
+        identity = {
+            "cores": 4,
+            "lc_name": "shore",
+            "load": 0.2,
+            "requests": 20,
+            "seed": 21,
+        }
+        first = _scaleout_baseline(store, identity)
+        kinds = store.stats()["by_kind"]
+        assert kinds.get("scaleout_baseline") == 1
+        assert "scaleout_baseline_shard" not in kinds
+        again = _scaleout_baseline(ResultStore(tmp_path), identity)
+        assert again == first

@@ -24,6 +24,8 @@ MODULES = [
     "repro.cache.way_partition",
     "repro.cache.sharing",
     "repro.cache.schemes",
+    "repro.cache.reference",
+    "repro.bench",
     "repro.cpu",
     "repro.workloads",
     "repro.workloads.service_time",

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""CI gate: validate ``BENCH_*.json`` documents against the bench schema.
+
+Usage::
+
+    python tools/check_bench.py bench.json [more.json ...]
+    python tools/check_bench.py            # every benchmarks/perf/BENCH_*.json
+
+Fails (exit 1) on **schema drift** — missing kernels, missing or
+mistyped fields, a stale schema tag — and never on timing values, so
+the CI bench smoke job is immune to machine noise.  The actual rules
+live in :func:`repro.bench.validate_bench`; this wrapper just feeds it
+files, exactly like ``tools/check_docs.py`` wraps the docs gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import validate_bench  # noqa: E402
+
+
+def check_file(path: Path) -> list:
+    """Problems found in one bench document (empty list = valid)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    return validate_bench(payload)
+
+
+def main(argv: list) -> int:
+    """Validate the given files (default: the committed trajectory)."""
+    if argv:
+        paths = [Path(arg) for arg in argv]
+    else:
+        paths = sorted((REPO_ROOT / "benchmarks" / "perf").glob("BENCH_*.json"))
+    if not paths:
+        print("no bench documents to check", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        problems = check_file(path)
+        if problems:
+            failures += 1
+            print(f"FAIL {path}", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+        else:
+            print(f"ok   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
