@@ -2,7 +2,7 @@
 
 The ROADMAP's north star is "as fast as the hardware allows", which is
 only meaningful with a *trajectory*: numbers written down, schema-
-stable, and comparable across revisions.  This module times four
+stable, and comparable across revisions.  This module times six
 canonical kernels that cover the stack's hot layers and writes a
 ``BENCH_<revision>.json`` document (under ``benchmarks/perf/`` by
 convention):
@@ -27,6 +27,24 @@ convention):
 ``store_roundtrip``
     Writing and (cold) re-reading a batch of result documents through
     :class:`~repro.runtime.store.ResultStore` on a temporary directory.
+``warm_sweep_grid``
+    The shared-state derivation of a 3-policy × 2-load sweep grid —
+    per cell: workload objects, the three-instance isolated baseline,
+    and the three replay streams, via a fresh ``MixRunner`` exactly as
+    ``execute_spec`` builds one per spec — timed with the
+    content-addressed artifact cache (:mod:`repro.runtime.artifacts`)
+    warm across the grid versus disabled.  The joint replay is excluded
+    from both arms (it differs per policy, so no cache can share it;
+    ``mix_run`` tracks its cost).  Records the ratio as ``speedup``
+    (the PR-5 acceptance floor is ≥2×) after asserting the two passes
+    produced identical baselines.  The sweep-layer kernel.
+``stream_synthesis``
+    Bulk (arrivals, works) request-stream synthesis across all five LC
+    work distributions through the batched
+    :meth:`~repro.workloads.service_time.WorkDistribution.sample_many`
+    path — *and* through the kept scalar oracle
+    (:func:`repro.workloads.reference.sample_stream`), verified
+    draw-for-draw identical before either time is recorded.
 
 Timing methodology: each kernel runs ``repeats`` times and records the
 **minimum** (the standard microbenchmark estimator — system noise only
@@ -59,7 +77,9 @@ from ._version import __version__
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_SCHEMA_V1",
     "KERNEL_NAMES",
+    "LEGACY_KERNEL_NAMES",
     "run_bench",
     "write_bench",
     "default_bench_path",
@@ -69,10 +89,28 @@ __all__ = [
 
 #: Schema identifier stamped into every document; bump only when the
 #: document layout changes (CI fails on drift against this module).
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
+
+#: The previous generation: four kernels, no sweep-level entries.
+#: Committed trajectory documents written under it stay valid forever.
+BENCH_SCHEMA_V1 = "repro-bench/1"
 
 #: The canonical kernels, in reporting order.
-KERNEL_NAMES = ("mix_run", "isolated_baseline", "trace_replay", "store_roundtrip")
+KERNEL_NAMES = (
+    "mix_run",
+    "isolated_baseline",
+    "trace_replay",
+    "store_roundtrip",
+    "warm_sweep_grid",
+    "stream_synthesis",
+)
+
+#: The kernel set of generation-1 documents (``BENCH_pr4.json``).
+LEGACY_KERNEL_NAMES = KERNEL_NAMES[:4]
+
+#: Kernels that time an in-file baseline alongside the optimized path
+#: and must record the comparison (see :func:`validate_bench`).
+_COMPARED_KERNELS = ("trace_replay", "warm_sweep_grid", "stream_synthesis")
 
 #: Per-kernel keys every document must carry (see :func:`validate_bench`).
 _KERNEL_KEYS = ("seconds", "runs", "units", "unit", "ns_per_unit")
@@ -132,7 +170,16 @@ def _kernel_entry(samples: List[float], units: int, unit: str, **extra: Any) -> 
 # Kernels
 # ----------------------------------------------------------------------
 def _bench_mix_run(requests: int, repeats: int) -> Dict[str, Any]:
-    """Cold (mix, policy) evaluation: baselines + joint Ubik replay."""
+    """Cold (mix, policy) evaluation: baselines + joint Ubik replay.
+
+    The artifact cache is cleared at the start of every repeat: each
+    sample measures a genuinely cold process evaluating one cell
+    (including the honest intra-cell stream reuse a cold process
+    gets), never a later repeat served from warm grid state — which
+    keeps the number comparable across the revisions in the committed
+    trajectory.
+    """
+    from .runtime.artifacts import get_artifacts
     from .runtime.spec import MixRef, PolicySpec, RunSpec
     from .runtime.work import execute_spec
 
@@ -141,23 +188,36 @@ def _bench_mix_run(requests: int, repeats: int) -> Dict[str, Any]:
         policy=PolicySpec.of("ubik", slack=0.05),
         requests=requests,
     )
-    samples = _time_repeats(lambda: execute_spec(spec, None), repeats)
+
+    def run() -> None:
+        get_artifacts().clear()
+        execute_spec(spec, None)
+
+    samples = _time_repeats(run, repeats)
+    get_artifacts().clear()
     return _kernel_entry(samples, units=requests, unit="requests")
 
 
 def _bench_isolated_baseline(requests: int, repeats: int) -> Dict[str, Any]:
-    """One LC instance alone at its target partition (the shard unit)."""
+    """One LC instance alone at its target partition (the shard unit).
+
+    Artifact-cold per repeat, like ``mix_run``: the sample is the
+    shard-unit cost a worker pays the first time, not a warm replay.
+    """
+    from .runtime.artifacts import get_artifacts
     from .sim.mix_runner import MixRunner
     from .workloads.latency_critical import make_lc_workload
 
     workload = make_lc_workload("masstree")
 
     def run() -> None:
+        get_artifacts().clear()
         MixRunner(requests=requests, seed=2014).baseline_instance(
             workload, 0.2, 0
         )
 
     samples = _time_repeats(run, repeats)
+    get_artifacts().clear()
     return _kernel_entry(samples, units=requests, unit="requests")
 
 
@@ -213,6 +273,135 @@ def _bench_trace_replay(
     )
 
 
+def _bench_warm_sweep_grid(requests: int, repeats: int) -> Dict[str, Any]:
+    """Per-cell shared-state derivation of a 3-policy × 2-load grid.
+
+    Scope, precisely: each of the six cells performs the state
+    derivation :meth:`~repro.sim.mix_runner.MixRunner.run_mix` does
+    before its joint replay — rebuild the mix's workload objects, run
+    the three-instance isolated baseline, and synthesize the three
+    replay streams — through a *fresh* :class:`MixRunner` per cell,
+    exactly as :func:`~repro.runtime.work.execute_spec` builds one per
+    spec.  This state depends only on (lc, load), so it is identical
+    across the policy axis: with the artifact cache warm over the grid,
+    each load's baseline and streams are derived once; with the cache
+    disabled, every cell re-derives everything, which is what the
+    pre-artifact-cache sweep did.
+
+    The joint six-app replay is deliberately **excluded from both
+    arms**: it differs per policy, so it is irreducibly per-cell — no
+    cache can share it — and its cost is already tracked by the
+    ``mix_run`` kernel.  The recorded ``speedup`` therefore measures
+    exactly the redundancy the artifact layer removes from a sweep, not
+    a ratio diluted (or inflated) by replay time.
+    """
+    from .runtime.artifacts import get_artifacts
+    from .runtime.spec import MixRef
+    from .sim.mix_runner import LC_INSTANCES, MixRunner
+
+    #: The policy axis contributes only multiplicity — the derived
+    #: state is policy-independent, which is the entire point.
+    policy_count = 3
+    refs = [
+        MixRef(lc_name="masstree", load=load, combo="nft")
+        for load in (0.2, 0.6)
+    ]
+    artifacts = get_artifacts()
+
+    def derive_cell(ref: "MixRef") -> Any:
+        mix = ref.build()
+        runner = MixRunner(requests=requests, seed=2014)
+        baseline = runner.baseline(mix.lc_workload, mix.load)
+        for instance in range(LC_INSTANCES):
+            runner.stream(mix.lc_workload, mix.load, instance)
+        return baseline
+
+    def run_warm() -> List[Any]:
+        # Pinned on (environment ignored): the warm arm must measure
+        # the cache even under REPRO_ARTIFACTS=0, or the recorded
+        # "speedup" would silently be a cache-off/cache-off ratio.
+        with artifacts.pinned(True):
+            artifacts.clear()
+            return [
+                derive_cell(ref) for ref in refs for _ in range(policy_count)
+            ]
+
+    def run_cold() -> List[Any]:
+        with artifacts.disabled():
+            return [
+                derive_cell(ref) for ref in refs for _ in range(policy_count)
+            ]
+
+    # Verify once, outside the timed region: the cached grid must be
+    # baseline-for-baseline identical to the uncached one before the
+    # speedup means anything.
+    if run_warm() != run_cold():  # pragma: no cover - a real regression
+        raise RuntimeError("artifact-cached sweep state diverged from cache-off")
+
+    samples = _time_repeats(run_warm, repeats)
+    cold_samples = _time_repeats(run_cold, repeats)
+    artifacts.clear()  # leave no grid-sized pools behind in the process
+    best, cold_best = min(samples), min(cold_samples)
+    return _kernel_entry(
+        samples,
+        units=len(refs) * policy_count,
+        unit="cells",
+        baseline_seconds=cold_best,
+        baseline_runs=cold_samples,
+        speedup=cold_best / best,
+        verified_identical=True,
+    )
+
+
+def _bench_stream_synthesis(samples_per_workload: int, repeats: int) -> Dict[str, Any]:
+    """Bulk work sampling: batched ``sample_many`` vs the scalar oracle.
+
+    Covers all five LC work distributions — truncated-normal, lognormal,
+    and both bimodal mixtures — so the recorded ``speedup`` reflects the
+    real per-app mix of fully vectorized draws and the mixture's
+    tightened exact-stream loop.
+    """
+    from .workloads.latency_critical import all_lc_workloads
+    from .workloads.reference import sample_stream
+
+    works = [w.work for w in all_lc_workloads().values()]
+
+    def rng_for(index: int) -> np.random.Generator:
+        return np.random.default_rng((2014, index))
+
+    # Verify once, outside the timed region: batched draws must equal
+    # the scalar oracle's *and* leave the generator in the same state.
+    for index, work in enumerate(works):
+        batched_rng, scalar_rng = rng_for(index), rng_for(index)
+        batched = work.sample_many(batched_rng, samples_per_workload)
+        scalar = sample_stream(work, scalar_rng, samples_per_workload)
+        if not np.array_equal(batched, scalar) or batched_rng.random() != (
+            scalar_rng.random()
+        ):  # pragma: no cover - would mean a real regression
+            raise RuntimeError("batched stream synthesis diverged from the oracle")
+
+    def run_batched() -> None:
+        for index, work in enumerate(works):
+            work.sample_many(rng_for(index), samples_per_workload)
+
+    def run_scalar() -> None:
+        for index, work in enumerate(works):
+            sample_stream(work, rng_for(index), samples_per_workload)
+
+    samples = _time_repeats(run_batched, repeats)
+    scalar_samples = _time_repeats(run_scalar, repeats)
+    best, scalar_best = min(samples), min(scalar_samples)
+    return _kernel_entry(
+        samples,
+        units=len(works) * samples_per_workload,
+        unit="samples",
+        baseline_seconds=scalar_best,
+        baseline_runs=scalar_samples,
+        speedup=scalar_best / best,
+        verified_identical=True,
+    )
+
+
 def _bench_store_roundtrip(documents: int, repeats: int) -> Dict[str, Any]:
     """Write + cold re-read of result documents on a temp directory."""
     from .runtime.store import ResultStore
@@ -247,11 +436,14 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
     accesses = 100_000 if quick else 1_000_000
     requests = 30 if quick else 60
     documents = 50 if quick else 200
+    stream_samples = 10_000 if quick else 100_000
     kernels = {
         "mix_run": _bench_mix_run(requests, repeats),
         "isolated_baseline": _bench_isolated_baseline(requests, repeats),
         "trace_replay": _bench_trace_replay(accesses, repeats),
         "store_roundtrip": _bench_store_roundtrip(documents, repeats),
+        "warm_sweep_grid": _bench_warm_sweep_grid(requests, repeats),
+        "stream_synthesis": _bench_stream_synthesis(stream_samples, repeats),
     }
     return {
         "schema": BENCH_SCHEMA,
@@ -304,10 +496,18 @@ def validate_bench(payload: Any) -> List[str]:
     problems: List[str] = []
     if not isinstance(payload, dict):
         return [f"document must be an object, got {type(payload).__name__}"]
-    if payload.get("schema") != BENCH_SCHEMA:
+    schema = payload.get("schema")
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V1):
         problems.append(
-            f"schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+            f"schema must be {BENCH_SCHEMA!r} (or the legacy "
+            f"{BENCH_SCHEMA_V1!r}), got {schema!r}"
         )
+    # Generation-1 documents predate the sweep-level kernels; they are
+    # validated against the kernel set of their own generation so the
+    # committed trajectory never rots.
+    required_kernels = (
+        LEGACY_KERNEL_NAMES if schema == BENCH_SCHEMA_V1 else KERNEL_NAMES
+    )
     for key, kinds in (
         ("revision", str),
         ("quick", bool),
@@ -324,7 +524,7 @@ def validate_bench(payload: Any) -> List[str]:
     kernels = payload.get("kernels")
     if not isinstance(kernels, dict):
         return problems
-    for name in KERNEL_NAMES:
+    for name in required_kernels:
         entry = kernels.get(name)
         if not isinstance(entry, dict):
             problems.append(f"missing kernel {name!r}")
@@ -339,11 +539,15 @@ def validate_bench(payload: Any) -> List[str]:
             and all(isinstance(x, (int, float)) for x in runs)
         ):
             problems.append(f"kernel {name!r} runs must be a non-empty number list")
-    replay = kernels.get("trace_replay")
-    if isinstance(replay, dict):
+    for name in _COMPARED_KERNELS:
+        if name not in required_kernels:
+            continue
+        entry = kernels.get(name)
+        if not isinstance(entry, dict):
+            continue  # already reported as a missing kernel above
         for key in ("baseline_seconds", "baseline_runs", "speedup", "verified_identical"):
-            if key not in replay:
-                problems.append(f"kernel 'trace_replay' missing {key!r}")
+            if key not in entry:
+                problems.append(f"kernel {name!r} missing {key!r}")
     return problems
 
 
@@ -356,7 +560,11 @@ def format_bench(payload: Dict[str, Any]) -> str:
         entry = payload["kernels"][name]
         note = ""
         if "speedup" in entry:
-            note = f"{entry['speedup']:.2f}x vs naive ({entry['baseline_seconds']:.3f}s)"
+            against = "cache-off" if name == "warm_sweep_grid" else "naive"
+            note = (
+                f"{entry['speedup']:.2f}x vs {against}"
+                f" ({entry['baseline_seconds']:.3f}s)"
+            )
         rows.append(
             [
                 name,

@@ -14,6 +14,7 @@ Usage::
     python -m repro cache
     python -m repro cache --prune
     python -m repro cache --clear
+    python -m repro table3 --stats
     python -m repro bench --quick
 
 ``bench`` times the hot-path kernels (mix run, isolated baseline,
@@ -157,7 +158,7 @@ def _cmd_list(args) -> None:
         ["utilization", "Section 7.1 utilization estimate"],
         ["scaleout", "larger-CMP extension"],
         ["bandwidth", "memory-bandwidth contention extension"],
-        ["cache", "inspect (or --clear) the persistent result store"],
+        ["cache", "inspect (--clear/--prune) the store; --stats: artifact cache"],
         ["bench", "time the hot-path kernels, write BENCH_<rev>.json"],
     ]
     print(format_table(["Command", "Regenerates"], rows))
@@ -352,20 +353,63 @@ def _cmd_bandwidth(args) -> None:
     print(format_table(["Peak (miss/kcyc)", "Policy", "Tail", "Speedup"], rows))
 
 
+def _print_artifact_stats() -> None:
+    """Render the per-process artifact-cache counters.
+
+    The cache lives for one process, so the counters reflect whatever
+    the *current* command simulated — append ``--stats`` to a sweep
+    command (``repro table3 --stats``) to see its hit/miss profile; a
+    bare ``repro cache --stats`` reports a fresh, empty cache.
+    """
+    from .runtime.artifacts import get_artifacts
+
+    stats = get_artifacts().stats()
+    rows = [
+        ["enabled", str(stats["enabled"]).lower() + "  (REPRO_ARTIFACTS)"],
+        ["entries", stats["entries"]],
+    ]
+    for kind, counts in stats["kinds"].items():
+        rows.append(
+            [
+                f"  kind: {kind}",
+                f"{counts['hits']} hit / {counts['misses']} miss"
+                f" / {counts['entries']} cached",
+            ]
+        )
+    if not stats["kinds"]:
+        rows.append(
+            ["  (empty)", "add --stats to a sweep command to see activity"]
+        )
+    print(
+        format_table(
+            ["Artifact cache (this process)", "Value"],
+            rows,
+            title="Artifact cache",
+        )
+    )
+
+
 def _cmd_cache(args) -> None:
-    store = Session(jobs=1).store
+    # Maintenance actions first, so `cache --clear --stats` clears and
+    # then reports rather than silently skipping the clear.
+    acted = False
     if args.clear:
-        removed = store.clear()
+        removed = Session(jobs=1).store.clear()
         print(f"cleared {removed} stored result(s)")
-        return
+        acted = True
     if args.prune:
-        counts = store.prune()
+        counts = Session(jobs=1).store.prune()
         print(
             f"pruned {counts['pruned']} stale result(s), "
             f"kept {counts['kept']} current"
         )
+        acted = True
+    if args.stats:
+        _print_artifact_stats()
+        acted = True
+    if acted:
         return
-    stats = store.stats()
+    stats = Session(jobs=1).store.stats()
     rows = [
         ["location", stats["root"] or "(in-memory only; set REPRO_CACHE_DIR)"],
         ["disk entries", stats["disk_entries"]],
@@ -471,6 +515,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generations",
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the per-process artifact-cache hit/miss counters "
+        "(streams, baselines, workload objects) after the command "
+        "finishes — e.g. 'repro table3 --stats' shows what the sweep "
+        "reused in-process; with --jobs > 1 the reuse happens inside "
+        "the worker processes, so run serially to inspect it "
+        "(REPRO_ARTIFACTS=0 disables the layer)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="with the bench command: CI-sized workloads (same schema)",
@@ -483,6 +537,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     _HANDLERS[args.command](args)
+    if args.stats and args.command != "cache":
+        # Report what this process actually reused while the command
+        # ran; the cache command handled the flag itself above.
+        _print_artifact_stats()
     return 0
 
 

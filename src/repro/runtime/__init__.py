@@ -21,10 +21,20 @@ memoization, experiments describe work declaratively and hand it to a
   bit-identically (``--shards`` / ``Session(shards=...)``).
 * :mod:`~repro.runtime.store` — a persistent fingerprint-keyed result
   store shared across processes (``REPRO_CACHE_DIR``).
+* :mod:`~repro.runtime.artifacts` — the per-process content-addressed
+  cache of intermediate products (request streams, baselines, workload
+  and core-model objects) that makes a sweep evaluate each distinct
+  sub-computation once per process (``REPRO_ARTIFACTS=0`` disables).
 * :mod:`~repro.runtime.session` — the :class:`Session` facade tying
   them together.
 """
 
+from .artifacts import (
+    ArtifactCache,
+    artifacts_enabled,
+    get_artifacts,
+    reset_artifacts,
+)
 from .executors import (
     EXECUTOR_KINDS,
     Executor,
@@ -131,6 +141,10 @@ __all__ = [
     "resolve_shards",
     "ResultStore",
     "default_store_root",
+    "ArtifactCache",
+    "get_artifacts",
+    "reset_artifacts",
+    "artifacts_enabled",
     "DEFAULT_POLICIES",
     "Session",
     "execute_spec",

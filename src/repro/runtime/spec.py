@@ -167,8 +167,16 @@ class MixRef:
         return f"{self.lc_name}-{self.load_label}-{self.combo}.{self.rep}"
 
     def build(self):
-        """Reconstruct the full :class:`MixSpec` (workloads included)."""
+        """Reconstruct the full :class:`MixSpec` (workloads included).
+
+        The LC workload and the batch trio are served from the
+        process-wide artifact cache keyed by their deterministic
+        construction inputs — both are frozen dataclass graphs, so a
+        sweep shares one instance across every spec that names the same
+        inputs instead of rebuilding curves and profiles per cell.
+        """
         from ..workloads.mixes import MixSpec, batch_type_combos, make_batch_mix
+        from .artifacts import get_artifacts
 
         combo_labels = ["".join(c) for c in batch_type_combos()]
         try:
@@ -178,12 +186,22 @@ class MixRef:
                 f"unknown batch combo {self.combo!r} (known: {combo_labels})"
             ) from None
         mix_seed = self.seed + combo_index * 1000 + self.rep
-        workload = LC_WORKLOADS.make(self.lc_name, target_mb=self.target_mb)
+        artifacts = get_artifacts()
+        workload = artifacts.get_or_make(
+            "lc_workload",
+            (self.lc_name, float(self.target_mb)),
+            lambda: LC_WORKLOADS.make(self.lc_name, target_mb=self.target_mb),
+        )
+        batch_apps = artifacts.get_or_make(
+            "batch_mix",
+            (self.combo, int(mix_seed)),
+            lambda: make_batch_mix(tuple(self.combo), mix_seed),
+        )
         return MixSpec(
             mix_id=self.mix_id,
             lc_workload=workload,
             load=self.load,
-            batch_apps=make_batch_mix(tuple(self.combo), mix_seed),
+            batch_apps=batch_apps,
             batch_combo=f"{self.combo}.{self.rep}",
         )
 

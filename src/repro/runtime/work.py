@@ -156,7 +156,18 @@ _WORKER_STORES: dict = {}
 
 
 def execute_in_worker(spec, store_root: Optional[str]):
-    """Module-level worker entry point (picklable for process pools)."""
+    """Module-level worker entry point (picklable for process pools).
+
+    Two layers of worker-warm state survive across the specs a process
+    evaluates in a batch: the per-root store handle below (parsed
+    documents, baselines fetched from disk) and the process-wide
+    artifact cache (:mod:`repro.runtime.artifacts` — synthesized
+    streams, computed baselines, workload/core-model objects), which
+    every :class:`~repro.sim.mix_runner.MixRunner` the spec evaluation
+    builds consults automatically.  Together they make a worker
+    evaluate each distinct sub-computation once per process, not once
+    per spec.
+    """
     store = _WORKER_STORES.get(store_root)
     if store is None:
         store = ResultStore(store_root)

@@ -25,6 +25,7 @@ import numpy as np
 from ..cache.schemes import SchemeModel
 from ..cpu import make_core_model
 from ..policies.base import Policy
+from ..runtime.artifacts import get_artifacts, stream_key
 from ..server.latency import percentile_latency, tail_mean
 from ..workloads.arrivals import generate_arrivals
 from ..workloads.latency_critical import LCWorkload
@@ -74,7 +75,17 @@ class MixRunner:
         #: baselines are fetched from / written to it so every process
         #: sharing the store computes each baseline exactly once.
         self.store = store
-        self._baseline_cache: Dict[Tuple[str, float, str], BaselineResult] = {}
+        #: In-memory baselines keyed by the full ``BaselineSpec``
+        #: fingerprint — not runner identity — so a long-lived
+        #: per-process worker runner evaluating specs with differing
+        #: ``requests``/``seed``/``warmup_fraction`` can never alias
+        #: two distinct baselines.
+        self._baseline_cache: Dict[str, BaselineResult] = {}
+        #: Fingerprints memoized per (name, target_lines, load): those
+        #: are the only ``BaselineSpec`` inputs that vary per call (the
+        #: rest are runner constants), so the cache-hit path stays a
+        #: dict lookup instead of a JSON + SHA-256 walk per run_mix.
+        self._fingerprint_memo: Dict[Tuple[str, int, float], str] = {}
 
     # ------------------------------------------------------------------
     # Request streams
@@ -82,14 +93,40 @@ class MixRunner:
     def stream(
         self, workload: LCWorkload, load: float, instance: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """(arrivals, works) for one instance, deterministic in seed."""
+        """(arrivals, works) for one instance, deterministic in seed.
+
+        Streams are served from the process-wide artifact cache
+        (:mod:`repro.runtime.artifacts`) keyed by the content signature
+        of every input — workload, load, instance, request count, seed,
+        and the full config fingerprint — so a sweep synthesizes each
+        distinct stream once per process: the baseline phase, every
+        policy's replay, and every spec sharing the (lc, load) point
+        reuse the same frozen arrays.  Synthesis itself is vectorized
+        (:meth:`~repro.workloads.service_time.WorkDistribution.sample_many`),
+        bit-identical to the scalar loop kept in
+        :mod:`repro.workloads.reference`.
+        """
+        return get_artifacts().get_or_make(
+            "stream",
+            stream_key(
+                workload, load, instance, self.requests, self.seed, self.config
+            ),
+            lambda: self._synthesize_stream(workload, load, instance),
+        )
+
+    def _synthesize_stream(
+        self, workload: LCWorkload, load: float, instance: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Actually synthesize one instance's (arrivals, works) arrays."""
         name_key = zlib.crc32(workload.name.encode()) & 0xFFFF
         rng = np.random.default_rng((self.seed, name_key, instance))
-        works = np.asarray(
-            [workload.work.sample(rng) for _ in range(self.requests)]
-        )
-        core = make_core_model(
-            self.config.core_kind, self.config.mem_latency_cycles
+        works = workload.work.sample_many(rng, self.requests)
+        core = get_artifacts().get_or_make(
+            "core_model",
+            (self.config.core_kind, self.config.mem_latency_cycles),
+            lambda: make_core_model(
+                self.config.core_kind, self.config.mem_latency_cycles
+            ),
         )
         mean_service = workload.mean_service_cycles(core)
         arrivals = generate_arrivals(
@@ -99,19 +136,26 @@ class MixRunner:
             rng,
             coalescing_timeout_cycles=self.config.coalescing_timeout_cycles,
         )
+        # Streams may be shared across runs via the artifact cache;
+        # freeze them so accidental mutation fails loudly instead of
+        # corrupting a neighbour's simulation.
+        arrivals.flags.writeable = False
+        works.flags.writeable = False
         return arrivals, works
-
-    #: Backwards-compatible alias from when the method was private.
-    _stream = stream
 
     # ------------------------------------------------------------------
     # Baselines
     # ------------------------------------------------------------------
     def _baseline_fingerprint(self, workload: LCWorkload, load: float) -> str:
         """Store key capturing everything the baseline depends on."""
-        from ..runtime.spec import BaselineSpec, config_fingerprint
+        memo_key = (workload.name, int(workload.target_lines), float(load))
+        hit = self._fingerprint_memo.get(memo_key)
+        if hit is not None:
+            return hit
+        from ..runtime.artifacts import config_key
+        from ..runtime.spec import BaselineSpec
 
-        return BaselineSpec(
+        fingerprint = BaselineSpec(
             lc_name=workload.name,
             load=load,
             core_kind=self.config.core_kind,
@@ -119,8 +163,10 @@ class MixRunner:
             seed=self.seed,
             warmup_fraction=self.warmup_fraction,
             target_lines=int(workload.target_lines),
-            config_key=config_fingerprint(self.config),
+            config_key=config_key(self.config),
         ).fingerprint()
+        self._fingerprint_memo[memo_key] = fingerprint
+        return fingerprint
 
     def baseline_instance(self, workload: LCWorkload, load: float, instance: int):
         """Run one LC instance alone at its target allocation.
@@ -158,36 +204,48 @@ class MixRunner:
     def baseline(self, workload: LCWorkload, load: float) -> BaselineResult:
         """Isolated run at the target allocation (cached).
 
-        Lookup order: in-memory cache, then the persistent store (if
-        attached), then a fresh three-instance isolated simulation
-        whose result is written back to both layers.  The simulation
-        itself is :meth:`baseline_instance` applied to instances
-        ``0..LC_INSTANCES-1`` with the pools concatenated in instance
-        order — the exact merge rule trace sharding replays, which is
-        why a sharded baseline is bit-identical to this serial one.
+        Lookup order: this runner's in-memory cache, the process-wide
+        artifact cache (which lets a long-lived worker serve a baseline
+        to every spec in a batch, store or no store), the persistent
+        store (if attached), then a fresh three-instance isolated
+        simulation.  Whatever layer resolves it, the result is written
+        back to every faster layer — and to the store when it was
+        absent there, so a store populated with the artifact cache
+        enabled holds the exact same documents as one populated with it
+        off.  The simulation itself is :meth:`baseline_instance`
+        applied to instances ``0..LC_INSTANCES-1`` with the pools
+        concatenated in instance order — the exact merge rule trace
+        sharding replays, which is why a sharded baseline is
+        bit-identical to this serial one.
         """
-        key = (workload.name, load, self.config.core_kind)
-        hit = self._baseline_cache.get(key)
+        fingerprint = self._baseline_fingerprint(workload, load)
+        hit = self._baseline_cache.get(fingerprint)
         if hit is not None:
             return hit
-        fingerprint = ""
-        if self.store is not None:
-            fingerprint = self._baseline_fingerprint(workload, load)
-            stored = self.store.get_baseline(fingerprint)
-            if stored is not None:
-                self._baseline_cache[key] = stored
-                return stored
-        pooled: List[float] = []
-        for instance in range(LC_INSTANCES):
-            pooled.extend(self.baseline_instance(workload, load, instance).latencies)
-        baseline = BaselineResult(
-            tail95_cycles=tail_mean(pooled, 95.0),
-            p95_cycles=percentile_latency(pooled, 95.0),
-            latencies=tuple(pooled),
-        )
-        self._baseline_cache[key] = baseline
-        if self.store is not None:
-            self.store.put_baseline(fingerprint, baseline)
+        artifacts = get_artifacts()
+        baseline = artifacts.get("baseline", fingerprint)
+        from_store = False
+        computed = False
+        if baseline is None and self.store is not None:
+            baseline = self.store.get_baseline(fingerprint)
+            from_store = baseline is not None
+        if baseline is None:
+            pooled: List[float] = []
+            for instance in range(LC_INSTANCES):
+                pooled.extend(
+                    self.baseline_instance(workload, load, instance).latencies
+                )
+            baseline = BaselineResult(
+                tail95_cycles=tail_mean(pooled, 95.0),
+                p95_cycles=percentile_latency(pooled, 95.0),
+                latencies=tuple(pooled),
+            )
+            computed = True
+        self._baseline_cache[fingerprint] = baseline
+        artifacts.put("baseline", fingerprint, baseline)
+        if self.store is not None and not from_store:
+            if computed or self.store.get(fingerprint) is None:
+                self.store.put_baseline(fingerprint, baseline)
         return baseline
 
     # ------------------------------------------------------------------

@@ -1,0 +1,70 @@
+"""Scalar reference implementations for stream synthesis (the oracle).
+
+Mirrors the ``repro.cache.reference`` pattern from the hot-path
+overhaul: when a hot loop is vectorized, the original scalar code
+survives here as the behavioural oracle.  The property suite
+(``tests/workloads/test_service_time_batch.py``) asserts that every
+distribution's batched :meth:`~repro.workloads.service_time.WorkDistribution.sample_many`
+reproduces these loops draw-for-draw **and** leaves the generator in
+the identical state, and the ``stream_synthesis`` kernel of
+``repro bench`` times the two paths against each other on the same
+machine.
+
+These functions are deliberately naive — per-request Python calls,
+exactly as :meth:`~repro.sim.mix_runner.MixRunner.stream` was written
+before vectorization — and must stay that way.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Tuple
+
+import numpy as np
+
+from ..workloads.arrivals import generate_arrivals
+from ..workloads.service_time import WorkDistribution
+
+__all__ = ["sample_stream", "synthesize_stream"]
+
+
+def sample_stream(
+    work: WorkDistribution, rng: np.random.Generator, count: int
+) -> np.ndarray:
+    """``count`` per-request works via the pre-vectorization scalar loop."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return np.asarray([work.sample(rng) for _ in range(count)], dtype=float)
+
+
+def synthesize_stream(
+    workload,
+    load: float,
+    instance: int,
+    requests: int,
+    seed: int,
+    config,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One instance's ``(arrivals, works)`` via the scalar sampling loop.
+
+    Reproduces :meth:`repro.sim.mix_runner.MixRunner.stream` — same
+    seed derivation, same draw order — with the per-request
+    ``work.sample`` loop the method used before ``sample_many``.  Used
+    by the golden-compatibility unit tests to prove the vectorized
+    stream path is byte-identical.
+    """
+    from ..cpu import make_core_model
+
+    name_key = zlib.crc32(workload.name.encode()) & 0xFFFF
+    rng = np.random.default_rng((seed, name_key, instance))
+    works = sample_stream(workload.work, rng, requests)
+    core = make_core_model(config.core_kind, config.mem_latency_cycles)
+    mean_service = workload.mean_service_cycles(core)
+    arrivals = generate_arrivals(
+        requests,
+        load,
+        mean_service,
+        rng,
+        coalescing_timeout_cycles=config.coalescing_timeout_cycles,
+    )
+    return arrivals, works

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import abc
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -39,6 +40,23 @@ class WorkDistribution(abc.ABC):
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one request's work (instructions, strictly positive)."""
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` requests' works as one float64 array.
+
+        The contract — property-tested against the scalar oracle in
+        ``repro.workloads.reference`` — is **bit-identical streams**:
+        the returned values equal ``count`` successive :meth:`sample`
+        calls *and* the generator is left in the exact same state, so
+        anything drawn afterwards (e.g. arrival gaps) is unchanged.
+        Subclasses override with vectorized draws where numpy's batched
+        generator calls consume the identical bit stream; this fallback
+        keeps arbitrary third-party distributions correct by simply
+        running the scalar loop.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.asarray([self.sample(rng) for _ in range(count)], dtype=float)
 
     @abc.abstractmethod
     def mean(self) -> float:
@@ -83,6 +101,12 @@ class DeterministicWork(WorkDistribution):
     def sample(self, rng: np.random.Generator) -> float:
         return self.work
 
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` copies of ``work`` (consumes no random draws)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.full(count, self.work, dtype=float)
+
     def mean(self) -> float:
         return self.work
 
@@ -125,6 +149,15 @@ class TruncatedNormalWork(WorkDistribution):
         draw = rng.normal(self.mean_work, self._sigma)
         return max(draw, self._floor)
 
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Batched truncated-normal draws, bit-identical to the scalar
+        loop: ``Generator.normal(size=n)`` consumes the same bit stream
+        as ``n`` scalar calls, and ``np.maximum`` applies the floor
+        elementwise exactly as ``max`` does per draw."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.maximum(rng.normal(self.mean_work, self._sigma, size=count), self._floor)
+
     def mean(self) -> float:
         # Truncation bias is negligible for the small CVs we use
         # (floor sits many sigmas below the mean).
@@ -166,6 +199,13 @@ class LognormalWork(WorkDistribution):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self._mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Batched lognormal draws; ``Generator.lognormal(size=n)``
+        consumes the identical bit stream as ``n`` scalar calls."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return rng.lognormal(self._mu, self.sigma, size=count)
 
     def mean(self) -> float:
         return self.mean_work
@@ -217,6 +257,32 @@ class MixtureWork(WorkDistribution):
     def sample(self, rng: np.random.Generator) -> float:
         index = rng.choice(len(self.components), p=self._probs)
         return self.components[index].sample(rng)
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Batched mixture draws, bit-identical to the scalar loop.
+
+        A mixture's random stream is inherently sequential — the
+        component pick and the component's own draw interleave per
+        request, and the ziggurat normal consumes a data-dependent
+        number of raw words — so this cannot reorder draws the way the
+        pure distributions can.  Instead it reproduces
+        ``Generator.choice`` exactly with one uniform plus a
+        ``bisect_right`` over the precomputed probability CDF (that is
+        precisely choice's internal ``cdf.searchsorted(random(),
+        side="right")``), hoisting the per-draw weight normalization,
+        argument validation, and array construction out of the loop.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        cdf = np.cumsum(self._probs)
+        cdf /= cdf[-1]
+        boundaries = cdf.tolist()
+        components = self.components
+        random = rng.random
+        out = np.empty(count, dtype=float)
+        for index in range(count):
+            out[index] = components[bisect_right(boundaries, random())].sample(rng)
+        return out
 
     def mean(self) -> float:
         return float(

@@ -55,6 +55,7 @@ MODULES = [
     "repro.core.slack",
     "repro.core.ubik",
     "repro.runtime",
+    "repro.runtime.artifacts",
     "repro.runtime.registry",
     "repro.runtime.spec",
     "repro.runtime.store",

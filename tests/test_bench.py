@@ -6,7 +6,9 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
     KERNEL_NAMES,
+    LEGACY_KERNEL_NAMES,
     default_bench_path,
     format_bench,
     run_bench,
@@ -33,18 +35,24 @@ class TestRunBench:
             assert entry["units"] > 0
             assert entry["ns_per_unit"] > 0
 
-    def test_trace_replay_records_baseline_and_speedup(self, quick_payload):
-        replay = quick_payload["kernels"]["trace_replay"]
-        assert replay["verified_identical"] is True
-        assert replay["baseline_seconds"] > 0
-        assert replay["speedup"] == pytest.approx(
-            replay["baseline_seconds"] / replay["seconds"]
+    @pytest.mark.parametrize(
+        "kernel", ["trace_replay", "warm_sweep_grid", "stream_synthesis"]
+    )
+    def test_compared_kernels_record_baseline_and_speedup(
+        self, quick_payload, kernel
+    ):
+        entry = quick_payload["kernels"][kernel]
+        assert entry["verified_identical"] is True
+        assert entry["baseline_seconds"] > 0
+        assert entry["speedup"] == pytest.approx(
+            entry["baseline_seconds"] / entry["seconds"]
         )
         # No timing floor here: tier-1 must never flake on machine
-        # noise (coverage tracing, loaded CI boxes).  The >=3x
-        # acceptance lives in test_committed_trajectory_validates,
-        # pinned against the committed BENCH_pr4.json document.
-        assert replay["speedup"] > 0
+        # noise (coverage tracing, loaded CI boxes).  The >=3x replay
+        # and >=2x warm-grid acceptances live in
+        # test_committed_trajectory_validates, pinned against the
+        # committed BENCH_pr4.json / BENCH_pr5.json documents.
+        assert entry["speedup"] > 0
 
     def test_validates_clean(self, quick_payload):
         assert validate_bench(quick_payload) == []
@@ -111,9 +119,10 @@ class TestWriteBench:
         """Every BENCH_*.json checked into benchmarks/perf/ must pass
         the schema gate.  Timing values are deliberately NOT gated for
         future documents (committing an honest measurement from a slow
-        machine must never break tier-1); only the trajectory's origin
-        document is pinned to the PR-4 acceptance floor of >=3x, as a
-        record of what it demonstrated."""
+        machine must never break tier-1); only the acceptance floors
+        each PR's own document demonstrated are pinned: trace replay
+        >=3x on the PR-4 origin, the warm sweep grid >=2x (and replay
+        still >=3x) on the PR-5 document."""
         import pathlib
 
         perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
@@ -124,6 +133,26 @@ class TestWriteBench:
             assert validate_bench(payload) == []
             if document.name == "BENCH_pr4.json":
                 assert payload["kernels"]["trace_replay"]["speedup"] >= 3.0
+            if document.name == "BENCH_pr5.json":
+                assert payload["kernels"]["trace_replay"]["speedup"] >= 3.0
+                assert payload["kernels"]["warm_sweep_grid"]["speedup"] >= 2.0
+                assert payload["kernels"]["stream_synthesis"]["speedup"] > 1.0
+
+    def test_legacy_generation_validates_against_its_own_kernels(self):
+        """A repro-bench/1 document (BENCH_pr4.json) must stay valid
+        without the sweep-level kernels, and must NOT validate as the
+        current generation if its tag were rewritten."""
+        import pathlib
+
+        perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        payload = json.loads((perf / "BENCH_pr4.json").read_text())
+        assert payload["schema"] == BENCH_SCHEMA_V1
+        assert validate_bench(payload) == []
+        retagged = dict(payload, schema=BENCH_SCHEMA)
+        missing = set(KERNEL_NAMES) - set(LEGACY_KERNEL_NAMES)
+        problems = validate_bench(retagged)
+        for name in missing:
+            assert any(name in p for p in problems)
 
 
 def test_format_bench_lists_every_kernel(quick_payload):

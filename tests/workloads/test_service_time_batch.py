@@ -1,0 +1,141 @@
+"""Property suite: batched ``sample_many`` == the scalar sampling loop.
+
+The vectorized stream-synthesis contract is *bit identity*, not
+statistical equivalence: for every distribution, seed, and batch size,
+``sample_many(rng, n)`` must return exactly the values ``n`` scalar
+``sample`` calls would, **and** leave the generator at exactly the same
+stream position — anything drawn afterwards (arrival gaps, a later
+instance's stream) must be unchanged.  The scalar side of every
+comparison goes through the kept oracle
+:func:`repro.workloads.reference.sample_stream`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.reference import sample_stream
+from repro.workloads.service_time import (
+    DeterministicWork,
+    LognormalWork,
+    MixtureWork,
+    TruncatedNormalWork,
+    WorkDistribution,
+)
+
+#: Every distribution shape the repo uses, plus the edge cases the
+#: shapes can degenerate to (zero spread, deterministic components,
+#: nested mixtures).
+DISTRIBUTIONS = [
+    pytest.param(DeterministicWork(1234.5), id="deterministic"),
+    pytest.param(TruncatedNormalWork(mean_work=1e6, cv=0.12), id="truncnormal"),
+    pytest.param(TruncatedNormalWork(mean_work=50.0, cv=0.0), id="truncnormal-cv0"),
+    pytest.param(
+        TruncatedNormalWork(mean_work=10.0, cv=3.0, floor_frac=0.5),
+        id="truncnormal-floor-heavy",
+    ),
+    pytest.param(LognormalWork(mean_work=7.5e5, sigma=1.2), id="lognormal"),
+    pytest.param(LognormalWork(mean_work=100.0, sigma=0.0), id="lognormal-sigma0"),
+    pytest.param(
+        MixtureWork.of(
+            [
+                TruncatedNormalWork(mean_work=0.45e6, cv=0.25),
+                TruncatedNormalWork(mean_work=2.40e6, cv=0.30),
+            ],
+            [0.72, 0.28],
+        ),
+        id="mixture-shore",
+    ),
+    pytest.param(
+        MixtureWork.of(
+            [
+                DeterministicWork(3.0),
+                LognormalWork(mean_work=9.0, sigma=0.8),
+                TruncatedNormalWork(mean_work=2.0, cv=0.2),
+            ],
+            [1.0, 2.0, 3.0],  # deliberately unnormalized weights
+        ),
+        id="mixture-mixed-components",
+    ),
+    pytest.param(
+        MixtureWork.of(
+            [
+                MixtureWork.of(
+                    [DeterministicWork(1.0), LognormalWork(2.0, 0.5)],
+                    [0.5, 0.5],
+                ),
+                TruncatedNormalWork(mean_work=4.0, cv=0.1),
+            ],
+            [0.4, 0.6],
+        ),
+        id="mixture-nested",
+    ),
+]
+
+SEEDS = (0, 1, 7, 123, 99991)
+COUNTS = (0, 1, 5, 64, 257)
+
+
+@pytest.mark.parametrize("count", COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("work", DISTRIBUTIONS)
+def test_sample_many_matches_scalar_stream(work, seed, count):
+    """Same values, same draw count, same final generator state."""
+    batched_rng = np.random.default_rng(seed)
+    scalar_rng = np.random.default_rng(seed)
+    batched = work.sample_many(batched_rng, count)
+    scalar = sample_stream(work, scalar_rng, count)
+    assert batched.dtype == scalar.dtype == np.dtype(float)
+    assert np.array_equal(batched, scalar)
+    # Stream-position identity: the next draw from both generators must
+    # coincide, else arrivals generated after the works would drift.
+    assert batched_rng.random() == scalar_rng.random()
+
+
+@pytest.mark.parametrize("work", DISTRIBUTIONS)
+def test_sample_many_rejects_negative_count(work):
+    with pytest.raises(ValueError):
+        work.sample_many(np.random.default_rng(0), -1)
+
+
+def test_base_class_fallback_is_the_scalar_loop():
+    """A distribution that does not override ``sample_many`` still
+    honours the bit-identity contract via the base-class loop."""
+
+    class CountingWork(WorkDistribution):
+        """Consumes one uniform per draw, no override."""
+
+        def sample(self, rng):
+            return 1.0 + rng.random()
+
+        def mean(self):
+            return 1.5
+
+        def cdf(self, work):
+            return min(max(work - 1.0, 0.0), 1.0)
+
+        def scaled(self, factor):  # pragma: no cover - unused
+            raise NotImplementedError
+
+    work = CountingWork()
+    a, b = np.random.default_rng(5), np.random.default_rng(5)
+    assert np.array_equal(work.sample_many(a, 17), sample_stream(work, b, 17))
+    assert a.random() == b.random()
+
+
+def test_mixture_choice_replication_spans_all_components():
+    """The mixture's CDF walk must actually exercise every component
+    (guards against a bisect off-by-one silently pinning one mode)."""
+    work = MixtureWork.of(
+        [DeterministicWork(1.0), DeterministicWork(2.0), DeterministicWork(3.0)],
+        [0.2, 0.3, 0.5],
+    )
+    draws = work.sample_many(np.random.default_rng(11), 500)
+    assert set(np.unique(draws)) == {1.0, 2.0, 3.0}
+
+
+def test_empty_batch_leaves_generator_untouched():
+    rng = np.random.default_rng(3)
+    before = rng.bit_generator.state["state"]["state"]
+    out = LognormalWork(10.0, 0.5).sample_many(rng, 0)
+    assert out.shape == (0,)
+    assert rng.bit_generator.state["state"]["state"] == before

@@ -11,6 +11,15 @@ mistyped fields, a stale schema tag — and never on timing values, so
 the CI bench smoke job is immune to machine noise.  The actual rules
 live in :func:`repro.bench.validate_bench`; this wrapper just feeds it
 files, exactly like ``tools/check_docs.py`` wraps the docs gate.
+
+Validation is generation-aware: ``repro-bench/2`` documents (the
+current schema) must carry all six kernels, including the sweep-level
+``warm_sweep_grid``/``stream_synthesis`` entries with their
+baseline/speedup comparison fields, while committed ``repro-bench/1``
+documents are held to their own four-kernel generation — the
+trajectory's history never rots out of CI.  Quick-mode documents
+(``repro bench --quick``) carry the identical schema, so the CI smoke
+validates the new kernels on every push.
 """
 
 from __future__ import annotations
@@ -27,11 +36,17 @@ from repro.bench import validate_bench  # noqa: E402
 
 def check_file(path: Path) -> list:
     """Problems found in one bench document (empty list = valid)."""
+    return inspect_file(path)[0]
+
+
+def inspect_file(path: Path):
+    """(problems, schema tag) for one bench document, parsed once."""
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
-        return [f"unreadable: {exc}"]
-    return validate_bench(payload)
+        return [f"unreadable: {exc}"], None
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    return validate_bench(payload), schema
 
 
 def main(argv: list) -> int:
@@ -45,14 +60,14 @@ def main(argv: list) -> int:
         return 1
     failures = 0
     for path in paths:
-        problems = check_file(path)
+        problems, generation = inspect_file(path)
         if problems:
             failures += 1
             print(f"FAIL {path}", file=sys.stderr)
             for problem in problems:
                 print(f"  - {problem}", file=sys.stderr)
         else:
-            print(f"ok   {path}")
+            print(f"ok   {path} ({generation})")
     return 1 if failures else 0
 
 
