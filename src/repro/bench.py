@@ -2,7 +2,7 @@
 
 The ROADMAP's north star is "as fast as the hardware allows", which is
 only meaningful with a *trajectory*: numbers written down, schema-
-stable, and comparable across revisions.  This module times six
+stable, and comparable across revisions.  This module times seven
 canonical kernels that cover the stack's hot layers and writes a
 ``BENCH_<revision>.json`` document (under ``benchmarks/perf/`` by
 convention):
@@ -27,6 +27,13 @@ convention):
 ``store_roundtrip``
     Writing and (cold) re-reading a batch of result documents through
     :class:`~repro.runtime.store.ResultStore` on a temporary directory.
+``store_backend_roundtrip``
+    Per-operation put/get latency through the façade for **each**
+    registered storage engine — directory, sqlite, memory — with
+    p50/p90/p99 nanoseconds per operation recorded per backend
+    (diskcache-style percentile reporting: a cache's tail latency is
+    what callers actually feel).  The acceptance floor for the sqlite
+    engine is sub-millisecond median get and put.
 ``warm_sweep_grid``
     The shared-state derivation of a 3-policy × 2-load sweep grid —
     per cell: workload objects, the three-instance isolated baseline,
@@ -78,8 +85,11 @@ from ._version import __version__
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_V1",
+    "BENCH_SCHEMA_V2",
     "KERNEL_NAMES",
     "LEGACY_KERNEL_NAMES",
+    "V2_KERNEL_NAMES",
+    "STORE_BACKEND_NAMES",
     "run_bench",
     "write_bench",
     "default_bench_path",
@@ -89,10 +99,13 @@ __all__ = [
 
 #: Schema identifier stamped into every document; bump only when the
 #: document layout changes (CI fails on drift against this module).
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 
-#: The previous generation: four kernels, no sweep-level entries.
+#: The previous generation: six kernels, no per-backend store kernel.
 #: Committed trajectory documents written under it stay valid forever.
+BENCH_SCHEMA_V2 = "repro-bench/2"
+
+#: The first generation: four kernels, no sweep-level entries.
 BENCH_SCHEMA_V1 = "repro-bench/1"
 
 #: The canonical kernels, in reporting order.
@@ -103,10 +116,17 @@ KERNEL_NAMES = (
     "store_roundtrip",
     "warm_sweep_grid",
     "stream_synthesis",
+    "store_backend_roundtrip",
 )
 
 #: The kernel set of generation-1 documents (``BENCH_pr4.json``).
 LEGACY_KERNEL_NAMES = KERNEL_NAMES[:4]
+
+#: The kernel set of generation-2 documents (``BENCH_pr5.json``).
+V2_KERNEL_NAMES = KERNEL_NAMES[:6]
+
+#: Storage engines the per-backend kernel times, in reporting order.
+STORE_BACKEND_NAMES = ("directory", "sqlite", "memory")
 
 #: Kernels that time an in-file baseline alongside the optimized path
 #: and must record the comparison (see :func:`validate_bench`).
@@ -425,6 +445,94 @@ def _bench_store_roundtrip(documents: int, repeats: int) -> Dict[str, Any]:
     return _kernel_entry(samples, units=documents, unit="documents")
 
 
+def _percentiles_ns(op_times_ns: List[int]) -> Dict[str, float]:
+    """p50/p90/p99 (and the mean) of per-operation nanosecond timings."""
+    arr = np.asarray(op_times_ns, dtype=np.float64)
+    return {
+        "p50_ns": float(np.percentile(arr, 50)),
+        "p90_ns": float(np.percentile(arr, 90)),
+        "p99_ns": float(np.percentile(arr, 99)),
+        "mean_ns": float(arr.mean()),
+    }
+
+
+def _bench_store_backend_roundtrip(documents: int, repeats: int) -> Dict[str, Any]:
+    """Per-operation put/get latency across every storage engine.
+
+    For each backend, every repeat writes ``documents`` fresh documents
+    through the :class:`~repro.runtime.store.ResultStore` façade and
+    cold-reads them back through a second handle (fresh memory layer,
+    so persistent engines hit their media), timing each operation
+    individually.  Per-op samples accumulate across repeats into
+    p50/p90/p99 per backend per operation — percentile reporting in
+    the python-diskcache tradition, because a store's *tail* is what a
+    worker pool's stragglers feel, and a min-of-repeats total would
+    hide it.  Connection setup (sqlite's open + schema check) is paid
+    outside the timed region via one warm-up miss, matching how the
+    runtime holds one handle per process.
+    """
+    from .runtime.store import ResultStore
+
+    payload = {
+        "kind": "bench",
+        "result": {"metric": 1.0, "values": list(range(32))},
+    }
+    fingerprints = [f"{index:064x}" for index in range(documents)]
+    op_times: Dict[str, Dict[str, List[int]]] = {
+        name: {"put": [], "get": []} for name in STORE_BACKEND_NAMES
+    }
+    samples: List[float] = []
+    for _ in range(repeats):
+        repeat_started = time.perf_counter()
+        with tempfile.TemporaryDirectory() as root:
+            targets = {
+                "directory": str(Path(root) / "tree"),
+                "sqlite": f"sqlite://{root}/store.db",
+                "memory": None,
+            }
+            for name in STORE_BACKEND_NAMES:
+                writer = ResultStore(targets[name])
+                writer.get("f" * 64)  # open handles outside the timing
+                puts = op_times[name]["put"]
+                for fingerprint in fingerprints:
+                    doc = dict(payload)
+                    started = time.perf_counter_ns()
+                    writer.put(fingerprint, doc)
+                    puts.append(time.perf_counter_ns() - started)
+                # A second handle's memory layer is empty, so gets hit
+                # the engine.  The memory engine has no second handle
+                # (a fresh ``memory://`` is empty): share the backend,
+                # drop the façade's parsed-document layer.
+                reader = ResultStore(
+                    writer.backend if name == "memory" else targets[name]
+                )
+                reader.get("f" * 64)
+                gets = op_times[name]["get"]
+                for fingerprint in fingerprints:
+                    started = time.perf_counter_ns()
+                    if reader.get(fingerprint) is None:
+                        raise RuntimeError(
+                            f"{name} backend lost a document mid-bench"
+                        )
+                    gets.append(time.perf_counter_ns() - started)
+                writer.close()
+                reader.close()
+        samples.append(time.perf_counter() - repeat_started)
+    backends = {
+        name: {
+            "put": _percentiles_ns(op_times[name]["put"]),
+            "get": _percentiles_ns(op_times[name]["get"]),
+        }
+        for name in STORE_BACKEND_NAMES
+    }
+    return _kernel_entry(
+        samples,
+        units=documents * len(STORE_BACKEND_NAMES),
+        unit="round-trips",
+        backends=backends,
+    )
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -444,6 +552,9 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
         "store_roundtrip": _bench_store_roundtrip(documents, repeats),
         "warm_sweep_grid": _bench_warm_sweep_grid(requests, repeats),
         "stream_synthesis": _bench_stream_synthesis(stream_samples, repeats),
+        "store_backend_roundtrip": _bench_store_backend_roundtrip(
+            documents, repeats
+        ),
     }
     return {
         "schema": BENCH_SCHEMA,
@@ -497,17 +608,20 @@ def validate_bench(payload: Any) -> List[str]:
     if not isinstance(payload, dict):
         return [f"document must be an object, got {type(payload).__name__}"]
     schema = payload.get("schema")
-    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V1):
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1):
         problems.append(
             f"schema must be {BENCH_SCHEMA!r} (or the legacy "
-            f"{BENCH_SCHEMA_V1!r}), got {schema!r}"
+            f"{BENCH_SCHEMA_V2!r} / {BENCH_SCHEMA_V1!r}), got {schema!r}"
         )
-    # Generation-1 documents predate the sweep-level kernels; they are
-    # validated against the kernel set of their own generation so the
-    # committed trajectory never rots.
-    required_kernels = (
-        LEGACY_KERNEL_NAMES if schema == BENCH_SCHEMA_V1 else KERNEL_NAMES
-    )
+    # Older documents predate later kernels; each is validated against
+    # the kernel set of its own generation so the committed trajectory
+    # never rots.
+    if schema == BENCH_SCHEMA_V1:
+        required_kernels = LEGACY_KERNEL_NAMES
+    elif schema == BENCH_SCHEMA_V2:
+        required_kernels = V2_KERNEL_NAMES
+    else:
+        required_kernels = KERNEL_NAMES
     for key, kinds in (
         ("revision", str),
         ("quick", bool),
@@ -548,6 +662,32 @@ def validate_bench(payload: Any) -> List[str]:
         for key in ("baseline_seconds", "baseline_runs", "speedup", "verified_identical"):
             if key not in entry:
                 problems.append(f"kernel {name!r} missing {key!r}")
+    if "store_backend_roundtrip" in required_kernels:
+        entry = kernels.get("store_backend_roundtrip")
+        if isinstance(entry, dict):
+            backends = entry.get("backends")
+            if not isinstance(backends, dict):
+                problems.append(
+                    "kernel 'store_backend_roundtrip' missing 'backends'"
+                )
+            else:
+                for backend in STORE_BACKEND_NAMES:
+                    per = backends.get(backend)
+                    if not isinstance(per, dict):
+                        problems.append(
+                            f"store_backend_roundtrip missing backend {backend!r}"
+                        )
+                        continue
+                    for op in ("put", "get"):
+                        stats = per.get(op)
+                        if not isinstance(stats, dict) or not all(
+                            isinstance(stats.get(k), (int, float))
+                            for k in ("p50_ns", "p90_ns", "p99_ns")
+                        ):
+                            problems.append(
+                                f"store_backend_roundtrip {backend}.{op} must "
+                                "carry p50/p90/p99 nanosecond percentiles"
+                            )
     return problems
 
 
@@ -564,6 +704,12 @@ def format_bench(payload: Dict[str, Any]) -> str:
             note = (
                 f"{entry['speedup']:.2f}x vs {against}"
                 f" ({entry['baseline_seconds']:.3f}s)"
+            )
+        elif "backends" in entry:
+            sqlite = entry["backends"]["sqlite"]
+            note = (
+                f"sqlite p50 put {sqlite['put']['p50_ns'] / 1e3:,.0f}us"
+                f" / get {sqlite['get']['p50_ns'] / 1e3:,.0f}us"
             )
         rows.append(
             [

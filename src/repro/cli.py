@@ -15,6 +15,9 @@ Usage::
     python -m repro cache --prune
     python -m repro cache --clear
     python -m repro table3 --stats
+    python -m repro table3 --store sqlite:///tmp/corpus/store.db
+    python -m repro cache --migrate ~/.cache/repro-ubik sqlite:///tmp/store.db
+    python -m repro cache --export /tmp/corpus-export
     python -m repro bench --quick
 
 ``bench`` times the hot-path kernels (mix run, isolated baseline,
@@ -29,6 +32,15 @@ asyncio engine with a live progress ticker on stderr (results are
 bit-identical to ``--jobs 1`` either way); completed runs persist in
 the result store (``repro cache`` inspects, ``--prune`` garbage-collects
 stale schema generations), so repeat invocations are served from disk.
+
+The store itself is pluggable (:mod:`repro.runtime.backends`):
+``--store`` (or ``REPRO_STORE``) selects a backend by URL —
+``sqlite:///path/store.db`` for the single-file WAL-mode engine,
+``directory:///path`` (or a bare path) for the sharded JSON tree,
+``memory://`` for no persistence.  ``repro cache --migrate SRC DST``
+moves a corpus between backends byte-faithfully, and ``--export DIR``
+writes the canonical directory-layout tree any backend's corpus
+reduces to.
 
 ``run`` evaluates a single (mix, policy) spec; ``--shards N`` (or
 ``auto``) additionally parallelizes *inside* the run by fanning its
@@ -132,11 +144,13 @@ def _progress_ticker(stream=None):
 
 
 def _session_from_args(args) -> Session:
+    store = getattr(args, "store", None)
     scheduler = getattr(args, "scheduler", "auto")
     shards = getattr(args, "shards", None)
     if scheduler == "auto":
-        return Session(jobs=args.jobs, shards=shards)
+        return Session(store=store, jobs=args.jobs, shards=shards)
     return Session(
+        store=store,
         jobs=args.jobs,
         scheduler=scheduler,
         shards=shards,
@@ -158,7 +172,8 @@ def _cmd_list(args) -> None:
         ["utilization", "Section 7.1 utilization estimate"],
         ["scaleout", "larger-CMP extension"],
         ["bandwidth", "memory-bandwidth contention extension"],
-        ["cache", "inspect (--clear/--prune) the store; --stats: artifact cache"],
+        ["cache", "inspect (--clear/--prune) the store (--store selects a "
+         "backend); --migrate/--export move corpora; --stats: artifact cache"],
         ["bench", "time the hot-path kernels, write BENCH_<rev>.json"],
     ]
     print(format_table(["Command", "Regenerates"], rows))
@@ -211,7 +226,16 @@ def _cmd_run(args) -> None:
         ["watermarks", record.watermarks],
         ["shards", shards_text],
         ["fingerprint", spec.fingerprint()],
-        ["store document", str(doc) if doc else "(memory-only store)"],
+        [
+            "store document",
+            str(doc)
+            if doc
+            else (
+                session.store.url
+                if session.store.persistent
+                else "(memory-only store)"
+            ),
+        ],
     ]
     print(format_table(["Field", "Value"], rows, title="Run"))
 
@@ -380,6 +404,20 @@ def _print_artifact_stats() -> None:
         rows.append(
             ["  (empty)", "add --stats to a sweep command to see activity"]
         )
+    tier2 = stats["tier2"]
+    rows.append(
+        [
+            "tier 2",
+            (tier2["url"] or "off") + "  (REPRO_ARTIFACTS_TIER2)",
+        ]
+    )
+    for kind, counts in tier2["kinds"].items():
+        rows.append(
+            [
+                f"  tier2: {kind}",
+                f"{counts['hits']} hit / {counts['misses']} miss",
+            ]
+        )
     print(
         format_table(
             ["Artifact cache (this process)", "Value"],
@@ -390,29 +428,61 @@ def _print_artifact_stats() -> None:
 
 
 def _cmd_cache(args) -> None:
-    # Maintenance actions first, so `cache --clear --stats` clears and
-    # then reports rather than silently skipping the clear.
+    from .runtime.store import migrate_store
+
+    store = Session(jobs=1, store=getattr(args, "store", None)).store
+    # Corpus movement and maintenance actions first, so combinations
+    # like `cache --clear --stats` clear and then report rather than
+    # silently skipping the clear.
     acted = False
+    if args.migrate:
+        source, destination = args.migrate
+        counts = migrate_store(source, destination)
+        print(
+            f"migrated {counts['documents']} document(s) and "
+            f"{counts['blobs']} blob(s): {source} -> {destination}"
+        )
+        acted = True
+    if args.export:
+        exported = store.export_canonical(args.export)
+        print(
+            f"exported {exported} document(s) from {store.url} "
+            f"to {args.export}"
+        )
+        acted = True
     if args.clear:
-        removed = Session(jobs=1).store.clear()
+        removed = store.clear()
         print(f"cleared {removed} stored result(s)")
         acted = True
     if args.prune:
-        counts = Session(jobs=1).store.prune()
+        counts = store.prune()
         print(
             f"pruned {counts['pruned']} stale result(s), "
             f"kept {counts['kept']} current"
         )
         acted = True
     if args.stats:
+        _print_store_stats(store)
         _print_artifact_stats()
         acted = True
     if acted:
         return
-    stats = Session(jobs=1).store.stats()
+    _print_store_stats(store)
+
+
+def _print_store_stats(store) -> None:
+    """Render the result store's backend, counts, and footprint."""
+    stats = store.stats()
     rows = [
-        ["location", stats["root"] or "(in-memory only; set REPRO_CACHE_DIR)"],
-        ["disk entries", stats["disk_entries"]],
+        ["backend", stats["backend"]],
+        [
+            "location",
+            stats["url"]
+            if stats["backend"] != "memory"
+            else "(in-memory only; set REPRO_STORE or REPRO_CACHE_DIR)",
+        ],
+        ["documents", stats["documents"]],
+        ["blobs", stats["blobs"]],
         ["disk bytes", stats["disk_bytes"]],
     ]
     for kind, count in sorted(stats["by_kind"].items()):
@@ -502,6 +572,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=2014, help="run: spec seed"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result-store location: a backend URL "
+        "(sqlite:///path/store.db, directory:///path, memory://) or a "
+        "bare directory path (default: REPRO_STORE, then "
+        "REPRO_CACHE_DIR, then ~/.cache/repro-ubik)",
+    )
+    parser.add_argument(
+        "--migrate",
+        nargs=2,
+        metavar=("SRC", "DST"),
+        default=None,
+        help="with the cache command: copy a result corpus between "
+        "backends, byte-faithfully (each side is a URL or path)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="with the cache command: write the store's canonical "
+        "directory-layout export (byte-identical across backends "
+        "holding the same corpus)",
     )
     parser.add_argument(
         "--clear",

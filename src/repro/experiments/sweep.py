@@ -127,9 +127,7 @@ def run_policy_sweep(
         )
         # Key the memo on the store's identity too: a sweep served from
         # one store must not satisfy a request aimed at another.
-        store_key = str(session.store.root) if session.store.root else id(
-            session.store
-        )
+        store_key = session.store.memo_key
         key = (
             scale,
             core_kind,
@@ -166,7 +164,7 @@ def run_policy_sweep(
         tuple(name for name, __ in factories),
         scheme_model.name if scheme_model is not None else "ideal",
         cache_key_extra,
-        str(session.store.root) if session.store.root else id(session.store),
+        session.store.memo_key,
         "legacy",
     )
     hit = _CACHE.get(key)

@@ -20,7 +20,9 @@ memoization, experiments describe work declaratively and hand it to a
   :class:`ShardSpec` slices that ride any executor and merge back
   bit-identically (``--shards`` / ``Session(shards=...)``).
 * :mod:`~repro.runtime.store` — a persistent fingerprint-keyed result
-  store shared across processes (``REPRO_CACHE_DIR``).
+  store shared across processes, a façade over the pluggable engines
+  of :mod:`~repro.runtime.backends` (``REPRO_STORE`` URLs like
+  ``sqlite:///path/store.db``, ``REPRO_CACHE_DIR`` paths).
 * :mod:`~repro.runtime.artifacts` — the per-process content-addressed
   cache of intermediate products (request streams, baselines, workload
   and core-model objects) that makes a sweep evaluate each distinct
@@ -32,6 +34,7 @@ memoization, experiments describe work declaratively and hand it to a
 from .artifacts import (
     ArtifactCache,
     artifacts_enabled,
+    artifacts_tier2_target,
     get_artifacts,
     reset_artifacts,
 )
@@ -94,7 +97,21 @@ from .spec import (
     TaskSpec,
     mix_refs,
 )
-from .store import ResultStore, default_store_root
+from .backends import (
+    BACKENDS,
+    DirectoryBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StoreBackend,
+    make_backend,
+    parse_store_url,
+)
+from .store import (
+    ResultStore,
+    default_store_root,
+    default_store_url,
+    migrate_store,
+)
 
 __all__ = [
     "Registry",
@@ -141,10 +158,20 @@ __all__ = [
     "resolve_shards",
     "ResultStore",
     "default_store_root",
+    "default_store_url",
+    "migrate_store",
+    "StoreBackend",
+    "DirectoryBackend",
+    "SqliteBackend",
+    "MemoryBackend",
+    "BACKENDS",
+    "parse_store_url",
+    "make_backend",
     "ArtifactCache",
     "get_artifacts",
     "reset_artifacts",
     "artifacts_enabled",
+    "artifacts_tier2_target",
     "DEFAULT_POLICIES",
     "Session",
     "execute_spec",

@@ -244,10 +244,8 @@ class SpecScheduler:
         results: List[Any] = [None] * len(specs)
         in_flight: Dict[str, asyncio.Future] = {}
         gate = asyncio.Semaphore(max(self.window, self.jobs))
-        store_root = (
-            str(self.store.root)
-            if self.store is not None and self.store.root is not None
-            else None
+        store_target = (
+            self.store.share_target() if self.store is not None else None
         )
         skipped = False
 
@@ -264,7 +262,7 @@ class SpecScheduler:
                     self._emit("submitted", state, started)
                     try:
                         result = await loop.run_in_executor(
-                            pool, execute_in_worker, spec, store_root
+                            pool, execute_in_worker, spec, store_target
                         )
                     finally:
                         state["in_flight"] -= 1

@@ -61,7 +61,7 @@ from .spec import (
     SweepResult,
     mix_refs,
 )
-from .store import ResultStore, default_store_root
+from .store import ResultStore, StoreLocation, default_store_url
 from .work import (
     adopt,
     cache_result,
@@ -122,15 +122,21 @@ class Session:
 
     def __init__(
         self,
-        store: Optional[ResultStore] = None,
+        store: Union[ResultStore, StoreLocation] = None,
         executor: Optional[Executor] = None,
         jobs: Optional[int] = None,
         scheduler: SchedulerLike = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         shards: ShardCount = None,
     ):
+        # ``store`` takes anything the store itself does — a live
+        # ResultStore, a backend URL (``sqlite:///path/store.db``), a
+        # bare path, a backend instance, or None for the environment
+        # default (REPRO_STORE / REPRO_CACHE_DIR / the XDG cache dir).
         if store is None:
-            store = ResultStore(default_store_root())
+            store = ResultStore(default_store_url())
+        elif not isinstance(store, ResultStore):
+            store = ResultStore(store)
         self.store = store
         self.progress = progress
         # None defers to the REPRO_SHARDS environment default (1 when
@@ -313,11 +319,11 @@ class Session:
         progress: Optional[Callable[[ProgressEvent], None]],
     ) -> bool:
         """Whether baselines merged by this process are visible to the
-        processes that will run the replay phase.  True with a disk
-        store (workers share the root) or a fully in-process path;
-        false for a memory-only store feeding a process pool, where
-        sharding would only add work."""
-        if self.store.root is not None:
+        processes that will run the replay phase.  True with a
+        persistent store (workers reopen the same URL) or a fully
+        in-process path; false for a memory-only store feeding a
+        process pool, where sharding would only add work."""
+        if self.store.persistent:
             return True
         return self._make_scheduler(scheduler, progress) is None and isinstance(
             self.executor, SerialExecutor
@@ -346,9 +352,7 @@ class Session:
             else:
                 worker = functools.partial(
                     execute_in_worker,
-                    store_root=(
-                        str(self.store.root) if self.store.root else None
-                    ),
+                    store_target=self.store.share_target(),
                 )
             fresh = self.executor.map(worker, [s for _, s, _ in misses])
             for (index, spec, fingerprint), result in zip(misses, fresh):

@@ -1,4 +1,5 @@
-"""Persistent, fingerprint-keyed result store.
+"""Persistent, fingerprint-keyed result store — a façade over
+pluggable storage backends.
 
 Replaces the two process-local caches the experiments grew up with —
 ``sweep._CACHE`` and ``MixRunner._baseline_cache`` — with a two-layer
@@ -6,34 +7,45 @@ store every process can share:
 
 * an **in-memory layer** (a plain dict) for hot lookups within a
   process, and
-* an **on-disk layer** of small JSON documents, sharded by fingerprint
-  prefix (``<root>/ab/abcdef….json``), written atomically
-  (temp file + :func:`os.replace`) so concurrent executor workers and
-  benchmark processes never observe torn entries.
+* a **backend layer** (:mod:`repro.runtime.backends`) holding
+  canonical-JSON documents: the sharded JSON-document ``directory``
+  tree (the default), a single-file WAL-mode ``sqlite`` store, or a
+  process-local ``memory`` engine.
 
 Keys are the canonical content fingerprints of
 :class:`~repro.runtime.spec.RunSpec` / ``BaselineSpec``; values are
 JSON documents wrapping a :class:`~repro.runtime.spec.RunRecord` or a
-baseline's latency summary.  The store location comes from
-``REPRO_CACHE_DIR`` (default ``~/.cache/repro-ubik``); set
-``REPRO_STORE=0`` to keep everything in memory.
+baseline's latency summary.  The façade owns everything semantic —
+schema stamping, canonical serialization, typed wrappers, prune/clear
+— while backends move bytes, which is why every backend holding the
+same corpus exports the same canonical tree (:meth:`ResultStore.export_canonical`)
+and why :func:`migrate_store` can move a corpus between engines
+byte-faithfully.
+
+The store location comes from ``REPRO_STORE`` — a URL like
+``sqlite:///path/store.db`` / ``directory:///path`` / ``memory://``,
+or the historical ``0``/``off`` toggle — falling back to
+``REPRO_CACHE_DIR`` and then ``~/.cache/repro-ubik`` (a directory
+tree, exactly as before).
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Union
 
 from .._version import __version__
 from ..sim.mix_runner import BaselineResult
+from .backends import StoreBackend, make_backend, parse_store_url
 from .spec import SPEC_SCHEMA_VERSION, RunRecord, canonical_json
 
 __all__ = [
     "ResultStore",
     "default_store_root",
+    "default_store_url",
+    "migrate_store",
     "DEFAULT_STORE_DIRNAME",
 ]
 
@@ -42,14 +54,17 @@ DEFAULT_STORE_DIRNAME = "repro-ubik"
 
 
 def default_store_root() -> Optional[Path]:
-    """Resolve the on-disk store location from the environment.
+    """Resolve the default *directory-backend* location from the
+    environment (the pre-backend resolution rule, kept for
+    compatibility — :func:`default_store_url` layers URL support on
+    top).
 
-    ``REPRO_STORE=0`` (or ``off``/``false``) disables the disk layer;
+    ``REPRO_STORE=0`` (or ``off``/``false``) disables persistence;
     ``REPRO_CACHE_DIR`` overrides the location; otherwise the store
     lives in ``~/.cache/repro-ubik`` (honouring ``XDG_CACHE_HOME``).
     """
     toggle = os.environ.get("REPRO_STORE", "").strip().lower()
-    if toggle in ("0", "off", "false", "no"):
+    if toggle in ("0", "off", "false", "no", "memory", "memory://"):
         return None
     override = os.environ.get("REPRO_CACHE_DIR", "").strip()
     if override:
@@ -59,11 +74,42 @@ def default_store_root() -> Optional[Path]:
     return base / DEFAULT_STORE_DIRNAME
 
 
-class ResultStore:
-    """Two-layer (memory + disk) JSON store keyed by fingerprint."""
+def default_store_url() -> Optional[str]:
+    """The environment's store target, URL-aware.
 
-    def __init__(self, root: Optional[os.PathLike] = None):
-        self.root = Path(root) if root is not None else None
+    A ``REPRO_STORE`` carrying a backend URL (``sqlite://…``,
+    ``directory://…``, ``memory://``) wins outright; otherwise the
+    historical rules apply via :func:`default_store_root` (off-toggle,
+    ``REPRO_CACHE_DIR``, the XDG default).  Returns ``None`` for a
+    memory-only store.
+    """
+    toggle = os.environ.get("REPRO_STORE", "").strip()
+    if "://" in toggle:
+        name, _ = parse_store_url(toggle)  # validate the scheme early
+        return None if name == "memory" else toggle
+    root = default_store_root()
+    return str(root) if root is not None else None
+
+
+#: Anything :class:`ResultStore` accepts as its location.
+StoreLocation = Union[None, str, os.PathLike, StoreBackend]
+
+
+class ResultStore:
+    """Two-layer (memory + backend) JSON store keyed by fingerprint.
+
+    ``root`` may be ``None`` (memory engine), a filesystem path (the
+    directory engine, as always), a ``scheme://location`` URL naming
+    any registered backend, or a live
+    :class:`~repro.runtime.backends.StoreBackend` instance.
+    """
+
+    def __init__(self, root: StoreLocation = None):
+        self.backend = make_backend(root)
+        #: The directory backend's tree root; ``None`` for every other
+        #: engine.  Kept as a public attribute for compatibility (the
+        #: CLI and tests path-join against it).
+        self.root = self.backend.root
         self._mem: Dict[str, Dict[str, Any]] = {}
         #: Parsed :class:`BaselineResult` objects by fingerprint: the
         #: artifact layer's answer to "baseline pools are re-parsed
@@ -74,33 +120,58 @@ class ResultStore:
         self._baseline_parse: Dict[str, BaselineResult] = {}
 
     # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The ``scheme://location`` string describing this store."""
+        return self.backend.url
+
+    @property
+    def persistent(self) -> bool:
+        """Whether another process opening :attr:`url` shares the data."""
+        return self.backend.persistent
+
+    def share_target(self) -> Optional[str]:
+        """The handoff token pool workers reopen the store with —
+        :attr:`url` for persistent engines, ``None`` for a memory store
+        (whose contents cannot reach another process)."""
+        return self.backend.url if self.backend.persistent else None
+
+    @property
+    def memo_key(self) -> Any:
+        """A hashable identity for per-store memo tables: the URL when
+        persistent (two handles on one corpus share memos), object
+        identity otherwise (two memory stores share nothing)."""
+        return self.backend.url if self.backend.persistent else id(self)
+
+    def close(self) -> None:
+        """Release backend handles (idempotent)."""
+        self.backend.close()
+
+    # ------------------------------------------------------------------
     # Raw document layer
     # ------------------------------------------------------------------
-    def _path(self, fingerprint: str) -> Path:
-        assert self.root is not None
-        return self.root / fingerprint[:2] / f"{fingerprint}.json"
-
     def document_path(self, fingerprint: str) -> Optional[Path]:
-        """Where a fingerprint's document lives on disk (``None`` when
-        the store is memory-only).  The file need not exist yet; the
+        """Where a fingerprint's document lives as its own file
+        (``None`` unless the backend keeps per-document files — only
+        the directory engine does).  The file need not exist yet; the
         path is deterministic, which is what ``repro run`` prints and
         what byte-identity tests compare across shard counts."""
-        if self.root is None:
-            return None
-        return self._path(fingerprint)
+        return self.backend.document_path(fingerprint)
 
     def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         """The stored document for a fingerprint, or ``None``."""
         hit = self._mem.get(fingerprint)
         if hit is not None:
             return hit
-        if self.root is None:
+        text = self.backend.get_doc(fingerprint)
+        if text is None:
             return None
-        path = self._path(fingerprint)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
+            payload = json.loads(text)
+        except ValueError:
+            return None  # torn/corrupt entry reads as a miss
         self._mem[fingerprint] = payload
         return payload
 
@@ -117,33 +188,16 @@ class ResultStore:
         return dict(payload, schema=SPEC_SCHEMA_VERSION, repro=__version__)
 
     def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
-        """Store a document in memory and (atomically) on disk."""
+        """Store a document in memory and (atomically) in the backend.
+
+        Every backend receives the same canonical-JSON text for the
+        same logical document — the serialization happens here, once —
+        which is what makes cross-backend canonical exports
+        byte-identical.
+        """
         payload = self._stamp(payload)
         self._mem[fingerprint] = payload
-        if self.root is None:
-            return
-        path = self._path(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # The .tmp suffix keeps in-flight files out of _disk_files().
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json.tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(canonical_json(payload))
-            try:
-                os.replace(tmp, path)
-            except FileNotFoundError:
-                # A concurrent clear() swept our temp: the store is a
-                # cache, so losing this write is benign — the entry
-                # stays in the memory layer.
-                pass
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.backend.put_doc(fingerprint, canonical_json(payload))
 
     def discard(self, fingerprint: str) -> None:
         """Drop one entry from both layers (a no-op when absent).
@@ -155,20 +209,17 @@ class ResultStore:
         """
         self._mem.pop(fingerprint, None)
         self._baseline_parse.pop(fingerprint, None)
-        if self.root is None:
-            return
-        path = self._path(fingerprint)
-        try:
-            path.unlink()
-        except OSError:
-            return
-        try:
-            path.parent.rmdir()  # drop the prefix dir if now empty
-        except OSError:
-            pass
+        self.backend.delete_doc(fingerprint)
 
     def __contains__(self, fingerprint: str) -> bool:
         return self.get(fingerprint) is not None
+
+    def __len__(self) -> int:
+        return self.backend.doc_count()
+
+    def fingerprints(self) -> Iterator[str]:
+        """Every fingerprint the backend currently holds."""
+        return self.backend.iter_docs()
 
     # ------------------------------------------------------------------
     # Typed wrappers
@@ -185,10 +236,10 @@ class ResultStore:
         self.put(fingerprint, {"kind": "run", "record": record.to_dict()})
 
     def cache_doc(self, fingerprint: str, payload: Dict[str, Any]) -> None:
-        """Warm the in-memory layer only (no disk write).
+        """Warm the in-memory layer only (no backend write).
 
         Used when another process is known to have persisted the entry
-        already — e.g. executor workers write to the shared disk root,
+        already — e.g. executor workers write to the shared backend,
         and the parent only needs fast in-process lookups.
         """
         self._mem[fingerprint] = self._stamp(payload)
@@ -245,34 +296,37 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Maintenance / inspection
     # ------------------------------------------------------------------
-    def _disk_files(self) -> Iterator[Path]:
-        if self.root is None or not self.root.exists():
-            return iter(())
-        return (
-            p for p in self.root.glob("??/*.json") if not p.name.startswith(".")
-        )
-
     def stats(self) -> Dict[str, Any]:
-        """Entry counts and disk footprint for ``repro cache``."""
-        files = list(self._disk_files())
+        """Entry counts and disk footprint for ``repro cache``.
+
+        ``disk_entries``/``disk_bytes`` keep their historical meaning
+        (zero for a memory store); ``documents``/``blobs`` count the
+        backend's contents regardless of engine.
+        """
+        documents = self.backend.doc_count()
         kinds: Dict[str, int] = {}
-        disk_bytes = 0
-        for path in files:
-            try:
-                kind = json.loads(path.read_text()).get("kind", "?")
-                disk_bytes += path.stat().st_size
-            except OSError:
+        for fingerprint in self.backend.iter_docs():
+            text = self.backend.get_doc(fingerprint)
+            if text is None:
                 # Entry vanished mid-scan (a concurrent clear): the
                 # store tolerates this race everywhere else, too.
                 kind = "vanished"
-            except ValueError:
-                kind = "corrupt"
+            else:
+                try:
+                    kind = json.loads(text).get("kind", "?")
+                except ValueError:
+                    kind = "corrupt"
             kinds[kind] = kinds.get(kind, 0) + 1
+        persistent = self.backend.persistent
         return {
+            "backend": self.backend.name,
+            "url": self.backend.url,
             "root": str(self.root) if self.root else None,
             "memory_entries": len(self._mem),
-            "disk_entries": len(files),
-            "disk_bytes": disk_bytes,
+            "documents": documents,
+            "blobs": self.backend.blob_count(),
+            "disk_entries": documents if persistent else 0,
+            "disk_bytes": self.backend.disk_bytes(),
             "by_kind": kinds,
         }
 
@@ -285,29 +339,24 @@ class ResultStore:
         written document is stamped with the schema it was produced
         under (see :meth:`_stamp`); prune deletes documents whose stamp
         differs from the current generation, documents predating the
-        stamp (unknowable provenance), and unparseable files.  Returns
-        ``{"kept": …, "pruned": …}``.
+        stamp (unknowable provenance), and unparseable entries.
+        Returns ``{"kept": …, "pruned": …}``.
         """
         kept = 0
         pruned = 0
-        for path in self._disk_files():
-            try:
-                stale = (
-                    json.loads(path.read_text()).get("schema")
-                    != SPEC_SCHEMA_VERSION
-                )
-            except OSError:
+        for fingerprint in list(self.backend.iter_docs()):
+            text = self.backend.get_doc(fingerprint)
+            if text is None:
                 continue  # vanished mid-scan: nothing left to prune
+            try:
+                stale = json.loads(text).get("schema") != SPEC_SCHEMA_VERSION
             except ValueError:
                 stale = True  # corrupt: reclaim it
             if not stale:
                 kept += 1
                 continue
-            try:
-                path.unlink()
-                pruned += 1
-            except OSError:
-                pass
+            self.backend.delete_doc(fingerprint)
+            pruned += 1
         for fingerprint in [
             fp
             for fp, doc in self._mem.items()
@@ -318,26 +367,60 @@ class ResultStore:
         return {"kept": kept, "pruned": pruned}
 
     def clear(self) -> int:
-        """Drop every entry (both layers); returns disk entries removed.
-
-        Also sweeps temp files orphaned by killed writers.  Temps of
-        *live* writers are never unlinked mid-write thanks to the
-        ``.json.tmp`` suffix keeping them out of :meth:`_disk_files` —
-        but the orphan sweep here is best-effort by nature.
+        """Drop every document (both layers); returns backend entries
+        removed.  Blobs (the tier-2 artifact side) are left alone —
+        they key on content, not schema generation, and remain valid.
         """
         self._mem.clear()
         self._baseline_parse.clear()
-        removed = 0
-        for path in self._disk_files():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        if self.root is not None and self.root.exists():
-            for orphan in self.root.glob("??/.tmp-*.json.tmp"):
-                try:
-                    orphan.unlink()
-                except OSError:
-                    pass
-        return removed
+        return self.backend.clear_documents()
+
+    # ------------------------------------------------------------------
+    # The parity contract
+    # ------------------------------------------------------------------
+    def export_canonical(self, destination: os.PathLike) -> int:
+        """Write the logical corpus as a directory-layout tree.
+
+        Byte-identical across backends holding the same corpus — the
+        golden-pinned cross-backend contract (see
+        :meth:`~repro.runtime.backends.StoreBackend.export_canonical`).
+        Returns the number of documents written.
+        """
+        return self.backend.export_canonical(Path(destination))
+
+
+def migrate_store(
+    source: StoreLocation, destination: StoreLocation
+) -> Dict[str, int]:
+    """Copy a corpus between backends, byte-faithfully.
+
+    Documents and blobs are moved as raw texts/payloads — never
+    re-stamped, never re-serialized — so a migrated corpus exports the
+    exact canonical tree of its source (``repro cache --migrate``
+    surfaces this; the golden suite pins it).  Existing destination
+    entries under the same keys are overwritten; returns
+    ``{"documents": …, "blobs": …}`` counts copied.
+    """
+    src = source.backend if isinstance(source, ResultStore) else make_backend(source)
+    dst = (
+        destination.backend
+        if isinstance(destination, ResultStore)
+        else make_backend(destination)
+    )
+    if src is dst or (src.persistent and dst.persistent and src.url == dst.url):
+        raise ValueError(f"refusing to migrate a store onto itself ({src.url})")
+    documents = 0
+    for fingerprint in list(src.iter_docs()):
+        text = src.get_doc(fingerprint)
+        if text is None:
+            continue
+        dst.put_doc(fingerprint, text)
+        documents += 1
+    blobs = 0
+    for key in list(src.iter_blobs()):
+        payload = src.get_blob(key)
+        if payload is None:
+            continue
+        dst.put_blob(key, payload)
+        blobs += 1
+    return {"documents": documents, "blobs": blobs}

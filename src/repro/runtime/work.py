@@ -148,14 +148,17 @@ def cache_result(spec, store: ResultStore, fingerprint: str, result) -> None:
         )
 
 
-#: Per-process store handles, keyed by root (None = memory-only).
-#: Reusing one handle across the specs a worker evaluates lets its
-#: in-memory layer share isolated baselines between specs — matching
-#: the old shared-MixRunner behaviour even with the disk layer off.
+#: Per-process store handles, keyed by the share target — a backend
+#: URL or bare path (None = memory-only).  Reusing one handle across
+#: the specs a worker evaluates lets its in-memory layer share
+#: isolated baselines between specs — matching the old shared-
+#: MixRunner behaviour even with the disk layer off — and, for the
+#: sqlite engine, keeps one per-process connection alive for the
+#: whole batch.
 _WORKER_STORES: dict = {}
 
 
-def execute_in_worker(spec, store_root: Optional[str]):
+def execute_in_worker(spec, store_target: Optional[str]):
     """Module-level worker entry point (picklable for process pools).
 
     Two layers of worker-warm state survive across the specs a process
@@ -168,8 +171,8 @@ def execute_in_worker(spec, store_root: Optional[str]):
     evaluate each distinct sub-computation once per process, not once
     per spec.
     """
-    store = _WORKER_STORES.get(store_root)
+    store = _WORKER_STORES.get(store_target)
     if store is None:
-        store = ResultStore(store_root)
-        _WORKER_STORES[store_root] = store
+        store = ResultStore(store_target)
+        _WORKER_STORES[store_target] = store
     return execute_spec(spec, store)

@@ -1,0 +1,135 @@
+"""Cross-backend byte parity on a golden-suite grid.
+
+The acceptance bar for the pluggable storage layer is *byte identity*:
+the same sweep run against any engine — directory tree, sqlite file,
+or in-memory — must produce a logical store whose canonical export is
+byte-for-byte identical to the directory backend's own tree.  This
+runs the pinned 2-policy sweep (the Ubik and LRU cells of the
+``tests/golden`` grid) against all three backends, with the artifact
+cache both on and off, exports every corpus, and compares the trees —
+every file, every byte.  A migration hop (directory → sqlite →
+directory) must preserve those bytes too.
+"""
+
+import pytest
+
+from repro.runtime import (
+    MixRef,
+    PolicySpec,
+    ResultStore,
+    RunSpec,
+    Session,
+    get_artifacts,
+    migrate_store,
+    reset_artifacts,
+)
+
+#: The same 2-policy golden sweep test_artifact_golden pins: one shared
+#: baseline, two run records.
+GOLDEN_SPECS = [
+    RunSpec(
+        mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+        policy=policy,
+        requests=60,
+    )
+    for policy in (
+        PolicySpec.of("ubik", slack=0.05),
+        PolicySpec.of("lru", label="LRU"),
+    )
+]
+
+BACKEND_NAMES = ("directory", "sqlite", "memory")
+
+
+def make_store(name, tmp_path):
+    """A fresh ResultStore on the named engine under tmp_path."""
+    if name == "directory":
+        return ResultStore(str(tmp_path / "tree"))
+    if name == "sqlite":
+        return ResultStore(f"sqlite://{tmp_path}/store.db")
+    return ResultStore(None)
+
+
+def export_tree(store, destination):
+    """Canonical-export a store and return its path → bytes map."""
+    store.export_canonical(destination)
+    return {
+        p.relative_to(destination).as_posix(): p.read_bytes()
+        for p in destination.rglob("*")
+        if p.is_file()
+    }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_artifacts(monkeypatch):
+    """Empty artifact cache per test; tier 2 off so every arm computes
+    (or not) purely by its own cache toggle."""
+    monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACTS_TIER2", raising=False)
+    reset_artifacts()
+    yield
+    reset_artifacts()
+
+
+@pytest.mark.parametrize("cache_arm", ["cache-on", "cache-off"])
+def test_canonical_exports_byte_identical_across_backends(cache_arm, tmp_path):
+    exports = {}
+    records = {}
+    for name in BACKEND_NAMES:
+        reset_artifacts()
+        store = make_store(name, tmp_path / name)
+        session = Session(store=store)
+        if cache_arm == "cache-off":
+            with get_artifacts().disabled():
+                records[name] = session.run_many(GOLDEN_SPECS)
+        else:
+            records[name] = session.run_many(GOLDEN_SPECS)
+        exports[name] = export_tree(store, tmp_path / f"export-{name}")
+        store.close()
+
+    assert records["sqlite"] == records["directory"]
+    assert records["memory"] == records["directory"]
+    reference = exports["directory"]
+    # Run record per policy plus the shared baseline document.
+    assert len(reference) == 3
+    assert exports["sqlite"] == reference
+    assert exports["memory"] == reference
+    # And the directory backend's export reproduces its own tree.
+    tree = {
+        p.relative_to(tmp_path / "directory" / "tree").as_posix(): p.read_bytes()
+        for p in (tmp_path / "directory" / "tree").rglob("*")
+        if p.is_file()
+    }
+    assert tree == reference
+
+
+def test_migration_hop_preserves_golden_bytes(tmp_path):
+    origin = make_store("directory", tmp_path / "origin")
+    Session(store=origin).run_many(GOLDEN_SPECS)
+    origin_tree = export_tree(origin, tmp_path / "export-origin")
+
+    sqlite_url = f"sqlite://{tmp_path}/hop.db"
+    counts = migrate_store(origin.share_target(), sqlite_url)
+    assert counts["documents"] == 3
+
+    back = str(tmp_path / "back")
+    migrate_store(sqlite_url, back)
+    back_tree = export_tree(ResultStore(back), tmp_path / "export-back")
+    assert back_tree == origin_tree
+
+
+def test_migrated_corpus_serves_a_rerun_without_computing(tmp_path):
+    """A sweep against a corpus migrated into sqlite is a pure store
+    hit: same records, not one new document."""
+    origin = make_store("directory", tmp_path / "origin")
+    first = Session(store=origin).run_many(GOLDEN_SPECS)
+
+    sqlite_url = f"sqlite://{tmp_path}/hop.db"
+    migrate_store(origin.share_target(), sqlite_url)
+
+    reset_artifacts()
+    migrated = ResultStore(sqlite_url)
+    before = len(migrated)
+    again = Session(store=migrated).run_many(GOLDEN_SPECS)
+    assert again == first
+    assert len(migrated) == before

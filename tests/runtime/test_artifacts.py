@@ -239,6 +239,120 @@ class TestBaselineArtifacts:
         assert counts["hits"] + counts["misses"] >= 1
 
 
+class TestTier2:
+    """The persistent artifact tier under ``REPRO_ARTIFACTS_TIER2``."""
+
+    @pytest.fixture
+    def tier2_url(self, monkeypatch, tmp_path):
+        url = f"sqlite://{tmp_path}/artifacts.db"
+        monkeypatch.setenv("REPRO_ARTIFACTS_TIER2", url)
+        return url
+
+    def test_target_resolution(self, monkeypatch, tmp_path):
+        from repro.runtime.artifacts import artifacts_tier2_target
+
+        monkeypatch.delenv("REPRO_ARTIFACTS_TIER2", raising=False)
+        assert artifacts_tier2_target() is None
+        monkeypatch.setenv("REPRO_ARTIFACTS_TIER2", "off")
+        assert artifacts_tier2_target() is None
+        monkeypatch.setenv("REPRO_ARTIFACTS_TIER2", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert artifacts_tier2_target() == f"{tmp_path / 'store'}-artifacts"
+        monkeypatch.setenv("REPRO_ARTIFACTS_TIER2", f"sqlite://{tmp_path}/a.db")
+        assert artifacts_tier2_target() == f"sqlite://{tmp_path}/a.db"
+
+    def test_stream_survives_a_process_restart(self, tier2_url):
+        """A fresh cache (a restarted process, conceptually) serves the
+        stream from tier 2 bit for bit instead of re-synthesizing."""
+        built = []
+
+        def build():
+            built.append(1)
+            arrivals = np.arange(4, dtype=np.float64) * 1.5
+            works = np.arange(4, dtype=np.float64) + 0.25
+            arrivals.flags.writeable = False
+            works.flags.writeable = False
+            return arrivals, works
+
+        warm = ArtifactCache(enabled=True)
+        first = warm.get_or_make("stream", ("k",), build)
+        cold = ArtifactCache(enabled=True)  # empty tier 1, same tier 2
+        second = cold.get_or_make("stream", ("k",), build)
+        assert built == [1]
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+        assert second[0].dtype == np.float64
+        with pytest.raises(ValueError):
+            second[0][0] = 0.0
+        assert cold.stats()["tier2"]["kinds"]["stream"]["hits"] == 1
+
+    def test_baseline_survives_a_process_restart(self, tier2_url):
+        from repro.sim.mix_runner import BaselineResult
+
+        baseline = BaselineResult(
+            tail95_cycles=100.5, p95_cycles=90.25, latencies=(1.0, 2.5)
+        )
+        ArtifactCache(enabled=True).put("baseline", ("k",), baseline)
+        cold = ArtifactCache(enabled=True)
+        assert cold.get("baseline", ("k",)) == baseline
+
+    def test_object_kinds_stay_process_local(self, tier2_url):
+        """Kinds without an exact-round-trip codec never persist."""
+        ArtifactCache(enabled=True).put("lc_workload", ("k",), object())
+        cold = ArtifactCache(enabled=True)
+        assert cold.get("lc_workload", ("k",)) is None
+        assert "lc_workload" not in cold.stats()["tier2"]["kinds"]
+
+    def test_disabled_cache_bypasses_tier2(self, tier2_url):
+        from repro.sim.mix_runner import BaselineResult
+
+        ArtifactCache(enabled=True).put(
+            "baseline",
+            ("k",),
+            BaselineResult(tail95_cycles=1.0, p95_cycles=1.0, latencies=(1.0,)),
+        )
+        disabled = ArtifactCache(enabled=False)
+        assert disabled.get("baseline", ("k",)) is None
+        # The probe never happened: no tier-2 counters were recorded.
+        assert disabled.stats()["tier2"]["kinds"] == {}
+
+    def test_stats_report_the_tier(self, tier2_url):
+        cache = ArtifactCache(enabled=True)
+        assert cache.get("stream", ("missing",)) is None  # tier-2 miss
+        tier2 = cache.stats()["tier2"]
+        assert tier2["enabled"] is True
+        assert tier2["url"] == tier2_url
+        assert tier2["kinds"]["stream"]["misses"] == 1
+
+    def test_no_tier_without_the_env_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACTS_TIER2", raising=False)
+        cache = ArtifactCache(enabled=True)
+        assert cache.get("stream", ("k",)) is None
+        tier2 = cache.stats()["tier2"]
+        assert tier2["enabled"] is False
+        assert tier2["url"] is None
+
+    def test_clear_resets_tier2_counters(self, tier2_url):
+        cache = ArtifactCache(enabled=True)
+        cache.get("stream", ("k",))
+        cache.clear()
+        assert cache.stats()["tier2"]["kinds"] == {}
+
+    def test_real_stream_round_trips_through_tier2(self, tier2_url):
+        """End to end: a MixRunner stream persisted by one process is
+        served byte-identical to a fresh one — no re-synthesis."""
+        wl = make_lc_workload("masstree")
+        first = MixRunner(requests=40, seed=2014).stream(wl, 0.2, 0)
+        reset_artifacts()  # "restart": tier 1 gone, tier 2 remains
+        second = MixRunner(requests=40, seed=2014).stream(wl, 0.2, 0)
+        assert first[0] is not second[0]
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+        counts = get_artifacts().stats()["tier2"]["kinds"]["stream"]
+        assert counts["hits"] >= 1
+
+
 class TestExecutionIntegration:
     SPEC = RunSpec(
         mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
@@ -266,7 +380,7 @@ class TestExecutionIntegration:
         from repro.runtime.session import Session
 
         stats = Session(store=ResultStore(None)).artifact_stats()
-        assert set(stats) == {"enabled", "entries", "kinds"}
+        assert set(stats) == {"enabled", "entries", "kinds", "tier2"}
 
 
 class TestCLIStats:

@@ -1,0 +1,361 @@
+"""Tests for the pluggable storage backends and their shared contract."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.backends import (
+    BACKENDS,
+    DirectoryBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StoreBackend,
+    make_backend,
+    parse_store_url,
+)
+from repro.runtime.store import (
+    ResultStore,
+    default_store_url,
+    migrate_store,
+)
+
+BACKEND_NAMES = ("directory", "sqlite", "memory")
+
+
+def make_target(name: str, tmp_path):
+    """A store target string (or None) for one backend under tmp_path."""
+    if name == "directory":
+        return str(tmp_path / "tree")
+    if name == "sqlite":
+        return f"sqlite://{tmp_path}/store.db"
+    return None
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request, tmp_path):
+    instance = make_backend(make_target(request.param, tmp_path))
+    yield instance
+    instance.close()
+
+
+class TestParseStoreUrl:
+    def test_sqlite_url(self):
+        assert parse_store_url("sqlite:///tmp/x/store.db") == (
+            "sqlite",
+            "/tmp/x/store.db",
+        )
+
+    def test_directory_url(self):
+        assert parse_store_url("directory:///tmp/x") == ("directory", "/tmp/x")
+
+    def test_memory_url(self):
+        assert parse_store_url("memory://") == ("memory", None)
+
+    def test_bare_path_is_directory(self):
+        assert parse_store_url("/tmp/corpus") == ("directory", "/tmp/corpus")
+
+    @pytest.mark.parametrize("token", ["0", "off", "false", "no", "OFF", "memory"])
+    def test_legacy_off_tokens(self, token):
+        assert parse_store_url(token) == ("memory", None)
+
+    def test_empty_is_memory(self):
+        assert parse_store_url("") == ("memory", None)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            parse_store_url("redis://localhost/0")
+
+    def test_schemed_url_requires_path(self):
+        with pytest.raises(ValueError, match="missing its path"):
+            parse_store_url("sqlite://")
+
+
+class TestMakeBackend:
+    def test_none_is_memory(self):
+        assert make_backend(None).name == "memory"
+
+    def test_pathlike_is_directory(self, tmp_path):
+        instance = make_backend(tmp_path / "tree")
+        assert instance.name == "directory"
+        assert instance.root == tmp_path / "tree"
+
+    def test_backend_passes_through(self):
+        instance = MemoryBackend()
+        assert make_backend(instance) is instance
+
+    def test_registry_covers_every_scheme(self):
+        assert set(BACKENDS) == set(BACKEND_NAMES)
+        for name, cls in BACKENDS.items():
+            assert cls.name == name
+            assert issubclass(cls, StoreBackend)
+
+    def test_url_round_trips(self, tmp_path):
+        for name in ("directory", "sqlite"):
+            first = make_backend(make_target(name, tmp_path))
+            second = make_backend(first.url)
+            assert second.name == first.name
+            assert second.url == first.url
+
+
+class TestBackendContract:
+    """Every engine honours the same document + blob semantics."""
+
+    def test_document_round_trip(self, backend):
+        fp = "ab" * 32
+        assert backend.get_doc(fp) is None
+        backend.put_doc(fp, '{"kind":"run","x":1}')
+        assert backend.get_doc(fp) == '{"kind":"run","x":1}'
+        assert backend.doc_count() == 1
+        assert list(backend.iter_docs()) == [fp]
+
+    def test_document_overwrite(self, backend):
+        fp = "cd" * 32
+        backend.put_doc(fp, "old")
+        backend.put_doc(fp, "new")
+        assert backend.get_doc(fp) == "new"
+        assert backend.doc_count() == 1
+
+    def test_document_delete(self, backend):
+        fp = "ef" * 32
+        backend.put_doc(fp, "doc")
+        backend.delete_doc(fp)
+        assert backend.get_doc(fp) is None
+        assert backend.doc_count() == 0
+        backend.delete_doc(fp)  # idempotent
+
+    def test_blob_round_trip(self, backend):
+        key = "12" * 32
+        assert backend.get_blob(key) is None
+        backend.put_blob(key, b"\x00\x01payload\xff")
+        assert backend.get_blob(key) == b"\x00\x01payload\xff"
+        assert backend.blob_count() == 1
+        assert list(backend.iter_blobs()) == [key]
+        backend.delete_blob(key)
+        assert backend.get_blob(key) is None
+
+    def test_blobs_and_documents_are_disjoint(self, backend):
+        key = "34" * 32
+        backend.put_doc(key, "doc")
+        backend.put_blob(key, b"blob")
+        assert backend.get_doc(key) == "doc"
+        assert backend.get_blob(key) == b"blob"
+        assert backend.doc_count() == 1
+        assert backend.blob_count() == 1
+        backend.delete_doc(key)
+        assert backend.get_blob(key) == b"blob"
+
+    def test_clear_documents_leaves_blobs(self, backend):
+        backend.put_doc("ab" * 32, "doc")
+        backend.put_blob("cd" * 32, b"blob")
+        assert backend.clear_documents() == 1
+        assert backend.doc_count() == 0
+        assert backend.blob_count() == 1
+        assert backend.clear_blobs() == 1
+        assert backend.blob_count() == 0
+
+    def test_disk_bytes_counts_persistent_engines_only(self, backend):
+        backend.put_doc("ab" * 32, '{"kind":"run"}')
+        if backend.persistent:
+            assert backend.disk_bytes() > 0
+        else:
+            assert backend.disk_bytes() == 0
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("name", ["directory", "sqlite"])
+    def test_second_handle_sees_the_corpus(self, name, tmp_path):
+        target = make_target(name, tmp_path)
+        writer = make_backend(target)
+        writer.put_doc("ab" * 32, "doc")
+        writer.put_blob("cd" * 32, b"blob")
+        writer.close()
+        reader = make_backend(target)
+        assert reader.get_doc("ab" * 32) == "doc"
+        assert reader.get_blob("cd" * 32) == b"blob"
+        reader.close()
+
+    def test_memory_handles_share_nothing(self, tmp_path):
+        writer = make_backend(None)
+        writer.put_doc("ab" * 32, "doc")
+        assert make_backend(None).get_doc("ab" * 32) is None
+
+    def test_sqlite_reads_never_create_the_file(self, tmp_path):
+        path = tmp_path / "probe.db"
+        backend = SqliteBackend(path)
+        assert backend.get_doc("ab" * 32) is None
+        assert backend.doc_count() == 0
+        assert list(backend.iter_docs()) == []
+        assert backend.clear_documents() == 0
+        assert not path.exists()
+        backend.put_doc("ab" * 32, "doc")
+        assert path.exists()
+        backend.close()
+
+
+class TestDirectoryAtomicity:
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        backend = DirectoryBackend(tmp_path)
+        for index in range(20):
+            backend.put_doc(f"{index:064x}", json.dumps({"i": index}))
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.is_file() and ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+    def test_orphan_temp_invisible_to_reads_and_swept_by_clear(self, tmp_path):
+        backend = DirectoryBackend(tmp_path)
+        fp = "ab" * 32
+        backend.put_doc(fp, "doc")
+        # A writer killed mid-put leaves a temp file behind.
+        orphan = tmp_path / fp[:2] / ".tmp-dead01.json.tmp"
+        orphan.write_text("{torn")
+        assert backend.doc_count() == 1
+        assert list(backend.iter_docs()) == [fp]
+        assert backend.clear_documents() == 1
+        assert not orphan.exists()
+
+    def test_blob_put_is_atomic_too(self, tmp_path):
+        backend = DirectoryBackend(tmp_path)
+        backend.put_blob("cd" * 32, b"payload")
+        blob_dir = tmp_path / "blobs"
+        leftovers = [
+            p for p in blob_dir.rglob("*") if p.is_file() and ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+
+def _tree_bytes(root):
+    """fingerprint -> document bytes for a directory-layout tree."""
+    return {p.stem: p.read_bytes() for p in root.glob("??/*.json")}
+
+
+class TestCanonicalExport:
+    def test_exports_byte_identical_across_backends(self, tmp_path):
+        docs = {
+            "ab" * 32: '{"kind":"run","x":1.5}',
+            "cd" * 32: '{"kind":"baseline","latencies":[1.0,2.25]}',
+            "ef" * 32: '{"kind":"run","y":[1,2,3]}',
+        }
+        exports = {}
+        for name in BACKEND_NAMES:
+            backend = make_backend(make_target(name, tmp_path / name))
+            for fp, text in docs.items():
+                backend.put_doc(fp, text)
+            destination = tmp_path / f"export-{name}"
+            assert backend.export_canonical(destination) == len(docs)
+            exports[name] = _tree_bytes(destination)
+            backend.close()
+        assert exports["sqlite"] == exports["directory"]
+        assert exports["memory"] == exports["directory"]
+        # And the export reproduces the directory backend's own layout.
+        assert exports["directory"] == _tree_bytes(tmp_path / "directory" / "tree")
+
+    def test_export_skips_blobs(self, tmp_path):
+        backend = MemoryBackend()
+        backend.put_doc("ab" * 32, "doc")
+        backend.put_blob("cd" * 32, b"blob")
+        destination = tmp_path / "export"
+        assert backend.export_canonical(destination) == 1
+        assert _tree_bytes(destination) == {"ab" * 32: b"doc"}
+        assert not (destination / "blobs").exists()
+
+
+class TestMigrate:
+    @pytest.mark.parametrize("src_name", BACKEND_NAMES)
+    @pytest.mark.parametrize("dst_name", BACKEND_NAMES)
+    def test_migrate_preserves_export_bytes(self, src_name, dst_name, tmp_path):
+        if src_name == dst_name == "memory":
+            pytest.skip("two memory targets resolve to two empty stores")
+        src = make_backend(make_target(src_name, tmp_path / "src"))
+        src.put_doc("ab" * 32, '{"kind":"run","x":1}')
+        src.put_doc("cd" * 32, '{"kind":"baseline","t":2.5}')
+        src.put_blob("ef" * 32, b"artifact-bytes")
+        dst = make_backend(make_target(dst_name, tmp_path / "dst"))
+        counts = migrate_store(src, dst)
+        assert counts == {"documents": 2, "blobs": 1}
+        src_export, dst_export = tmp_path / "se", tmp_path / "de"
+        src.export_canonical(src_export)
+        dst.export_canonical(dst_export)
+        assert _tree_bytes(src_export) == _tree_bytes(dst_export)
+        assert dst.get_blob("ef" * 32) == b"artifact-bytes"
+        src.close()
+        dst.close()
+
+    def test_round_trip_restores_the_original_corpus(self, tmp_path):
+        origin = ResultStore(str(tmp_path / "origin"))
+        origin.put("ab" * 32, {"kind": "run", "value": 1.25})
+        origin_bytes = _tree_bytes(tmp_path / "origin")
+        sqlite_url = f"sqlite://{tmp_path}/hop.db"
+        migrate_store(str(tmp_path / "origin"), sqlite_url)
+        migrate_store(sqlite_url, str(tmp_path / "back"))
+        assert _tree_bytes(tmp_path / "back") == origin_bytes
+
+    def test_refuses_migrating_onto_itself(self, tmp_path):
+        target = str(tmp_path / "tree")
+        make_backend(target).put_doc("ab" * 32, "doc")
+        with pytest.raises(ValueError, match="onto itself"):
+            migrate_store(target, target)
+
+    def test_accepts_result_store_handles(self, tmp_path):
+        src = ResultStore(str(tmp_path / "a"))
+        dst = ResultStore(f"sqlite://{tmp_path}/b.db")
+        src.put("ab" * 32, {"kind": "run"})
+        assert migrate_store(src, dst)["documents"] == 1
+        assert dst.get("ab" * 32)["kind"] == "run"
+
+
+class TestDefaultStoreUrl:
+    def test_url_in_env_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", f"sqlite://{tmp_path}/s.db")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ignored"))
+        assert default_store_url() == f"sqlite://{tmp_path}/s.db"
+
+    def test_memory_url_means_no_store(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "memory://")
+        assert default_store_url() is None
+
+    def test_invalid_env_url_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "redis://localhost/0")
+        with pytest.raises(ValueError, match="unknown store backend"):
+            default_store_url()
+
+    def test_falls_back_to_legacy_rules(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "s"))
+        assert default_store_url() == str(tmp_path / "s")
+
+    def test_off_toggle_means_no_store(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "0")
+        assert default_store_url() is None
+
+
+class TestFacadeIdentity:
+    def test_persistent_stores_expose_share_targets(self, tmp_path):
+        sqlite_url = f"sqlite://{tmp_path}/s.db"
+        store = ResultStore(sqlite_url)
+        assert store.persistent
+        assert store.share_target() == sqlite_url
+        assert store.memo_key == sqlite_url
+        assert store.root is None  # only the directory engine has one
+
+    def test_directory_store_keeps_its_root(self, tmp_path):
+        store = ResultStore(str(tmp_path / "tree"))
+        assert store.root == tmp_path / "tree"
+        assert store.share_target() == f"directory://{tmp_path}/tree"
+
+    def test_memory_store_shares_nothing(self):
+        store = ResultStore(None)
+        assert not store.persistent
+        assert store.share_target() is None
+        assert store.memo_key == id(store)
+
+    def test_worker_reopens_share_target(self, tmp_path):
+        from repro.runtime.work import execute_in_worker
+        from repro.runtime.spec import RunRecord
+
+        sqlite_url = f"sqlite://{tmp_path}/s.db"
+        parent = ResultStore(sqlite_url)
+        reopened = ResultStore(parent.share_target())
+        parent.put("ab" * 32, {"kind": "run", "x": 1})
+        assert reopened.get("ab" * 32)["x"] == 1

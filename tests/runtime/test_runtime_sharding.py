@@ -224,6 +224,30 @@ class TestSessionSharding:
         )
         assert kinds == ["baseline", "run"]
 
+    @pytest.mark.parametrize("backend_name", ["directory", "sqlite", "memory"])
+    def test_shard_reclaim_on_every_backend(self, backend_name, tmp_path):
+        # The reclaim sweep runs through the façade's discard path, so
+        # every engine must end up with the same post-merge corpus.
+        if backend_name == "directory":
+            store = ResultStore(str(tmp_path / "tree"))
+        elif backend_name == "sqlite":
+            store = ResultStore(f"sqlite://{tmp_path}/store.db")
+        else:
+            store = ResultStore(None)
+        Session(store=store, executor=SerialExecutor(), shards=2).run(
+            small_spec()
+        )
+        import json
+
+        kinds = sorted(
+            json.loads(store.backend.get_doc(fp))["kind"]
+            for fp in store.backend.iter_docs()
+        ) if store.persistent else sorted(
+            doc["kind"] for doc in store._mem.values()
+        )
+        assert kinds == ["baseline", "run"]
+        store.close()
+
     def test_memory_store_with_process_pool_skips_shard_phase(self):
         # A memory-only store cannot carry merged baselines into pool
         # workers, so sharding there would double the baseline work;

@@ -162,6 +162,85 @@ class TestMaintenance:
         assert payload["record"]["policy"] == "Ubik"
 
 
+def _store_target(backend_name, tmp_path):
+    if backend_name == "directory":
+        return str(tmp_path / "tree")
+    if backend_name == "sqlite":
+        return f"sqlite://{tmp_path}/store.db"
+    return None
+
+
+@pytest.fixture(params=["directory", "sqlite", "memory"])
+def any_store(request, tmp_path):
+    store = ResultStore(_store_target(request.param, tmp_path))
+    yield store
+    store.close()
+
+
+class TestEveryBackend:
+    """The façade behaves identically regardless of the engine below."""
+
+    def test_record_round_trip(self, any_store):
+        any_store.put_record("ab" * 32, _record())
+        assert any_store.get_record("ab" * 32) == _record()
+        if any_store.persistent:
+            reopened = ResultStore(any_store.share_target())
+            assert reopened.get_record("ab" * 32) == _record()
+
+    def test_baseline_round_trip(self, any_store):
+        baseline = BaselineResult(
+            tail95_cycles=100.5, p95_cycles=90.25, latencies=(1.0, 2.5, 3.75)
+        )
+        any_store.put_baseline("cd" * 32, baseline)
+        assert any_store.get_baseline("cd" * 32) == baseline
+
+    def test_discard_forgets_everywhere(self, any_store):
+        any_store.put("ab" * 32, {"kind": "run", "x": 1})
+        any_store.discard("ab" * 32)
+        assert any_store.get("ab" * 32) is None
+        assert "ab" * 32 not in any_store
+        if any_store.persistent:
+            assert ResultStore(any_store.share_target()).get("ab" * 32) is None
+
+    def test_prune_counts(self, any_store):
+        any_store.put_record("ab" * 32, _record())
+        # A document written by a previous schema generation, planted
+        # below the façade so ``put`` cannot re-stamp it.
+        any_store.backend.put_doc("cd" * 32, '{"kind": "run", "schema": 0}')
+        counts = any_store.prune()
+        assert counts == {"kept": 1, "pruned": 1}
+        assert any_store.get("cd" * 32) is None
+        assert any_store.get_record("ab" * 32) == _record()
+
+    def test_stats_name_their_backend(self, any_store):
+        any_store.put_record("ab" * 32, _record())
+        stats = any_store.stats()
+        assert stats["backend"] == any_store.backend.name
+        assert stats["documents"] == 1
+        assert stats["by_kind"] == {"run": 1}
+        if any_store.persistent:
+            assert stats["disk_entries"] == 1
+            assert stats["disk_bytes"] > 0
+        else:
+            assert stats["disk_entries"] == 0
+
+    def test_len_and_fingerprints(self, any_store):
+        any_store.put("ab" * 32, {"kind": "run"})
+        any_store.put("cd" * 32, {"kind": "baseline"})
+        assert len(any_store) == 2
+        assert sorted(any_store.fingerprints()) == ["ab" * 32, "cd" * 32]
+
+    def test_export_canonical_matches_directory_bytes(self, any_store, tmp_path):
+        any_store.put_record("ab" * 32, _record())
+        destination = tmp_path / "exported"
+        assert any_store.export_canonical(destination) == 1
+        reference = ResultStore(str(tmp_path / "reference"))
+        reference.put_record("ab" * 32, _record())
+        exported = destination / "ab" / ("ab" * 32 + ".json")
+        written = tmp_path / "reference" / "ab" / ("ab" * 32 + ".json")
+        assert exported.read_bytes() == written.read_bytes()
+
+
 class TestDefaultRoot:
     def test_disabled_by_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_STORE", "0")

@@ -127,3 +127,132 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "pruned 1" in out
         assert not stale.exists()
+
+
+class TestStorageCLI:
+    """The --store flag and the cache command's corpus movement."""
+
+    RUN_ARGS = [
+        "run",
+        "--lc",
+        "masstree",
+        "--requests",
+        "40",
+        "--policy",
+        "lru",
+    ]
+
+    def _field(self, text, name):
+        return [
+            line for line in text.splitlines() if line.startswith(name)
+        ][0].split()[-1]
+
+    def test_run_with_sqlite_store(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        url = f"sqlite://{tmp_path}/store.db"
+        assert main(self.RUN_ARGS + ["--store", url]) == 0
+        out = capsys.readouterr().out
+        assert url in out
+        assert (tmp_path / "store.db").exists()
+        # Re-running against the same store is a hit on the same record.
+        assert main(self.RUN_ARGS + ["--store", url]) == 0
+        again = capsys.readouterr().out
+        assert self._field(again, "fingerprint") == self._field(
+            out, "fingerprint"
+        )
+
+    def test_run_store_url_overrides_env(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "ignored"))
+        assert (
+            main(self.RUN_ARGS + ["--store", str(tmp_path / "chosen")]) == 0
+        )
+        assert (tmp_path / "chosen").exists()
+        assert not (tmp_path / "ignored").exists()
+
+    def test_env_url_selects_backend(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", f"sqlite://{tmp_path}/env.db")
+        assert main(["cache", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "sqlite" in out
+        assert "documents" in out
+
+    def test_cache_stats_reports_backend_rows(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+        assert main(["cache", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out
+        assert "directory" in out
+        assert "documents" in out
+        assert "blobs" in out
+        assert "kind: run" in out
+        assert "tier 2" in out  # artifact section names the tier
+
+    def test_cache_migrate_and_export(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "origin"))
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+
+        url = f"sqlite://{tmp_path}/migrated.db"
+        assert (
+            main(["cache", "--migrate", str(tmp_path / "origin"), url]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "migrated" in out
+        assert "document(s)" in out
+
+        # Exports from the origin and the migrated copy are identical.
+        assert (
+            main(
+                [
+                    "cache",
+                    "--store",
+                    str(tmp_path / "origin"),
+                    "--export",
+                    str(tmp_path / "export-origin"),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "cache",
+                    "--store",
+                    url,
+                    "--export",
+                    str(tmp_path / "export-migrated"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        origin_docs = {
+            p.name: p.read_bytes()
+            for p in (tmp_path / "export-origin").rglob("*.json")
+        }
+        migrated_docs = {
+            p.name: p.read_bytes()
+            for p in (tmp_path / "export-migrated").rglob("*.json")
+        }
+        assert origin_docs == migrated_docs
+        assert origin_docs  # the run produced documents
+
+    def test_cache_clear_on_explicit_store(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        url = f"sqlite://{tmp_path}/store.db"
+        assert main(self.RUN_ARGS + ["--store", url]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--store", url, "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert "cleared 0" not in out
+
+    def test_list_mentions_store(self, capsys):
+        assert main(["list"]) == 0
+        assert "--store" in capsys.readouterr().out
