@@ -2,7 +2,7 @@
 
 The ROADMAP's north star is "as fast as the hardware allows", which is
 only meaningful with a *trajectory*: numbers written down, schema-
-stable, and comparable across revisions.  This module times seven
+stable, and comparable across revisions.  This module times eight
 canonical kernels that cover the stack's hot layers and writes a
 ``BENCH_<revision>.json`` document (under ``benchmarks/perf/`` by
 convention):
@@ -41,10 +41,20 @@ convention):
     ``execute_spec`` builds one per spec — timed with the
     content-addressed artifact cache (:mod:`repro.runtime.artifacts`)
     warm across the grid versus disabled.  The joint replay is excluded
-    from both arms (it differs per policy, so no cache can share it;
-    ``mix_run`` tracks its cost).  Records the ratio as ``speedup``
-    (the PR-5 acceptance floor is ≥2×) after asserting the two passes
-    produced identical baselines.  The sweep-layer kernel.
+    from both arms (it differs per policy, so no artifact can share
+    it; ``joint_replay_grid`` tracks its batching).  Records the ratio
+    as ``speedup`` (the PR-5 acceptance floor is ≥2×) after asserting
+    the two passes produced identical baselines.  The sweep-layer
+    kernel.
+``joint_replay_grid``
+    The joint six-app replays of a 4-policy × 2-load sweep grid, run
+    batched — every policy cell of one mix through a single
+    :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` replay group
+    sharing one :class:`~repro.sim.grid_replay.GroupShared` context —
+    versus the scalar per-cell ``run_mix`` loop, the kept oracle.  The
+    two grids are asserted result-for-result identical (every
+    ``MixResult`` field) before either time is recorded; the PR-7
+    acceptance floor for the recorded ``speedup`` is ≥2×.
 ``stream_synthesis``
     Bulk (arrivals, works) request-stream synthesis across all five LC
     work distributions through the batched
@@ -86,9 +96,11 @@ __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_V1",
     "BENCH_SCHEMA_V2",
+    "BENCH_SCHEMA_V3",
     "KERNEL_NAMES",
     "LEGACY_KERNEL_NAMES",
     "V2_KERNEL_NAMES",
+    "V3_KERNEL_NAMES",
     "STORE_BACKEND_NAMES",
     "run_bench",
     "write_bench",
@@ -99,10 +111,13 @@ __all__ = [
 
 #: Schema identifier stamped into every document; bump only when the
 #: document layout changes (CI fails on drift against this module).
-BENCH_SCHEMA = "repro-bench/3"
+BENCH_SCHEMA = "repro-bench/4"
 
-#: The previous generation: six kernels, no per-backend store kernel.
+#: The previous generation: seven kernels, no grouped-replay kernel.
 #: Committed trajectory documents written under it stay valid forever.
+BENCH_SCHEMA_V3 = "repro-bench/3"
+
+#: The second generation: six kernels, no per-backend store kernel.
 BENCH_SCHEMA_V2 = "repro-bench/2"
 
 #: The first generation: four kernels, no sweep-level entries.
@@ -117,6 +132,7 @@ KERNEL_NAMES = (
     "warm_sweep_grid",
     "stream_synthesis",
     "store_backend_roundtrip",
+    "joint_replay_grid",
 )
 
 #: The kernel set of generation-1 documents (``BENCH_pr4.json``).
@@ -125,12 +141,20 @@ LEGACY_KERNEL_NAMES = KERNEL_NAMES[:4]
 #: The kernel set of generation-2 documents (``BENCH_pr5.json``).
 V2_KERNEL_NAMES = KERNEL_NAMES[:6]
 
+#: The kernel set of generation-3 documents (``BENCH_pr6.json``).
+V3_KERNEL_NAMES = KERNEL_NAMES[:7]
+
 #: Storage engines the per-backend kernel times, in reporting order.
 STORE_BACKEND_NAMES = ("directory", "sqlite", "memory")
 
 #: Kernels that time an in-file baseline alongside the optimized path
 #: and must record the comparison (see :func:`validate_bench`).
-_COMPARED_KERNELS = ("trace_replay", "warm_sweep_grid", "stream_synthesis")
+_COMPARED_KERNELS = (
+    "trace_replay",
+    "warm_sweep_grid",
+    "stream_synthesis",
+    "joint_replay_grid",
+)
 
 #: Per-kernel keys every document must carry (see :func:`validate_bench`).
 _KERNEL_KEYS = ("seconds", "runs", "units", "unit", "ns_per_unit")
@@ -309,9 +333,12 @@ def _bench_warm_sweep_grid(requests: int, repeats: int) -> Dict[str, Any]:
     pre-artifact-cache sweep did.
 
     The joint six-app replay is deliberately **excluded from both
-    arms**: it differs per policy, so it is irreducibly per-cell — no
-    cache can share it — and its cost is already tracked by the
-    ``mix_run`` kernel.  The recorded ``speedup`` therefore measures
+    arms**: it differs per policy, so no *artifact* can legitimately
+    share it between cells — the sharing it does admit is the
+    replay-group kind (group-constant sub-computations memoized across
+    cells while every cell still walks its own decisions), which the
+    ``joint_replay_grid`` kernel tracks, and its cold cost is tracked
+    by ``mix_run``.  The recorded ``speedup`` therefore measures
     exactly the redundancy the artifact layer removes from a sweep, not
     a ratio diluted (or inflated) by replay time.
     """
@@ -369,6 +396,109 @@ def _bench_warm_sweep_grid(requests: int, repeats: int) -> Dict[str, Any]:
         baseline_seconds=cold_best,
         baseline_runs=cold_samples,
         speedup=cold_best / best,
+        verified_identical=True,
+    )
+
+
+def _mix_results_identical(grouped: Any, per_cell: Any) -> bool:
+    """Whether a grouped cell's result equals the per-cell oracle's.
+
+    :class:`~repro.sim.results.MixResult` and its nested instance and
+    batch-app results are plain dataclasses over python scalars and
+    lists, so field-for-field equality *is* bit-identity.  Kept as a
+    module-level seam so the bench tests can force a divergence and
+    assert the kernel refuses to time it.
+    """
+    return grouped == per_cell
+
+
+def _bench_joint_replay_grid(requests: int, repeats: int) -> Dict[str, Any]:
+    """Batched joint replays of a 4-policy × 2-load grid vs per-cell.
+
+    Scope, precisely: the **replay phase only**.  One warm
+    :class:`~repro.sim.mix_runner.MixRunner` (baselines and streams
+    derived outside the timed region, artifact cache pinned on) replays
+    each of the two (masstree, load) mixes under four partitioned
+    policies — ubik, ucp, on/off, and static-LC, the cells whose
+    replays a sweep grid actually repeats.  The batched arm runs each
+    mix's four cells through one
+    :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` call (one
+    :class:`~repro.sim.grid_replay.GroupShared` per mix, exactly as
+    :func:`~repro.runtime.work.execute_specs` groups a sweep); the
+    baseline arm runs the same cells through the scalar per-cell
+    :meth:`~repro.sim.mix_runner.MixRunner.run_mix` loop — the kept
+    oracle, which is also what ``REPRO_GRID_REPLAY=0`` restores.
+
+    Verified before timing: the two grids must be result-for-result
+    identical under :func:`_mix_results_identical` (every latency,
+    counter, and batch-app field), else the kernel raises instead of
+    recording a meaningless ratio.  Policies are rebuilt per cell per
+    pass — they are stateful controllers — so neither arm ever replays
+    through a policy the other pass warmed.
+    """
+    from .runtime.artifacts import get_artifacts
+    from .runtime.spec import MixRef, PolicySpec
+    from .sim.mix_runner import MixRunner
+
+    policy_specs = (
+        PolicySpec.of("ubik", slack=0.05),
+        PolicySpec.of("ucp"),
+        PolicySpec.of("onoff"),
+        PolicySpec.of("static_lc"),
+    )
+    refs = [
+        MixRef(lc_name="masstree", load=load, combo="nft")
+        for load in (0.2, 0.6)
+    ]
+    artifacts = get_artifacts()
+    # Pinned on (environment ignored) so both arms replay over the same
+    # warm baselines and streams: the kernel isolates replay cost, and
+    # under REPRO_ARTIFACTS=0 each run_mix would otherwise re-derive
+    # its streams inside the timed region and drown it.
+    with artifacts.pinned(True):
+        artifacts.clear()
+        runner = MixRunner(requests=requests, seed=2014)
+        mixes = [ref.build() for ref in refs]
+        for mix in mixes:  # baselines + streams outside the timed region
+            runner.baseline(mix.lc_workload, mix.load)
+
+        def run_per_cell() -> List[Any]:
+            return [
+                runner.run_mix(mix, policy.build(), scheme=None)
+                for mix in mixes
+                for policy in policy_specs
+            ]
+
+        def run_grouped() -> List[Any]:
+            grid: List[Any] = []
+            for mix in mixes:
+                grid.extend(
+                    runner.run_mix_group(
+                        mix, [(policy.build(), None) for policy in policy_specs]
+                    )
+                )
+            return grid
+
+        # Verify once, outside the timed region: every grouped cell
+        # must match the per-cell oracle before the speedup means
+        # anything.
+        for grouped, per_cell in zip(run_grouped(), run_per_cell()):
+            if not _mix_results_identical(grouped, per_cell):
+                raise RuntimeError(
+                    "grouped joint replay diverged from the per-cell oracle"
+                )
+
+        samples = _time_repeats(run_grouped, repeats)
+        per_cell_samples = _time_repeats(run_per_cell, repeats)
+    artifacts.clear()  # leave no grid-sized pools behind in the process
+    best, per_cell_best = min(samples), min(per_cell_samples)
+    return _kernel_entry(
+        samples,
+        units=len(refs) * len(policy_specs),
+        unit="cells",
+        baseline_seconds=per_cell_best,
+        baseline_runs=per_cell_samples,
+        speedup=per_cell_best / best,
         verified_identical=True,
     )
 
@@ -555,6 +685,7 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
         "store_backend_roundtrip": _bench_store_backend_roundtrip(
             documents, repeats
         ),
+        "joint_replay_grid": _bench_joint_replay_grid(requests, repeats),
     }
     return {
         "schema": BENCH_SCHEMA,
@@ -608,10 +739,11 @@ def validate_bench(payload: Any) -> List[str]:
     if not isinstance(payload, dict):
         return [f"document must be an object, got {type(payload).__name__}"]
     schema = payload.get("schema")
-    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1):
+    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V3, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1):
         problems.append(
             f"schema must be {BENCH_SCHEMA!r} (or the legacy "
-            f"{BENCH_SCHEMA_V2!r} / {BENCH_SCHEMA_V1!r}), got {schema!r}"
+            f"{BENCH_SCHEMA_V3!r} / {BENCH_SCHEMA_V2!r} / "
+            f"{BENCH_SCHEMA_V1!r}), got {schema!r}"
         )
     # Older documents predate later kernels; each is validated against
     # the kernel set of its own generation so the committed trajectory
@@ -620,6 +752,8 @@ def validate_bench(payload: Any) -> List[str]:
         required_kernels = LEGACY_KERNEL_NAMES
     elif schema == BENCH_SCHEMA_V2:
         required_kernels = V2_KERNEL_NAMES
+    elif schema == BENCH_SCHEMA_V3:
+        required_kernels = V3_KERNEL_NAMES
     else:
         required_kernels = KERNEL_NAMES
     for key, kinds in (
@@ -700,7 +834,10 @@ def format_bench(payload: Dict[str, Any]) -> str:
         entry = payload["kernels"][name]
         note = ""
         if "speedup" in entry:
-            against = "cache-off" if name == "warm_sweep_grid" else "naive"
+            against = {
+                "warm_sweep_grid": "cache-off",
+                "joint_replay_grid": "per-cell",
+            }.get(name, "naive")
             note = (
                 f"{entry['speedup']:.2f}x vs {against}"
                 f" ({entry['baseline_seconds']:.3f}s)"

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..cache.schemes import SchemeModel
 from ..policies.base import Policy
 from ..sim.config import CMPConfig, CoreKind
+from ..sim.grid_replay import grid_replay_enabled
 from ..sim.mix_runner import MixRunner
 from ..runtime.session import (
     DEFAULT_POLICIES,
@@ -70,7 +71,12 @@ def _legacy_sweep(
 
     Kept for callers that pass live callables (which have no content
     fingerprint).  Baselines still go through the session store, so
-    even this path shares the expensive isolated runs across processes.
+    even this path shares the expensive isolated runs across processes
+    — and the joint replays themselves batch per mix: every policy
+    cell of one mix replays through a single
+    :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` group (the
+    replay phase is no longer strictly per-cell; ``REPRO_GRID_REPLAY=0``
+    restores the scalar per-cell loop, bit-identically).
     """
     config = CMPConfig(core_kind=core_kind)
     runner = MixRunner(
@@ -81,8 +87,16 @@ def _legacy_sweep(
     )
     records: List[RunRecord] = []
     for spec in scaled_mix_specs(scale):
-        for name, factory in factories:
-            result = runner.run_mix(spec, factory(), scheme=scheme)
+        if grid_replay_enabled():
+            results = runner.run_mix_group(
+                spec, [(factory(), scheme) for __, factory in factories]
+            )
+        else:
+            results = [
+                runner.run_mix(spec, factory(), scheme=scheme)
+                for __, factory in factories
+            ]
+        for (name, __), result in zip(factories, results):
             records.append(
                 record_from_result(
                     result,

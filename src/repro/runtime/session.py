@@ -67,6 +67,7 @@ from .work import (
     cache_result,
     execute_in_worker,
     execute_spec,
+    execute_specs,
     record_from_result,
     store_lookup,
 )
@@ -347,14 +348,17 @@ class Session:
         if misses:
             if isinstance(self.executor, SerialExecutor):
                 # In-process: share this session's store directly, so
-                # its memory layer (baselines included) accumulates.
-                worker = functools.partial(execute_spec, store=self.store)
+                # its memory layer (baselines included) accumulates —
+                # and let the batch evaluator route sweep cells into
+                # replay groups (one shared context per group; off via
+                # REPRO_GRID_REPLAY=0, bit-identical either way).
+                fresh = execute_specs([s for _, s, _ in misses], store=self.store)
             else:
                 worker = functools.partial(
                     execute_in_worker,
                     store_target=self.store.share_target(),
                 )
-            fresh = self.executor.map(worker, [s for _, s, _ in misses])
+                fresh = self.executor.map(worker, [s for _, s, _ in misses])
             for (index, spec, fingerprint), result in zip(misses, fresh):
                 results[index] = adopt(spec, result)
                 if not isinstance(self.executor, SerialExecutor):

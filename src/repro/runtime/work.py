@@ -26,8 +26,9 @@ scheduler, the store, and the CLI handle it with no further wiring.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
+from ..sim.grid_replay import grid_replay_enabled, plan_groups
 from ..sim.mix_runner import MixRunner
 from .spec import RunRecord, RunSpec, TaskSpec
 from .store import ResultStore
@@ -35,6 +36,7 @@ from .store import ResultStore
 __all__ = [
     "record_from_result",
     "execute_spec",
+    "execute_specs",
     "execute_in_worker",
     "store_lookup",
     "adopt",
@@ -108,6 +110,123 @@ def execute_spec(spec, store: Optional[ResultStore] = None):
     if isinstance(spec, TaskSpec):
         return spec.execute(store)
     raise TypeError(f"cannot execute {type(spec).__name__}: not a spec")
+
+
+def _replay_group_key(spec: RunSpec) -> Tuple:
+    """Everything two sweep cells must share to replay as one group.
+
+    These are the group-planning rules of
+    :mod:`repro.sim.grid_replay`: equal mix reference (hence equal
+    streams and curves) and equal engine-visible run parameters.
+    Policy and scheme deliberately stay out — differing decisions over
+    shared state are what a group exists to compare.
+    """
+    return (
+        spec.mix,
+        spec.core_kind,
+        spec.requests,
+        spec.seed,
+        spec.umon_noise,
+        spec.warmup_fraction,
+    )
+
+
+def _execute_run_group(specs: Sequence[RunSpec], store: Optional[ResultStore]) -> List[RunRecord]:
+    """Evaluate one replay group of sweep specs, in spec order.
+
+    Per-spec behaviour matches :func:`_execute_run_spec` exactly —
+    a store hit is served relabeled without simulating, a miss is
+    simulated and persisted under its fingerprint, and when two specs
+    in the batch share a fingerprint only the first simulates and
+    persists (the second adopts its record relabeled, just as its
+    sequential store probe would have) — so store trees stay
+    byte-identical to ungrouped execution.  The only difference is
+    *how* the misses simulate: all through one
+    :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` call sharing
+    a single replay-group context.
+    """
+    records: List[Optional[RunRecord]] = [None] * len(specs)
+    pending: List[Tuple[int, RunSpec, str]] = []
+    adopters: List[Tuple[int, RunSpec, str]] = []
+    pending_fingerprints = set()
+    for position, spec in enumerate(specs):
+        fingerprint = spec.fingerprint()
+        if fingerprint in pending_fingerprints:
+            adopters.append((position, spec, fingerprint))
+            continue
+        if store is not None:
+            hit = store.get_record(fingerprint)
+            if hit is not None:
+                records[position] = hit.relabeled(spec.policy.display)
+                continue
+        pending.append((position, spec, fingerprint))
+        pending_fingerprints.add(fingerprint)
+    if pending:
+        first = pending[0][1]
+        config = first.config()
+        runner = MixRunner(
+            config=config,
+            requests=first.requests,
+            seed=first.seed,
+            umon_noise=first.umon_noise,
+            warmup_fraction=first.warmup_fraction,
+            store=store,
+        )
+        mix = first.mix.build()
+        results = runner.run_mix_group(
+            mix,
+            [
+                (
+                    spec.policy.build(),
+                    spec.scheme.build(config.llc_lines) if spec.scheme else None,
+                )
+                for __, spec, __fp in pending
+            ],
+        )
+        computed = {}
+        for (position, spec, fingerprint), result in zip(pending, results):
+            record = record_from_result(
+                result,
+                policy_label=spec.policy.display,
+                lc_name=mix.lc_workload.name,
+                load_label=mix.load_label,
+            )
+            if store is not None:
+                store.put_record(fingerprint, record)
+            records[position] = record
+            computed[fingerprint] = record
+        for position, spec, fingerprint in adopters:
+            records[position] = computed[fingerprint].relabeled(spec.policy.display)
+    return records
+
+
+def execute_specs(specs: Sequence[Any], store: Optional[ResultStore] = None) -> List[Any]:
+    """Evaluate a batch of specs in-process, grouping sweep replays.
+
+    Sweep :class:`RunSpec`\\ s are partitioned into replay groups (see
+    :func:`_replay_group_key`) and each group executes through one
+    shared :class:`~repro.sim.grid_replay.GroupShared` context; task
+    specs — and everything, when ``REPRO_GRID_REPLAY`` is off —
+    evaluate through plain :func:`execute_spec`.  Results come back in
+    spec order either way, bit-identical to per-spec execution.
+    """
+    specs = list(specs)
+    results: List[Any] = [None] * len(specs)
+    grouping = grid_replay_enabled()
+    grouped_positions: List[int] = []
+    for position, spec in enumerate(specs):
+        if grouping and isinstance(spec, RunSpec):
+            grouped_positions.append(position)
+        else:
+            results[position] = execute_spec(spec, store)
+    if grouped_positions:
+        keys = [_replay_group_key(specs[p]) for p in grouped_positions]
+        for group in plan_groups(keys):
+            members = [grouped_positions[g] for g in group]
+            group_records = _execute_run_group([specs[p] for p in members], store)
+            for position, record in zip(members, group_records):
+                results[position] = record
+    return results
 
 
 def store_lookup(spec, store: Optional[ResultStore]) -> Tuple[str, Optional[Any]]:

@@ -27,6 +27,14 @@ its semantics.  What *is* independent is each LC instance's isolated
 baseline run (:meth:`MixEngine.isolated`): one instance, no batch
 apps, a fixed partition, its own seed.  The runtime's trace sharding
 (:mod:`repro.runtime.sharding`) exploits exactly that boundary.
+
+The replay *can*, however, be batched **across sweep cells**: grid
+cells that share streams and differ only in policy/scheme parameters
+pass one :class:`~repro.sim.grid_replay.GroupShared` context via the
+``shared`` parameter, hoisting every group-constant sub-computation
+(curve segments, initial rates, stream statistics, first-interval view
+statics) out of the per-cell loops while each cell keeps its own exact
+event timeline — outputs stay bit-identical to the ungrouped run.
 """
 
 from __future__ import annotations
@@ -48,7 +56,8 @@ from ..policies.base import AppView, BoostPlan, Decision, Policy, PolicyContext
 from ..workloads.batch import BatchWorkload
 from ..workloads.latency_critical import LCWorkload
 from .config import CMPConfig
-from .fill import FillState
+from .fill import FillState, GroupFillState
+from .grid_replay import GroupShared
 from .results import BatchAppResult, LCInstanceResult, MixResult
 
 __all__ = ["LCInstanceSpec", "MixEngine"]
@@ -110,6 +119,7 @@ class _App:
         profile,
         core: CoreModel,
         scheme: Optional[SchemeModel],
+        shared: Optional[GroupShared] = None,
     ):
         self.index = index
         self.name = name
@@ -120,9 +130,24 @@ class _App:
         self.miss_penalty = core.miss_penalty(profile)
         self.base_miss_penalty = self.miss_penalty  # before contention
         self.base_cpi = core.base_cpi(profile)
-        self.fill = FillState(
-            curve, self.hit_interval, self.miss_penalty, scheme=scheme
-        )
+        if shared is None:
+            self.fill = FillState(
+                curve, self.hit_interval, self.miss_penalty, scheme=scheme
+            )
+        else:
+            # Segment scope pins the exact (curve, scheme) pair, so
+            # cells with different schemes never alias each other's
+            # segments; retaining both keeps the ids stable.
+            shared.retain(curve, scheme)
+            self.fill = GroupFillState(
+                curve,
+                self.hit_interval,
+                self.miss_penalty,
+                scheme=scheme,
+                shared_segments=shared.segments,
+                seg_scope=(id(curve), id(scheme)),
+                curve_tables=shared.tables_for(curve),
+            )
         self.last_commit = 0.0
         self.stats = _IntervalStats()
         self.total_accesses = 0.0
@@ -135,19 +160,35 @@ class _App:
 
 
 class _LCApp(_App):
-    def __init__(self, index, name, spec: LCInstanceSpec, core, scheme):
+    def __init__(self, index, name, spec: LCInstanceSpec, core, scheme, shared=None):
         super().__init__(
             index, name, "lc", spec.workload.miss_curve, spec.workload.profile,
-            core, scheme,
+            core, scheme, shared,
         )
         self.spec = spec
         apki = spec.workload.profile.apki
-        self.req_accesses = spec.works * apki / 1000.0
-        # Stream-constant statistics, computed once: _make_views used
-        # to re-derive these on every policy interaction (hundreds of
-        # np.percentile calls per run on identical input).
-        self.mean_req_accesses = float(np.mean(self.req_accesses))
-        self.tail_req_accesses = float(np.percentile(self.req_accesses, 95))
+        # Stream-constant statistics, computed once per stream: within
+        # a replay group every cell replays the same frozen work array,
+        # so the group context serves these to all siblings (the first
+        # cell computes the same expressions the ungrouped path runs).
+        stats = (
+            shared.stream_stats.get((id(spec.works), apki))
+            if shared is not None
+            else None
+        )
+        if stats is not None:
+            self.req_accesses, self.mean_req_accesses, self.tail_req_accesses = stats
+        else:
+            self.req_accesses = spec.works * apki / 1000.0
+            self.mean_req_accesses = float(np.mean(self.req_accesses))
+            self.tail_req_accesses = float(np.percentile(self.req_accesses, 95))
+            if shared is not None:
+                shared.retain(spec.works)
+                shared.stream_stats[(id(spec.works), apki)] = (
+                    self.req_accesses,
+                    self.mean_req_accesses,
+                    self.tail_req_accesses,
+                )
         self.arrival_ptr = 0
         self.queue: List[int] = []
         self.serving: Optional[int] = None
@@ -169,10 +210,11 @@ class _LCApp(_App):
 
 
 class _BatchApp(_App):
-    def __init__(self, index, workload: BatchWorkload, core, scheme, baseline_ipc):
+    def __init__(self, index, workload: BatchWorkload, core, scheme, baseline_ipc,
+                 shared=None):
         super().__init__(
             index, workload.name, "batch", workload.miss_curve,
-            workload.profile, core, scheme,
+            workload.profile, core, scheme, shared,
         )
         self.result = BatchAppResult(name=workload.name, baseline_ipc=baseline_ipc)
 
@@ -194,6 +236,7 @@ class MixEngine:
         mix_id: str = "mix",
         trace_partitions: bool = False,
         bandwidth: Optional[BandwidthModel] = None,
+        shared: Optional[GroupShared] = None,
     ):
         if not lc_specs:
             raise ValueError("need at least one LC instance")
@@ -201,6 +244,11 @@ class MixEngine:
             raise ValueError("umon_noise must be non-negative")
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if shared is not None and bandwidth is not None:
+            # Bandwidth contention rescales miss penalties per interval;
+            # the bandwidth study runs outside replay groups, so reject
+            # the combination rather than audit every shared key for it.
+            raise ValueError("grouped replay does not support bandwidth contention")
         self.config = config
         self.policy = policy
         self.scheme = scheme if policy.uses_partitioning else None
@@ -209,6 +257,7 @@ class MixEngine:
         self.warmup_fraction = warmup_fraction
         self.mix_id = mix_id
         self.bandwidth = bandwidth
+        self.shared = shared
         self.llc_lines = config.llc_lines
         core = make_core_model(config.core_kind, config.mem_latency_cycles)
         self.core = core
@@ -222,14 +271,19 @@ class MixEngine:
         self.lc_apps: List[_LCApp] = []
         self.batch_apps: List[_BatchApp] = []
         for i, spec in enumerate(lc_specs):
-            app = _LCApp(len(self.apps), f"{spec.workload.name}#{i}", spec, core, self.scheme)
+            app = _LCApp(
+                len(self.apps), f"{spec.workload.name}#{i}", spec, core,
+                self.scheme, shared,
+            )
             self.apps.append(app)
             self.lc_apps.append(app)
         for workload in batch_workloads:
             baseline_ipc = core.ipc(
                 workload.profile, float(workload.miss_curve(base_lines))
             )
-            app = _BatchApp(len(self.apps), workload, core, self.scheme, baseline_ipc)
+            app = _BatchApp(
+                len(self.apps), workload, core, self.scheme, baseline_ipc, shared
+            )
             self.apps.append(app)
             self.batch_apps.append(app)
 
@@ -300,6 +354,8 @@ class MixEngine:
                 app.measured_curve = app.curve
 
     def _make_views(self) -> List[AppView]:
+        if self.shared is not None and self._first_interval:
+            return self._make_first_interval_views(self.shared)
         duration = max(self.now - self._interval_start, 1.0)
         views: List[AppView] = []
         for app in self.apps:
@@ -343,7 +399,70 @@ class MixEngine:
             views.append(view)
         return views
 
+    def _make_first_interval_views(self, shared: GroupShared) -> List[AppView]:
+        """First-interval views from group-shared statics.
+
+        Until the first reconfiguration every view field except
+        ``recent_latencies`` and the noisy ``measured_curve`` is a pure
+        function of the specs — identical across the cells of a replay
+        group — so the tuple of those fields is computed once per group
+        and reused.  Each entry holds exactly the values the general
+        path below derives on its ``self._first_interval`` branches.
+        """
+        views: List[AppView] = []
+        for app in self.apps:
+            static = shared.view_static.get(app.index)
+            if static is None:
+                rate = self._initial_access_rate(app)
+                if isinstance(app, _LCApp):
+                    static = (
+                        rate,
+                        1.0 - app.spec.load,
+                        app.spec.load
+                        / max(app.spec.workload.mean_service_cycles(self.core), 1.0)
+                        * (1.0 - app.spec.load),
+                        app.mean_req_accesses,
+                        app.tail_req_accesses,
+                        app.spec.workload.target_lines,
+                        app.spec.deadline_cycles,
+                        app.spec.target_tail_cycles,
+                    )
+                else:
+                    static = (rate,)
+                shared.view_static[app.index] = static
+            view = AppView(
+                index=app.index,
+                name=app.name,
+                kind=app.kind,
+                curve=app.measured_curve,
+                apki=app.profile.apki,
+                hit_interval=app.hit_interval,
+                miss_penalty=app.miss_penalty,
+                access_rate=static[0],
+            )
+            if isinstance(app, _LCApp):
+                view.idle_fraction = static[1]
+                view.activation_rate = static[2]
+                view.accesses_per_request = static[3]
+                view.tail_accesses_per_request = static[4]
+                view.target_lines = static[5]
+                view.deadline_cycles = static[6]
+                view.target_tail_cycles = static[7]
+                view.recent_latencies = tuple(app.stats.latencies)
+            views.append(view)
+        return views
+
     def _initial_access_rate(self, app: _App) -> float:
+        shared = self.shared
+        if shared is not None:
+            rate = shared.rates.get(app.index)
+            if rate is None:
+                rate = self._compute_initial_access_rate(app)
+                shared.rates[app.index] = rate
+            return rate
+        return self._compute_initial_access_rate(app)
+
+    def _compute_initial_access_rate(self, app: _App) -> float:
         if isinstance(app, _LCApp):
             target = app.spec.workload.target_lines
             busy_rate = 1.0 / self.core.access_interval(
@@ -522,46 +641,91 @@ class MixEngine:
 
             # Steady state: replay the remaining chunk sequence (the
             # same min/subtract recurrence the scalar loop runs), then
-            # batch the accumulators and crossing checks.
-            steps: List[float] = []
-            rems: List[float] = []
-            r = remaining
-            while r > _COMPLETION_TOL:
-                s = min(chunk, r)
-                steps.append(s)
-                r -= s
-                rems.append(r)
-            step_arr = np.asarray(steps)
+            # batch the accumulators and crossing checks.  Grouped
+            # replay takes the fused scalar scan instead — one pass,
+            # no array temporaries — evaluating the identical
+            # recurrences (``np.cumsum`` over ``[seed, inc...]`` *is*
+            # the sequential ``+=``) with first-true crossing indices,
+            # so both arms feed the same reconciliation below with the
+            # same k's and the same chunk-boundary times.
             p = fill.miss_ratio()
-            miss_arr = step_arr * p
-            cyc_arr = step_arr * fill.hit_interval + miss_arr * fill.miss_penalty
-            t_arr = np.cumsum(np.concatenate(((t,), cyc_arr)))[1:]
-            limit_mask = t_arr >= limit
-            k_limit = int(np.argmax(limit_mask)) if limit_mask.any() else None
-
             k_deboost = None
             k_water = None
+            if self.shared is None:
+                steps: List[float] = []
+                rems: List[float] = []
+                r = remaining
+                while r > _COMPLETION_TOL:
+                    s = min(chunk, r)
+                    steps.append(s)
+                    r -= s
+                    rems.append(r)
+                step_arr = np.asarray(steps)
+                miss_arr = step_arr * p
+                cyc_arr = step_arr * fill.hit_interval + miss_arr * fill.miss_penalty
+                t_seq = np.cumsum(np.concatenate(((t,), cyc_arr)))[1:]
+                limit_mask = t_seq >= limit
+                k_limit = int(np.argmax(limit_mask)) if limit_mask.any() else None
+                if armed:
+                    plan = tracker.plan
+                    if not filled and fill.resident >= plan.boost_lines * (1.0 - 1e-9):
+                        filled = True
+                    proj_arr = np.cumsum(
+                        np.concatenate(((proj,), step_arr * tracker.active_miss_ratio))
+                    )[1:]
+                    act_arr = np.cumsum(np.concatenate(((actual,), miss_arr)))[1:]
+                    deboost_mask = (
+                        proj_arr >= act_arr + plan.guard_fraction * proj_arr
+                    ) & (proj_arr > 0)
+                    if deboost_mask.any():
+                        k_deboost = int(np.argmax(deboost_mask))
+                    if plan.watermark_factor is not None and filled:
+                        water_mask = (
+                            ~deboost_mask
+                            & (proj_arr > 0)
+                            & (act_arr > proj_arr * plan.watermark_factor)
+                        )
+                        if water_mask.any():
+                            k_water = int(np.argmax(water_mask))
+            else:
+                hit_c, mp = fill.hit_interval, fill.miss_penalty
+                if armed:
+                    plan = tracker.plan
+                    if not filled and fill.resident >= plan.boost_lines * (1.0 - 1e-9):
+                        filled = True
+                    amr = tracker.active_miss_ratio
+                    guard_f = plan.guard_fraction
+                    wf = plan.watermark_factor
+                else:
+                    amr, guard_f, wf = 0.0, 0.0, None
+                t_cur, proj_cur, act_cur = t, proj, actual
+                r = remaining
+                k = 0
+                k_limit = None
+                t_seq = []
+                rems = []
+                while r > _COMPLETION_TOL:
+                    s = chunk if chunk < r else r
+                    r -= s
+                    miss = s * p
+                    cyc = s * hit_c + miss * mp
+                    t_cur = t_cur + cyc
+                    t_seq.append(t_cur)
+                    rems.append(r)
+                    if k_limit is None and t_cur >= limit:
+                        k_limit = k
+                    if armed:
+                        proj_cur = proj_cur + s * amr
+                        act_cur = act_cur + miss
+                        db = (proj_cur >= act_cur + guard_f * proj_cur) and proj_cur > 0
+                        if db and k_deboost is None:
+                            k_deboost = k
+                        if (wf is not None and filled and k_water is None and not db
+                                and proj_cur > 0 and act_cur > proj_cur * wf):
+                            k_water = k
+                    k += 1
+
             if armed:
-                plan = tracker.plan
-                if not filled and fill.resident >= plan.boost_lines * (1.0 - 1e-9):
-                    filled = True
-                proj_arr = np.cumsum(
-                    np.concatenate(((proj,), step_arr * tracker.active_miss_ratio))
-                )[1:]
-                act_arr = np.cumsum(np.concatenate(((actual,), miss_arr)))[1:]
-                deboost_mask = (
-                    proj_arr >= act_arr + plan.guard_fraction * proj_arr
-                ) & (proj_arr > 0)
-                if deboost_mask.any():
-                    k_deboost = int(np.argmax(deboost_mask))
-                if plan.watermark_factor is not None and filled:
-                    water_mask = (
-                        ~deboost_mask
-                        & (proj_arr > 0)
-                        & (act_arr > proj_arr * plan.watermark_factor)
-                    )
-                    if water_mask.any():
-                        k_water = int(np.argmax(water_mask))
                 # A crossing is only live while the walk is still going
                 # and still armed: a watermark (or the reconfig limit)
                 # at an earlier chunk ends/disarms the walk first.
@@ -576,10 +740,10 @@ class MixEngine:
                     k_water = None
 
             if k_deboost is not None:
-                deboost_at = float(t_arr[k_deboost])
+                deboost_at = float(t_seq[k_deboost])
                 fill.set_target(tracker.plan.active_lines)
                 armed = False
-                t = float(t_arr[k_deboost])
+                t = float(t_seq[k_deboost])
                 remaining = rems[k_deboost]
                 if k_limit is not None and k_limit == k_deboost:
                     break
@@ -587,13 +751,13 @@ class MixEngine:
                 # the miss ratio), so later chunks need a fresh batch.
                 continue
             if k_water is not None:
-                watermark_at = float(t_arr[k_water])
+                watermark_at = float(t_seq[k_water])
                 break
             if k_limit is not None:
-                t = float(t_arr[k_limit])
+                t = float(t_seq[k_limit])
                 remaining = rems[k_limit]
                 break
-            t = float(t_arr[-1])
+            t = float(t_seq[-1])
             remaining = rems[-1]
 
         if deboost_at is not None:

@@ -23,6 +23,7 @@ simulation exposes the controller's real safety margin.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +31,7 @@ import numpy as np
 from ..cache.schemes import SchemeModel
 from ..monitor.miss_curve import MissCurve
 
-__all__ = ["Advance", "FillState"]
+__all__ = ["Advance", "FillState", "GroupFillState"]
 
 _EPS = 1e-12
 
@@ -339,5 +340,307 @@ class FillState:
             if cost < budget:
                 lo = mid
             else:
+                hi = mid
+        return lo
+
+
+class GroupFillState(FillState):
+    """A :class:`FillState` wired into a replay group's shared memos.
+
+    The grid-replay engine (:mod:`repro.sim.grid_replay`) advances many
+    sweep cells that share the same miss curves over the same request
+    streams, so their fill states keep asking for the same curve
+    segments.  This subclass performs the *identical float operations
+    in the identical order* as the parent — its results are bit-equal
+    by construction — while removing the redundancy:
+
+    * the per-instance ``(resident, target)`` segment memo falls back
+      to a **group-shared** table keyed by ``(scope, resident, target)``
+      where ``scope`` pins the exact curve/scheme objects, so a segment
+      computed by one cell is served to every sibling;
+    * segment misses binary-search a pre-converted Python float list
+      (``bisect_right`` equals ``np.searchsorted(side="right")``, and
+      the list entries are the same ``float(sizes[i])`` values the
+      parent coerced per lookup);
+    * the advance/inversion loops hoist attribute reads to locals and
+      replace ``min``/``max``/``abs`` builtins with conditional
+      expressions that replicate their semantics exactly (first
+      argument returned on equality, ``-0.0`` handling included);
+    * the 80-iteration time inversion exits early once the bisection
+      interval stops moving: when ``mid == lo`` (or ``mid == hi``) the
+      midpoint can never change again, so ``lo`` is already the value
+      the remaining iterations would return.
+
+    ``tests/sim/test_grid_replay_equivalence.py`` pins the bit identity
+    against the parent class across policies, loads, and seeds.
+    """
+
+    def __init__(
+        self,
+        curve: MissCurve,
+        hit_interval: float,
+        miss_penalty: float,
+        scheme: SchemeModel | None = None,
+        resident: float = 0.0,
+        target: float = 0.0,
+        *,
+        shared_segments: dict,
+        seg_scope: tuple,
+        curve_tables: tuple,
+    ):
+        # The shared refs must exist before the parent constructor runs
+        # (it may touch the segment machinery via ``set_target``).
+        self._shared_segments = shared_segments
+        self._seg_scope = seg_scope
+        self._curve_tables = curve_tables
+        super().__init__(
+            curve, hit_interval, miss_penalty,
+            scheme=scheme, resident=resident, target=target,
+        )
+
+    def clone(self) -> "GroupFillState":
+        """Parent :meth:`FillState.clone`, preserving the group wiring."""
+        clone = GroupFillState.__new__(GroupFillState)
+        clone.curve = self.curve
+        clone.hit_interval = self.hit_interval
+        clone.miss_penalty = self.miss_penalty
+        clone.scheme = self.scheme
+        clone._fill_efficiency = self._fill_efficiency
+        clone._miss_multiplier = self._miss_multiplier
+        clone.resident = self.resident
+        clone.target = self.target
+        clone._p_key = None
+        clone._p_val = 0.0
+        clone._seg_key = None
+        clone._seg_val = (0.0, 0.0, 0.0)
+        clone._shared_segments = self._shared_segments
+        clone._seg_scope = self._seg_scope
+        clone._curve_tables = self._curve_tables
+        return clone
+
+    def _segment(self):
+        """Parent :meth:`FillState._segment` through the shared table.
+
+        The instance memo stays authoritative (same key, same result);
+        only its misses consult the group table, and only *its* misses
+        recompute — with ``bisect_right`` over the cached float list in
+        place of ``np.searchsorted`` and conditional expressions in
+        place of ``min``/``max``, both exact replicas.
+        """
+        key = (self.resident, self.target)
+        if key == self._seg_key:
+            return self._seg_val
+        skey = (self._seg_scope, self.resident, self.target)
+        result = self._shared_segments.get(skey)
+        if result is None:
+            sizes_l, ratios_l = self._curve_tables[0], self._curve_tables[1]
+            idx = bisect_right(sizes_l, self.resident) - 1
+            n = len(sizes_l)
+            if idx < 0:
+                idx = 0
+            elif idx > n - 2:
+                idx = n - 2
+            s_lo, s_hi = sizes_l[idx], sizes_l[idx + 1]
+            m_lo, m_hi = ratios_l[idx], ratios_l[idx + 1]
+            b = (m_hi - m_lo) / (s_hi - s_lo)
+            p0 = m_lo + b * (self.resident - s_lo)
+            eff = self.effective_target
+            seg_end = s_hi if s_hi < eff else eff
+            dr = seg_end - self.resident
+            result = (p0, b, dr if dr > 0.0 else 0.0)
+            self._shared_segments[skey] = result
+        self._seg_key = key
+        self._seg_val = result
+        return result
+
+    def advance_accesses(self, accesses: float) -> Advance:
+        """Parent :meth:`FillState.advance_accesses`, loops fused.
+
+        ``_growth_step``/``_growth_over`` are inlined with hoisted
+        locals; every branch mirrors the parent's structure (including
+        the near-flat-segment test and the zero-crossing clip), so the
+        arithmetic — and hence every rounding — is unchanged.
+        """
+        if accesses < 0:
+            raise ValueError("accesses must be non-negative")
+        remaining = float(accesses)
+        cycles = 0.0
+        misses = 0.0
+        hit, mp = self.hit_interval, self.miss_penalty
+        e, mult = self._fill_efficiency, self._miss_multiplier
+        eff_target = self.effective_target
+        seg_key = self._seg_key
+        seg_val = self._seg_val
+        while remaining > _EPS and self.resident < eff_target - _EPS:
+            key = (self.resident, self.target)
+            if key == seg_key:
+                p0, b, dr_seg = seg_val
+            else:
+                p0, b, dr_seg = seg_val = self._segment()
+                seg_key = key
+            if p0 <= _EPS:
+                break
+            if dr_seg <= _EPS:
+                self.resident = eff_target
+                break
+            p1 = p0 + b * dr_seg
+            ad = p1 - p0
+            if ad < 0.0:
+                ad = -ad
+            thr = p0 if p0 > 1e-30 else 1e-30
+            if ad < 1e-9 * thr:
+                n_full = dr_seg / (e * p0)
+                if n_full <= remaining:
+                    seg_n, seg_dr = n_full, dr_seg
+                else:
+                    seg_n = remaining
+                    g = e * p0 * remaining
+                    seg_dr = g if g < dr_seg else dr_seg
+            else:
+                if p1 <= _EPS:
+                    p1 = _EPS
+                    dr_seg = (p1 - p0) / b
+                n_full = math.log(p1 / p0) / (e * b)
+                if n_full <= remaining:
+                    seg_n, seg_dr = n_full, dr_seg
+                else:
+                    if p0 <= _EPS or remaining <= 0:
+                        dr = 0.0
+                    elif -1e-30 < b < 1e-30:
+                        g = e * p0 * remaining
+                        dr = g if g < dr_seg else dr_seg
+                    else:
+                        grown = (p0 / b) * (math.exp(e * b * remaining) - 1.0)
+                        if grown < 0.0:
+                            grown = 0.0
+                        dr = grown if grown < dr_seg else dr_seg
+                    seg_n, seg_dr = remaining, dr
+            seg_misses = seg_dr / e * mult
+            cycles += hit * seg_n + mp * seg_misses
+            misses += seg_misses
+            self.resident += seg_dr
+            remaining -= seg_n
+        if remaining > _EPS:
+            p = self.miss_ratio()
+            seg_misses = remaining * p
+            cycles += remaining * hit + seg_misses * mp
+            misses += seg_misses
+            remaining = 0.0
+        return Advance(cycles=cycles, accesses=accesses, misses=misses)
+
+    def advance_cycles(self, budget: float) -> Advance:
+        """Parent :meth:`FillState.advance_cycles`, loops fused."""
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        remaining = float(budget)
+        accesses = 0.0
+        misses = 0.0
+        hit, mp = self.hit_interval, self.miss_penalty
+        e, mult = self._fill_efficiency, self._miss_multiplier
+        eff_target = self.effective_target
+        while remaining > _EPS and self.resident < eff_target - _EPS:
+            key = (self.resident, self.target)
+            if key == self._seg_key:
+                p0, b, dr_seg = self._seg_val
+            else:
+                p0, b, dr_seg = self._segment()
+            if p0 <= _EPS:
+                break
+            if dr_seg <= _EPS:
+                self.resident = eff_target
+                break
+            p1 = p0 + b * dr_seg
+            ad = p1 - p0
+            if ad < 0.0:
+                ad = -ad
+            thr = p0 if p0 > 1e-30 else 1e-30
+            if ad < 1e-9 * thr:
+                seg_n, seg_dr = dr_seg / (e * p0), dr_seg
+            else:
+                if p1 <= _EPS:
+                    p1 = _EPS
+                    dr_seg = (p1 - p0) / b
+                seg_n, seg_dr = math.log(p1 / p0) / (e * b), dr_seg
+            seg_misses = seg_dr / e * mult
+            seg_cycles = hit * seg_n + mp * seg_misses
+            if seg_cycles <= remaining:
+                remaining -= seg_cycles
+                accesses += seg_n
+                misses += seg_misses
+                self.resident += seg_dr
+                continue
+            part_n = self._invert_segment_time(remaining)
+            if p0 <= _EPS or part_n <= 0:
+                part_dr = 0.0
+            elif -1e-30 < b < 1e-30:
+                g = e * p0 * part_n
+                part_dr = g if g < dr_seg else dr_seg
+            else:
+                grown = (p0 / b) * (math.exp(e * b * part_n) - 1.0)
+                if grown < 0.0:
+                    grown = 0.0
+                part_dr = grown if grown < dr_seg else dr_seg
+            part_misses = part_dr / e * mult
+            accesses += part_n
+            misses += part_misses
+            self.resident += part_dr
+            remaining = 0.0
+        if remaining > _EPS:
+            p = self.miss_ratio()
+            per_access = hit + p * mp
+            if per_access <= 0:
+                raise RuntimeError("app makes no progress: zero access interval")
+            seg_n = remaining / per_access
+            accesses += seg_n
+            misses += seg_n * p
+            remaining = 0.0
+        return Advance(cycles=budget - remaining, accesses=accesses, misses=misses)
+
+    def _invert_segment_time(self, budget: float) -> float:
+        """Parent inversion with hoisted constants and an early exit.
+
+        Every ``mid``/``dr``/``cost`` the loop evaluates is the exact
+        value the parent computes at the same iteration.  The exit is
+        sound because once ``mid`` rounds to an endpoint the interval
+        can no longer move: updating ``lo`` (or ``hi``) to ``mid``
+        leaves ``0.5 * (lo + hi)`` — and therefore every subsequent
+        comparison — unchanged, so the remaining iterations are
+        no-ops and ``lo`` is already the parent's return value.
+        """
+        p0, b, dr_seg = self._segment()
+        hit, mp = self.hit_interval, self.miss_penalty
+        e, mult = self._fill_efficiency, self._miss_multiplier
+        per_access_max = hit + p0 * mp
+        if per_access_max <= 0:
+            raise RuntimeError("zero-cost access: cannot invert time")
+        lo, hi = 0.0, budget / max(hit, _EPS) if hit else 0.0
+        if hi == 0.0:
+            hi = budget / per_access_max * 4 + 1.0
+        zero = p0 <= _EPS
+        flat = -1e-30 < b < 1e-30
+        ebe = e * b
+        pob = 0.0 if flat else p0 / b
+        ep0 = e * p0
+        coeff = mp / e * mult
+        exp = math.exp
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if zero or mid <= 0:
+                dr = 0.0
+            elif flat:
+                g = ep0 * mid
+                dr = g if g < dr_seg else dr_seg
+            else:
+                grown = pob * (exp(ebe * mid) - 1.0)
+                if grown < 0.0:
+                    grown = 0.0
+                dr = grown if grown < dr_seg else dr_seg
+            if hit * mid + coeff * dr < budget:
+                if mid == lo:
+                    break
+                lo = mid
+            else:
+                if mid == hi:
+                    break
                 hi = mid
         return lo

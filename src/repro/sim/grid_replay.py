@@ -1,0 +1,129 @@
+"""Grouped (structure-of-shared-state) replay of sweep-grid cells.
+
+A policy sweep evaluates many grid *cells* — (mix, policy, scheme)
+triples — whose six-app event loops replay the **same** request streams
+over the **same** miss curves and differ only in the policy/scheme
+parameters steering them.  PR 5's artifact cache already removed the
+redundant *derivation* (baselines, streams, workload objects); the
+joint replay itself stayed strictly per-cell.
+
+This module batches that replay **across cells**.  Cells that share
+identical streams are routed into one *replay group* and advanced
+through :class:`~repro.sim.engine.MixEngine` with one
+:class:`GroupShared` context: every group-constant sub-computation —
+curve-segment evaluations (the PR-4 per-epoch memos, hoisted from
+per-engine to per-group), initial access rates, stream statistics,
+first-interval view statics — is computed by the first cell that needs
+it and served to every sibling.  Policy decisions stay per-cell (each
+cell keeps its own event loop, RNG, fill states and partition targets),
+which is what preserves bit-identity: the shared layer only memoizes
+*pure* values keyed by the exact inputs they depend on, so a grouped
+cell performs the identical float operations in the identical order as
+the scalar per-cell replay — the oracle
+:meth:`~repro.sim.mix_runner.MixRunner.run_mix` runs without a group.
+
+What makes two cells groupable (the *group-planning rules*):
+
+* the same mix reference (LC workload, load, batch combo, rep —
+  hence the same arrival/work arrays and miss curves),
+* the same engine-visible run parameters: core kind, request count,
+  seed, UMON noise, warmup fraction.
+
+Policy and scheme are deliberately **excluded** — differing decisions
+are exactly what a group exists to compare.  Scheme objects are still
+pinned into every shared key that could observe them (segment scopes
+include ``id(scheme)``), so heterogeneous-scheme cells in one group
+split into disjoint key spaces and stay exact.
+
+``REPRO_GRID_REPLAY=0`` (or ``off``/``false``/``no``) disables grouping
+everywhere; the golden suite pins store trees byte-identical with the
+toggle on and off.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
+
+__all__ = ["GroupShared", "grid_replay_enabled", "plan_groups"]
+
+#: Environment toggle: ``0``/``off``/``false``/``no`` disables grouping.
+_ENV_TOGGLE = "REPRO_GRID_REPLAY"
+
+
+def grid_replay_enabled() -> bool:
+    """Whether the environment enables grouped replay (default on)."""
+    toggle = os.environ.get(_ENV_TOGGLE, "").strip().lower()
+    return toggle not in ("0", "off", "false", "no")
+
+
+class GroupShared:
+    """Shared memo context for one replay group.
+
+    One instance lives for the duration of one group's replays and is
+    handed to every :class:`~repro.sim.engine.MixEngine` in the group.
+    All tables are **value memos**: keys capture every input the cached
+    value depends on, so a hit returns exactly what the missing cell
+    would have computed.  Keys that identify unhashable inputs (miss
+    curves, schemes, stream arrays) use ``id()`` — valid only while the
+    keyed object is alive, which is why :meth:`retain` pins a strong
+    reference to every such object for the group's lifetime: without
+    it, a garbage-collected curve could hand its ``id`` to a fresh
+    object and silently alias someone else's segments.
+    """
+
+    def __init__(self) -> None:
+        #: ((id(curve), id(scheme)), resident, target) -> (p0, b, dr).
+        self.segments: Dict[Tuple, Tuple[float, float, float]] = {}
+        #: app index -> initial access rate (group cells share apps).
+        self.rates: Dict[int, float] = {}
+        #: (id(works), apki) -> (req_accesses, mean, tail) per stream.
+        self.stream_stats: Dict[Tuple, Tuple] = {}
+        #: app index -> static first-interval AppView fields.
+        self.view_static: Dict[int, Tuple] = {}
+        #: id(curve) -> (sizes as floats, miss ratios as floats).
+        self.curve_tables: Dict[int, Tuple[List[float], List[float]]] = {}
+        self._retained: List[Any] = []
+
+    def retain(self, *objects: Any) -> None:
+        """Pin id-keyed objects alive for the group's lifetime."""
+        self._retained.extend(objects)
+
+    def tables_for(self, curve) -> Tuple[List[float], List[float]]:
+        """Python float tables of ``curve`` (for ``bisect``), cached.
+
+        Entries are the same ``float(sizes[i])``/``float(ratios[i])``
+        coercions :meth:`FillState._segment` performs per lookup, so a
+        binary search over them lands on bit-identical breakpoints.
+        """
+        key = id(curve)
+        tables = self.curve_tables.get(key)
+        if tables is None:
+            tables = (
+                [float(x) for x in curve.sizes],
+                [float(x) for x in curve.miss_ratios],
+            )
+            self.curve_tables[key] = tables
+            self._retained.append(curve)
+        return tables
+
+
+def plan_groups(keys: Iterable[Hashable]) -> List[List[int]]:
+    """Partition positions into replay groups by key equality.
+
+    ``keys[i]`` must capture everything two cells need in common to
+    share one :class:`GroupShared` (see the module docstring's
+    group-planning rules).  Returns groups in first-appearance order,
+    each a list of original positions in input order — so callers can
+    execute groups and scatter results back without reordering anything
+    observable.
+    """
+    buckets: Dict[Hashable, List[int]] = {}
+    order: List[List[int]] = []
+    for pos, key in enumerate(keys):
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = []
+            order.append(bucket)
+        bucket.append(pos)
+    return order

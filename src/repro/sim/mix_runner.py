@@ -32,6 +32,7 @@ from ..workloads.latency_critical import LCWorkload
 from ..workloads.mixes import MixSpec
 from .config import CMPConfig
 from .engine import LCInstanceSpec, MixEngine
+from .grid_replay import GroupShared
 from .results import MixResult
 
 __all__ = ["BaselineResult", "MixRunner"]
@@ -256,8 +257,16 @@ class MixRunner:
         spec: MixSpec,
         policy: Policy,
         scheme: Optional[SchemeModel] = None,
+        shared: Optional[GroupShared] = None,
     ) -> MixResult:
-        """Run one six-app mix under one policy."""
+        """Run one six-app mix under one policy.
+
+        With ``shared`` unset this is the scalar per-cell replay — the
+        **oracle** every grouped execution is measured against: passing
+        a :class:`~repro.sim.grid_replay.GroupShared` (one per replay
+        group, as :meth:`run_mix_group` does) must leave the returned
+        :class:`~repro.sim.results.MixResult` bit-identical.
+        """
         baseline = self.baseline(spec.lc_workload, spec.load)
         lc_specs = []
         for instance in range(LC_INSTANCES):
@@ -283,7 +292,37 @@ class MixRunner:
             warmup_fraction=self.warmup_fraction,
             baseline_lines=float(spec.lc_workload.target_lines),
             mix_id=spec.mix_id,
+            shared=shared,
         )
         result = engine.run()
         result.baseline_tail_cycles = baseline.tail95_cycles
         return result
+
+    def run_mix_group(
+        self,
+        spec: MixSpec,
+        cells: List[Tuple[Policy, Optional[SchemeModel]]],
+    ) -> List[MixResult]:
+        """Replay one mix under many policy/scheme cells as one group.
+
+        All cells share a single
+        :class:`~repro.sim.grid_replay.GroupShared` context, so the
+        group-constant sub-computations (curve segments, rates, stream
+        statistics, first-interval view statics) run once and every
+        later cell rides on them.  Results come back in ``cells``
+        order, each bit-identical to the corresponding per-cell
+        :meth:`run_mix` — the equivalence suite pins that contract at
+        group sizes 1 through 8.
+
+        The first cell is counted as a ``replay_group`` miss (it built
+        the group state) and each subsequent cell as a hit, surfacing
+        the sharing through ``repro cache --stats`` next to the other
+        artifact kinds.
+        """
+        shared = GroupShared()
+        artifacts = get_artifacts()
+        results = []
+        for position, (policy, scheme) in enumerate(cells):
+            artifacts.count("replay_group", hit=position > 0)
+            results.append(self.run_mix(spec, policy, scheme=scheme, shared=shared))
+        return results

@@ -26,6 +26,7 @@ from ..workloads.mixes import make_mix_specs
 from .bandwidth import BandwidthModel
 from .config import CMPConfig
 from .engine import LCInstanceSpec, MixEngine
+from .grid_replay import GroupShared, grid_replay_enabled
 from .mix_runner import MixRunner
 
 __all__ = [
@@ -233,6 +234,11 @@ def run_scaleout_point(spec, store=None):
         seed=spec.seed,
         baseline_lines=float(workload.target_lines),
         mix_id=f"scaleout-{cores}",
+        # Scaleout points are dispatched one spec at a time, so each
+        # replay forms a single-cell group: no cross-cell sharing, but
+        # the grouped engine's fused scalar walks still apply (they are
+        # bit-identical to the ungrouped path at any group size).
+        shared=GroupShared() if grid_replay_enabled() else None,
     )
     result = engine.run()
     result.baseline_tail_cycles = tail95
@@ -254,6 +260,11 @@ def run_bandwidth_point(spec, store=None):
     :class:`~repro.experiments.bandwidth_study.BandwidthSpec`.  The
     isolated baseline goes through :class:`MixRunner` with the store
     attached, so it is computed once and shared with the sweep grids.
+
+    Bandwidth runs stay outside replay groups deliberately: contention
+    rescales miss penalties per interval, and the engine refuses the
+    ``shared``/``bandwidth`` combination rather than audit every
+    group-shared key against that mutation.
     """
     from ..experiments.bandwidth_study import BandwidthPoint
 

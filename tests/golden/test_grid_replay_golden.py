@@ -1,0 +1,137 @@
+"""Grid-replay-on vs -off determinism on a golden-suite grid.
+
+The acceptance bar for replay grouping is the same as for the artifact
+cache and the storage backends: *byte identity*.  Routing a sweep's
+cells through shared replay groups must change nothing about what
+lands in the store — not a float, not a byte, not a file.  This runs
+the pinned 2-policy sweep (the Ubik and LRU cells of the
+``tests/golden`` grid) into fresh store roots with grouping enabled
+(the default) and disabled (``REPRO_GRID_REPLAY=0``, the scalar
+per-cell oracle) and compares the resulting stores — raw trees on the
+directory backend, canonical exports on sqlite (whose raw file bytes
+legitimately depend on insertion order).  A corpus written either way
+must also serve a rerun under the *other* mode as a pure store hit.
+"""
+
+import pytest
+
+from repro.runtime import (
+    MixRef,
+    PolicySpec,
+    ResultStore,
+    RunSpec,
+    Session,
+    get_artifacts,
+    reset_artifacts,
+)
+
+#: The same 2-policy golden sweep test_artifact_golden pins: one shared
+#: baseline, two run records — and, grouped, one two-cell replay group.
+GOLDEN_SPECS = [
+    RunSpec(
+        mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+        policy=policy,
+        requests=60,
+    )
+    for policy in (
+        PolicySpec.of("ubik", slack=0.05),
+        PolicySpec.of("lru", label="LRU"),
+    )
+]
+
+
+def store_tree(root):
+    """Every file under a store root, path → bytes."""
+    return {
+        p.relative_to(root).as_posix(): p.read_bytes()
+        for p in root.rglob("*")
+        if p.is_file()
+    }
+
+
+def export_tree(store, destination):
+    """Canonical-export a store and return its path → bytes map."""
+    store.export_canonical(destination)
+    return {
+        p.relative_to(destination).as_posix(): p.read_bytes()
+        for p in destination.rglob("*")
+        if p.is_file()
+    }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(monkeypatch):
+    """Empty artifact cache and a clean toggle per test: grouping is on
+    by default; the off arm is pinned explicitly per arm."""
+    monkeypatch.delenv("REPRO_GRID_REPLAY", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+    reset_artifacts()
+    yield
+    reset_artifacts()
+
+
+def run_sweep(root):
+    """The 2-policy sweep into a fresh store; returns its records."""
+    return Session(store=ResultStore(root)).run_many(GOLDEN_SPECS)
+
+
+def test_directory_store_trees_byte_identical(tmp_path, monkeypatch):
+    grouped_records = run_sweep(tmp_path / "grouped")
+    # The grouped sweep must actually have batched its replay, or this
+    # test proves nothing: one group of two cells = one miss, one hit.
+    counters = get_artifacts().stats()["kinds"]["replay_group"]
+    assert (counters["hits"], counters["misses"]) == (1, 1)
+
+    reset_artifacts()
+    monkeypatch.setenv("REPRO_GRID_REPLAY", "0")
+    scalar_records = run_sweep(tmp_path / "scalar")
+    assert "replay_group" not in get_artifacts().stats()["kinds"]
+
+    assert grouped_records == scalar_records
+    grouped_tree = store_tree(tmp_path / "grouped")
+    assert grouped_tree == store_tree(tmp_path / "scalar")
+    # Run record per policy plus the shared baseline document.
+    assert len(grouped_tree) == 3
+
+
+def test_sqlite_canonical_exports_byte_identical(tmp_path, monkeypatch):
+    """Same parity on the sqlite engine, compared through canonical
+    exports: raw ``.db`` bytes are allowed to differ with insertion
+    order, the logical corpus is not."""
+    grouped_store = ResultStore(f"sqlite://{tmp_path}/grouped.db")
+    Session(store=grouped_store).run_many(GOLDEN_SPECS)
+    grouped_export = export_tree(grouped_store, tmp_path / "export-grouped")
+    grouped_store.close()
+
+    reset_artifacts()
+    monkeypatch.setenv("REPRO_GRID_REPLAY", "0")
+    scalar_store = ResultStore(f"sqlite://{tmp_path}/scalar.db")
+    Session(store=scalar_store).run_many(GOLDEN_SPECS)
+    scalar_export = export_tree(scalar_store, tmp_path / "export-scalar")
+    scalar_store.close()
+
+    assert len(grouped_export) == 3
+    assert grouped_export == scalar_export
+
+
+@pytest.mark.parametrize("first_mode", ["grouped-first", "scalar-first"])
+def test_regrouped_rerun_is_a_pure_store_hit(tmp_path, monkeypatch, first_mode):
+    """A corpus written under one replay mode serves a rerun under the
+    other as pure store hits: same records, same bytes, no simulation
+    (the rerun's replay-group counters stay empty — every grouped cell
+    resolved from the store before any group formed)."""
+    root = tmp_path / "store"
+    if first_mode == "scalar-first":
+        monkeypatch.setenv("REPRO_GRID_REPLAY", "0")
+    first = run_sweep(root)
+    tree = store_tree(root)
+
+    reset_artifacts()
+    if first_mode == "scalar-first":
+        monkeypatch.delenv("REPRO_GRID_REPLAY")
+    else:
+        monkeypatch.setenv("REPRO_GRID_REPLAY", "0")
+    again = run_sweep(root)
+    assert again == first
+    assert store_tree(root) == tree
+    assert "replay_group" not in get_artifacts().stats()["kinds"]

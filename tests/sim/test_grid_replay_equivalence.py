@@ -1,0 +1,209 @@
+"""Grouped replay vs the scalar per-cell oracle: the bit-identity wall.
+
+:meth:`~repro.sim.mix_runner.MixRunner.run_mix` with ``shared`` unset
+is the **oracle** — the per-cell replay every grouped execution is
+measured against.  These tests pin the contract the grid-replay layer
+(:mod:`repro.sim.grid_replay`) makes: replaying any set of policy and
+scheme cells through one shared group context leaves every cell's
+latency pool, utilization counter, batch-app progress, and final fill
+state **bit-identical** (``==`` on raw floats, no tolerance) to the
+cell run alone — at every group size, across policies, loads, seeds,
+and heterogeneous-scheme groups.
+"""
+
+import pytest
+
+from repro.policies.static_lc import StaticLCPolicy
+from repro.policies.ucp import UCPPolicy
+from repro.runtime.artifacts import get_artifacts, reset_artifacts
+from repro.runtime.spec import PolicySpec, SchemeSpec
+from repro.sim.config import CMPConfig
+from repro.sim.engine import MixEngine
+from repro.sim.grid_replay import GroupShared, plan_groups
+from repro.sim.mix_runner import MixRunner
+from repro.workloads.mixes import make_mix_specs
+
+#: The cell roster groups draw from, in order: the paper's partitioned
+#: policies (ucp is the lookahead-based allocator), the non-partitioned
+#: baselines, and repeated entries — a group may replay the same policy
+#: twice (two sweep cells differing only in label do exactly that).
+CELL_ROSTER = (
+    PolicySpec.of("ubik", slack=0.05),
+    PolicySpec.of("ucp"),
+    PolicySpec.of("static_lc"),
+    PolicySpec.of("onoff"),
+    PolicySpec.of("lru"),
+    PolicySpec.of("ubik", slack=0.1),
+    PolicySpec.of("ucp"),
+    PolicySpec.of("static_lc"),
+)
+
+
+def mix_spec(load=0.2, lc_name="masstree"):
+    return make_mix_specs(
+        lc_names=[lc_name], loads=[load], mixes_per_combo=1
+    )[0]
+
+
+def scalar_grid(runner, spec, cells):
+    """The oracle: each cell replayed alone, fresh policy per cell."""
+    return [
+        runner.run_mix(spec, policy.build(), scheme=scheme)
+        for policy, scheme in cells
+    ]
+
+
+def grouped_grid(runner, spec, cells):
+    """The same cells through one shared replay group."""
+    return runner.run_mix_group(
+        spec, [(policy.build(), scheme) for policy, scheme in cells]
+    )
+
+
+def assert_cells_identical(grouped, scalar):
+    """Bit-identity, field by field, then whole-result equality."""
+    assert len(grouped) == len(scalar)
+    for got, oracle in zip(grouped, scalar):
+        for g_inst, o_inst in zip(got.lc_instances, oracle.lc_instances):
+            assert g_inst.latencies == o_inst.latencies  # raw float ==
+            assert g_inst.requests_served == o_inst.requests_served
+            assert g_inst.activations == o_inst.activations
+            assert g_inst.deboosts == o_inst.deboosts
+            assert g_inst.watermarks == o_inst.watermarks
+        for g_batch, o_batch in zip(got.batch_apps, oracle.batch_apps):
+            assert g_batch.instructions == o_batch.instructions
+            assert g_batch.cycles == o_batch.cycles
+        assert got.duration_cycles == oracle.duration_cycles
+        assert got == oracle  # every remaining field, exactly
+
+
+class TestGroupSizes:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_bit_identical_at_every_group_size(self, size):
+        """A group of N cells equals N per-cell oracle runs — including
+        the degenerate single-cell group and a roster with repeats."""
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.2)
+        cells = [(policy, None) for policy in CELL_ROSTER[:size]]
+        assert_cells_identical(
+            grouped_grid(runner, spec, cells), scalar_grid(runner, spec, cells)
+        )
+
+
+class TestGridAxes:
+    @pytest.mark.parametrize("load", [0.2, 0.6])
+    @pytest.mark.parametrize("seed", [5, 2014])
+    def test_bit_identical_across_loads_and_seeds(self, load, seed):
+        runner = MixRunner(requests=40, seed=seed)
+        spec = mix_spec(load=load)
+        cells = [(policy, None) for policy in CELL_ROSTER[:3]]
+        assert_cells_identical(
+            grouped_grid(runner, spec, cells), scalar_grid(runner, spec, cells)
+        )
+
+    def test_bit_identical_across_lc_workloads(self):
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.2, lc_name="xapian")
+        cells = [(policy, None) for policy in CELL_ROSTER[:3]]
+        assert_cells_identical(
+            grouped_grid(runner, spec, cells), scalar_grid(runner, spec, cells)
+        )
+
+
+class TestHeterogeneousGroups:
+    def test_mixed_scheme_cells_match_exactly(self):
+        """Scheme models deliberately stay out of the group key: cells
+        with different (or no) schemes share one group, scoped per
+        (curve, scheme) inside it, and must still match the oracle."""
+        llc_lines = CMPConfig().llc_lines
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.2)
+        cells = [
+            (CELL_ROSTER[0], None),
+            (CELL_ROSTER[1], SchemeSpec.of("vantage_sa16").build(llc_lines)),
+            (CELL_ROSTER[2], SchemeSpec.of("waypart_sa16").build(llc_lines)),
+            (CELL_ROSTER[3], SchemeSpec.of("vantage_sa16").build(llc_lines)),
+        ]
+        assert_cells_identical(
+            grouped_grid(runner, spec, cells), scalar_grid(runner, spec, cells)
+        )
+
+    def test_plan_groups_splits_unequal_keys(self):
+        """Cells that differ in any group-key field split into distinct
+        groups, first-appearance ordered, positions preserved."""
+        keys = [("a", 1), ("b", 1), ("a", 1), ("a", 2), ("b", 1)]
+        assert plan_groups(keys) == [[0, 2], [1, 4], [3]]
+
+    def test_plan_groups_keeps_equal_keys_together(self):
+        assert plan_groups([("a",)] * 4) == [[0, 1, 2, 3]]
+        assert plan_groups([]) == []
+
+
+class TestFinalFillState:
+    def _engines(self, shared):
+        """Two-cell group over identical streams: ubik-style allocator
+        state exercised by ucp, plus the static split."""
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.2)
+        baseline = runner.baseline(spec.lc_workload, spec.load)
+        from repro.sim.engine import LCInstanceSpec
+
+        lc_specs = []
+        for instance in range(3):
+            arrivals, works = runner.stream(spec.lc_workload, spec.load, instance)
+            lc_specs.append(
+                LCInstanceSpec(
+                    workload=spec.lc_workload,
+                    arrivals=arrivals,
+                    works=works,
+                    deadline_cycles=baseline.p95_cycles,
+                    target_tail_cycles=baseline.tail95_cycles,
+                    load=spec.load,
+                )
+            )
+        return [
+            MixEngine(
+                lc_specs=lc_specs,
+                batch_workloads=list(spec.batch_apps),
+                policy=policy,
+                config=runner.config,
+                seed=runner.seed,
+                baseline_lines=float(spec.lc_workload.target_lines),
+                mix_id=spec.mix_id,
+                shared=shared,
+            )
+            for policy in (UCPPolicy(), StaticLCPolicy())
+        ]
+
+    def test_final_fill_and_partition_state_identical(self):
+        """Beyond the result documents: the engines' *final* fill
+        states — resident lines, targets, effective targets per app —
+        must agree exactly after grouped and scalar runs."""
+        shared = GroupShared()
+        for grouped_engine, scalar_engine in zip(
+            self._engines(shared), self._engines(None)
+        ):
+            grouped_result = grouped_engine.run()
+            scalar_result = scalar_engine.run()
+            assert grouped_result == scalar_result
+            for g_app, o_app in zip(grouped_engine.apps, scalar_engine.apps):
+                assert g_app.fill.resident == o_app.fill.resident
+                assert g_app.fill.target == o_app.fill.target
+                assert g_app.fill.effective_target == o_app.fill.effective_target
+                assert g_app.fill.miss_ratio() == o_app.fill.miss_ratio()
+
+
+class TestReplayGroupCounters:
+    def test_group_counts_one_miss_then_hits(self, monkeypatch):
+        """The first cell of a group builds the shared context (a
+        ``replay_group`` miss); every later cell rides it (a hit) —
+        surfaced through the same stats the CLI renders."""
+        monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+        reset_artifacts()
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.2)
+        grouped_grid(runner, spec, [(policy, None) for policy in CELL_ROSTER[:4]])
+        kinds = get_artifacts().stats()["kinds"]
+        assert kinds["replay_group"]["misses"] == 1
+        assert kinds["replay_group"]["hits"] == 3
+        reset_artifacts()

@@ -36,7 +36,13 @@ class TestRunBench:
             assert entry["ns_per_unit"] > 0
 
     @pytest.mark.parametrize(
-        "kernel", ["trace_replay", "warm_sweep_grid", "stream_synthesis"]
+        "kernel",
+        [
+            "trace_replay",
+            "warm_sweep_grid",
+            "stream_synthesis",
+            "joint_replay_grid",
+        ],
     )
     def test_compared_kernels_record_baseline_and_speedup(
         self, quick_payload, kernel
@@ -60,6 +66,17 @@ class TestRunBench:
     def test_repeats_validation(self):
         with pytest.raises(ValueError):
             run_bench(quick=True, repeats=0)
+
+    def test_joint_replay_grid_refuses_to_time_a_divergence(self, monkeypatch):
+        """The batched arm is verified against the per-cell oracle
+        *before* any time is recorded: force the equality seam to
+        report a divergence and the kernel must raise, not emit a
+        document entry with a meaningless speedup."""
+        import repro.bench as bench
+
+        monkeypatch.setattr(bench, "_mix_results_identical", lambda a, b: False)
+        with pytest.raises(RuntimeError, match="per-cell oracle"):
+            bench._bench_joint_replay_grid(20, 1)
 
 
 class TestSchemaGate:
@@ -122,7 +139,8 @@ class TestWriteBench:
         machine must never break tier-1); only the acceptance floors
         each PR's own document demonstrated are pinned: trace replay
         >=3x on the PR-4 origin, the warm sweep grid >=2x (and replay
-        still >=3x) on the PR-5 document."""
+        still >=3x) on the PR-5 document, and the batched joint replay
+        >=2x over the per-cell oracle on the PR-7 document."""
         import pathlib
 
         perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
@@ -137,6 +155,13 @@ class TestWriteBench:
                 assert payload["kernels"]["trace_replay"]["speedup"] >= 3.0
                 assert payload["kernels"]["warm_sweep_grid"]["speedup"] >= 2.0
                 assert payload["kernels"]["stream_synthesis"]["speedup"] > 1.0
+            if document.name == "BENCH_pr7.json":
+                assert payload["schema"] == BENCH_SCHEMA
+                assert payload["kernels"]["trace_replay"]["speedup"] >= 3.0
+                assert payload["kernels"]["warm_sweep_grid"]["speedup"] >= 2.0
+                replay = payload["kernels"]["joint_replay_grid"]
+                assert replay["verified_identical"] is True
+                assert replay["speedup"] >= 2.0
 
     def test_legacy_generation_validates_against_its_own_kernels(self):
         """A repro-bench/1 document (BENCH_pr4.json) must stay valid
@@ -150,6 +175,26 @@ class TestWriteBench:
         assert validate_bench(payload) == []
         retagged = dict(payload, schema=BENCH_SCHEMA)
         missing = set(KERNEL_NAMES) - set(LEGACY_KERNEL_NAMES)
+        problems = validate_bench(retagged)
+        for name in missing:
+            assert any(name in p for p in problems)
+
+    def test_v3_generation_validates_against_its_own_kernels(self):
+        """A repro-bench/3 document (BENCH_pr6.json) predates the
+        grouped-replay kernel: it must stay valid as-is, and retagging
+        it as the current generation must flag the missing
+        joint_replay_grid entry."""
+        import pathlib
+
+        from repro.bench import BENCH_SCHEMA_V3, V3_KERNEL_NAMES
+
+        perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        payload = json.loads((perf / "BENCH_pr6.json").read_text())
+        assert payload["schema"] == BENCH_SCHEMA_V3
+        assert validate_bench(payload) == []
+        retagged = dict(payload, schema=BENCH_SCHEMA)
+        missing = set(KERNEL_NAMES) - set(V3_KERNEL_NAMES)
+        assert missing == {"joint_replay_grid"}
         problems = validate_bench(retagged)
         for name in missing:
             assert any(name in p for p in problems)
