@@ -29,11 +29,13 @@ convention):
     :class:`~repro.runtime.store.ResultStore` on a temporary directory.
 ``store_backend_roundtrip``
     Per-operation put/get latency through the façade for **each**
-    registered storage engine — directory, sqlite, memory — with
-    p50/p90/p99 nanoseconds per operation recorded per backend
-    (diskcache-style percentile reporting: a cache's tail latency is
-    what callers actually feel).  The acceptance floor for the sqlite
-    engine is sub-millisecond median get and put.
+    registered storage engine — directory, sqlite, memory, and http
+    (against a live in-process served store, so the number includes
+    the real network hop) — with p50/p90/p99 nanoseconds per operation
+    recorded per backend (diskcache-style percentile reporting: a
+    cache's tail latency is what callers actually feel).  The
+    acceptance floor for the sqlite engine is sub-millisecond median
+    get and put.
 ``warm_sweep_grid``
     The shared-state derivation of a 3-policy × 2-load sweep grid —
     per cell: workload objects, the three-instance isolated baseline,
@@ -97,11 +99,13 @@ __all__ = [
     "BENCH_SCHEMA_V1",
     "BENCH_SCHEMA_V2",
     "BENCH_SCHEMA_V3",
+    "BENCH_SCHEMA_V4",
     "KERNEL_NAMES",
     "LEGACY_KERNEL_NAMES",
     "V2_KERNEL_NAMES",
     "V3_KERNEL_NAMES",
     "STORE_BACKEND_NAMES",
+    "V4_STORE_BACKEND_NAMES",
     "run_bench",
     "write_bench",
     "default_bench_path",
@@ -111,10 +115,14 @@ __all__ = [
 
 #: Schema identifier stamped into every document; bump only when the
 #: document layout changes (CI fails on drift against this module).
-BENCH_SCHEMA = "repro-bench/4"
+BENCH_SCHEMA = "repro-bench/5"
 
-#: The previous generation: seven kernels, no grouped-replay kernel.
+#: The previous generation: same eight kernels, but its per-backend
+#: store kernel predates the http engine (three backends, not four).
 #: Committed trajectory documents written under it stay valid forever.
+BENCH_SCHEMA_V4 = "repro-bench/4"
+
+#: The generation before that: seven kernels, no grouped-replay kernel.
 BENCH_SCHEMA_V3 = "repro-bench/3"
 
 #: The second generation: six kernels, no per-backend store kernel.
@@ -145,7 +153,10 @@ V2_KERNEL_NAMES = KERNEL_NAMES[:6]
 V3_KERNEL_NAMES = KERNEL_NAMES[:7]
 
 #: Storage engines the per-backend kernel times, in reporting order.
-STORE_BACKEND_NAMES = ("directory", "sqlite", "memory")
+STORE_BACKEND_NAMES = ("directory", "sqlite", "memory", "http")
+
+#: The backend set of generation-3/4 documents (pre-http engine).
+V4_STORE_BACKEND_NAMES = ("directory", "sqlite", "memory")
 
 #: Kernels that time an in-file baseline alongside the optimized path
 #: and must record the comparison (see :func:`validate_bench`).
@@ -597,10 +608,17 @@ def _bench_store_backend_roundtrip(documents: int, repeats: int) -> Dict[str, An
     p50/p90/p99 per backend per operation — percentile reporting in
     the python-diskcache tradition, because a store's *tail* is what a
     worker pool's stragglers feel, and a min-of-repeats total would
-    hide it.  Connection setup (sqlite's open + schema check) is paid
-    outside the timed region via one warm-up miss, matching how the
-    runtime holds one handle per process.
+    hide it.  Connection setup (sqlite's open + schema check, the http
+    client's first TCP connect) is paid outside the timed region via
+    one warm-up miss, matching how the runtime holds one handle per
+    process.  The http engine's numbers come from a live in-process
+    served store (sqlite-backed, loopback TCP), so they price the real
+    network hop: serialization, the wire, and the served engine behind
+    it.
     """
+    import threading
+
+    from .runtime.backends import serve_store
     from .runtime.store import ResultStore
 
     payload = {
@@ -613,41 +631,52 @@ def _bench_store_backend_roundtrip(documents: int, repeats: int) -> Dict[str, An
     }
     samples: List[float] = []
     for _ in range(repeats):
-        repeat_started = time.perf_counter()
         with tempfile.TemporaryDirectory() as root:
+            server = serve_store(f"sqlite://{root}/served.db")
+            server_thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            server_thread.start()
             targets = {
                 "directory": str(Path(root) / "tree"),
                 "sqlite": f"sqlite://{root}/store.db",
                 "memory": None,
+                "http": server.url,
             }
-            for name in STORE_BACKEND_NAMES:
-                writer = ResultStore(targets[name])
-                writer.get("f" * 64)  # open handles outside the timing
-                puts = op_times[name]["put"]
-                for fingerprint in fingerprints:
-                    doc = dict(payload)
-                    started = time.perf_counter_ns()
-                    writer.put(fingerprint, doc)
-                    puts.append(time.perf_counter_ns() - started)
-                # A second handle's memory layer is empty, so gets hit
-                # the engine.  The memory engine has no second handle
-                # (a fresh ``memory://`` is empty): share the backend,
-                # drop the façade's parsed-document layer.
-                reader = ResultStore(
-                    writer.backend if name == "memory" else targets[name]
-                )
-                reader.get("f" * 64)
-                gets = op_times[name]["get"]
-                for fingerprint in fingerprints:
-                    started = time.perf_counter_ns()
-                    if reader.get(fingerprint) is None:
-                        raise RuntimeError(
-                            f"{name} backend lost a document mid-bench"
-                        )
-                    gets.append(time.perf_counter_ns() - started)
-                writer.close()
-                reader.close()
-        samples.append(time.perf_counter() - repeat_started)
+            repeat_started = time.perf_counter()
+            try:
+                for name in STORE_BACKEND_NAMES:
+                    writer = ResultStore(targets[name])
+                    writer.get("f" * 64)  # open handles outside the timing
+                    puts = op_times[name]["put"]
+                    for fingerprint in fingerprints:
+                        doc = dict(payload)
+                        started = time.perf_counter_ns()
+                        writer.put(fingerprint, doc)
+                        puts.append(time.perf_counter_ns() - started)
+                    # A second handle's memory layer is empty, so gets
+                    # hit the engine.  The memory engine has no second
+                    # handle (a fresh ``memory://`` is empty): share
+                    # the backend, drop the façade's parsed layer.
+                    reader = ResultStore(
+                        writer.backend if name == "memory" else targets[name]
+                    )
+                    reader.get("f" * 64)
+                    gets = op_times[name]["get"]
+                    for fingerprint in fingerprints:
+                        started = time.perf_counter_ns()
+                        if reader.get(fingerprint) is None:
+                            raise RuntimeError(
+                                f"{name} backend lost a document mid-bench"
+                            )
+                        gets.append(time.perf_counter_ns() - started)
+                    writer.close()
+                    reader.close()
+                samples.append(time.perf_counter() - repeat_started)
+            finally:
+                server.shutdown()
+                server.server_close()
+                server_thread.join(timeout=10)
     backends = {
         name: {
             "put": _percentiles_ns(op_times[name]["put"]),
@@ -739,11 +768,17 @@ def validate_bench(payload: Any) -> List[str]:
     if not isinstance(payload, dict):
         return [f"document must be an object, got {type(payload).__name__}"]
     schema = payload.get("schema")
-    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V3, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1):
+    if schema not in (
+        BENCH_SCHEMA,
+        BENCH_SCHEMA_V4,
+        BENCH_SCHEMA_V3,
+        BENCH_SCHEMA_V2,
+        BENCH_SCHEMA_V1,
+    ):
         problems.append(
             f"schema must be {BENCH_SCHEMA!r} (or the legacy "
-            f"{BENCH_SCHEMA_V3!r} / {BENCH_SCHEMA_V2!r} / "
-            f"{BENCH_SCHEMA_V1!r}), got {schema!r}"
+            f"{BENCH_SCHEMA_V4!r} / {BENCH_SCHEMA_V3!r} / "
+            f"{BENCH_SCHEMA_V2!r} / {BENCH_SCHEMA_V1!r}), got {schema!r}"
         )
     # Older documents predate later kernels; each is validated against
     # the kernel set of its own generation so the committed trajectory
@@ -756,6 +791,11 @@ def validate_bench(payload: Any) -> List[str]:
         required_kernels = V3_KERNEL_NAMES
     else:
         required_kernels = KERNEL_NAMES
+    # Likewise for the per-backend store kernel's engine set: the http
+    # engine joined in generation 5.
+    required_backends = (
+        STORE_BACKEND_NAMES if schema == BENCH_SCHEMA else V4_STORE_BACKEND_NAMES
+    )
     for key, kinds in (
         ("revision", str),
         ("quick", bool),
@@ -805,7 +845,7 @@ def validate_bench(payload: Any) -> List[str]:
                     "kernel 'store_backend_roundtrip' missing 'backends'"
                 )
             else:
-                for backend in STORE_BACKEND_NAMES:
+                for backend in required_backends:
                     per = backends.get(backend)
                     if not isinstance(per, dict):
                         problems.append(
@@ -848,6 +888,12 @@ def format_bench(payload: Dict[str, Any]) -> str:
                 f"sqlite p50 put {sqlite['put']['p50_ns'] / 1e3:,.0f}us"
                 f" / get {sqlite['get']['p50_ns'] / 1e3:,.0f}us"
             )
+            if "http" in entry["backends"]:
+                http_stats = entry["backends"]["http"]
+                note += (
+                    f"; http p50 put {http_stats['put']['p50_ns'] / 1e3:,.0f}us"
+                    f" / get {http_stats['get']['p50_ns'] / 1e3:,.0f}us"
+                )
         rows.append(
             [
                 name,

@@ -18,6 +18,8 @@ Usage::
     python -m repro table3 --store sqlite:///tmp/corpus/store.db
     python -m repro cache --migrate ~/.cache/repro-ubik sqlite:///tmp/store.db
     python -m repro cache --export /tmp/corpus-export
+    python -m repro store-serve --store sqlite:///tmp/store.db --port 8377
+    python -m repro table3 --store http://127.0.0.1:8377
     python -m repro bench --quick
 
 ``bench`` times the hot-path kernels (mix run, isolated baseline,
@@ -40,7 +42,9 @@ The store itself is pluggable (:mod:`repro.runtime.backends`):
 ``memory://`` for no persistence.  ``repro cache --migrate SRC DST``
 moves a corpus between backends byte-faithfully, and ``--export DIR``
 writes the canonical directory-layout tree any backend's corpus
-reduces to.
+reduces to.  ``store-serve`` fronts any of those engines with the
+stdlib HTTP shard service; other processes (or machines) then select
+the served corpus with ``--store http://host:port``.
 
 ``run`` evaluates a single (mix, policy) spec; ``--shards N`` (or
 ``auto``) additionally parallelizes *inside* the run by fanning its
@@ -96,6 +100,7 @@ COMMANDS = (
     "scaleout",
     "bandwidth",
     "cache",
+    "store-serve",
     "bench",
 )
 
@@ -174,6 +179,8 @@ def _cmd_list(args) -> None:
         ["bandwidth", "memory-bandwidth contention extension"],
         ["cache", "inspect (--clear/--prune) the store (--store selects a "
          "backend); --migrate/--export move corpora; --stats: artifact cache"],
+        ["store-serve", "serve a store over HTTP (--store picks the engine; "
+         "clients connect with --store http://host:port)"],
         ["bench", "time the hot-path kernels, write BENCH_<rev>.json"],
     ]
     print(format_table(["Command", "Regenerates"], rows))
@@ -490,6 +497,24 @@ def _print_store_stats(store) -> None:
     print(format_table(["Store", "Value"], rows, title="Result store"))
 
 
+def _cmd_store_serve(args) -> None:
+    """Front a local engine with the HTTP shard service, until killed."""
+    from .runtime.backends import serve_store
+    from .runtime.store import default_store_url
+
+    target = getattr(args, "store", None)
+    if target is None:
+        target = default_store_url()
+    server = serve_store(target, host=args.host, port=args.port)
+    print(f"serving {server.engine.url} at {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
 def _cmd_bench(args) -> None:
     from .bench import format_bench, run_bench, write_bench
 
@@ -514,6 +539,7 @@ _HANDLERS = {
     "scaleout": _cmd_scaleout,
     "bandwidth": _cmd_bandwidth,
     "cache": _cmd_cache,
+    "store-serve": _cmd_store_serve,
     "bench": _cmd_bench,
 }
 
@@ -577,9 +603,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--store",
         default=None,
         help="result-store location: a backend URL "
-        "(sqlite:///path/store.db, directory:///path, memory://) or a "
-        "bare directory path (default: REPRO_STORE, then "
-        "REPRO_CACHE_DIR, then ~/.cache/repro-ubik)",
+        "(sqlite:///path/store.db, directory:///path, memory://, "
+        "http://host:port for a served store) or a bare directory path "
+        "(default: REPRO_STORE, then REPRO_CACHE_DIR, then "
+        "~/.cache/repro-ubik)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="with the store-serve command: interface to bind",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8377,
+        help="with the store-serve command: TCP port (0 = ephemeral)",
     )
     parser.add_argument(
         "--migrate",

@@ -15,12 +15,16 @@ instead.  Three engines ship, registered by name:
 ``memory``
     Two dicts (:mod:`.memory`): the "disk layer off" mode, now a
     first-class engine.
+``http``
+    The network hop (:mod:`.http`): a retrying keep-alive client for a
+    store served by ``repro store-serve`` — one corpus shared by a
+    fleet of machines.
 
 Selection is URL-style — ``sqlite:///path/store.db``,
-``directory:///path``, ``memory://`` — via ``REPRO_STORE``, the CLI's
-``--store``, or ``Session(store=...)``; bare paths (and the historical
-``REPRO_STORE=0`` toggle plus ``REPRO_CACHE_DIR``) keep meaning what
-they always meant:
+``directory:///path``, ``memory://``, ``http://host:port`` — via
+``REPRO_STORE``, the CLI's ``--store``, or ``Session(store=...)``;
+bare paths (and the historical ``REPRO_STORE=0`` toggle plus
+``REPRO_CACHE_DIR``) keep meaning what they always meant:
 
 >>> parse_store_url("sqlite:///tmp/corpus/store.db")
 ('sqlite', '/tmp/corpus/store.db')
@@ -45,6 +49,7 @@ from typing import Dict, Optional, Tuple, Type, Union
 
 from .base import StoreBackend
 from .directory import DirectoryBackend
+from .http import HttpBackend, StoreHTTPServer, serve_store
 from .memory import MemoryBackend
 from .sqlite import SqliteBackend
 
@@ -53,6 +58,9 @@ __all__ = [
     "DirectoryBackend",
     "SqliteBackend",
     "MemoryBackend",
+    "HttpBackend",
+    "StoreHTTPServer",
+    "serve_store",
     "BACKENDS",
     "parse_store_url",
     "make_backend",
@@ -63,6 +71,7 @@ BACKENDS: Dict[str, Type[StoreBackend]] = {
     DirectoryBackend.name: DirectoryBackend,
     SqliteBackend.name: SqliteBackend,
     MemoryBackend.name: MemoryBackend,
+    HttpBackend.name: HttpBackend,
 }
 
 #: Historical ``REPRO_STORE`` values meaning "no persistent store".

@@ -1,0 +1,647 @@
+"""The network hop: an HTTP shard store service and its client engine.
+
+A fleet of machines sharing one result corpus (and one content-
+addressed artifact corpus) needs the store itself to be a network
+service.  This module provides both halves, stdlib-only:
+
+* **the service** — :func:`serve_store` builds a
+  :class:`StoreHTTPServer` (a ``ThreadingHTTPServer``) fronting *any*
+  registered engine — directory tree, sqlite file, or memory — and
+  exposing the full :class:`~repro.runtime.backends.base.StoreBackend`
+  protocol surface over a tiny REST-ish wire format (documents under
+  ``/docs``, blobs under ``/blobs``, counters under ``/stats``).  The
+  CLI's ``repro store-serve`` wraps it.
+* **the client** — :class:`HttpBackend`, the fourth registered engine:
+  ``REPRO_STORE=http://host:port`` (or ``--store http://…``, or
+  ``REPRO_ARTIFACTS_TIER2=http://…`` for the shared artifact corpus)
+  points any process at a served store.  ``persistent`` is True, so
+  :meth:`~repro.runtime.store.ResultStore.share_target` hands the URL
+  to process-pool workers and a whole pool shares one remote corpus
+  exactly like a sqlite file or directory tree.
+
+Correctness under a flaky network is the acceptance bar, not a
+nice-to-have (``tests/runtime/fault_injection.py`` injects drops,
+delays, 5xx errors, and truncated bodies on a seeded schedule):
+
+* **every operation is idempotent**, so the client retries all of them
+  with exponential backoff.  Puts are naturally idempotent — keys are
+  content fingerprints and every backend receives the same canonical
+  text for the same key — so replaying a put that *did* apply before
+  the connection died is invisible.
+* **partial writes never surface** — the server reads the declared
+  ``Content-Length`` exactly and refuses (408, unapplied) a body that
+  arrives short, and the directory/sqlite engines behind it publish
+  atomically; a torn request therefore leaves the corpus untouched.
+* **truncated responses never surface** — ``http.client`` raises
+  ``IncompleteRead`` when a body ends before its declared length, which
+  the client treats like any other transport fault: discard the
+  connection, back off, retry.
+
+Knobs (constructor arguments win over the environment):
+
+``REPRO_HTTP_TIMEOUT``
+    Per-request socket timeout in seconds (default 30).
+``REPRO_HTTP_RETRIES``
+    Retries after the first attempt (default 5).
+``REPRO_HTTP_BACKOFF``
+    Base backoff in seconds, doubled per attempt (default 0.05).
+
+The client keeps a small pool of keep-alive connections, re-created
+per process after a ``fork()`` (the sqlite engine's discipline: never
+share a transport handle across processes).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .base import StoreBackend
+
+__all__ = [
+    "HttpBackend",
+    "StoreHTTPServer",
+    "serve_store",
+    "StoreUnavailable",
+]
+
+#: Environment knobs (constructor arguments override).
+_ENV_TIMEOUT = "REPRO_HTTP_TIMEOUT"
+_ENV_RETRIES = "REPRO_HTTP_RETRIES"
+_ENV_BACKOFF = "REPRO_HTTP_BACKOFF"
+
+_DEFAULT_TIMEOUT = 30.0
+_DEFAULT_RETRIES = 5
+_DEFAULT_BACKOFF = 0.05
+
+#: Statuses the client treats as transient server trouble.
+_RETRYABLE_STATUS = frozenset({500, 502, 503, 504})
+
+#: Content-addressed keys are hex fingerprints; the server rejects
+#: anything else before it can reach an engine (or a filesystem).
+_KEY_PATTERN = re.compile(r"^[0-9a-fA-F]{2,128}$")
+
+
+class StoreUnavailable(ConnectionError):
+    """Raised when every retry against the served store failed."""
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+# ----------------------------------------------------------------------
+# Client engine
+# ----------------------------------------------------------------------
+class HttpBackend(StoreBackend):
+    """Client for a served store: retrying, pooled, fork-safe.
+
+    ``netloc`` is ``host:port`` (the URL parser hands over everything
+    after ``http://``).  Construction never touches the network —
+    connections open lazily per operation and park in a small reusable
+    pool, so ``make_backend("http://…")`` is safe in a process that
+    only ever reads its own memory layer.
+    """
+
+    name = "http"
+    persistent = True
+
+    def __init__(
+        self,
+        netloc: str,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ):
+        netloc = str(netloc).strip().rstrip("/")
+        if not netloc:
+            raise ValueError("http store URL is missing its host[:port]")
+        self.netloc = netloc
+        host, _, port = netloc.partition(":")
+        self.host = host
+        self.port = int(port) if port else 80
+        self.timeout = (
+            float(timeout)
+            if timeout is not None
+            else _env_float(_ENV_TIMEOUT, _DEFAULT_TIMEOUT)
+        )
+        self.retries = (
+            int(retries)
+            if retries is not None
+            else max(0, _env_int(_ENV_RETRIES, _DEFAULT_RETRIES))
+        )
+        self.backoff = (
+            float(backoff)
+            if backoff is not None
+            else _env_float(_ENV_BACKOFF, _DEFAULT_BACKOFF)
+        )
+        self._pool: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    @property
+    def url(self) -> str:
+        """``http://host:port`` — round-trips through the URL parser."""
+        return f"http://{self.netloc}"
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _acquire(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """``(connection, reused)`` — pooled, or fresh after a ``fork()``.
+
+        Connections inherited across a fork are dropped, never reused:
+        two processes interleaving requests on one TCP stream would
+        corrupt both.  Closing the child's descriptor is safe — the
+        parent holds its own.
+        """
+        with self._lock:
+            if self._pid != os.getpid():
+                for conn in self._pool:
+                    conn.close()
+                self._pool.clear()
+                self._pid = os.getpid()
+            if self._pool:
+                return self._pool.pop(), True
+        return (
+            http.client.HTTPConnection(self.host, self.port, timeout=self.timeout),
+            False,
+        )
+
+    def _release(self, conn: http.client.HTTPConnection) -> None:
+        """Park a connection whose response was fully read."""
+        with self._lock:
+            if self._pid == os.getpid() and len(self._pool) < 4:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        """One protocol operation, retried with exponential backoff.
+
+        Retries transport faults (refused/reset connections, timeouts,
+        truncated responses — ``IncompleteRead`` — and torn status
+        lines) and retryable 5xx statuses.  Safe for *every* operation
+        here because the whole protocol is idempotent: keys are content
+        fingerprints, so replaying an applied put rewrites identical
+        bytes and replaying a delete re-deletes nothing.
+        """
+        last_error: Optional[BaseException] = None
+        last_status: Optional[int] = None
+        attempt = 0
+        while True:
+            conn, reused = self._acquire()
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Length": str(len(body))} if body is not None else {},
+                )
+                response = conn.getresponse()
+                status = response.status
+                payload = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                # The connection is in an unknown state: discard it.
+                conn.close()
+                if reused:
+                    # A pooled keep-alive connection the server closed
+                    # while it idled — not a server failure.  Replay on
+                    # a fresh connection without spending the retry
+                    # budget (bounded: the pool holds at most 4).
+                    continue
+                last_error, last_status = exc, None
+            else:
+                if status not in _RETRYABLE_STATUS:
+                    self._release(conn)
+                    return status, payload
+                self._release(conn)  # body fully read: reusable
+                last_error, last_status = None, status
+            attempt += 1
+            if attempt > self.retries:
+                break
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+        detail = (
+            f"HTTP {last_status}" if last_status is not None else repr(last_error)
+        )
+        raise StoreUnavailable(
+            f"store at {self.url} unreachable after "
+            f"{self.retries + 1} attempt(s): {method} {path} -> {detail}"
+        )
+
+    def _expect(
+        self, method: str, path: str, body: Optional[bytes], *statuses: int
+    ) -> Tuple[int, bytes]:
+        status, payload = self._request(method, path, body)
+        if status not in statuses:
+            raise StoreUnavailable(
+                f"served store {self.url} answered {method} {path} "
+                f"with unexpected status {status}"
+            )
+        return status, payload
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        with self._lock:
+            for conn in self._pool:
+                conn.close()
+            self._pool.clear()
+
+    def _stats(self) -> Dict[str, Any]:
+        _, payload = self._expect("GET", "/stats", None, 200)
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def get_doc(self, fingerprint: str) -> Optional[str]:
+        """GET one document's canonical-JSON text (404 = miss)."""
+        status, payload = self._expect(
+            "GET", f"/docs/{fingerprint}", None, 200, 404
+        )
+        return payload.decode("utf-8") if status == 200 else None
+
+    def put_doc(self, fingerprint: str, text: str) -> None:
+        """PUT one document (idempotent: same key, same canonical text)."""
+        self._expect("PUT", f"/docs/{fingerprint}", text.encode("utf-8"), 204)
+
+    def delete_doc(self, fingerprint: str) -> None:
+        """DELETE one document (a no-op when absent)."""
+        self._expect("DELETE", f"/docs/{fingerprint}", None, 204)
+
+    def iter_docs(self) -> Iterator[str]:
+        """Every stored fingerprint (one JSON listing request)."""
+        _, payload = self._expect("GET", "/docs", None, 200)
+        return iter(json.loads(payload.decode("utf-8")))
+
+    def doc_count(self) -> int:
+        """The served engine's document count."""
+        return int(self._stats()["documents"])
+
+    # ------------------------------------------------------------------
+    # Blobs
+    # ------------------------------------------------------------------
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """GET one blob's payload bytes (404 = miss)."""
+        status, payload = self._expect("GET", f"/blobs/{key}", None, 200, 404)
+        return payload if status == 200 else None
+
+    def put_blob(self, key: str, payload: bytes) -> None:
+        """PUT one blob (idempotent: content-addressed key)."""
+        self._expect("PUT", f"/blobs/{key}", bytes(payload), 204)
+
+    def delete_blob(self, key: str) -> None:
+        """DELETE one blob (a no-op when absent)."""
+        self._expect("DELETE", f"/blobs/{key}", None, 204)
+
+    def iter_blobs(self) -> Iterator[str]:
+        """Every stored blob key (one JSON listing request)."""
+        _, payload = self._expect("GET", "/blobs", None, 200)
+        return iter(json.loads(payload.decode("utf-8")))
+
+    def blob_count(self) -> int:
+        """The served engine's blob count."""
+        return int(self._stats()["blobs"])
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear_documents(self) -> int:
+        """Drop every served document; returns how many were removed."""
+        _, payload = self._expect("DELETE", "/docs", None, 200)
+        return int(json.loads(payload.decode("utf-8"))["removed"])
+
+    def clear_blobs(self) -> int:
+        """Drop every served blob; returns how many were removed."""
+        _, payload = self._expect("DELETE", "/blobs", None, 200)
+        return int(json.loads(payload.decode("utf-8"))["removed"])
+
+    def disk_bytes(self) -> int:
+        """The served engine's on-disk footprint (its media, not ours)."""
+        return int(self._stats()["disk_bytes"])
+
+
+# ----------------------------------------------------------------------
+# Service
+# ----------------------------------------------------------------------
+class StoreHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server fronting one :class:`StoreBackend`.
+
+    ``fault_injector`` is a test seam: when set (see
+    ``tests/runtime/fault_injection.py``), every request consults it
+    and may be dropped, delayed, failed with a 5xx, or have its
+    response body truncated — the harness the retry semantics are
+    proven against.  Production serving leaves it ``None``.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], engine: StoreBackend):
+        super().__init__(address, _StoreRequestHandler)
+        self.engine = engine
+        #: Optional ``(method, path) -> action`` hook; see module docs.
+        self.fault_injector: Optional[Callable[[str, str], Any]] = None
+
+    @property
+    def url(self) -> str:
+        """The ``http://host:port`` clients connect to."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.server_port}"
+
+    def handle_error(self, request, client_address) -> None:
+        """Keep stderr quiet when a client cut the wire mid-request.
+
+        Torn connections are routine for a retrying fleet (and the
+        whole point of the fault harness); anything else still gets
+        the default traceback.
+        """
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError, socket.timeout)):
+            return
+        super().handle_error(request, client_address)
+
+    def server_close(self) -> None:  # pragma: no cover - shutdown path
+        super().server_close()
+        self.engine.close()
+
+
+class _StoreRequestHandler(BaseHTTPRequestHandler):
+    """Routes the wire protocol onto the served engine.
+
+    Every successful response carries an exact ``Content-Length`` (the
+    keep-alive contract HTTP/1.1 clients pool connections on).  Request
+    bodies are read to exactly the declared length; a short read — a
+    client that died or a fault injector that cut the wire — yields 408
+    and, crucially, **no engine write**.
+    """
+
+    protocol_version = "HTTP/1.1"
+    #: Headers and body go out as separate TCP segments; without
+    #: TCP_NODELAY, Nagle holds the body until the client's delayed ACK
+    #: (~40ms per GET on Linux).
+    disable_nagle_algorithm = True
+    server: StoreHTTPServer
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (servers run in tests)."""
+
+    def _inject(self) -> Optional[str]:
+        """Consult the fault injector; returns a terminal action or None.
+
+        ``drop`` closes the connection without a response; ``error``
+        sends a 503; ``("delay", seconds)`` sleeps then proceeds;
+        ``truncate`` is handled at response-write time (the headers
+        promise more bytes than the wire delivers).
+        """
+        injector = self.server.fault_injector
+        if injector is None:
+            return None
+        action = injector(self.command, self.path)
+        if action is None or action == "ok":
+            return None
+        if isinstance(action, tuple) and action and action[0] == "delay":
+            time.sleep(float(action[1]))
+            return None
+        return str(action)
+
+    def _reply(
+        self,
+        status: int,
+        body: bytes = b"",
+        content_type: str = "application/octet-stream",
+        truncate: bool = False,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if truncate and body:
+            # Promise the full body, deliver half, cut the wire: the
+            # client must see IncompleteRead, never a short payload.
+            self.wfile.write(body[: max(1, len(body) // 2)])
+            self.close_connection = True
+            return
+        if body:
+            self.wfile.write(body)
+
+    def _reply_json(self, payload: Any, truncate: bool = False) -> None:
+        self._reply(
+            200,
+            json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+            truncate=truncate,
+        )
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, or ``None`` when it arrived short."""
+        self._body_consumed = True
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            return None
+        body = self.rfile.read(length) if length else b""
+        if len(body) != length:
+            return None
+        return body
+
+    def _route(self) -> Optional[Tuple[str, Optional[str]]]:
+        """``(collection, key-or-None)`` for /docs, /blobs, /stats."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 1 and parts[0] in ("docs", "blobs", "stats"):
+            return parts[0], None
+        if len(parts) == 2 and parts[0] in ("docs", "blobs"):
+            return parts[0], parts[1]
+        return None
+
+    # ------------------------------------------------------------------
+    # Methods
+    # ------------------------------------------------------------------
+    def _handle(self) -> None:
+        self._body_consumed = False
+        try:
+            self._dispatch()
+        finally:
+            # A reply sent before the request body was read (injected
+            # 503, bad key, engine error …) leaves those bytes in the
+            # keep-alive stream, where they would desync the next
+            # request on this connection.  Close instead.
+            try:
+                length = int(self.headers.get("Content-Length", 0) or 0)
+            except (TypeError, ValueError):
+                length = 1
+            if length and not self._body_consumed:
+                self.close_connection = True
+
+    def _dispatch(self) -> None:
+        action = self._inject()
+        if action == "drop":
+            self.close_connection = True
+            return
+        if action == "error":
+            self._reply(503, b"injected fault", content_type="text/plain")
+            return
+        truncate = action == "truncate"
+        route = self._route()
+        if route is None:
+            self._reply(404, b"unknown path", content_type="text/plain")
+            return
+        collection, key = route
+        if key is not None and not _KEY_PATTERN.match(key):
+            self._reply(400, b"malformed key", content_type="text/plain")
+            return
+        engine = self.server.engine
+        try:
+            if self.command == "GET":
+                self._do_get(engine, collection, key, truncate)
+            elif self.command == "PUT":
+                self._do_put(engine, collection, key)
+            elif self.command == "DELETE":
+                self._do_delete(engine, collection, key)
+            else:
+                self._reply(405, b"method not allowed", content_type="text/plain")
+        except Exception as exc:  # engine trouble -> retryable 500
+            self._reply(500, repr(exc).encode("utf-8"), content_type="text/plain")
+
+    def _do_get(
+        self,
+        engine: StoreBackend,
+        collection: str,
+        key: Optional[str],
+        truncate: bool,
+    ) -> None:
+        if collection == "stats":
+            self._reply_json(
+                {
+                    "engine": engine.name,
+                    "url": engine.url,
+                    "documents": engine.doc_count(),
+                    "blobs": engine.blob_count(),
+                    "disk_bytes": engine.disk_bytes(),
+                },
+                truncate=truncate,
+            )
+            return
+        if key is None:
+            keys = sorted(
+                engine.iter_docs() if collection == "docs" else engine.iter_blobs()
+            )
+            self._reply_json(keys, truncate=truncate)
+            return
+        if collection == "docs":
+            text = engine.get_doc(key)
+            if text is None:
+                self._reply(404, b"no such document", content_type="text/plain")
+                return
+            self._reply(
+                200,
+                text.encode("utf-8"),
+                content_type="text/plain; charset=utf-8",
+                truncate=truncate,
+            )
+            return
+        payload = engine.get_blob(key)
+        if payload is None:
+            self._reply(404, b"no such blob", content_type="text/plain")
+            return
+        self._reply(200, payload, truncate=truncate)
+
+    def _do_put(
+        self, engine: StoreBackend, collection: str, key: Optional[str]
+    ) -> None:
+        if key is None or collection not in ("docs", "blobs"):
+            self._reply(405, b"method not allowed", content_type="text/plain")
+            return
+        body = self._read_body()
+        if body is None:
+            # Short body: the write never reaches the engine, so a torn
+            # request can never surface as a torn document.
+            self._reply(408, b"incomplete body", content_type="text/plain")
+            self.close_connection = True
+            return
+        if collection == "docs":
+            engine.put_doc(key, body.decode("utf-8"))
+        else:
+            engine.put_blob(key, body)
+        self._reply(204)
+
+    def _do_delete(
+        self, engine: StoreBackend, collection: str, key: Optional[str]
+    ) -> None:
+        if collection == "stats":
+            self._reply(405, b"method not allowed", content_type="text/plain")
+            return
+        if key is None:
+            removed = (
+                engine.clear_documents()
+                if collection == "docs"
+                else engine.clear_blobs()
+            )
+            self._reply_json({"removed": removed})
+            return
+        if collection == "docs":
+            engine.delete_doc(key)
+        else:
+            engine.delete_blob(key)
+        self._reply(204)
+
+    do_GET = _handle
+    do_PUT = _handle
+    do_DELETE = _handle
+    do_POST = _handle
+    do_HEAD = _handle
+
+
+def serve_store(
+    target: Any, host: str = "127.0.0.1", port: int = 0
+) -> StoreHTTPServer:
+    """Build (but do not start) a store service fronting ``target``.
+
+    ``target`` is anything :func:`~repro.runtime.backends.make_backend`
+    accepts *except* another ``http://`` URL — a served store proxying
+    a second served store would stack two retry layers and hide which
+    hop actually holds the corpus, so it is refused outright.
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`StoreHTTPServer.url`.  Callers run the returned server with
+    ``serve_forever()`` (the CLI blocks on it; tests run it in a
+    daemon thread) and must ``shutdown()``/``server_close()`` it.
+    """
+    from . import make_backend
+
+    engine = make_backend(target)
+    if isinstance(engine, HttpBackend):
+        raise ValueError(
+            f"refusing to front another served store ({engine.url}); "
+            "point store-serve at a directory, sqlite, or memory engine"
+        )
+    return StoreHTTPServer((host, port), engine)

@@ -95,6 +95,43 @@ def test_sharded_store_tree_identical_to_unsharded(tmp_path):
     assert tree(sharded_root) == tree(plain_root)
 
 
+def test_sharded_run_through_served_store_matches_local_tree(tmp_path):
+    """The network-hop arm of the sharding matrix: a sharded parallel
+    run whose fork-pool workers reach the parent's served store over
+    TCP must leave the same post-reclaim corpus, canonical-exported
+    byte-identical to a plain local run's tree."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "runtime"))
+    from fault_injection import live_server
+
+    def tree(root):
+        return {
+            p.relative_to(root).as_posix(): p.read_bytes()
+            for p in root.rglob("*")
+            if p.is_file()
+        }
+
+    plain_root = tmp_path / "plain"
+    Session(
+        store=ResultStore(plain_root), executor=make_executor(1, kind="serial")
+    ).run(GOLDEN_SPEC)
+
+    with live_server(f"sqlite://{tmp_path}/served.db") as server:
+        store = ResultStore(server.url)
+        Session(
+            store=store,
+            executor=make_executor(2, kind="parallel"),
+            shards=4,
+        ).run(GOLDEN_SPEC)
+        assert store.backend.doc_count() == 2  # shard docs reclaimed
+        export = tmp_path / "export-http"
+        store.export_canonical(export)
+        store.close()
+    assert tree(export) == tree(plain_root)
+
+
 def test_resharded_rerun_hits_the_same_logical_result(tmp_path):
     """Shard topology never enters the logical fingerprints: a store
     populated at one shard count serves a rerun at any other."""

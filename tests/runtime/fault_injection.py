@@ -1,0 +1,247 @@
+"""Seeded fault injection for store-backend tests.
+
+The http engine's correctness claim is not "it works on a good
+network" but "a flaky network cannot corrupt the corpus": retries
+never double-apply visible effects, partial writes never surface, and
+exports through the hop stay byte-identical to local engines.  This
+module is the harness those claims are proven against, reusable by any
+backend test:
+
+:class:`FaultSchedule`
+    A seeded decision stream: each consulted request is passed through,
+    dropped, delayed, failed with a 5xx, or answered with a truncated
+    body, at configured rates.  Deterministic for a given seed, and
+    bounded — after ``max_consecutive`` back-to-back faults the next
+    request is forced through, so a client with a finite retry budget
+    always makes progress.  A schedule doubles as the
+    ``StoreHTTPServer.fault_injector`` hook (it is callable with the
+    handler's ``(method, path)``).
+
+:class:`FlakyBackend`
+    An engine wrapper that consults a schedule around every operation —
+    the middleware flavor of the same idea.  ``fail_after=True`` raises
+    *after* the wrapped engine applied the operation (the
+    "committed but the acknowledgement was lost" case, the one that
+    smokes out double-apply bugs); ``fail_after=False`` raises before.
+    Served behind a :class:`StoreHTTPServer`, its faults surface as
+    retryable 500s.  The ``applied`` counter records every operation
+    that actually reached the engine, so tests can pin exactly-once
+    *visible* effects against any number of injected failures.
+
+:func:`live_server`
+    A context manager running a served store on an ephemeral port in a
+    daemon thread, yielding the server (``server.url`` is what clients
+    connect to) and guaranteeing shutdown.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import Counter
+from typing import Any, Iterator, Optional, Tuple, Union
+
+from repro.runtime.backends import serve_store
+from repro.runtime.backends.base import StoreBackend
+from repro.runtime.backends.http import StoreHTTPServer
+
+__all__ = [
+    "FaultInjected",
+    "FaultSchedule",
+    "FlakyBackend",
+    "live_server",
+]
+
+#: Actions that fail the request (a delay is injected but still succeeds).
+FAILURE_ACTIONS = ("drop", "error", "truncate")
+
+
+class FaultInjected(ConnectionError):
+    """The error a :class:`FlakyBackend` raises on an injected fault."""
+
+
+class FaultSchedule:
+    """A seeded, rate-configured, thread-safe fault decision stream."""
+
+    def __init__(
+        self,
+        seed: int,
+        drop: float = 0.0,
+        error: float = 0.0,
+        truncate: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: float = 0.002,
+        max_consecutive: int = 3,
+    ):
+        import random
+
+        self.rates = {
+            "drop": float(drop),
+            "error": float(error),
+            "truncate": float(truncate),
+            "delay": float(delay),
+        }
+        if sum(self.rates.values()) > 1.0:
+            raise ValueError("fault rates must sum to at most 1.0")
+        self.delay_seconds = float(delay_seconds)
+        self.max_consecutive = int(max_consecutive)
+        self.total = 0
+        self.injected = 0
+        self.by_action: Counter = Counter()
+        self._rng = random.Random(seed)
+        self._consecutive = 0
+        self._lock = threading.Lock()
+
+    def decide(self) -> Union[None, str, Tuple[str, float]]:
+        """The next request's fate.
+
+        Returns ``None`` (pass through), ``"drop"``, ``"error"``,
+        ``"truncate"``, or ``("delay", seconds)``.  At most
+        ``max_consecutive`` failures in a row: the request after them
+        is forced through, so a finite retry budget always suffices.
+        """
+        with self._lock:
+            self.total += 1
+            if self._consecutive >= self.max_consecutive:
+                self._consecutive = 0
+                return None
+            roll = self._rng.random()
+            edge = 0.0
+            for name in ("drop", "error", "truncate", "delay"):
+                edge += self.rates[name]
+                if roll < edge:
+                    self.injected += 1
+                    self.by_action[name] += 1
+                    if name == "delay":
+                        return ("delay", self.delay_seconds)
+                    self._consecutive += 1
+                    return name
+            self._consecutive = 0
+            return None
+
+    def __call__(self, method: str, path: str) -> Any:
+        """The ``StoreHTTPServer.fault_injector`` signature."""
+        return self.decide()
+
+    @property
+    def failure_count(self) -> int:
+        """Requests that were dropped, errored, or truncated."""
+        return sum(self.by_action[name] for name in FAILURE_ACTIONS)
+
+    @property
+    def failure_fraction(self) -> float:
+        """Failed requests as a fraction of all consulted requests."""
+        return self.failure_count / self.total if self.total else 0.0
+
+
+class FlakyBackend(StoreBackend):
+    """An engine wrapper injecting faults around every operation.
+
+    Faults raise :class:`FaultInjected`; behind a served store that
+    becomes a retryable 500.  ``fail_after=True`` applies the wrapped
+    operation *first* — the lost-acknowledgement case a retrying client
+    must tolerate without double-applying visible effects.
+    """
+
+    name = "flaky"
+
+    def __init__(
+        self,
+        engine: StoreBackend,
+        schedule: FaultSchedule,
+        fail_after: bool = False,
+    ):
+        self.engine = engine
+        self.schedule = schedule
+        self.fail_after = fail_after
+        self.persistent = engine.persistent
+        #: Operations that actually reached the wrapped engine.
+        self.applied: Counter = Counter()
+
+    @property
+    def url(self) -> str:
+        return self.engine.url
+
+    def _guarded(self, op: str, apply):
+        action = self.schedule.decide()
+        if isinstance(action, tuple) and action and action[0] == "delay":
+            time.sleep(float(action[1]))
+            action = None
+        failing = action in FAILURE_ACTIONS
+        if failing and not self.fail_after:
+            raise FaultInjected(f"injected {action} before {op}")
+        result = apply()
+        self.applied[op] += 1
+        if failing:
+            raise FaultInjected(f"injected {action} after {op}")
+        return result
+
+    # Documents -----------------------------------------------------------
+    def get_doc(self, fingerprint: str):
+        return self._guarded("get_doc", lambda: self.engine.get_doc(fingerprint))
+
+    def put_doc(self, fingerprint: str, text: str) -> None:
+        self._guarded("put_doc", lambda: self.engine.put_doc(fingerprint, text))
+
+    def delete_doc(self, fingerprint: str) -> None:
+        self._guarded("delete_doc", lambda: self.engine.delete_doc(fingerprint))
+
+    def iter_docs(self) -> Iterator[str]:
+        return self._guarded("iter_docs", lambda: list(self.engine.iter_docs()))
+
+    def doc_count(self) -> int:
+        return self._guarded("doc_count", self.engine.doc_count)
+
+    # Blobs ---------------------------------------------------------------
+    def get_blob(self, key: str):
+        return self._guarded("get_blob", lambda: self.engine.get_blob(key))
+
+    def put_blob(self, key: str, payload: bytes) -> None:
+        self._guarded("put_blob", lambda: self.engine.put_blob(key, payload))
+
+    def delete_blob(self, key: str) -> None:
+        self._guarded("delete_blob", lambda: self.engine.delete_blob(key))
+
+    def iter_blobs(self) -> Iterator[str]:
+        return self._guarded("iter_blobs", lambda: list(self.engine.iter_blobs()))
+
+    def blob_count(self) -> int:
+        return self._guarded("blob_count", self.engine.blob_count)
+
+    # Maintenance ---------------------------------------------------------
+    def clear_documents(self) -> int:
+        return self._guarded("clear_documents", self.engine.clear_documents)
+
+    def clear_blobs(self) -> int:
+        return self._guarded("clear_blobs", self.engine.clear_blobs)
+
+    def disk_bytes(self) -> int:
+        return self._guarded("disk_bytes", self.engine.disk_bytes)
+
+    def close(self) -> None:
+        self.engine.close()
+
+
+@contextlib.contextmanager
+def live_server(
+    target: Any = "memory://",
+    injector: Optional[FaultSchedule] = None,
+    host: str = "127.0.0.1",
+):
+    """A served store on an ephemeral port, shut down on exit.
+
+    ``target`` is anything ``make_backend`` accepts (URL, path, or a
+    live engine — e.g. a :class:`FlakyBackend`); ``injector`` installs
+    a wire-level fault hook on the server.
+    """
+    server: StoreHTTPServer = serve_store(target, host=host, port=0)
+    server.fault_injector = injector
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

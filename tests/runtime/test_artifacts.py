@@ -297,6 +297,39 @@ class TestTier2:
         cold = ArtifactCache(enabled=True)
         assert cold.get("baseline", ("k",)) == baseline
 
+    def test_served_store_as_tier2(self, monkeypatch, tmp_path):
+        """``REPRO_ARTIFACTS_TIER2=http://…`` rides the blob side of a
+        served store: streams land there and a fresh cache (a restarted
+        process, conceptually) is served bit for bit over the wire."""
+        from fault_injection import live_server
+
+        with live_server(f"sqlite://{tmp_path}/artifacts.db") as server:
+            monkeypatch.setenv("REPRO_ARTIFACTS_TIER2", server.url)
+            built = []
+
+            def build():
+                built.append(1)
+                arrivals = np.arange(5, dtype=np.float64) * 0.5
+                works = np.arange(5, dtype=np.float64) + 1.25
+                arrivals.flags.writeable = False
+                works.flags.writeable = False
+                return arrivals, works
+
+            warm = ArtifactCache(enabled=True)
+            first = warm.get_or_make("stream", ("k",), build)
+            cold = ArtifactCache(enabled=True)
+            second = cold.get_or_make("stream", ("k",), build)
+            assert built == [1]
+            assert np.array_equal(first[0], second[0])
+            assert np.array_equal(first[1], second[1])
+            assert cold.stats()["tier2"]["kinds"]["stream"]["hits"] == 1
+            # The payload really lives behind the served engine.
+            from repro.runtime.backends import make_backend
+
+            served = make_backend(f"sqlite://{tmp_path}/artifacts.db")
+            assert served.blob_count() >= 1
+            served.close()
+
     def test_object_kinds_stay_process_local(self, tier2_url):
         """Kinds without an exact-round-trip codec never persist."""
         ArtifactCache(enabled=True).put("lc_workload", ("k",), object())

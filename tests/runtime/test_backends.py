@@ -1,13 +1,16 @@
 """Tests for the pluggable storage backends and their shared contract."""
 
+import contextlib
 import json
 import os
 
 import pytest
 
+from fault_injection import live_server
 from repro.runtime.backends import (
     BACKENDS,
     DirectoryBackend,
+    HttpBackend,
     MemoryBackend,
     SqliteBackend,
     StoreBackend,
@@ -20,11 +23,14 @@ from repro.runtime.store import (
     migrate_store,
 )
 
-BACKEND_NAMES = ("directory", "sqlite", "memory")
+BACKEND_NAMES = ("directory", "sqlite", "memory", "http")
+
+#: The engines with their own media (http serves one of these).
+LOCAL_BACKEND_NAMES = ("directory", "sqlite", "memory")
 
 
 def make_target(name: str, tmp_path):
-    """A store target string (or None) for one backend under tmp_path."""
+    """A store target string (or None) for one local backend."""
     if name == "directory":
         return str(tmp_path / "tree")
     if name == "sqlite":
@@ -32,9 +38,30 @@ def make_target(name: str, tmp_path):
     return None
 
 
+@pytest.fixture
+def target_factory(tmp_path):
+    """``factory(name, label)`` → a store target for any engine.
+
+    For the http engine this starts a real in-process served store
+    (sqlite-backed, under ``tmp_path/<label>``) and returns its URL;
+    servers are shut down when the test ends.
+    """
+    with contextlib.ExitStack() as stack:
+
+        def factory(name: str, label: str = "t"):
+            if name == "http":
+                served = f"sqlite://{tmp_path}/{label}-served.db"
+                return stack.enter_context(live_server(served)).url
+            return make_target(name, tmp_path / label)
+
+        yield factory
+
+
 @pytest.fixture(params=BACKEND_NAMES)
-def backend(request, tmp_path):
-    instance = make_backend(make_target(request.param, tmp_path))
+def backend(request, target_factory):
+    instance = make_backend(target_factory(request.param))
+    if isinstance(instance, HttpBackend):
+        instance.backoff = 0.001  # keep test-suite retries snappy
     yield instance
     instance.close()
 
@@ -62,6 +89,12 @@ class TestParseStoreUrl:
     def test_empty_is_memory(self):
         assert parse_store_url("") == ("memory", None)
 
+    def test_http_url(self):
+        assert parse_store_url("http://127.0.0.1:8377") == (
+            "http",
+            "127.0.0.1:8377",
+        )
+
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError, match="unknown store backend"):
             parse_store_url("redis://localhost/0")
@@ -69,6 +102,10 @@ class TestParseStoreUrl:
     def test_schemed_url_requires_path(self):
         with pytest.raises(ValueError, match="missing its path"):
             parse_store_url("sqlite://")
+
+    def test_http_url_requires_host(self):
+        with pytest.raises(ValueError, match="missing its path"):
+            parse_store_url("http://")
 
 
 class TestMakeBackend:
@@ -96,6 +133,15 @@ class TestMakeBackend:
             second = make_backend(first.url)
             assert second.name == first.name
             assert second.url == first.url
+
+    def test_http_url_round_trips_without_connecting(self):
+        # Construction must never touch the network: port 9 (discard)
+        # would hang or refuse if it did.
+        client = make_backend("http://127.0.0.1:9")
+        assert client.name == "http"
+        assert client.persistent
+        assert client.url == "http://127.0.0.1:9"
+        assert make_backend(client.url).url == client.url
 
 
 class TestBackendContract:
@@ -163,9 +209,9 @@ class TestBackendContract:
 
 
 class TestPersistence:
-    @pytest.mark.parametrize("name", ["directory", "sqlite"])
-    def test_second_handle_sees_the_corpus(self, name, tmp_path):
-        target = make_target(name, tmp_path)
+    @pytest.mark.parametrize("name", ["directory", "sqlite", "http"])
+    def test_second_handle_sees_the_corpus(self, name, target_factory):
+        target = target_factory(name)
         writer = make_backend(target)
         writer.put_doc("ab" * 32, "doc")
         writer.put_blob("cd" * 32, b"blob")
@@ -231,7 +277,7 @@ def _tree_bytes(root):
 
 
 class TestCanonicalExport:
-    def test_exports_byte_identical_across_backends(self, tmp_path):
+    def test_exports_byte_identical_across_backends(self, tmp_path, target_factory):
         docs = {
             "ab" * 32: '{"kind":"run","x":1.5}',
             "cd" * 32: '{"kind":"baseline","latencies":[1.0,2.25]}',
@@ -239,7 +285,7 @@ class TestCanonicalExport:
         }
         exports = {}
         for name in BACKEND_NAMES:
-            backend = make_backend(make_target(name, tmp_path / name))
+            backend = make_backend(target_factory(name, name))
             for fp, text in docs.items():
                 backend.put_doc(fp, text)
             destination = tmp_path / f"export-{name}"
@@ -248,8 +294,11 @@ class TestCanonicalExport:
             backend.close()
         assert exports["sqlite"] == exports["directory"]
         assert exports["memory"] == exports["directory"]
+        assert exports["http"] == exports["directory"]  # the network hop
         # And the export reproduces the directory backend's own layout.
-        assert exports["directory"] == _tree_bytes(tmp_path / "directory" / "tree")
+        assert exports["directory"] == _tree_bytes(
+            tmp_path / "directory" / "tree"
+        )
 
     def test_export_skips_blobs(self, tmp_path):
         backend = MemoryBackend()
@@ -264,14 +313,16 @@ class TestCanonicalExport:
 class TestMigrate:
     @pytest.mark.parametrize("src_name", BACKEND_NAMES)
     @pytest.mark.parametrize("dst_name", BACKEND_NAMES)
-    def test_migrate_preserves_export_bytes(self, src_name, dst_name, tmp_path):
+    def test_migrate_preserves_export_bytes(
+        self, src_name, dst_name, tmp_path, target_factory
+    ):
         if src_name == dst_name == "memory":
             pytest.skip("two memory targets resolve to two empty stores")
-        src = make_backend(make_target(src_name, tmp_path / "src"))
+        src = make_backend(target_factory(src_name, "src"))
         src.put_doc("ab" * 32, '{"kind":"run","x":1}')
         src.put_doc("cd" * 32, '{"kind":"baseline","t":2.5}')
         src.put_blob("ef" * 32, b"artifact-bytes")
-        dst = make_backend(make_target(dst_name, tmp_path / "dst"))
+        dst = make_backend(target_factory(dst_name, "dst"))
         counts = migrate_store(src, dst)
         assert counts == {"documents": 2, "blobs": 1}
         src_export, dst_export = tmp_path / "se", tmp_path / "de"
@@ -359,3 +410,21 @@ class TestFacadeIdentity:
         reopened = ResultStore(parent.share_target())
         parent.put("ab" * 32, {"kind": "run", "x": 1})
         assert reopened.get("ab" * 32)["x"] == 1
+
+    def test_http_store_exposes_share_target(self, target_factory):
+        url = target_factory("http")
+        store = ResultStore(url)
+        assert store.persistent
+        assert store.share_target() == url
+        assert store.memo_key == url
+        assert store.root is None
+
+    def test_http_share_target_reopens_the_served_corpus(self, target_factory):
+        # The pool-worker handoff: a second façade built from
+        # share_target() must see the parent's writes over the wire.
+        parent = ResultStore(target_factory("http"))
+        parent.put("ab" * 32, {"kind": "run", "x": 1})
+        reopened = ResultStore(parent.share_target())
+        assert reopened.get("ab" * 32)["x"] == 1
+        parent.close()
+        reopened.close()

@@ -1,0 +1,221 @@
+"""The fault wall: retries recover, effects stay exactly-once.
+
+Pins the harness itself (seeded schedules are deterministic and
+bounded) and the http engine's behavior under it: N injected failures
+of every flavor — dropped connections, 5xx errors, truncated response
+bodies, delays, lost acknowledgements — end in a successful retried
+outcome whose *visible* effects happened exactly once, and a torn
+request body never reaches the engine at all.
+"""
+
+import socket
+
+import pytest
+
+from fault_injection import (
+    FAILURE_ACTIONS,
+    FaultInjected,
+    FaultSchedule,
+    FlakyBackend,
+    live_server,
+)
+from repro.runtime.backends import HttpBackend, make_backend
+from repro.runtime.backends.http import StoreUnavailable
+from repro.runtime.backends.memory import MemoryBackend
+
+FP = "ab" * 32  # a well-formed 64-hex fingerprint
+DOC = '{"kind": "run", "value": 1}'
+
+
+def fast_client(url, retries=8):
+    """An http engine tuned for tests: patient retries, tiny backoff."""
+    return HttpBackend(url.replace("http://", ""), retries=retries, backoff=0.001)
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_stream(self):
+        streams = []
+        for _ in range(2):
+            schedule = FaultSchedule(7, drop=0.2, error=0.2, truncate=0.1)
+            streams.append([schedule.decide() for _ in range(200)])
+        assert streams[0] == streams[1]
+        assert any(action in FAILURE_ACTIONS for action in streams[0])
+
+    def test_distinct_seeds_diverge(self):
+        a = [FaultSchedule(1, drop=0.5).decide() for _ in range(100)]
+        b = [FaultSchedule(2, drop=0.5).decide() for _ in range(100)]
+        assert a != b
+
+    def test_max_consecutive_bounds_failure_runs(self):
+        schedule = FaultSchedule(3, drop=0.95, max_consecutive=3)
+        run = longest = 0
+        for _ in range(500):
+            if schedule.decide() in FAILURE_ACTIONS:
+                run += 1
+                longest = max(longest, run)
+            else:
+                run = 0
+        assert longest <= 3
+
+    def test_counters_track_injections(self):
+        schedule = FaultSchedule(11, drop=0.3, error=0.3)
+        for _ in range(300):
+            schedule.decide()
+        assert schedule.total == 300
+        assert schedule.failure_count == schedule.injected
+        assert 0.2 < schedule.failure_fraction < 0.7
+
+    def test_delay_succeeds_and_is_counted(self):
+        schedule = FaultSchedule(5, delay=1.0, delay_seconds=0.0)
+        action = schedule.decide()
+        assert action == ("delay", 0.0)
+        assert schedule.failure_count == 0 and schedule.injected == 1
+
+
+class TestWireFaultsRecovered:
+    """Every wire-level fault flavor ends in a correct retried outcome."""
+
+    @pytest.mark.parametrize("flavor", ["drop", "error", "truncate"])
+    def test_injected_failures_then_success(self, flavor):
+        schedule = FaultSchedule(21, **{flavor: 0.5})
+        with live_server("memory://", injector=schedule) as server:
+            client = fast_client(server.url)
+            for i in range(10):
+                fp = f"{i:02x}" * 32
+                client.put_doc(fp, DOC)
+                assert client.get_doc(fp) == DOC
+            assert client.doc_count() == 10
+            assert sorted(client.iter_docs()) == sorted(
+                f"{i:02x}" * 32 for i in range(10)
+            )
+        assert schedule.by_action[flavor] > 0  # the wall actually fired
+
+    def test_delay_flavor_just_slows_requests(self):
+        schedule = FaultSchedule(22, delay=0.6, delay_seconds=0.001)
+        with live_server("memory://", injector=schedule) as server:
+            client = fast_client(server.url, retries=0)  # no retry needed
+            client.put_blob(FP, b"payload")
+            assert client.get_blob(FP) == b"payload"
+        assert schedule.by_action["delay"] > 0
+
+    def test_truncated_body_never_surfaces_short(self):
+        # Every truncated response must become a retry, never a short
+        # payload handed to the caller.
+        schedule = FaultSchedule(23, truncate=0.7, max_consecutive=1)
+        payload = bytes(range(256)) * 8
+        with live_server("memory://", injector=schedule) as server:
+            client = fast_client(server.url)
+            client.put_blob(FP, payload)
+            for _ in range(20):
+                assert client.get_blob(FP) == payload
+        assert schedule.by_action["truncate"] > 0
+
+    def test_retries_exhausted_raises_store_unavailable(self):
+        schedule = FaultSchedule(24, drop=1.0, max_consecutive=10 ** 9)
+        with live_server("memory://", injector=schedule) as server:
+            client = fast_client(server.url, retries=2)
+            with pytest.raises(StoreUnavailable):
+                client.get_doc(FP)
+        assert schedule.total == 3  # initial attempt + 2 retries
+
+    def test_unreachable_server_raises_store_unavailable(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here any more
+        client = HttpBackend(f"127.0.0.1:{port}", retries=1, backoff=0.001)
+        with pytest.raises(StoreUnavailable):
+            client.put_doc(FP, DOC)
+
+
+class TestExactlyOnce:
+    """N injected failures → exactly-once visible effects."""
+
+    def test_fail_before_applies_exactly_once(self):
+        # Faults fire before the engine applies: each logical operation
+        # reaches the engine exactly once no matter how many retries it
+        # took to get there.
+        schedule = FaultSchedule(31, error=0.5)
+        flaky = FlakyBackend(MemoryBackend(), schedule, fail_after=False)
+        with live_server(flaky) as server:
+            client = fast_client(server.url)
+            client.put_doc(FP, DOC)
+            client.put_blob(FP, b"blob-bytes")
+        assert flaky.applied["put_doc"] == 1
+        assert flaky.applied["put_blob"] == 1
+        assert flaky.engine.get_doc(FP) == DOC
+        assert flaky.engine.get_blob(FP) == b"blob-bytes"
+        assert schedule.failure_count > 0
+
+    def test_lost_acknowledgement_never_double_applies_visibly(self):
+        # fail_after: the engine applied the put but the response was
+        # lost.  The retry re-applies — and because keys are content
+        # fingerprints the corpus still shows the effect exactly once.
+        schedule = FaultSchedule(32, error=0.6)
+        flaky = FlakyBackend(MemoryBackend(), schedule, fail_after=True)
+        with live_server(flaky) as server:
+            client = fast_client(server.url)
+            for i in range(6):
+                client.put_doc(f"{i:02x}" * 32, DOC)
+        assert flaky.applied["put_doc"] > 6  # some retried after applying
+        assert flaky.engine.doc_count() == 6  # ...visible exactly once
+        for i in range(6):
+            assert flaky.engine.get_doc(f"{i:02x}" * 32) == DOC
+
+    def test_delete_retried_through_lost_ack(self):
+        schedule = FaultSchedule(33, error=0.5)
+        engine = MemoryBackend()
+        engine.put_doc(FP, DOC)
+        flaky = FlakyBackend(engine, schedule, fail_after=True)
+        with live_server(flaky) as server:
+            client = fast_client(server.url)
+            client.delete_doc(FP)
+            assert client.get_doc(FP) is None
+        assert engine.doc_count() == 0
+
+
+class TestPartialWrites:
+    """A torn request body never reaches the engine."""
+
+    def test_short_body_put_is_refused_unapplied(self):
+        with live_server("memory://") as server:
+            host, port = server.server_address[0], server.server_port
+            raw = socket.create_connection((host, port), timeout=5)
+            raw.sendall(
+                f"PUT /docs/{FP} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                "Content-Length: 4096\r\n"
+                "\r\n".encode("ascii")
+            )
+            raw.sendall(b'{"torn"')  # a fraction of the promised body
+            raw.close()  # the "client" dies mid-upload
+            client = fast_client(server.url)
+            assert client.get_doc(FP) is None  # nothing surfaced
+            assert client.doc_count() == 0
+
+    def test_malformed_key_is_refused(self):
+        with live_server("memory://") as server:
+            client = fast_client(server.url, retries=0)
+            with pytest.raises(StoreUnavailable):
+                client.put_doc("../escape", DOC)
+            assert client.doc_count() == 0
+
+
+class TestFlakyBackendDirect:
+    """The wrapper is reusable by any backend test, server or not."""
+
+    def test_raises_fault_injected(self):
+        flaky = FlakyBackend(
+            MemoryBackend(), FaultSchedule(41, drop=1.0, max_consecutive=1)
+        )
+        with pytest.raises(FaultInjected):
+            flaky.put_doc(FP, DOC)
+        flaky.put_doc(FP, DOC)  # forced-through request succeeds
+        assert flaky.engine.get_doc(FP) == DOC
+
+    def test_wraps_any_engine(self):
+        flaky = FlakyBackend(MemoryBackend(), FaultSchedule(42))
+        assert make_backend(flaky) is flaky
+        flaky.put_blob(FP, b"x")
+        assert list(flaky.iter_blobs()) == [FP]
+        assert flaky.clear_blobs() == 1

@@ -1,0 +1,164 @@
+"""Many clients, one served store: the final corpus is the serial oracle.
+
+The runtime's real write pattern is racy by construction — a sweep's
+workers all put the same canonical text under the same content
+fingerprint, and blob writes interleave freely.  Correctness therefore
+means: however many threads or processes hammer one served store, the
+corpus they leave is byte-identical to applying the operations
+serially against a local engine.  These tests pin that, with and
+without a fault injector in the wire.
+"""
+
+import json
+import multiprocessing
+import random
+import threading
+
+from fault_injection import FaultSchedule, live_server
+from repro.runtime.backends import HttpBackend, make_backend
+
+#: The corpus every scenario must converge to: duplicate-fingerprint
+#: document puts (identical canonical text, as the runtime guarantees)
+#: and interleaved blob writes.
+DOCS = {
+    f"{i:02x}" * 32: json.dumps({"kind": "run", "i": i}, sort_keys=True)
+    for i in range(16)
+}
+BLOBS = {f"{i + 16:02x}" * 32: bytes([i]) * (64 + i) for i in range(16)}
+
+
+def _client(url, retries=8):
+    return HttpBackend(url.replace("http://", ""), retries=retries, backoff=0.001)
+
+
+def _ops(seed):
+    """One worker's operation list: every doc and blob, shuffled — so
+    every key is written by every worker, in a different order each."""
+    ops = [("doc", fp, text) for fp, text in DOCS.items()]
+    ops += [("blob", key, payload) for key, payload in BLOBS.items()]
+    random.Random(seed).shuffle(ops)
+    return ops
+
+
+def _apply(backend, seed):
+    for kind, key, value in _ops(seed):
+        if kind == "doc":
+            backend.put_doc(key, value)
+        else:
+            backend.put_blob(key, value)
+
+
+def _corpus(backend):
+    """The full logical corpus: doc texts and blob bytes by key."""
+    docs = {fp: backend.get_doc(fp) for fp in backend.iter_docs()}
+    blobs = {key: backend.get_blob(key) for key in backend.iter_blobs()}
+    return docs, blobs
+
+
+def _serial_oracle():
+    oracle = make_backend(None)
+    _apply(oracle, seed=0)
+    return _corpus(oracle)
+
+
+def _pool_hammer(job):
+    """Process-pool worker: open the served store by URL and hammer it."""
+    url, seed = job
+    client = _client(url)
+    _apply(client, seed)
+    client.close()
+    return seed
+
+
+class TestThreadStress:
+    def test_threads_converge_to_serial_oracle(self, tmp_path):
+        with live_server(f"sqlite://{tmp_path}/served.db") as server:
+            workers = [
+                threading.Thread(
+                    target=_apply, args=(_client(server.url), seed)
+                )
+                for seed in range(8)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=60)
+            assert not any(w.is_alive() for w in workers)
+            assert _corpus(_client(server.url)) == _serial_oracle()
+
+    def test_threads_with_faults_converge_too(self, tmp_path):
+        schedule = FaultSchedule(77, drop=0.1, error=0.1, truncate=0.05)
+        with live_server(
+            f"sqlite://{tmp_path}/served.db", injector=schedule
+        ) as server:
+            workers = [
+                threading.Thread(
+                    target=_apply, args=(_client(server.url, retries=12), seed)
+                )
+                for seed in range(4)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+            assert not any(w.is_alive() for w in workers)
+            assert _corpus(_client(server.url)) == _serial_oracle()
+        assert schedule.failure_count > 0
+
+    def test_one_shared_client_across_threads(self, tmp_path):
+        # The connection pool itself is the racy part here: one client
+        # object, eight threads.
+        with live_server(f"sqlite://{tmp_path}/served.db") as server:
+            shared = _client(server.url)
+            workers = [
+                threading.Thread(target=_apply, args=(shared, seed))
+                for seed in range(8)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=60)
+            assert not any(w.is_alive() for w in workers)
+            assert _corpus(shared) == _serial_oracle()
+            shared.close()
+
+
+class TestProcessStress:
+    def test_process_pool_converges_to_serial_oracle(self, tmp_path):
+        with live_server(f"sqlite://{tmp_path}/served.db") as server:
+            jobs = [(server.url, seed) for seed in range(4)]
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(4) as pool:
+                done = pool.map(_pool_hammer, jobs)
+            assert sorted(done) == [0, 1, 2, 3]
+            assert _corpus(_client(server.url)) == _serial_oracle()
+
+    def test_forked_worker_discards_inherited_connections(self, tmp_path):
+        # A client whose pool already holds live keep-alive connections
+        # is inherited across fork(); the child must open its own TCP
+        # streams rather than interleave on the parent's.
+        with live_server(f"sqlite://{tmp_path}/served.db") as server:
+            client = _client(server.url)
+            _apply(client, seed=1)  # parent uses it: pool is warm
+            _INHERITED["client"] = client
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(1) as pool:  # fork inherits _INHERITED
+                    assert pool.apply(_run_inherited)
+            finally:
+                _INHERITED.clear()
+            # The parent's handle still works afterwards.
+            assert _corpus(client) == _serial_oracle()
+            client.close()
+
+
+#: Fork-inheritance plumbing for the test above (set pre-fork).
+_INHERITED = {}
+
+
+def _run_inherited():
+    """Runs in the forked child with the parent's client object."""
+    client = _INHERITED["client"]
+    _apply(client, seed=99)
+    docs, blobs = _corpus(client)
+    return docs == DOCS and blobs == BLOBS

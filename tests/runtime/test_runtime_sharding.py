@@ -224,14 +224,27 @@ class TestSessionSharding:
         )
         assert kinds == ["baseline", "run"]
 
-    @pytest.mark.parametrize("backend_name", ["directory", "sqlite", "memory"])
+    @pytest.mark.parametrize(
+        "backend_name", ["directory", "sqlite", "memory", "http"]
+    )
     def test_shard_reclaim_on_every_backend(self, backend_name, tmp_path):
         # The reclaim sweep runs through the façade's discard path, so
-        # every engine must end up with the same post-merge corpus.
+        # every engine must end up with the same post-merge corpus —
+        # including a store reached over the network hop.
+        import contextlib
+
+        from fault_injection import live_server
+
+        stack = contextlib.ExitStack()
         if backend_name == "directory":
             store = ResultStore(str(tmp_path / "tree"))
         elif backend_name == "sqlite":
             store = ResultStore(f"sqlite://{tmp_path}/store.db")
+        elif backend_name == "http":
+            server = stack.enter_context(
+                live_server(f"sqlite://{tmp_path}/served.db")
+            )
+            store = ResultStore(server.url)
         else:
             store = ResultStore(None)
         Session(store=store, executor=SerialExecutor(), shards=2).run(
@@ -247,6 +260,7 @@ class TestSessionSharding:
         )
         assert kinds == ["baseline", "run"]
         store.close()
+        stack.close()
 
     def test_memory_store_with_process_pool_skips_shard_phase(self):
         # A memory-only store cannot carry merged baselines into pool

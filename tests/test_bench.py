@@ -7,8 +7,10 @@ import pytest
 from repro.bench import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_V1,
+    BENCH_SCHEMA_V4,
     KERNEL_NAMES,
     LEGACY_KERNEL_NAMES,
+    STORE_BACKEND_NAMES,
     default_bench_path,
     format_bench,
     run_bench,
@@ -62,6 +64,29 @@ class TestRunBench:
 
     def test_validates_clean(self, quick_payload):
         assert validate_bench(quick_payload) == []
+
+    def test_store_kernel_times_every_engine_with_percentiles(
+        self, quick_payload
+    ):
+        """The v5 generation's per-backend kernel covers all four
+        engines — including http against a live served store — with
+        tail percentiles per operation."""
+        backends = quick_payload["kernels"]["store_backend_roundtrip"][
+            "backends"
+        ]
+        assert set(STORE_BACKEND_NAMES) <= set(backends)
+        for name in STORE_BACKEND_NAMES:
+            for op in ("put", "get"):
+                stats = backends[name][op]
+                assert (
+                    0
+                    < stats["p50_ns"]
+                    <= stats["p90_ns"]
+                    <= stats["p99_ns"]
+                )
+
+    def test_format_bench_reports_http_tail(self, quick_payload):
+        assert "http p50 put" in format_bench(quick_payload)
 
     def test_repeats_validation(self):
         with pytest.raises(ValueError):
@@ -156,7 +181,7 @@ class TestWriteBench:
                 assert payload["kernels"]["warm_sweep_grid"]["speedup"] >= 2.0
                 assert payload["kernels"]["stream_synthesis"]["speedup"] > 1.0
             if document.name == "BENCH_pr7.json":
-                assert payload["schema"] == BENCH_SCHEMA
+                assert payload["schema"] == BENCH_SCHEMA_V4
                 assert payload["kernels"]["trace_replay"]["speedup"] >= 3.0
                 assert payload["kernels"]["warm_sweep_grid"]["speedup"] >= 2.0
                 replay = payload["kernels"]["joint_replay_grid"]
@@ -198,6 +223,25 @@ class TestWriteBench:
         problems = validate_bench(retagged)
         for name in missing:
             assert any(name in p for p in problems)
+
+    def test_v4_generation_validates_against_its_own_backends(self):
+        """A repro-bench/4 document (BENCH_pr7.json) predates the http
+        store engine: it must stay valid as-is with three backends, and
+        retagging it as the current generation must flag the missing
+        http arm of the store kernel."""
+        import pathlib
+
+        from repro.bench import V4_STORE_BACKEND_NAMES
+
+        perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        payload = json.loads((perf / "BENCH_pr7.json").read_text())
+        assert payload["schema"] == BENCH_SCHEMA_V4
+        assert validate_bench(payload) == []
+        backends = payload["kernels"]["store_backend_roundtrip"]["backends"]
+        assert set(backends) == set(V4_STORE_BACKEND_NAMES)
+        retagged = dict(payload, schema=BENCH_SCHEMA)
+        problems = validate_bench(retagged)
+        assert any("http" in p for p in problems)
 
 
 def test_format_bench_lists_every_kernel(quick_payload):

@@ -1,6 +1,13 @@
 """Tests for the repro CLI."""
 
+import sys
+from pathlib import Path
+
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent / "runtime"))
+
+from fault_injection import live_server  # noqa: E402
 
 from repro.cli import main
 
@@ -255,4 +262,91 @@ class TestStorageCLI:
 
     def test_list_mentions_store(self, capsys):
         assert main(["list"]) == 0
-        assert "--store" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "--store" in out
+        assert "store-serve" in out
+
+
+class TestStoreServeCLI:
+    """``repro store-serve`` and the cache command over the hop."""
+
+    RUN_ARGS = TestStorageCLI.RUN_ARGS
+
+    def test_store_serve_prints_urls_and_exits(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.runtime.backends.http import StoreHTTPServer
+
+        monkeypatch.setattr(StoreHTTPServer, "serve_forever", lambda self: None)
+        url = f"sqlite://{tmp_path}/served.db"
+        assert main(["store-serve", "--store", url, "--port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"serving {url} at http://127.0.0.1:" in out
+
+    def test_store_serve_refuses_fronting_http(self, monkeypatch):
+        with pytest.raises(ValueError, match="refusing to front"):
+            main(["store-serve", "--store", "http://127.0.0.1:9", "--port", "0"])
+
+    def test_run_and_cache_stats_over_http(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with live_server(f"sqlite://{tmp_path}/served.db") as server:
+            assert main(self.RUN_ARGS + ["--store", server.url]) == 0
+            capsys.readouterr()
+            assert main(["cache", "--store", server.url, "--stats"]) == 0
+            out = capsys.readouterr().out
+            assert "http" in out
+            assert server.url in out
+            assert "kind: run" in out
+
+    def test_env_url_reaches_served_store(self, capsys, monkeypatch, tmp_path):
+        with live_server(f"sqlite://{tmp_path}/served.db") as server:
+            monkeypatch.setenv("REPRO_STORE", server.url)
+            assert main(self.RUN_ARGS) == 0
+            capsys.readouterr()
+            assert main(["cache"]) == 0
+            out = capsys.readouterr().out
+            assert "http" in out
+
+    def test_cache_migrate_round_trip_through_http(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        origin = f"sqlite://{tmp_path}/origin.db"
+        assert main(self.RUN_ARGS + ["--store", origin]) == 0
+        capsys.readouterr()
+        with live_server(f"sqlite://{tmp_path}/served.db") as server:
+            assert main(["cache", "--migrate", origin, server.url]) == 0
+            assert "migrated" in capsys.readouterr().out
+            back = f"sqlite://{tmp_path}/back.db"
+            assert main(["cache", "--migrate", server.url, back]) == 0
+            capsys.readouterr()
+            for target, label in (
+                (origin, "origin"),
+                (server.url, "served"),
+                (back, "back"),
+            ):
+                assert (
+                    main(
+                        [
+                            "cache",
+                            "--store",
+                            target,
+                            "--export",
+                            str(tmp_path / f"export-{label}"),
+                        ]
+                    )
+                    == 0
+                )
+        capsys.readouterr()
+
+        def docs(label):
+            return {
+                p.name: p.read_bytes()
+                for p in (tmp_path / f"export-{label}").rglob("*.json")
+            }
+
+        assert docs("origin")
+        assert docs("served") == docs("origin")
+        assert docs("back") == docs("origin")
