@@ -2,7 +2,7 @@
 
 The ROADMAP's north star is "as fast as the hardware allows", which is
 only meaningful with a *trajectory*: numbers written down, schema-
-stable, and comparable across revisions.  This module times eight
+stable, and comparable across revisions.  This module times nine
 canonical kernels that cover the stack's hot layers and writes a
 ``BENCH_<revision>.json`` document (under ``benchmarks/perf/`` by
 convention):
@@ -36,6 +36,15 @@ convention):
     cache's tail latency is what callers actually feel).  The
     acceptance floor for the sqlite engine is sub-millisecond median
     get and put.
+``cluster_roundtrip``
+    Put/get latency through a live 3-node/R=2 ``cluster://`` fabric
+    (three in-process served stores, loopback TCP), plus a
+    **degraded-mode read** pass: one node's service is closed and a
+    fresh client — no pooled connections to hide behind — re-reads the
+    corpus, so ``degraded_get`` prices real failover (connection
+    refused, then the circuit breaker sidelining the dead node) rather
+    than a warm keep-alive fiction.  p50/p90/p99 nanoseconds per
+    operation for ``put``, ``get``, and ``degraded_get``.
 ``warm_sweep_grid``
     The shared-state derivation of a 3-policy × 2-load sweep grid —
     per cell: workload objects, the three-instance isolated baseline,
@@ -100,10 +109,12 @@ __all__ = [
     "BENCH_SCHEMA_V2",
     "BENCH_SCHEMA_V3",
     "BENCH_SCHEMA_V4",
+    "BENCH_SCHEMA_V5",
     "KERNEL_NAMES",
     "LEGACY_KERNEL_NAMES",
     "V2_KERNEL_NAMES",
     "V3_KERNEL_NAMES",
+    "V5_KERNEL_NAMES",
     "STORE_BACKEND_NAMES",
     "V4_STORE_BACKEND_NAMES",
     "run_bench",
@@ -115,11 +126,16 @@ __all__ = [
 
 #: Schema identifier stamped into every document; bump only when the
 #: document layout changes (CI fails on drift against this module).
-BENCH_SCHEMA = "repro-bench/5"
+BENCH_SCHEMA = "repro-bench/6"
 
-#: The previous generation: same eight kernels, but its per-backend
-#: store kernel predates the http engine (three backends, not four).
+#: The previous generation: eight kernels — everything but the
+#: ``cluster_roundtrip`` fabric kernel, which joined in generation 6.
 #: Committed trajectory documents written under it stay valid forever.
+BENCH_SCHEMA_V5 = "repro-bench/5"
+
+#: The generation before that: same eight kernels as v5, but its
+#: per-backend store kernel predates the http engine (three backends,
+#: not four).
 BENCH_SCHEMA_V4 = "repro-bench/4"
 
 #: The generation before that: seven kernels, no grouped-replay kernel.
@@ -141,6 +157,7 @@ KERNEL_NAMES = (
     "stream_synthesis",
     "store_backend_roundtrip",
     "joint_replay_grid",
+    "cluster_roundtrip",
 )
 
 #: The kernel set of generation-1 documents (``BENCH_pr4.json``).
@@ -151,6 +168,9 @@ V2_KERNEL_NAMES = KERNEL_NAMES[:6]
 
 #: The kernel set of generation-3 documents (``BENCH_pr6.json``).
 V3_KERNEL_NAMES = KERNEL_NAMES[:7]
+
+#: The kernel set of generation-4/5 documents (``BENCH_pr7/pr8.json``).
+V5_KERNEL_NAMES = KERNEL_NAMES[:8]
 
 #: Storage engines the per-backend kernel times, in reporting order.
 STORE_BACKEND_NAMES = ("directory", "sqlite", "memory", "http")
@@ -692,6 +712,110 @@ def _bench_store_backend_roundtrip(documents: int, repeats: int) -> Dict[str, An
     )
 
 
+def _bench_cluster_roundtrip(
+    documents: int, repeats: int, nodes: int = 3, replicas: int = 2
+) -> Dict[str, Any]:
+    """Fabric put/get plus the degraded read after a node dies.
+
+    Every repeat serves ``nodes`` fresh in-process stores (memory
+    engines over loopback TCP), opens a ``cluster://`` fabric with
+    replication ``replicas`` over them, and times each façade put and
+    cold get individually — each put is ``replicas`` wire writes, so
+    this prices what replication actually costs over the single-node
+    ``http`` row of ``store_backend_roundtrip``.
+
+    Then node 0's service is closed and the corpus is re-read through a
+    **fresh** fabric client: a fresh client holds no pooled keep-alive
+    connections, so reads whose preferred replica died pay the real
+    failover (connection refused, retry, the next replica) until the
+    circuit breaker sidelines the dead node — the ``degraded_get``
+    percentiles are the tail a sweep feels while a node is down.
+    """
+    import threading
+
+    from .runtime.backends import serve_store
+    from .runtime.backends.cluster import ClusterBackend
+    from .runtime.store import ResultStore
+
+    payload = {
+        "kind": "bench",
+        "result": {"metric": 1.0, "values": list(range(32))},
+    }
+    fingerprints = [f"{index:064x}" for index in range(documents)]
+    client_options = {"timeout": 10.0, "retries": 2, "backoff": 0.002}
+    op_times: Dict[str, List[int]] = {"put": [], "get": [], "degraded_get": []}
+    samples: List[float] = []
+    for _ in range(repeats):
+        servers = []
+        threads = []
+        for _node in range(nodes):
+            server = serve_store("memory://")
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            servers.append(server)
+            threads.append(thread)
+        spec = f"replicas={replicas};" + ";".join(s.url for s in servers)
+        repeat_started = time.perf_counter()
+        try:
+            writer = ResultStore(
+                ClusterBackend(spec, client_options=client_options)
+            )
+            writer.get("f" * 64)  # open handles outside the timing
+            for fingerprint in fingerprints:
+                doc = dict(payload)
+                started = time.perf_counter_ns()
+                writer.put(fingerprint, doc)
+                op_times["put"].append(time.perf_counter_ns() - started)
+            reader = ResultStore(
+                ClusterBackend(spec, client_options=client_options)
+            )
+            reader.get("f" * 64)
+            for fingerprint in fingerprints:
+                started = time.perf_counter_ns()
+                if reader.get(fingerprint) is None:
+                    raise RuntimeError("cluster fabric lost a document mid-bench")
+                op_times["get"].append(time.perf_counter_ns() - started)
+            # Kill node 0 for real (its listening socket closes) and
+            # read through a fresh client so no pooled connection can
+            # keep talking to the corpse.
+            servers[0].shutdown()
+            servers[0].server_close()
+            threads[0].join(timeout=10)
+            degraded = ResultStore(
+                ClusterBackend(
+                    spec, probe_base=0.05, client_options=client_options
+                )
+            )
+            for fingerprint in fingerprints:
+                started = time.perf_counter_ns()
+                if degraded.get(fingerprint) is None:
+                    raise RuntimeError(
+                        "cluster fabric lost a document after node death"
+                    )
+                op_times["degraded_get"].append(
+                    time.perf_counter_ns() - started
+                )
+            samples.append(time.perf_counter() - repeat_started)
+            writer.close()
+            reader.close()
+            degraded.close()
+        finally:
+            for server, thread in zip(servers[1:], threads[1:]):
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+    return _kernel_entry(
+        samples,
+        units=documents * 3,  # put + get + degraded get per document
+        unit="round-trips",
+        nodes=nodes,
+        replicas=replicas,
+        put=_percentiles_ns(op_times["put"]),
+        get=_percentiles_ns(op_times["get"]),
+        degraded_get=_percentiles_ns(op_times["degraded_get"]),
+    )
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -715,6 +839,7 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
             documents, repeats
         ),
         "joint_replay_grid": _bench_joint_replay_grid(requests, repeats),
+        "cluster_roundtrip": _bench_cluster_roundtrip(documents, repeats),
     }
     return {
         "schema": BENCH_SCHEMA,
@@ -770,6 +895,7 @@ def validate_bench(payload: Any) -> List[str]:
     schema = payload.get("schema")
     if schema not in (
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
         BENCH_SCHEMA_V2,
@@ -777,8 +903,9 @@ def validate_bench(payload: Any) -> List[str]:
     ):
         problems.append(
             f"schema must be {BENCH_SCHEMA!r} (or the legacy "
-            f"{BENCH_SCHEMA_V4!r} / {BENCH_SCHEMA_V3!r} / "
-            f"{BENCH_SCHEMA_V2!r} / {BENCH_SCHEMA_V1!r}), got {schema!r}"
+            f"{BENCH_SCHEMA_V5!r} / {BENCH_SCHEMA_V4!r} / "
+            f"{BENCH_SCHEMA_V3!r} / {BENCH_SCHEMA_V2!r} / "
+            f"{BENCH_SCHEMA_V1!r}), got {schema!r}"
         )
     # Older documents predate later kernels; each is validated against
     # the kernel set of its own generation so the committed trajectory
@@ -789,12 +916,16 @@ def validate_bench(payload: Any) -> List[str]:
         required_kernels = V2_KERNEL_NAMES
     elif schema == BENCH_SCHEMA_V3:
         required_kernels = V3_KERNEL_NAMES
+    elif schema in (BENCH_SCHEMA_V4, BENCH_SCHEMA_V5):
+        required_kernels = V5_KERNEL_NAMES
     else:
         required_kernels = KERNEL_NAMES
     # Likewise for the per-backend store kernel's engine set: the http
     # engine joined in generation 5.
     required_backends = (
-        STORE_BACKEND_NAMES if schema == BENCH_SCHEMA else V4_STORE_BACKEND_NAMES
+        STORE_BACKEND_NAMES
+        if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V5)
+        else V4_STORE_BACKEND_NAMES
     )
     for key, kinds in (
         ("revision", str),
@@ -862,6 +993,22 @@ def validate_bench(payload: Any) -> List[str]:
                                 f"store_backend_roundtrip {backend}.{op} must "
                                 "carry p50/p90/p99 nanosecond percentiles"
                             )
+    if "cluster_roundtrip" in required_kernels:
+        entry = kernels.get("cluster_roundtrip")
+        if isinstance(entry, dict):
+            for key in ("nodes", "replicas"):
+                if not isinstance(entry.get(key), int):
+                    problems.append(f"cluster_roundtrip missing {key!r}")
+            for op in ("put", "get", "degraded_get"):
+                stats = entry.get(op)
+                if not isinstance(stats, dict) or not all(
+                    isinstance(stats.get(k), (int, float))
+                    for k in ("p50_ns", "p90_ns", "p99_ns")
+                ):
+                    problems.append(
+                        f"cluster_roundtrip {op} must carry p50/p90/p99 "
+                        "nanosecond percentiles"
+                    )
     return problems
 
 
@@ -894,6 +1041,13 @@ def format_bench(payload: Dict[str, Any]) -> str:
                     f"; http p50 put {http_stats['put']['p50_ns'] / 1e3:,.0f}us"
                     f" / get {http_stats['get']['p50_ns'] / 1e3:,.0f}us"
                 )
+        elif "degraded_get" in entry:
+            note = (
+                f"{entry['nodes']} nodes R={entry['replicas']}: p50 put "
+                f"{entry['put']['p50_ns'] / 1e3:,.0f}us / get "
+                f"{entry['get']['p50_ns'] / 1e3:,.0f}us / degraded get "
+                f"{entry['degraded_get']['p50_ns'] / 1e3:,.0f}us"
+            )
         rows.append(
             [
                 name,

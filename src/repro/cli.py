@@ -101,6 +101,7 @@ COMMANDS = (
     "bandwidth",
     "cache",
     "store-serve",
+    "cluster-status",
     "bench",
 )
 
@@ -181,6 +182,8 @@ def _cmd_list(args) -> None:
          "backend); --migrate/--export move corpora; --stats: artifact cache"],
         ["store-serve", "serve a store over HTTP (--store picks the engine; "
          "clients connect with --store http://host:port)"],
+        ["cluster-status", "per-node health/circuit/repair view of a "
+         "cluster:// fabric (--repair replays queued write-behinds)"],
         ["bench", "time the hot-path kernels, write BENCH_<rev>.json"],
     ]
     print(format_table(["Command", "Regenerates"], rows))
@@ -502,17 +505,84 @@ def _cmd_store_serve(args) -> None:
     from .runtime.backends import serve_store
     from .runtime.store import default_store_url
 
+    from .runtime.backends import install_graceful_shutdown
+
     target = getattr(args, "store", None)
     if target is None:
         target = default_store_url()
     server = serve_store(target, host=args.host, port=args.port)
+    # SIGTERM/SIGINT stop the accept loop and mark the server draining;
+    # in-flight requests then finish with complete responses before the
+    # process exits, so a retrying fleet never sees teardown as faults.
+    restore = install_graceful_shutdown(server)
     print(f"serving {server.engine.url} at {server.url}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        server.draining = True
     finally:
+        restore()
+        drained = server.drain(timeout=10.0)
         server.server_close()
+        if not drained:  # pragma: no cover - pathological slow request
+            print("warning: exited with requests still in flight", flush=True)
+        else:
+            print("drained; store service closed", flush=True)
+
+
+def _cmd_cluster_status(args) -> None:
+    """Render per-node health for a cluster:// fabric."""
+    from .runtime.backends import make_backend
+    from .runtime.backends.cluster import ClusterBackend
+    from .runtime.store import default_store_url
+
+    target = getattr(args, "store", None)
+    if target is None:
+        target = default_store_url()
+    backend = make_backend(target)
+    if not isinstance(backend, ClusterBackend):
+        raise SystemExit(
+            f"cluster-status needs a cluster:// store, got {backend.url!r} "
+            "(pass --store cluster://… or set REPRO_STORE/REPRO_STORE_CLUSTER)"
+        )
+    if args.repair:
+        outcome = backend.repair()
+        print(
+            f"repair: replayed {outcome['drained']} queued write(s), "
+            f"{outcome['pending']} still pending"
+        )
+    status = backend.status()
+    rows = []
+    for node in status["nodes"]:
+        rows.append(
+            [
+                node["url"],
+                "up" if node["healthy"] else "DOWN",
+                node["circuit"],
+                "-" if node["documents"] is None else node["documents"],
+                "-" if node["blobs"] is None else node["blobs"],
+                node["pending_repairs"],
+            ]
+        )
+    print(
+        format_table(
+            ["Node", "Health", "Circuit", "Docs", "Blobs", "Repairs"],
+            rows,
+            title=(
+                f"Cluster fabric: {len(status['nodes'])} node(s), "
+                f"R={status['replicas']}, write quorum {status['quorum']}"
+            ),
+        )
+    )
+    counters = status["counters"]
+    print(
+        f"counters: {counters['write_acks']} write ack(s), "
+        f"{counters['write_stragglers']} straggler(s) queued, "
+        f"{counters['read_failovers']} read failover(s), "
+        f"{counters['read_repairs']} read repair(s), "
+        f"{counters['repairs_drained']} repair(s) drained"
+    )
+    backend.close()
 
 
 def _cmd_bench(args) -> None:
@@ -540,6 +610,7 @@ _HANDLERS = {
     "bandwidth": _cmd_bandwidth,
     "cache": _cmd_cache,
     "store-serve": _cmd_store_serve,
+    "cluster-status": _cmd_cluster_status,
     "bench": _cmd_bench,
 }
 
@@ -604,7 +675,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="result-store location: a backend URL "
         "(sqlite:///path/store.db, directory:///path, memory://, "
-        "http://host:port for a served store) or a bare directory path "
+        "http://host:port for a served store, "
+        "cluster://replicas=R;http://a;http://b for a replicated "
+        "fabric) or a bare directory path "
         "(default: REPRO_STORE, then REPRO_CACHE_DIR, then "
         "~/.cache/repro-ubik)",
     )
@@ -655,6 +728,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reused in-process; with --jobs > 1 the reuse happens inside "
         "the worker processes, so run serially to inspect it "
         "(REPRO_ARTIFACTS=0 disables the layer)",
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="with the cluster-status command: replay every queued "
+        "write-behind repair (forcing probes on open circuits) before "
+        "reporting",
     )
     parser.add_argument(
         "--quick",

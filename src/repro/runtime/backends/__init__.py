@@ -19,9 +19,15 @@ instead.  Three engines ship, registered by name:
     The network hop (:mod:`.http`): a retrying keep-alive client for a
     store served by ``repro store-serve`` — one corpus shared by a
     fleet of machines.
+``cluster``
+    The replicated fabric (:mod:`.cluster`): rendezvous-hash sharding
+    of documents and blobs across N child stores with replication
+    factor R, quorum-acked writes, failover + read-repair reads, and
+    per-node circuit breakers — a corpus that survives node loss.
 
 Selection is URL-style — ``sqlite:///path/store.db``,
-``directory:///path``, ``memory://``, ``http://host:port`` — via
+``directory:///path``, ``memory://``, ``http://host:port``,
+``cluster://replicas=2;http://a:8377;http://b:8377`` — via
 ``REPRO_STORE``, the CLI's ``--store``, or ``Session(store=...)``;
 bare paths (and the historical ``REPRO_STORE=0`` toggle plus
 ``REPRO_CACHE_DIR``) keep meaning what they always meant:
@@ -48,8 +54,14 @@ import os
 from typing import Dict, Optional, Tuple, Type, Union
 
 from .base import StoreBackend
+from .cluster import ClusterBackend
 from .directory import DirectoryBackend
-from .http import HttpBackend, StoreHTTPServer, serve_store
+from .http import (
+    HttpBackend,
+    StoreHTTPServer,
+    install_graceful_shutdown,
+    serve_store,
+)
 from .memory import MemoryBackend
 from .sqlite import SqliteBackend
 
@@ -59,8 +71,10 @@ __all__ = [
     "SqliteBackend",
     "MemoryBackend",
     "HttpBackend",
+    "ClusterBackend",
     "StoreHTTPServer",
     "serve_store",
+    "install_graceful_shutdown",
     "BACKENDS",
     "parse_store_url",
     "make_backend",
@@ -72,6 +86,7 @@ BACKENDS: Dict[str, Type[StoreBackend]] = {
     SqliteBackend.name: SqliteBackend,
     MemoryBackend.name: MemoryBackend,
     HttpBackend.name: HttpBackend,
+    ClusterBackend.name: ClusterBackend,
 }
 
 #: Historical ``REPRO_STORE`` values meaning "no persistent store".
@@ -106,7 +121,12 @@ def parse_store_url(target: str) -> Tuple[str, Optional[str]]:
             f"(known: {', '.join(sorted(BACKENDS))})"
         )
     location = rest.strip() or None
-    if name != MemoryBackend.name and location is None:
+    if (
+        name not in (MemoryBackend.name, ClusterBackend.name)
+        and location is None
+    ):
+        # A bare ``cluster://`` is legal: the topology then comes from
+        # REPRO_STORE_CLUSTER (parsed when the backend is built).
         raise ValueError(f"store URL {target!r} is missing its path")
     return name, location
 

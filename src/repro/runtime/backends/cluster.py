@@ -1,0 +1,742 @@
+"""The replicated multi-node store fabric: hash-sharded fan-out engine.
+
+A single served store (:mod:`.http`) puts the corpus on the network,
+but one crash still strands every worker.  This module is the fifth
+registered engine, ``cluster://``: a *composite* backend that fans
+fingerprint-keyed documents and content-addressed blobs out across N
+child stores — any registered engine, typically several ``http://``
+nodes fronted by ``repro store-serve`` — and keeps a sweep running
+through the death of a node.
+
+**Placement** is rendezvous (highest-random-weight) hashing: every key
+scores each node by ``sha256(node_identity | key)`` and its replica
+set is the R best-scoring nodes, in that deterministic *preference
+order*.  No ring state, no rebalancing metadata — two processes that
+open the same topology compute the same placement, which is what lets
+:meth:`~repro.runtime.store.ResultStore.share_target` hand the fabric
+to pool workers as a plain URL.
+
+**Writes** go to all R replicas.  The operation acks once a write
+quorum (``⌈R/2⌉`` by default, always at least 1) of replicas applied
+it; replicas that failed — or whose circuit breaker is open — become
+*write-behind repairs*: the (idempotent) operation is queued per node
+and replayed when the node answers again, opportunistically before
+foreground operations and exhaustively via :meth:`repair`.
+
+**Reads** try replicas in preference order and fail over on transport
+faults.  A document found on a later replica after an earlier replica
+answered a definitive miss triggers **read repair**: the document is
+re-propagated to the missing replicas (directly when they are up,
+through the repair queue when not).  A miss is only declared once at
+least one replica answered definitively; if every replica faulted the
+operation raises :class:`~repro.runtime.backends.http.StoreUnavailable`.
+
+**Health** is tracked per node with a consecutive-failure circuit
+breaker: after ``breaker_threshold`` back-to-back transport faults the
+node's circuit opens and foreground operations stop paying its
+timeout.  Reopen probes are scheduled with exponential backoff and
+*seeded jitter* (a :class:`random.Random` seeded per fabric), so a
+fleet of clients does not stampede a recovering node in lockstep.
+
+All of this is uniformly safe because every operation in the store
+protocol is idempotent by construction — keys are content
+fingerprints, and the façade hands every backend the same canonical
+text for the same key — so replays, repairs, and double-sends are
+invisible in the corpus.  The fabric's correctness bar is the golden
+node-loss wall (``tests/golden/test_cluster_golden.py``): a seeded
+sweep through a 3-node/R=2 fabric that loses a node mid-run completes
+with zero data loss and exports byte-identically to the directory
+engine.
+
+Topology selection::
+
+    REPRO_STORE=cluster://replicas=2;http://a:8377;http://b:8377;http://c:8377
+
+or a JSON spec (inline, or via ``REPRO_STORE_CLUSTER`` when the URL is
+a bare ``cluster://``)::
+
+    REPRO_STORE_CLUSTER='{"nodes": ["http://a:8377", "http://b:8377"], "replicas": 2}'
+    REPRO_STORE=cluster://
+
+Knobs (constructor arguments win over the environment):
+
+``REPRO_CLUSTER_BREAKER``
+    Consecutive transport faults that open a node's circuit (default 3).
+``REPRO_CLUSTER_PROBE_BASE``
+    Base reopen-probe delay in seconds, doubled per consecutive open
+    (default 0.5).
+``REPRO_CLUSTER_PROBE_CAP``
+    Upper bound on the reopen-probe delay in seconds (default 15).
+``REPRO_CLUSTER_SEED``
+    Seed for the jittered probe schedule (default 2014).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import threading
+import time
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .base import StoreBackend
+from .http import StoreUnavailable, _env_float, _env_int
+
+__all__ = ["ClusterBackend", "parse_cluster_spec"]
+
+#: Environment knobs (constructor arguments override).
+_ENV_TOPOLOGY = "REPRO_STORE_CLUSTER"
+_ENV_BREAKER = "REPRO_CLUSTER_BREAKER"
+_ENV_PROBE_BASE = "REPRO_CLUSTER_PROBE_BASE"
+_ENV_PROBE_CAP = "REPRO_CLUSTER_PROBE_CAP"
+_ENV_SEED = "REPRO_CLUSTER_SEED"
+
+_DEFAULT_BREAKER = 3
+_DEFAULT_PROBE_BASE = 0.5
+_DEFAULT_PROBE_CAP = 15.0
+_DEFAULT_SEED = 2014
+
+#: Exceptions treated as "the node is unreachable" (never as data).
+#: ``StoreUnavailable`` subclasses ``ConnectionError``; socket timeouts
+#: are ``OSError``.  Anything else — a malformed key, an engine bug —
+#: propagates: retrying it elsewhere would mask a real defect.
+TRANSPORT_FAULTS = (ConnectionError, TimeoutError, OSError)
+
+#: Sentinel queued for a delete that must be replayed on a dead node.
+_TOMBSTONE = object()
+
+#: Repair operations attempted per node before a foreground operation.
+_DRAIN_BUDGET = 8
+
+
+def parse_cluster_spec(
+    spec: Optional[str],
+) -> Tuple[List[str], Dict[str, int]]:
+    """``(node targets, options)`` from a topology spec string.
+
+    Accepts the compact form — ``;``-separated node targets with
+    ``replicas=N`` / ``quorum=N`` option segments — or a JSON object
+    with ``nodes`` (required), ``replicas``, and ``quorum``.  An empty
+    or ``None`` spec falls back to ``REPRO_STORE_CLUSTER`` (same two
+    grammars).  Raises :class:`ValueError` when no nodes are named.
+    """
+    text = (spec or "").strip()
+    if not text:
+        text = os.environ.get(_ENV_TOPOLOGY, "").strip()
+    if not text:
+        raise ValueError(
+            "cluster store has no topology: pass cluster://<spec> or set "
+            f"{_ENV_TOPOLOGY} (nodes separated by ';', e.g. "
+            "cluster://replicas=2;http://a:8377;http://b:8377)"
+        )
+    options: Dict[str, int] = {}
+    if text.startswith("{"):
+        payload = json.loads(text)
+        nodes = [str(node).strip() for node in payload.get("nodes", [])]
+        for key in ("replicas", "quorum"):
+            if payload.get(key) is not None:
+                options[key] = int(payload[key])
+    else:
+        nodes = []
+        for segment in text.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            name, sep, value = segment.partition("=")
+            if sep and name.strip().lower() in ("replicas", "quorum"):
+                options[name.strip().lower()] = int(value)
+            else:
+                nodes.append(segment)
+    nodes = [node for node in nodes if node]
+    if not nodes:
+        raise ValueError(f"cluster spec names no nodes: {spec!r}")
+    return nodes, options
+
+
+class _Node:
+    """One child store plus its health state and repair queue."""
+
+    def __init__(self, backend: StoreBackend, ident: str):
+        self.backend = backend
+        #: Stable identity string placement hashes on (the node's
+        #: target URL; uniquified by index when targets collide).
+        self.ident = ident
+        self.failures = 0  # consecutive transport faults
+        self.opens = 0  # consecutive circuit openings (backoff exponent)
+        self.open_until = 0.0  # monotonic deadline of the open circuit
+        self.last_delay = 0.0  # most recent jittered reopen delay
+        self.last_error: Optional[str] = None
+        #: Write-behind repairs: (collection, key) → payload/_TOMBSTONE.
+        #: Keyed so a newer write to the same key supersedes the queued
+        #: one instead of replaying stale bytes after it.
+        self.repairs: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+
+    @property
+    def circuit(self) -> str:
+        """``closed``, ``open``, or ``probing`` (reopen probe due)."""
+        if self.failures == 0 or self.open_until == 0.0:
+            return "closed"
+        return "probing" if time.monotonic() >= self.open_until else "open"
+
+    def usable(self) -> bool:
+        """Whether a foreground operation should pay this node a visit."""
+        return self.circuit != "open"
+
+
+class ClusterBackend(StoreBackend):
+    """Hash-sharded, replicated fan-out over N child store backends.
+
+    ``spec`` is the topology string (see :func:`parse_cluster_spec`);
+    tests may instead pass live ``nodes`` directly.  ``client_options``
+    are forwarded to ``http://`` children (timeout/retries/backoff),
+    letting one knob tune the whole fabric's failover latency.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        spec: Optional[str] = None,
+        nodes: Optional[Sequence[Union[str, StoreBackend]]] = None,
+        replicas: Optional[int] = None,
+        quorum: Optional[int] = None,
+        seed: Optional[int] = None,
+        breaker_threshold: Optional[int] = None,
+        probe_base: Optional[float] = None,
+        probe_cap: Optional[float] = None,
+        client_options: Optional[Dict[str, Any]] = None,
+    ):
+        from . import make_backend
+
+        options: Dict[str, int] = {}
+        if nodes is None:
+            targets, options = parse_cluster_spec(spec)
+            nodes = list(targets)
+        built: List[_Node] = []
+        seen: Dict[str, int] = {}
+        for index, node in enumerate(nodes):
+            if isinstance(node, StoreBackend):
+                backend = node
+            else:
+                backend = make_backend(str(node))
+                if client_options and hasattr(backend, "retries"):
+                    for attr in ("timeout", "retries", "backoff"):
+                        if attr in client_options:
+                            setattr(backend, attr, client_options[attr])
+            ident = backend.url if isinstance(node, StoreBackend) else str(node)
+            if ident in seen or ident == "memory://":
+                ident = f"{index}#{ident}"  # uniquify for placement
+            seen[ident] = index
+            built.append(_Node(backend, ident))
+        if not built:
+            raise ValueError("cluster store needs at least one node")
+        self._nodes = built
+        replicas = replicas if replicas is not None else options.get("replicas", 2)
+        self.replicas = max(1, min(int(replicas), len(built)))
+        self._explicit_quorum = (
+            quorum if quorum is not None else options.get("quorum")
+        )
+        default_quorum = (self.replicas + 1) // 2  # ⌈R/2⌉, ≥ 1
+        self.quorum = max(
+            1,
+            min(
+                int(self._explicit_quorum)
+                if self._explicit_quorum is not None
+                else default_quorum,
+                self.replicas,
+            ),
+        )
+        self.breaker_threshold = max(
+            1,
+            int(breaker_threshold)
+            if breaker_threshold is not None
+            else _env_int(_ENV_BREAKER, _DEFAULT_BREAKER),
+        )
+        self.probe_base = (
+            float(probe_base)
+            if probe_base is not None
+            else _env_float(_ENV_PROBE_BASE, _DEFAULT_PROBE_BASE)
+        )
+        self.probe_cap = (
+            float(probe_cap)
+            if probe_cap is not None
+            else _env_float(_ENV_PROBE_CAP, _DEFAULT_PROBE_CAP)
+        )
+        self._rng = random.Random(
+            int(seed) if seed is not None else _env_int(_ENV_SEED, _DEFAULT_SEED)
+        )
+        self._lock = threading.RLock()
+        #: Operational counters for ``repro cluster-status`` and tests.
+        self.counters: Dict[str, int] = {
+            "write_acks": 0,
+            "write_stragglers": 0,
+            "read_failovers": 0,
+            "read_repairs": 0,
+            "repairs_drained": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The canonical ``cluster://`` spec — round-trips through the
+        URL parser, so pool workers reopen the exact same topology."""
+        segments = [f"replicas={self.replicas}"]
+        if self._explicit_quorum is not None:
+            segments.append(f"quorum={self.quorum}")
+        segments.extend(node.ident.split("#", 1)[-1] for node in self._nodes)
+        return "cluster://" + ";".join(segments)
+
+    @property
+    def persistent(self) -> bool:
+        """Shareable only when *every* child is: one memory node would
+        silently drop its shard of the corpus across a process hop."""
+        return all(node.backend.persistent for node in self._nodes)
+
+    def close(self) -> None:
+        """Close every child (queued repairs stay queued: they are
+        re-derivable — idempotent writes of content the corpus already
+        acked elsewhere — not durable state)."""
+        for node in self._nodes:
+            node.backend.close()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _preference(self, key: str) -> List[_Node]:
+        """Every node ordered by rendezvous score for ``key``."""
+        return sorted(
+            self._nodes,
+            key=lambda node: hashlib.sha256(
+                f"{node.ident}|{key}".encode("utf-8")
+            ).digest(),
+        )
+
+    def replicas_for(self, key: str) -> List[StoreBackend]:
+        """The R child backends holding ``key``, in preference order
+        (public so tests and the status CLI can audit placement)."""
+        return [node.backend for node in self._preference(key)[: self.replicas]]
+
+    # ------------------------------------------------------------------
+    # Health tracking
+    # ------------------------------------------------------------------
+    def _mark_success(self, node: _Node) -> None:
+        with self._lock:
+            node.failures = 0
+            node.opens = 0
+            node.open_until = 0.0
+            node.last_error = None
+
+    def _mark_failure(self, node: _Node, error: BaseException) -> None:
+        """Count a transport fault; open the circuit at the threshold.
+
+        The reopen probe is scheduled with exponential backoff and
+        seeded jitter in ``[0.5, 1.0) × delay`` so a fleet's probes
+        spread out instead of stampeding a recovering node.
+        """
+        with self._lock:
+            node.failures += 1
+            node.last_error = repr(error)
+            if node.failures >= self.breaker_threshold:
+                delay = min(
+                    self.probe_cap, self.probe_base * (2 ** min(node.opens, 6))
+                )
+                delay *= 0.5 + 0.5 * self._rng.random()
+                node.opens += 1
+                node.last_delay = delay
+                node.open_until = time.monotonic() + delay
+
+    def _attempt(
+        self, node: _Node, operation: Callable[[StoreBackend], Any]
+    ) -> Tuple[bool, Any]:
+        """``(ok, result)`` for one child operation, health-tracked."""
+        try:
+            result = operation(node.backend)
+        except TRANSPORT_FAULTS as exc:
+            self._mark_failure(node, exc)
+            return False, exc
+        self._mark_success(node)
+        return True, result
+
+    # ------------------------------------------------------------------
+    # Write-behind repair
+    # ------------------------------------------------------------------
+    def _queue_repair(self, node: _Node, collection: str, key: str, payload: Any) -> None:
+        with self._lock:
+            node.repairs[(collection, key)] = payload
+            self.counters["write_stragglers"] += 1
+
+    def _apply_repair(
+        self, backend: StoreBackend, collection: str, key: str, payload: Any
+    ) -> None:
+        if payload is _TOMBSTONE:
+            if collection == "docs":
+                backend.delete_doc(key)
+            else:
+                backend.delete_blob(key)
+        elif collection == "docs":
+            backend.put_doc(key, payload)
+        else:
+            backend.put_blob(key, payload)
+
+    def _drain_node(self, node: _Node, budget: int, force: bool = False) -> int:
+        """Replay up to ``budget`` queued repairs against one node."""
+        drained = 0
+        while drained < budget:
+            with self._lock:
+                if not node.repairs or not (force or node.usable()):
+                    break
+                (collection, key), payload = next(iter(node.repairs.items()))
+            ok, _ = self._attempt(
+                node, lambda b: self._apply_repair(b, collection, key, payload)
+            )
+            if not ok:
+                break
+            with self._lock:
+                # Drop the entry only if a newer write did not replace
+                # it while the replay was in flight.
+                if node.repairs.get((collection, key)) is payload:
+                    node.repairs.pop((collection, key), None)
+            drained += 1
+        with self._lock:
+            self.counters["repairs_drained"] += drained
+        return drained
+
+    def _drain_repairs(self) -> None:
+        """Opportunistic pre-op drain for nodes that look reachable."""
+        for node in self._nodes:
+            if node.repairs and node.usable():
+                self._drain_node(node, _DRAIN_BUDGET)
+
+    def repair(self) -> Dict[str, int]:
+        """Replay every queued repair, forcing probes on open circuits.
+
+        Returns ``{"drained": …, "pending": …}`` — the node-revive
+        path (``repro cluster-status --repair`` and the golden revive
+        test) calls this to converge the fabric after an outage.
+        """
+        drained = 0
+        for node in self._nodes:
+            while node.repairs:
+                step = self._drain_node(node, _DRAIN_BUDGET, force=True)
+                if step == 0:
+                    break
+                drained += step
+        pending = sum(len(node.repairs) for node in self._nodes)
+        return {"drained": drained, "pending": pending}
+
+    # ------------------------------------------------------------------
+    # Replicated primitives
+    # ------------------------------------------------------------------
+    def _replicated_write(
+        self,
+        collection: str,
+        key: str,
+        payload: Any,
+        operation: Callable[[StoreBackend], Any],
+    ) -> None:
+        """Fan one idempotent write to all R replicas, quorum-acked.
+
+        Replicas that fault — or whose circuit is open and were not
+        needed for quorum — become write-behind repairs.  Raises
+        :class:`StoreUnavailable` when fewer than the write quorum
+        acked even after forcing probes on open circuits.
+        """
+        self._drain_repairs()
+        replicas = self._preference(key)[: self.replicas]
+        acked = 0
+        pending: List[_Node] = []
+        deferred: List[_Node] = []
+        for node in replicas:
+            if not node.usable():
+                deferred.append(node)
+                continue
+            ok, _ = self._attempt(node, operation)
+            if ok:
+                acked += 1
+            else:
+                pending.append(node)
+        # Open-circuit replicas are only probed when quorum needs them;
+        # otherwise they get the write via the repair queue.
+        for node in deferred:
+            if acked >= self.quorum:
+                pending.append(node)
+                continue
+            ok, _ = self._attempt(node, operation)
+            if ok:
+                acked += 1
+            else:
+                pending.append(node)
+        for node in pending:
+            self._queue_repair(node, collection, key, payload)
+        if acked < self.quorum:
+            raise StoreUnavailable(
+                f"cluster write quorum not met for {collection}/{key}: "
+                f"{acked}/{self.quorum} replicas acked "
+                f"(replicas: {', '.join(n.ident for n in replicas)})"
+            )
+        with self._lock:
+            self.counters["write_acks"] += acked
+
+    def _read_repair(
+        self, collection: str, key: str, value: Any, missing: List[_Node]
+    ) -> None:
+        """Re-propagate a document found on only a subset of replicas."""
+        if not missing:
+            return
+        payload = value
+        for node in missing:
+            if node.usable():
+                ok, _ = self._attempt(
+                    node,
+                    lambda b: self._apply_repair(b, collection, key, payload),
+                )
+                if ok:
+                    with self._lock:
+                        self.counters["read_repairs"] += 1
+                    continue
+            self._queue_repair(node, collection, key, payload)
+
+    def _replicated_read(
+        self, collection: str, key: str, operation: Callable[[StoreBackend], Any]
+    ) -> Any:
+        """Failover read across the replica preference order.
+
+        Returns the first non-``None`` answer (read-repairing earlier
+        definitive misses), ``None`` once at least one replica answered
+        definitively, and raises :class:`StoreUnavailable` only when
+        every replica faulted.
+        """
+        self._drain_repairs()
+        replicas = self._preference(key)[: self.replicas]
+        missing: List[_Node] = []
+        answered = 0
+        faulted = 0
+        # Pass 1: usable replicas in preference order; pass 2 forces
+        # probes on open circuits only if nothing answered at all.
+        for forced in (False, True):
+            for node in replicas:
+                if node.usable() == forced:
+                    continue
+                ok, result = self._attempt(node, operation)
+                if not ok:
+                    faulted += 1
+                    continue
+                answered += 1
+                if result is not None:
+                    if faulted or missing:
+                        with self._lock:
+                            self.counters["read_failovers"] += 1
+                    self._read_repair(collection, key, result, missing)
+                    return result
+                missing.append(node)
+            if answered:
+                return None
+        raise StoreUnavailable(
+            f"cluster read failed for {collection}/{key}: all "
+            f"{len(replicas)} replica(s) unreachable "
+            f"({', '.join(n.ident for n in replicas)})"
+        )
+
+    def _union(self, lister: Callable[[StoreBackend], Iterator[str]]) -> List[str]:
+        """The sorted union of one listing across reachable nodes.
+
+        A node that faults is skipped (its keys are replicated
+        elsewhere — the single-node-loss contract); if *every* node
+        faults the listing raises.
+        """
+        self._drain_repairs()
+        keys: set = set()
+        answered = 0
+        for forced in (False, True):
+            for node in self._nodes:
+                if node.usable() == forced:
+                    continue
+                ok, result = self._attempt(node, lambda b: list(lister(b)))
+                if ok:
+                    answered += 1
+                    keys.update(result)
+            if answered:
+                return sorted(keys)
+        raise StoreUnavailable(
+            f"cluster listing failed: all {len(self._nodes)} node(s) "
+            "unreachable"
+        )
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def get_doc(self, fingerprint: str) -> Optional[str]:
+        """Failover read of one document across its replicas."""
+        return self._replicated_read(
+            "docs", fingerprint, lambda b: b.get_doc(fingerprint)
+        )
+
+    def put_doc(self, fingerprint: str, text: str) -> None:
+        """Quorum-acked replicated write of one document."""
+        self._replicated_write(
+            "docs", fingerprint, text, lambda b: b.put_doc(fingerprint, text)
+        )
+
+    def delete_doc(self, fingerprint: str) -> None:
+        """Replicated delete; unreachable replicas get a tombstone
+        repair so the document cannot resurrect when they revive."""
+        self._replicated_write(
+            "docs",
+            fingerprint,
+            _TOMBSTONE,
+            lambda b: b.delete_doc(fingerprint),
+        )
+
+    def iter_docs(self) -> Iterator[str]:
+        """The union of every reachable node's documents (sorted)."""
+        return iter(self._union(lambda b: b.iter_docs()))
+
+    def doc_count(self) -> int:
+        """Distinct logical documents across the fabric."""
+        return len(self._union(lambda b: b.iter_docs()))
+
+    # ------------------------------------------------------------------
+    # Blobs
+    # ------------------------------------------------------------------
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """Failover read of one blob across its replicas."""
+        return self._replicated_read("blobs", key, lambda b: b.get_blob(key))
+
+    def put_blob(self, key: str, payload: bytes) -> None:
+        """Quorum-acked replicated write of one blob."""
+        payload = bytes(payload)
+        self._replicated_write(
+            "blobs", key, payload, lambda b: b.put_blob(key, payload)
+        )
+
+    def delete_blob(self, key: str) -> None:
+        """Replicated blob delete with tombstone repair."""
+        self._replicated_write(
+            "blobs", key, _TOMBSTONE, lambda b: b.delete_blob(key)
+        )
+
+    def iter_blobs(self) -> Iterator[str]:
+        """The union of every reachable node's blobs (sorted)."""
+        return iter(self._union(lambda b: b.iter_blobs()))
+
+    def blob_count(self) -> int:
+        """Distinct logical blobs across the fabric."""
+        return len(self._union(lambda b: b.iter_blobs()))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear_documents(self) -> int:
+        """Drop every document fabric-wide; returns the union count."""
+        docs = self.doc_count()
+
+        def clear_node(backend: StoreBackend) -> int:
+            return backend.clear_documents()
+
+        for node in self._nodes:
+            ok, result = self._attempt(node, clear_node)
+            if not ok:
+                raise StoreUnavailable(
+                    f"cluster clear failed: node {node.ident} unreachable"
+                )
+        with self._lock:
+            for node in self._nodes:
+                for pending in [k for k in node.repairs if k[0] == "docs"]:
+                    node.repairs.pop(pending, None)
+        return docs
+
+    def clear_blobs(self) -> int:
+        """Drop every blob fabric-wide; returns the union count."""
+        blobs = self.blob_count()
+
+        def clear_node(backend: StoreBackend) -> int:
+            return backend.clear_blobs()
+
+        for node in self._nodes:
+            ok, result = self._attempt(node, clear_node)
+            if not ok:
+                raise StoreUnavailable(
+                    f"cluster clear failed: node {node.ident} unreachable"
+                )
+        with self._lock:
+            for node in self._nodes:
+                for pending in [k for k in node.repairs if k[0] == "blobs"]:
+                    node.repairs.pop(pending, None)
+        return blobs
+
+    def disk_bytes(self) -> int:
+        """Total footprint across reachable nodes (replicas included —
+        this is what the fabric actually occupies, R× the corpus)."""
+        total = 0
+        for node in self._nodes:
+            if not node.usable():
+                continue
+            ok, result = self._attempt(node, lambda b: b.disk_bytes())
+            if ok:
+                total += int(result)
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection (repro cluster-status)
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """Per-node health, circuit state, repair depth, and counts.
+
+        Health is probed cheaply: ``/healthz`` for ``http://`` children
+        (one request, no engine work on the server), a document count
+        for local engines.  Probing ignores the circuit breaker — this
+        is the observability path, and "is it back yet?" is exactly
+        what the operator is asking.
+        """
+        nodes = []
+        for node in self._nodes:
+            probe = getattr(node.backend, "healthz", None)
+            documents = blobs = None
+            if probe is not None:
+                healthy = probe() is not None
+            else:
+                ok, result = self._attempt(node, lambda b: b.doc_count())
+                healthy = ok
+                documents = result if ok else None
+            if healthy and documents is None:
+                ok, result = self._attempt(node, lambda b: b.doc_count())
+                documents = result if ok else None
+                healthy = healthy and ok
+            if healthy:
+                ok, result = self._attempt(node, lambda b: b.blob_count())
+                blobs = result if ok else None
+            nodes.append(
+                {
+                    "url": node.ident.split("#", 1)[-1],
+                    "healthy": bool(healthy),
+                    "circuit": node.circuit,
+                    "consecutive_failures": node.failures,
+                    "pending_repairs": len(node.repairs),
+                    "documents": documents,
+                    "blobs": blobs,
+                    "last_error": node.last_error,
+                }
+            )
+        return {
+            "nodes": nodes,
+            "replicas": self.replicas,
+            "quorum": self.quorum,
+            "breaker_threshold": self.breaker_threshold,
+            "counters": dict(self.counters),
+            "url": self.url,
+        }

@@ -9,8 +9,11 @@ service.  This module provides both halves, stdlib-only:
   registered engine — directory tree, sqlite file, or memory — and
   exposing the full :class:`~repro.runtime.backends.base.StoreBackend`
   protocol surface over a tiny REST-ish wire format (documents under
-  ``/docs``, blobs under ``/blobs``, counters under ``/stats``).  The
-  CLI's ``repro store-serve`` wraps it.
+  ``/docs``, blobs under ``/blobs``, counters under ``/stats``, and a
+  liveness probe under ``/healthz`` that never touches the engine —
+  the cluster fabric's health checks ride on it).  The CLI's
+  ``repro store-serve`` wraps it and drains in-flight requests on
+  SIGTERM/SIGINT via :func:`install_graceful_shutdown`.
 * **the client** — :class:`HttpBackend`, the fourth registered engine:
   ``REPRO_STORE=http://host:port`` (or ``--store http://…``, or
   ``REPRO_ARTIFACTS_TIER2=http://…`` for the shared artifact corpus)
@@ -45,6 +48,12 @@ Knobs (constructor arguments win over the environment):
     Retries after the first attempt (default 5).
 ``REPRO_HTTP_BACKOFF``
     Base backoff in seconds, doubled per attempt (default 0.05).
+``REPRO_HTTP_MAX_BACKOFF``
+    Cap on any single retry sleep in seconds (default 2).  Each sleep
+    is also jittered into ``[0.5, 1.0) ×`` the capped delay so a fleet
+    of workers retrying against one recovering node spreads out instead
+    of stampeding it in lockstep; a ``Retry-After`` header on a 503
+    raises the delay to the server's hint (still capped).
 
 The client keeps a small pool of keep-alive connections, re-created
 per process after a ``fork()`` (the sqlite engine's discipline: never
@@ -56,7 +65,9 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import random
 import re
+import signal
 import socket
 import threading
 import time
@@ -69,6 +80,7 @@ __all__ = [
     "HttpBackend",
     "StoreHTTPServer",
     "serve_store",
+    "install_graceful_shutdown",
     "StoreUnavailable",
 ]
 
@@ -76,10 +88,12 @@ __all__ = [
 _ENV_TIMEOUT = "REPRO_HTTP_TIMEOUT"
 _ENV_RETRIES = "REPRO_HTTP_RETRIES"
 _ENV_BACKOFF = "REPRO_HTTP_BACKOFF"
+_ENV_MAX_BACKOFF = "REPRO_HTTP_MAX_BACKOFF"
 
 _DEFAULT_TIMEOUT = 30.0
 _DEFAULT_RETRIES = 5
 _DEFAULT_BACKOFF = 0.05
+_DEFAULT_MAX_BACKOFF = 2.0
 
 #: Statuses the client treats as transient server trouble.
 _RETRYABLE_STATUS = frozenset({500, 502, 503, 504})
@@ -135,6 +149,7 @@ class HttpBackend(StoreBackend):
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
         backoff: Optional[float] = None,
+        max_backoff: Optional[float] = None,
     ):
         netloc = str(netloc).strip().rstrip("/")
         if not netloc:
@@ -158,9 +173,17 @@ class HttpBackend(StoreBackend):
             if backoff is not None
             else _env_float(_ENV_BACKOFF, _DEFAULT_BACKOFF)
         )
+        self.max_backoff = (
+            float(max_backoff)
+            if max_backoff is not None
+            else _env_float(_ENV_MAX_BACKOFF, _DEFAULT_MAX_BACKOFF)
+        )
         self._pool: List[http.client.HTTPConnection] = []
         self._lock = threading.Lock()
         self._pid = os.getpid()
+        # Per-client seed: deterministic for one handle (testable), but
+        # different across the fleet — the whole point of the jitter.
+        self._jitter = random.Random(f"{os.getpid()}:{id(self)}:{netloc}")
 
     @property
     def url(self) -> str:
@@ -210,11 +233,17 @@ class HttpBackend(StoreBackend):
         here because the whole protocol is idempotent: keys are content
         fingerprints, so replaying an applied put rewrites identical
         bytes and replaying a delete re-deletes nothing.
+
+        Each sleep is ``min(max_backoff, backoff · 2^(attempt-1))``,
+        raised to the server's ``Retry-After`` hint when one came back
+        on the 5xx (never past the cap), then jittered into
+        ``[0.5, 1.0)`` of itself — see :meth:`_retry_delay`.
         """
         last_error: Optional[BaseException] = None
         last_status: Optional[int] = None
         attempt = 0
         while True:
+            retry_after: Optional[str] = None
             conn, reused = self._acquire()
             try:
                 conn.request(
@@ -240,12 +269,13 @@ class HttpBackend(StoreBackend):
                 if status not in _RETRYABLE_STATUS:
                     self._release(conn)
                     return status, payload
+                retry_after = response.getheader("Retry-After")
                 self._release(conn)  # body fully read: reusable
                 last_error, last_status = None, status
             attempt += 1
             if attempt > self.retries:
                 break
-            time.sleep(self.backoff * (2 ** (attempt - 1)))
+            time.sleep(self._retry_delay(attempt, retry_after))
         detail = (
             f"HTTP {last_status}" if last_status is not None else repr(last_error)
         )
@@ -253,6 +283,27 @@ class HttpBackend(StoreBackend):
             f"store at {self.url} unreachable after "
             f"{self.retries + 1} attempt(s): {method} {path} -> {detail}"
         )
+
+    def _retry_delay(
+        self, attempt: int, retry_after: Optional[str] = None
+    ) -> float:
+        """The jittered, capped sleep before retry number ``attempt``.
+
+        Exponential growth is capped at ``max_backoff`` (a deep retry
+        budget must never turn into an unbounded sleep), a numeric
+        ``Retry-After`` hint from the server raises the delay to its
+        value (still capped — the server does not get to park a client
+        forever), and the result is jittered into ``[0.5, 1.0)`` of
+        itself so many workers hammering one recovering node desynchronize
+        instead of arriving in waves.
+        """
+        delay = min(self.max_backoff, self.backoff * (2 ** (attempt - 1)))
+        if retry_after is not None:
+            try:
+                delay = min(self.max_backoff, max(delay, float(retry_after)))
+            except ValueError:
+                pass  # HTTP-date form (or garbage): keep the backoff
+        return delay * (0.5 + 0.5 * self._jitter.random())
 
     def _expect(
         self, method: str, path: str, body: Optional[bytes], *statuses: int
@@ -275,6 +326,34 @@ class HttpBackend(StoreBackend):
     def _stats(self) -> Dict[str, Any]:
         _, payload = self._expect("GET", "/stats", None, 200)
         return json.loads(payload.decode("utf-8"))
+
+    def healthz(self) -> Optional[Dict[str, Any]]:
+        """One cheap liveness probe: the ``/healthz`` payload, or
+        ``None`` when the node did not answer.
+
+        Deliberately *not* routed through :meth:`_request`: health
+        checks must answer "is it up *right now*?", so there are no
+        retries and no backoff — one attempt, one verdict.  The only
+        replay is the pool freebie: a parked keep-alive connection the
+        server closed while it idled says nothing about liveness.
+        """
+        while True:
+            conn, reused = self._acquire()
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                status = response.status
+                payload = response.read()
+            except (OSError, http.client.HTTPException):
+                conn.close()
+                if reused:
+                    continue
+                return None
+            if status != 200:
+                self._release(conn)
+                return None
+            self._release(conn)
+            return json.loads(payload.decode("utf-8"))
 
     # ------------------------------------------------------------------
     # Documents
@@ -367,6 +446,37 @@ class StoreHTTPServer(ThreadingHTTPServer):
         self.engine = engine
         #: Optional ``(method, path) -> action`` hook; see module docs.
         self.fault_injector: Optional[Callable[[str, str], Any]] = None
+        #: When set, injected 503s carry ``Retry-After: <seconds>`` so
+        #: tests can prove the client honors the server's pacing hint.
+        self.retry_after_hint: Optional[float] = None
+        #: Graceful-shutdown state.  Handler threads are daemons (a
+        #: keep-alive connection parks its thread in ``readline()``
+        #: indefinitely, so joining *threads* would hang); instead the
+        #: server counts in-flight *requests* and :meth:`drain` waits
+        #: for that count to reach zero.
+        self.draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+
+    def request_began(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+
+    def request_ended(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.set()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until no request is mid-flight (idle keep-alive
+        connections don't count — they die with the process, and
+        pooled clients replay over a fresh connection).  Returns
+        ``False`` if requests were still running at the deadline."""
+        return self._idle.wait(timeout)
 
     @property
     def url(self) -> str:
@@ -441,10 +551,13 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         body: bytes = b"",
         content_type: str = "application/octet-stream",
         truncate: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         if truncate and body:
             # Promise the full body, deliver half, cut the wire: the
@@ -476,9 +589,10 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         return body
 
     def _route(self) -> Optional[Tuple[str, Optional[str]]]:
-        """``(collection, key-or-None)`` for /docs, /blobs, /stats."""
+        """``(collection, key-or-None)`` for /docs, /blobs, /stats,
+        /healthz."""
         parts = [p for p in self.path.split("?")[0].split("/") if p]
-        if len(parts) == 1 and parts[0] in ("docs", "blobs", "stats"):
+        if len(parts) == 1 and parts[0] in ("docs", "blobs", "stats", "healthz"):
             return parts[0], None
         if len(parts) == 2 and parts[0] in ("docs", "blobs"):
             return parts[0], parts[1]
@@ -489,9 +603,15 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _handle(self) -> None:
         self._body_consumed = False
+        self.server.request_began()
         try:
             self._dispatch()
         finally:
+            self.server.request_ended()
+            if self.server.draining:
+                # Finish this response, then give up the keep-alive:
+                # a draining server must not accept request N+1.
+                self.close_connection = True
             # A reply sent before the request body was read (injected
             # 503, bad key, engine error …) leaves those bytes in the
             # keep-alive stream, where they would desync the next
@@ -509,7 +629,15 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             return
         if action == "error":
-            self._reply(503, b"injected fault", content_type="text/plain")
+            hint = self.server.retry_after_hint
+            self._reply(
+                503,
+                b"injected fault",
+                content_type="text/plain",
+                headers=(
+                    {"Retry-After": f"{hint:g}"} if hint is not None else None
+                ),
+            )
             return
         truncate = action == "truncate"
         route = self._route()
@@ -540,6 +668,14 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         key: Optional[str],
         truncate: bool,
     ) -> None:
+        if collection == "healthz":
+            # The liveness probe must stay cheap under load: it answers
+            # from process state alone and never touches the engine.
+            self._reply_json(
+                {"ok": True, "engine": engine.name, "url": self.server.url},
+                truncate=truncate,
+            )
+            return
         if collection == "stats":
             self._reply_json(
                 {
@@ -598,7 +734,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
     def _do_delete(
         self, engine: StoreBackend, collection: str, key: Optional[str]
     ) -> None:
-        if collection == "stats":
+        if collection in ("stats", "healthz"):
             self._reply(405, b"method not allowed", content_type="text/plain")
             return
         if key is None:
@@ -645,3 +781,42 @@ def serve_store(
             "point store-serve at a directory, sqlite, or memory engine"
         )
     return StoreHTTPServer((host, port), engine)
+
+
+def install_graceful_shutdown(
+    server: StoreHTTPServer,
+    signals: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+) -> Callable[[], None]:
+    """Make SIGTERM/SIGINT drain the server instead of tearing it down.
+
+    The handler marks the server draining (in-flight requests finish
+    with complete responses; every connection then gives up its
+    keep-alive) and stops the accept loop, so ``serve_forever()``
+    returns.  The caller then waits out the last requests with
+    :meth:`StoreHTTPServer.drain` before ``server_close()`` — the CLI
+    does exactly this — and a retrying fleet (or a CI teardown, or
+    the golden node-revive test) never sees the shutdown as a torn
+    connection.
+
+    ``shutdown()`` deadlocks when called from the thread running
+    ``serve_forever()`` — and a signal handler runs exactly there in
+    the single-threaded CLI case — so the handler hands it to a
+    helper thread.  Returns a callable that reinstates the previous
+    handlers (tests install/restore around a temporary server).
+    """
+    previous = {}
+
+    def _drain(signum: int, frame: Any) -> None:
+        server.draining = True
+        threading.Thread(
+            target=server.shutdown, name="store-serve-drain", daemon=True
+        ).start()
+
+    for sig in signals:
+        previous[sig] = signal.signal(sig, _drain)
+
+    def restore() -> None:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+    return restore

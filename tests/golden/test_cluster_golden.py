@@ -1,0 +1,228 @@
+"""The node-loss wall: a replicated fabric survives a dying node.
+
+PR 8's wall proved a flaky *wire* cannot corrupt the corpus; this suite
+raises it to whole-node death.  A seeded golden sweep runs against a
+3-node/R=2 ``cluster://`` fabric (three served sqlite stores) whose
+first node is killed mid-run — every request to it goes dark, exactly
+as if the process were gone — and must:
+
+* complete, with zero lost and zero double-applied documents;
+* export canonically **byte-identical** to the directory engine;
+* after the node revives and write-behind repairs drain, hold every
+  document on its full replica set again;
+* serve a healthy-fabric rerun as a pure store hit (no recompute, not
+  one new document).
+"""
+
+import contextlib
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "runtime"))
+
+from fault_injection import NodeOutage, live_server  # noqa: E402
+
+from repro.runtime import (
+    MixRef,
+    PolicySpec,
+    ResultStore,
+    RunSpec,
+    Session,
+    migrate_store,
+    reset_artifacts,
+)
+from repro.runtime.backends import make_backend
+from repro.runtime.backends.cluster import ClusterBackend
+
+#: The same 2-policy golden sweep the other golden suites pin: one
+#: shared baseline document, two run records.
+GOLDEN_SPECS = [
+    RunSpec(
+        mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+        policy=policy,
+        requests=60,
+    )
+    for policy in (
+        PolicySpec.of("ubik", slack=0.05),
+        PolicySpec.of("lru", label="LRU"),
+    )
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_artifacts(monkeypatch):
+    """Empty artifact cache per test; tier 2 off.  Fast failover knobs:
+    a dead node must cost milliseconds per probe, not timeouts."""
+    monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACTS_TIER2", raising=False)
+    monkeypatch.setenv("REPRO_HTTP_RETRIES", "2")
+    monkeypatch.setenv("REPRO_HTTP_BACKOFF", "0.002")
+    monkeypatch.setenv("REPRO_CLUSTER_PROBE_BASE", "0.02")
+    monkeypatch.setenv("REPRO_CLUSTER_PROBE_CAP", "0.1")
+    reset_artifacts()
+    yield
+    reset_artifacts()
+
+
+def serve_fabric(tmp_path, stack, nodes=3, replicas=2, outages=None):
+    """``(cluster url, servers)`` for N served sqlite nodes."""
+    servers = [
+        stack.enter_context(
+            live_server(
+                f"sqlite://{tmp_path}/node{index}.db",
+                injector=None if outages is None else outages[index],
+            )
+        )
+        for index in range(nodes)
+    ]
+    url = f"cluster://replicas={replicas};" + ";".join(s.url for s in servers)
+    return url, servers
+
+
+def export_tree(store, destination):
+    """Canonical-export a store and return its path → bytes map."""
+    store.export_canonical(destination)
+    return {
+        p.relative_to(destination).as_posix(): p.read_bytes()
+        for p in destination.rglob("*")
+        if p.is_file()
+    }
+
+
+def reference_run(tmp_path):
+    """The directory-engine truth: records and canonical bytes."""
+    store = ResultStore(str(tmp_path / "ref-tree"))
+    records = Session(store=store).run_many(GOLDEN_SPECS)
+    tree = export_tree(store, tmp_path / "export-ref")
+    store.close()
+    return records, tree
+
+
+def test_healthy_fabric_sweep_exports_byte_identical(tmp_path):
+    ref_records, ref_tree = reference_run(tmp_path)
+    reset_artifacts()
+    with contextlib.ExitStack() as stack:
+        url, _servers = serve_fabric(tmp_path, stack)
+        store = ResultStore(url)  # cluster:// straight through the parser
+        assert isinstance(store.backend, ClusterBackend)
+        records = Session(store=store).run_many(GOLDEN_SPECS)
+        tree = export_tree(store, tmp_path / "export-cluster")
+
+        assert records == ref_records
+        assert tree == ref_tree
+        # Replication actually happened: each of the 3 documents lives
+        # on exactly R=2 of the 3 nodes, so raw copies total 6.
+        fabric = store.backend
+        raw = sum(node.backend.doc_count() for node in fabric._nodes)
+        assert raw == 2 * len(ref_tree)
+        # share_target round-trips: a second process would reopen the
+        # same fabric from the URL alone and see the same corpus.
+        assert store.share_target() == fabric.url
+        reopened = ResultStore(make_backend(store.share_target()))
+        assert len(reopened) == len(ref_tree)
+        store.close()
+        reopened.close()
+
+
+def test_node_loss_mid_sweep_wall(tmp_path):
+    """The acceptance wall, end to end: kill one node mid-sweep, lose
+    nothing; revive it, repair, and rerun as a pure store hit."""
+    ref_records, ref_tree = reference_run(tmp_path)
+    reset_artifacts()
+    with contextlib.ExitStack() as stack:
+        outages = [NodeOutage(), NodeOutage(), NodeOutage()]
+        url, _servers = serve_fabric(tmp_path, stack, outages=outages)
+        store = ResultStore(url)
+        fabric = store.backend
+
+        # Cell 1 lands on the healthy fabric; then node 0 goes dark —
+        # mid-sweep, with the shared baseline and the first run record
+        # already replicated through it — and cell 2 must complete
+        # against the degraded fabric.  (The kill is placed between
+        # cells rather than at a request count because replica
+        # placement hashes over the nodes' ephemeral ports: any fixed
+        # count is a different moment on every run.)
+        session = Session(store=store)
+        records = [session.run(GOLDEN_SPECS[0])]
+        outages[0].kill()
+        records.append(session.run(GOLDEN_SPECS[1]))
+
+        # Zero data loss, zero double-apply: the degraded fabric's
+        # canonical export is byte-identical to the directory engine —
+        # same three documents, same bytes, nothing extra.
+        tree = export_tree(store, tmp_path / "export-degraded")
+        assert records == ref_records
+        assert tree == ref_tree
+        # The dead node was really exercised and really dark: the
+        # degraded sweep/export sent it requests and every one dropped.
+        assert outages[0].dropped > 0
+
+        status = fabric.status()
+        assert [n["healthy"] for n in status["nodes"]] == [False, True, True]
+
+        # Revive the node and drain the write-behind repairs: every
+        # document must land back on its full R=2 replica set.
+        outages[0].revive()
+        outcome = fabric.repair()
+        assert outcome["pending"] == 0
+        for fingerprint in tree:
+            fp = Path(fingerprint).stem
+            holders = [
+                replica
+                for replica in fabric.replicas_for(fp)
+                if replica.get_doc(fp) is not None
+            ]
+            assert len(holders) == 2
+        raw = sum(node.backend.doc_count() for node in fabric._nodes)
+        assert raw == 2 * len(ref_tree)
+        assert [
+            n["healthy"] for n in fabric.status()["nodes"]
+        ] == [True, True, True]
+
+        # Healthy-fabric rerun: a pure store hit — identical records,
+        # not one new document anywhere in the fabric.
+        reset_artifacts()
+        again_store = ResultStore(url)
+        again = Session(store=again_store).run_many(GOLDEN_SPECS)
+        assert again == ref_records
+        assert sum(node.backend.doc_count() for node in fabric._nodes) == raw
+        # And the healed fabric still exports the same bytes.
+        assert export_tree(again_store, tmp_path / "export-healed") == ref_tree
+        store.close()
+        again_store.close()
+
+
+def test_migration_through_the_fabric_round_trips(tmp_path):
+    """``repro cache --migrate`` works over the composite: directory →
+    cluster → directory preserves every canonical byte."""
+    ref_records, ref_tree = reference_run(tmp_path)
+    reset_artifacts()
+    with contextlib.ExitStack() as stack:
+        url, _servers = serve_fabric(tmp_path, stack)
+        up = migrate_store(str(tmp_path / "ref-tree"), url)
+        assert up["documents"] == len(ref_tree)
+        back = str(tmp_path / "back-tree")
+        down = migrate_store(url, back)
+        assert down["documents"] == len(ref_tree)
+        assert export_tree(ResultStore(back), tmp_path / "export-back") == (
+            ref_tree
+        )
+
+
+def test_fabric_survives_node_loss_during_export(tmp_path):
+    """Even the export itself fails over: kill a node after the sweep,
+    then export — the union over live replicas is still the corpus."""
+    ref_records, ref_tree = reference_run(tmp_path)
+    reset_artifacts()
+    with contextlib.ExitStack() as stack:
+        outages = [NodeOutage(), NodeOutage(), NodeOutage()]
+        url, _servers = serve_fabric(tmp_path, stack, outages=outages)
+        store = ResultStore(url)
+        records = Session(store=store).run_many(GOLDEN_SPECS)
+        assert records == ref_records
+        outages[2].kill()  # a different node than the mid-run wall's
+        tree = export_tree(store, tmp_path / "export-lost-node")
+        assert tree == ref_tree
+        store.close()

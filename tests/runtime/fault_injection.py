@@ -32,6 +32,14 @@ backend test:
     A context manager running a served store on an ephemeral port in a
     daemon thread, yielding the server (``server.url`` is what clients
     connect to) and guaranteeing shutdown.
+
+:class:`NodeOutage`
+    Whole-node death, as an injector: while the node is down *every*
+    request is dropped — including over already-established keep-alive
+    connections, which an in-process ``server_close()`` alone would
+    keep serving.  Kill at a scheduled request count (``kill_after``)
+    or by hand (:meth:`~NodeOutage.kill`/:meth:`~NodeOutage.revive`).
+    This is the harness behind the cluster fabric's node-loss wall.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ __all__ = [
     "FaultInjected",
     "FaultSchedule",
     "FlakyBackend",
+    "NodeOutage",
     "live_server",
 ]
 
@@ -221,6 +230,61 @@ class FlakyBackend(StoreBackend):
 
     def close(self) -> None:
         self.engine.close()
+
+
+class NodeOutage:
+    """A node-level kill/revive schedule (``fault_injector`` hook).
+
+    While dead, every request is answered with ``"drop"`` — the wire
+    goes dark exactly as it does when the process is gone, even on
+    keep-alive connections a client pooled before the death.  An
+    optional inner ``schedule`` (e.g. a flaky-network
+    :class:`FaultSchedule`) is consulted while the node is alive, so
+    node loss composes with wire faults.
+
+    ``kill_after=N`` kills the node when it has served N requests —
+    the deterministic "mid-run" trigger the golden node-loss wall
+    uses; ``kill()``/``revive()`` flip it by hand.
+    """
+
+    def __init__(
+        self,
+        kill_after: Optional[int] = None,
+        schedule: Optional[FaultSchedule] = None,
+    ):
+        self.kill_after = kill_after
+        self.schedule = schedule
+        self.total = 0
+        self.dropped = 0
+        self.dead = False
+        self._lock = threading.Lock()
+
+    def kill(self) -> None:
+        """The node goes dark (idempotent)."""
+        with self._lock:
+            self.dead = True
+
+    def revive(self) -> None:
+        """The node answers again; the scheduled kill is spent."""
+        with self._lock:
+            self.dead = False
+            self.kill_after = None
+
+    def __call__(self, method: str, path: str) -> Any:
+        with self._lock:
+            self.total += 1
+            if (
+                not self.dead
+                and self.kill_after is not None
+                and self.total > self.kill_after
+            ):
+                self.dead = True
+            if self.dead:
+                self.dropped += 1
+                return "drop"
+        if self.schedule is not None:
+            return self.schedule(method, path)
+        return None
 
 
 @contextlib.contextmanager

@@ -23,7 +23,7 @@ from repro.runtime.store import (
     migrate_store,
 )
 
-BACKEND_NAMES = ("directory", "sqlite", "memory", "http")
+BACKEND_NAMES = ("directory", "sqlite", "memory", "http", "cluster")
 
 #: The engines with their own media (http serves one of these).
 LOCAL_BACKEND_NAMES = ("directory", "sqlite", "memory")
@@ -52,6 +52,12 @@ def target_factory(tmp_path):
             if name == "http":
                 served = f"sqlite://{tmp_path}/{label}-served.db"
                 return stack.enter_context(live_server(served)).url
+            if name == "cluster":
+                return (
+                    "cluster://replicas=2;"
+                    f"sqlite://{tmp_path}/{label}-n0.db;"
+                    f"sqlite://{tmp_path}/{label}-n1.db"
+                )
             return make_target(name, tmp_path / label)
 
         yield factory
@@ -94,6 +100,17 @@ class TestParseStoreUrl:
             "http",
             "127.0.0.1:8377",
         )
+
+    def test_cluster_url(self):
+        assert parse_store_url("cluster://replicas=2;http://a:1;http://b:2") == (
+            "cluster",
+            "replicas=2;http://a:1;http://b:2",
+        )
+
+    def test_bare_cluster_url_defers_to_env(self):
+        # Topology may come from REPRO_STORE_CLUSTER at construction
+        # time, so the parse itself must accept an empty location.
+        assert parse_store_url("cluster://") == ("cluster", None)
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError, match="unknown store backend"):
@@ -295,6 +312,7 @@ class TestCanonicalExport:
         assert exports["sqlite"] == exports["directory"]
         assert exports["memory"] == exports["directory"]
         assert exports["http"] == exports["directory"]  # the network hop
+        assert exports["cluster"] == exports["directory"]  # the fabric
         # And the export reproduces the directory backend's own layout.
         assert exports["directory"] == _tree_bytes(
             tmp_path / "directory" / "tree"

@@ -1,0 +1,460 @@
+"""Unit tests for the replicated cluster fabric backend.
+
+The golden node-loss wall (``tests/golden/test_cluster_golden.py``)
+proves the end-to-end property over real served nodes; this file pins
+the mechanisms one at a time — spec parsing, rendezvous placement,
+quorum writes, write-behind repair, failover and read-repair reads,
+the circuit breaker's seeded jittered probes, tombstone repair, and
+the composite's maintenance surface — over in-process children where
+every failure is deterministic.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.backends import (
+    BACKENDS,
+    ClusterBackend,
+    make_backend,
+    parse_store_url,
+)
+from repro.runtime.backends.base import StoreBackend
+from repro.runtime.backends.cluster import parse_cluster_spec
+from repro.runtime.backends.http import StoreUnavailable
+from repro.runtime.backends.memory import MemoryBackend
+from repro.runtime.store import ResultStore
+
+FP = "ab" * 32
+DOC = '{"kind": "unit", "v": 1}'
+
+
+class FlippableNode(StoreBackend):
+    """A memory engine with a kill switch: dead → ConnectionError."""
+
+    name = "flippable"
+    persistent = True  # pretend, so fabric-level persistence is testable
+
+    def __init__(self):
+        self.engine = MemoryBackend()
+        self.dead = False
+        self.calls = 0
+
+    @property
+    def url(self) -> str:
+        return f"flippable://{id(self)}"
+
+    def _guard(self):
+        self.calls += 1
+        if self.dead:
+            raise ConnectionError("node is down")
+
+    def get_doc(self, fingerprint):
+        self._guard()
+        return self.engine.get_doc(fingerprint)
+
+    def put_doc(self, fingerprint, text):
+        self._guard()
+        self.engine.put_doc(fingerprint, text)
+
+    def delete_doc(self, fingerprint):
+        self._guard()
+        self.engine.delete_doc(fingerprint)
+
+    def iter_docs(self):
+        self._guard()
+        return self.engine.iter_docs()
+
+    def doc_count(self):
+        self._guard()
+        return self.engine.doc_count()
+
+    def get_blob(self, key):
+        self._guard()
+        return self.engine.get_blob(key)
+
+    def put_blob(self, key, payload):
+        self._guard()
+        self.engine.put_blob(key, payload)
+
+    def delete_blob(self, key):
+        self._guard()
+        self.engine.delete_blob(key)
+
+    def iter_blobs(self):
+        self._guard()
+        return self.engine.iter_blobs()
+
+    def blob_count(self):
+        self._guard()
+        return self.engine.blob_count()
+
+    def clear_documents(self):
+        self._guard()
+        return self.engine.clear_documents()
+
+    def clear_blobs(self):
+        self._guard()
+        return self.engine.clear_blobs()
+
+    def disk_bytes(self):
+        self._guard()
+        return self.engine.disk_bytes()
+
+    def close(self):
+        self.engine.close()
+
+
+def fabric(nodes=3, replicas=2, **kwargs):
+    children = [FlippableNode() for _ in range(nodes)]
+    kwargs.setdefault("probe_base", 0.005)
+    kwargs.setdefault("probe_cap", 0.02)
+    return ClusterBackend(nodes=children, replicas=replicas, **kwargs), children
+
+
+class TestSpecParsing:
+    def test_compact_form(self):
+        nodes, options = parse_cluster_spec(
+            "replicas=2;http://a:1;http://b:2;quorum=1"
+        )
+        assert nodes == ["http://a:1", "http://b:2"]
+        assert options == {"replicas": 2, "quorum": 1}
+
+    def test_json_form(self):
+        nodes, options = parse_cluster_spec(
+            json.dumps({"nodes": ["http://a:1", "/tmp/tree"], "replicas": 3})
+        )
+        assert nodes == ["http://a:1", "/tmp/tree"]
+        assert options == {"replicas": 3}
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_STORE_CLUSTER", "replicas=2;memory://;memory://"
+        )
+        nodes, options = parse_cluster_spec(None)
+        assert nodes == ["memory://", "memory://"]
+        assert options == {"replicas": 2}
+
+    def test_empty_spec_without_env_raises(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_CLUSTER", raising=False)
+        with pytest.raises(ValueError, match="no topology"):
+            parse_cluster_spec(None)
+
+    def test_no_nodes_raises(self):
+        with pytest.raises(ValueError, match="names no nodes"):
+            parse_cluster_spec("replicas=2")
+
+    def test_parse_store_url_allows_bare_cluster(self):
+        assert parse_store_url("cluster://") == ("cluster", None)
+        name, location = parse_store_url("cluster://replicas=2;http://a:1")
+        assert name == "cluster"
+        assert location == "replicas=2;http://a:1"
+
+    def test_registered_engine(self):
+        assert BACKENDS["cluster"] is ClusterBackend
+        backend = make_backend("cluster://replicas=2;memory://;memory://")
+        assert isinstance(backend, ClusterBackend)
+        assert backend.replicas == 2
+
+    def test_url_round_trips(self):
+        backend = make_backend("cluster://replicas=2;memory://;memory://")
+        again = make_backend(backend.url)
+        assert again.url == backend.url
+        assert again.replicas == backend.replicas
+
+
+class TestPlacement:
+    def test_replica_count_and_determinism(self):
+        cluster, children = fabric()
+        keys = [("%02x" % i) * 32 for i in range(64)]
+        for key in keys:
+            replicas = cluster.replicas_for(key)
+            assert len(replicas) == 2
+            assert replicas == cluster.replicas_for(key)  # stable
+
+    def test_keys_spread_across_nodes(self):
+        cluster, children = fabric()
+        keys = [("%02x" % i) * 32 for i in range(64)]
+        for key in keys:
+            cluster.put_doc(key, DOC)
+        counts = [child.engine.doc_count() for child in children]
+        assert sum(counts) == 2 * len(keys)  # exactly R copies of each
+        assert all(count > 0 for count in counts)  # sharding spreads
+
+    def test_replicas_clamped_to_node_count(self):
+        cluster, _ = fabric(nodes=2, replicas=5)
+        assert cluster.replicas == 2
+
+    def test_default_quorum_is_majority_of_r(self):
+        assert fabric(replicas=2)[0].quorum == 1
+        assert fabric(replicas=3)[0].quorum == 2
+        cluster, _ = fabric(replicas=2, quorum=2)
+        assert cluster.quorum == 2
+
+
+class TestReplicatedWrites:
+    def test_write_lands_on_all_replicas(self):
+        cluster, children = fabric()
+        cluster.put_doc(FP, DOC)
+        holders = [c for c in children if c.engine.get_doc(FP) == DOC]
+        assert len(holders) == 2
+
+    def test_straggler_goes_to_repair_queue(self):
+        cluster, children = fabric()
+        replicas = cluster.replicas_for(FP)
+        replicas[1].dead = True
+        cluster.put_doc(FP, DOC)  # quorum 1: still acks
+        assert cluster.get_doc(FP) == DOC
+        assert cluster.counters["write_stragglers"] == 1
+        replicas[1].dead = False
+        outcome = cluster.repair()
+        assert outcome == {"drained": 1, "pending": 0}
+        assert replicas[1].engine.get_doc(FP) == DOC
+
+    def test_quorum_not_met_raises(self):
+        cluster, children = fabric()
+        for child in children:
+            child.dead = True
+        with pytest.raises(StoreUnavailable, match="quorum"):
+            cluster.put_doc(FP, DOC)
+
+    def test_explicit_quorum_two_fails_with_one_survivor(self):
+        cluster, children = fabric(quorum=2)
+        replicas = cluster.replicas_for(FP)
+        replicas[0].dead = True
+        with pytest.raises(StoreUnavailable, match="quorum"):
+            cluster.put_doc(FP, DOC)
+
+    def test_newer_write_supersedes_queued_repair(self):
+        cluster, _ = fabric()
+        replicas = cluster.replicas_for(FP)
+        replicas[1].dead = True
+        cluster.put_doc(FP, '{"v": "stale"}')
+        cluster.put_doc(FP, DOC)
+        replicas[1].dead = False
+        cluster.repair()
+        assert replicas[1].engine.get_doc(FP) == DOC
+
+    def test_tombstone_repair_keeps_deletes_deleted(self):
+        """A delete while a replica is down must not resurrect when
+        the node comes back: the repair queue carries a tombstone."""
+        cluster, _ = fabric()
+        cluster.put_doc(FP, DOC)
+        replicas = cluster.replicas_for(FP)
+        replicas[1].dead = True
+        cluster.delete_doc(FP)
+        assert replicas[1].engine.get_doc(FP) == DOC  # still on the corpse
+        replicas[1].dead = False
+        cluster.repair()
+        assert replicas[1].engine.get_doc(FP) is None
+        assert cluster.get_doc(FP) is None
+
+
+class TestReplicatedReads:
+    def test_failover_on_dead_preferred_replica(self):
+        cluster, _ = fabric()
+        cluster.put_doc(FP, DOC)
+        replicas = cluster.replicas_for(FP)
+        replicas[0].dead = True
+        assert cluster.get_doc(FP) == DOC
+        assert cluster.counters["read_failovers"] >= 1
+
+    def test_miss_needs_a_definitive_answer(self):
+        cluster, children = fabric()
+        assert cluster.get_doc(FP) is None  # healthy miss
+        for child in children:
+            child.dead = True
+        with pytest.raises(StoreUnavailable, match="unreachable"):
+            cluster.get_doc(FP)
+
+    def test_read_repair_propagates_partial_documents(self):
+        """A document present on only one replica (e.g. written while
+        the other was down, before repair drained) is re-propagated by
+        the read that finds it."""
+        cluster, _ = fabric()
+        replicas = cluster.replicas_for(FP)
+        replicas[1].engine.put_doc(FP, DOC)  # bypass: only replica 2 has it
+        assert cluster.get_doc(FP) == DOC
+        assert cluster.counters["read_repairs"] == 1
+        assert replicas[0].engine.get_doc(FP) == DOC
+
+    def test_union_listing_and_counts(self):
+        cluster, _ = fabric()
+        keys = sorted(("%02x" % i) * 32 for i in range(8))
+        for key in keys:
+            cluster.put_doc(key, DOC)
+        assert list(cluster.iter_docs()) == keys
+        assert cluster.doc_count() == len(keys)
+        cluster.put_blob(FP, b"payload")
+        assert list(cluster.iter_blobs()) == [FP]
+        assert cluster.blob_count() == 1
+
+    def test_union_skips_a_dead_node(self):
+        cluster, children = fabric()
+        keys = sorted(("%02x" % i) * 32 for i in range(8))
+        for key in keys:
+            cluster.put_doc(key, DOC)
+        children[0].dead = True
+        assert list(cluster.iter_docs()) == keys  # replicas cover it
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_skips_the_node(self):
+        cluster, _ = fabric(breaker_threshold=3)
+        replicas = cluster.replicas_for(FP)
+        replicas[0].dead = True
+        for _ in range(3):
+            cluster.put_doc(FP, DOC)
+        node = next(
+            n for n in cluster._nodes if n.backend is replicas[0]
+        )
+        assert node.circuit == "open"
+        calls_before = replicas[0].calls
+        cluster.put_doc(FP, DOC)  # open circuit: not even attempted
+        assert replicas[0].calls == calls_before
+
+    def test_reopen_probe_is_jittered_and_capped(self):
+        cluster, _ = fabric(
+            breaker_threshold=1, probe_base=0.5, probe_cap=4.0, seed=7
+        )
+        replicas = cluster.replicas_for(FP)
+        replicas[0].dead = True
+        node = next(n for n in cluster._nodes if n.backend is replicas[0])
+        delays = []
+        for _ in range(8):
+            try:
+                cluster.put_doc(FP, DOC)
+            except StoreUnavailable:
+                pass
+            delays.append(node.last_delay)
+            node.open_until = 0.0  # force the next attempt through
+        # Every delay sits in [0.5, 1.0) × the capped exponential.
+        for index, delay in enumerate(delays):
+            ceiling = min(4.0, 0.5 * (2 ** min(index, 6)))
+            assert 0.5 * ceiling <= delay < ceiling
+        # The cap binds: late delays never exceed probe_cap.
+        assert max(delays) < 4.0
+        # And the jitter is real: delays are not all at the ceiling.
+        assert len({round(d, 6) for d in delays}) > 1
+
+    def test_seeded_jitter_is_reproducible(self):
+        sequences = []
+        for _ in range(2):
+            cluster, _ = fabric(breaker_threshold=1, seed=2014)
+            replicas = cluster.replicas_for(FP)
+            replicas[0].dead = True
+            node = next(
+                n for n in cluster._nodes if n.backend is replicas[0]
+            )
+            delays = []
+            for _ in range(4):
+                cluster.put_doc(FP, DOC)
+                delays.append(node.last_delay)
+                node.open_until = 0.0
+            sequences.append(delays)
+        assert sequences[0] == sequences[1]
+
+    def test_success_closes_the_circuit(self):
+        cluster, _ = fabric(breaker_threshold=1, probe_base=0.0)
+        replicas = cluster.replicas_for(FP)
+        replicas[0].dead = True
+        cluster.put_doc(FP, DOC)
+        node = next(n for n in cluster._nodes if n.backend is replicas[0])
+        assert node.failures > 0
+        replicas[0].dead = False
+        node.open_until = 0.0  # probe due immediately
+        cluster.put_doc(FP, DOC)
+        cluster.repair()
+        assert node.circuit == "closed"
+        assert node.failures == 0
+
+
+class TestMaintenance:
+    def test_clear_documents_returns_logical_count(self):
+        cluster, children = fabric()
+        for index in range(6):
+            cluster.put_doc(("%02x" % index) * 32, DOC)
+        assert cluster.clear_documents() == 6  # union, not R× raw copies
+        assert cluster.doc_count() == 0
+        assert all(c.engine.doc_count() == 0 for c in children)
+
+    def test_clear_requires_the_whole_fabric(self):
+        cluster, children = fabric()
+        cluster.put_doc(FP, DOC)
+        children[2].dead = True
+        with pytest.raises(StoreUnavailable, match="clear"):
+            cluster.clear_documents()
+
+    def test_disk_bytes_sums_reachable_nodes(self):
+        cluster, children = fabric()
+        cluster.put_doc(FP, DOC)
+        expected = sum(child.engine.disk_bytes() for child in children)
+        assert cluster.disk_bytes() == expected
+        children[0].dead = True  # a dark node is skipped, not fatal
+        assert cluster.disk_bytes() <= expected
+
+    def test_status_shape(self):
+        cluster, children = fabric()
+        cluster.put_doc(FP, DOC)
+        children[0].dead = True
+        status = cluster.status()
+        assert status["replicas"] == 2
+        assert status["quorum"] == 1
+        assert len(status["nodes"]) == 3
+        for node in status["nodes"]:
+            for key in (
+                "url",
+                "healthy",
+                "circuit",
+                "consecutive_failures",
+                "pending_repairs",
+                "documents",
+                "blobs",
+            ):
+                assert key in node
+        healthy = [n["healthy"] for n in status["nodes"]]
+        assert healthy.count(False) == 1
+
+    def test_persistent_only_when_every_child_is(self):
+        persistent = make_backend("cluster://replicas=1;memory://;memory://")
+        assert persistent.persistent is False  # memory children
+        cluster, _ = fabric()
+        assert cluster.persistent is True  # FlippableNode claims True
+
+
+class TestFacade:
+    def test_result_store_facade_over_the_fabric(self):
+        cluster, _ = fabric()
+        store = ResultStore(cluster)
+        store.put(FP, {"kind": "unit", "result": 1})
+        fresh = ResultStore(cluster)
+        fetched = fresh.get(FP)
+        assert fetched["kind"] == "unit"
+        assert fetched["result"] == 1
+        stats = fresh.stats()
+        assert stats["backend"] == "cluster"
+        assert stats["documents"] == 1
+
+    def test_share_target_is_the_cluster_url(self):
+        cluster, _ = fabric()
+        store = ResultStore(cluster)
+        assert store.share_target() == cluster.url
+        assert store.share_target().startswith("cluster://replicas=2;")
+
+    def test_export_canonical_over_the_composite(self, tmp_path):
+        cluster, _ = fabric()
+        store = ResultStore(cluster)
+        store.put(FP, {"kind": "unit", "result": 1})
+        exported = store.export_canonical(tmp_path / "out")
+        assert exported == 1
+        assert (tmp_path / "out" / FP[:2] / f"{FP}.json").is_file()
+
+    def test_client_options_reach_http_children(self):
+        cluster = ClusterBackend(
+            nodes=["http://127.0.0.1:1", "http://127.0.0.1:2"],
+            replicas=2,
+            client_options={"timeout": 1.5, "retries": 0, "backoff": 0.001},
+        )
+        for node in cluster._nodes:
+            assert node.backend.timeout == 1.5
+            assert node.backend.retries == 0

@@ -17,6 +17,7 @@ from fault_injection import (
     FaultInjected,
     FaultSchedule,
     FlakyBackend,
+    NodeOutage,
     live_server,
 )
 from repro.runtime.backends import HttpBackend, make_backend
@@ -219,3 +220,277 @@ class TestFlakyBackendDirect:
         flaky.put_blob(FP, b"x")
         assert list(flaky.iter_blobs()) == [FP]
         assert flaky.clear_blobs() == 1
+
+
+class TestTier2ArtifactFaults:
+    """The persistent artifact tier rides the same wall: tier-2 blob
+    traffic through a flaky wire stays exactly-once and recoverable."""
+
+    @staticmethod
+    def _baseline():
+        from repro.sim.mix_runner import BaselineResult
+
+        return BaselineResult(
+            tail95_cycles=9.5, p95_cycles=8.0, latencies=(1.0, 2.0, 9.5)
+        )
+
+    @staticmethod
+    def _tier2_env(monkeypatch, url):
+        monkeypatch.setenv("REPRO_ARTIFACTS", "1")
+        monkeypatch.setenv("REPRO_ARTIFACTS_TIER2", url)
+        monkeypatch.setenv("REPRO_HTTP_RETRIES", "8")
+        monkeypatch.setenv("REPRO_HTTP_BACKOFF", "0.001")
+
+    @pytest.mark.parametrize("flavor", ["drop", "error", "truncate"])
+    def test_tier2_round_trip_through_wire_faults(self, monkeypatch, flavor):
+        from repro.runtime.artifacts import ArtifactCache
+
+        schedule = FaultSchedule(51, **{flavor: 0.5})
+        with live_server("memory://", injector=schedule) as server:
+            self._tier2_env(monkeypatch, server.url)
+            value = self._baseline()
+            key = ("masstree", 0.2, flavor)
+            writer = ArtifactCache(enabled=True)
+            writer.put("baseline", key, value)
+            # A fresh cache is a fresh process: tier 1 cold, so the get
+            # must come back through the faulty wire from tier 2.
+            reader = ArtifactCache(enabled=True)
+            assert reader.get("baseline", key) == value
+        assert schedule.by_action[flavor] > 0  # the wall actually fired
+
+    def test_tier2_lost_ack_applies_blob_exactly_once(self, monkeypatch):
+        from repro.runtime.artifacts import ArtifactCache
+
+        schedule = FaultSchedule(52, error=0.6)
+        flaky = FlakyBackend(MemoryBackend(), schedule, fail_after=True)
+        with live_server(flaky) as server:
+            self._tier2_env(monkeypatch, server.url)
+            writer = ArtifactCache(enabled=True)
+            writer.put("baseline", ("masstree", 0.2, "ack"), self._baseline())
+            # The put may have been applied then retried after a lost
+            # acknowledgement — but the blob is content-addressed, so
+            # the corpus shows it exactly once.
+            assert flaky.applied["put_blob"] >= 1
+            assert flaky.engine.blob_count() == 1
+            reader = ArtifactCache(enabled=True)
+            assert reader.get(
+                "baseline", ("masstree", 0.2, "ack")
+            ) == self._baseline()
+
+    def test_tier2_total_outage_degrades_to_tier1_only(self, monkeypatch):
+        # Tier 2 is best-effort by contract: a dark store must not fail
+        # the run, just stop persisting.
+        from repro.runtime.artifacts import ArtifactCache
+
+        schedule = FaultSchedule(53, drop=1.0, max_consecutive=10 ** 9)
+        with live_server("memory://", injector=schedule) as server:
+            self._tier2_env(monkeypatch, server.url)
+            monkeypatch.setenv("REPRO_HTTP_RETRIES", "1")
+            cache = ArtifactCache(enabled=True)
+            key = ("masstree", 0.2, "outage")
+            cache.put("baseline", key, self._baseline())  # must not raise
+            assert cache.get("baseline", key) == self._baseline()  # tier 1
+
+
+class TestRetryBackoff:
+    """The client's retry pacing: capped exponential, jittered, and
+    deferential to an explicit server hint — but never parked forever."""
+
+    @staticmethod
+    def client(**kwargs):
+        kwargs.setdefault("retries", 0)
+        return HttpBackend("127.0.0.1:9", **kwargs)
+
+    def test_delay_grows_exponentially_then_caps(self):
+        client = self.client(backoff=0.1, max_backoff=0.4)
+        for attempt in range(1, 7):
+            ceiling = min(0.4, 0.1 * (2 ** (attempt - 1)))
+            delay = client._retry_delay(attempt)
+            assert 0.5 * ceiling <= delay < ceiling
+
+    def test_jitter_desynchronizes_the_fleet(self):
+        client = self.client(backoff=0.1)
+        samples = {client._retry_delay(1) for _ in range(16)}
+        assert len(samples) > 1
+
+    def test_retry_after_raises_the_delay(self):
+        client = self.client(backoff=0.001, max_backoff=2.0)
+        delay = client._retry_delay(1, retry_after="0.5")
+        assert 0.25 <= delay < 0.5
+
+    def test_retry_after_is_still_capped(self):
+        # The server's hint does not get to park the client forever.
+        client = self.client(backoff=0.001, max_backoff=0.05)
+        assert client._retry_delay(1, retry_after="3600") < 0.05
+
+    def test_http_date_retry_after_is_ignored(self):
+        client = self.client(backoff=0.1)
+        delay = client._retry_delay(1, retry_after="Thu, 01 Jan 2026 00:00:00 GMT")
+        assert 0.05 <= delay < 0.1
+
+    def test_max_backoff_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HTTP_MAX_BACKOFF", "0.25")
+        client = self.client(backoff=1.0)
+        assert client._retry_delay(4) < 0.25
+
+    def test_server_hint_honored_end_to_end(self):
+        import time as time_module
+
+        schedule = FaultSchedule(54, error=0.5)
+        with live_server("memory://", injector=schedule) as server:
+            # An absurd hint: if the cap were not applied to the hint,
+            # this test would sleep half a minute per injected 503.
+            server.retry_after_hint = 30.0
+            client = HttpBackend(
+                server.url.replace("http://", ""),
+                retries=8,
+                backoff=0.001,
+                max_backoff=0.02,
+            )
+            started = time_module.monotonic()
+            for i in range(6):
+                fp = f"{i:02x}" * 32
+                client.put_doc(fp, DOC)
+                assert client.get_doc(fp) == DOC
+            assert time_module.monotonic() - started < 5.0
+        assert schedule.by_action["error"] > 0
+
+
+class TestHealthz:
+    """The liveness route answers from process state, in one attempt."""
+
+    def test_healthy_node_answers(self):
+        with live_server("memory://") as server:
+            client = fast_client(server.url)
+            payload = client.healthz()
+            assert payload is not None
+            assert payload["ok"] is True
+            assert payload["engine"] == "memory"
+
+    def test_dead_wire_is_one_verdict_no_retries(self):
+        schedule = FaultSchedule(55, drop=1.0, max_consecutive=10 ** 9)
+        with live_server("memory://", injector=schedule) as server:
+            client = fast_client(server.url, retries=8)
+            assert client.healthz() is None
+        # One fresh-connection attempt, not a retry ladder: the pool
+        # was empty, so exactly one request was consulted.
+        assert schedule.total == 1
+
+    def test_healthz_never_touches_the_engine(self):
+        schedule = FaultSchedule(56, drop=1.0, max_consecutive=10 ** 9)
+        flaky = FlakyBackend(MemoryBackend(), schedule)
+        with live_server(flaky) as server:
+            client = fast_client(server.url)
+            assert client.healthz() is not None  # engine faults invisible
+        assert schedule.total == 0  # the engine wrapper was never consulted
+
+    def test_unreachable_host_is_none(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        client = HttpBackend(f"127.0.0.1:{port}", retries=8, backoff=0.001)
+        assert client.healthz() is None
+
+
+class TestGracefulDrain:
+    """store-serve's shutdown path: finish in-flight work, then stop."""
+
+    def test_signal_marks_draining_and_stops_the_loop(self):
+        import os
+        import signal
+        import threading
+
+        from repro.runtime.backends import serve_store
+        from repro.runtime.backends.http import install_graceful_shutdown
+
+        server = serve_store("memory://", host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        restore = install_graceful_shutdown(server)
+        try:
+            os.kill(os.getpid(), signal.SIGTERM)
+            thread.join(timeout=10)
+            assert not thread.is_alive()  # serve_forever returned
+            assert server.draining is True
+            assert server.drain(timeout=5.0) is True
+        finally:
+            restore()
+            server.server_close()
+
+    def test_drain_waits_for_the_inflight_request(self):
+        import threading
+
+        # A slow request (injected 0.2s delay) is mid-flight when the
+        # server starts draining: drain() must wait for it, and the
+        # client must still get its answer.
+        schedule = FaultSchedule(57, delay=1.0, delay_seconds=0.2)
+        with live_server("memory://", injector=schedule) as server:
+            client = fast_client(server.url)
+            client.put_doc(FP, DOC)  # slow, but lands (delays succeed)
+            outcome = {}
+
+            def slow_get():
+                outcome["doc"] = client.get_doc(FP)
+
+            worker = threading.Thread(target=slow_get)
+            worker.start()
+            import time as time_module
+
+            time_module.sleep(0.05)  # let the request reach the server
+            server.draining = True
+            assert server.drain(timeout=5.0) is True
+            worker.join(timeout=5)
+            assert outcome["doc"] == DOC
+
+    def test_draining_server_closes_keep_alive_after_the_response(self):
+        with live_server("memory://") as server:
+            client = fast_client(server.url)
+            client.put_doc(FP, DOC)  # pools a keep-alive connection
+            server.draining = True
+            # The in-flight (last) request still answers...
+            assert client.get_doc(FP) == DOC
+            # ...and the server hung up afterwards; the pooled client
+            # transparently reconnects, so the next call still works.
+            assert client.get_doc(FP) == DOC
+
+
+class TestNodeOutage:
+    """The whole-node kill/revive schedule behind the cluster wall."""
+
+    def test_kill_after_counts_served_requests(self):
+        outage = NodeOutage(kill_after=3)
+        for _ in range(3):
+            assert outage("GET", "/docs") is None
+        assert outage("GET", "/docs") == "drop"
+        assert outage.dead is True
+        assert outage.dropped == 1
+
+    def test_manual_kill_and_revive(self):
+        outage = NodeOutage(kill_after=100)
+        outage.kill()
+        assert outage("PUT", "/docs/ab") == "drop"
+        outage.revive()
+        assert outage("PUT", "/docs/ab") is None
+        assert outage.kill_after is None  # the scheduled kill is spent
+
+    def test_composes_with_an_inner_wire_schedule(self):
+        inner = FaultSchedule(58, drop=1.0, max_consecutive=10 ** 9)
+        outage = NodeOutage(schedule=inner)
+        assert outage("GET", "/docs") == "drop"  # the wire, not the node
+        assert inner.total == 1
+        assert outage.dropped == 0
+
+    def test_kills_the_wire_even_on_pooled_connections(self):
+        # The property server_close() alone cannot give: a client that
+        # pooled a keep-alive connection before the death still loses it.
+        outage = NodeOutage()
+        with live_server("memory://", injector=outage) as server:
+            client = fast_client(server.url, retries=1)
+            client.put_doc(FP, DOC)  # establishes the pooled connection
+            outage.kill()
+            with pytest.raises(StoreUnavailable):
+                client.get_doc(FP)
+            outage.revive()
+            assert client.get_doc(FP) == DOC
+        assert outage.dropped >= 2  # the attempt and its retry

@@ -88,6 +88,21 @@ class TestRunBench:
     def test_format_bench_reports_http_tail(self, quick_payload):
         assert "http p50 put" in format_bench(quick_payload)
 
+    def test_cluster_kernel_times_degraded_reads(self, quick_payload):
+        """The v6 generation's kernel runs a real 3-node/R=2 fabric —
+        replicated writes, healthy reads, then reads with one node's
+        socket closed, so the degraded tail is a measured number."""
+        entry = quick_payload["kernels"]["cluster_roundtrip"]
+        assert entry["nodes"] == 3
+        assert entry["replicas"] == 2
+        for op in ("put", "get", "degraded_get"):
+            stats = entry[op]
+            assert 0 < stats["p50_ns"] <= stats["p90_ns"] <= stats["p99_ns"]
+
+    def test_format_bench_reports_cluster_tail(self, quick_payload):
+        text = format_bench(quick_payload)
+        assert "degraded get" in text
+
     def test_repeats_validation(self):
         with pytest.raises(ValueError):
             run_bench(quick=True, repeats=0)
@@ -219,7 +234,7 @@ class TestWriteBench:
         assert validate_bench(payload) == []
         retagged = dict(payload, schema=BENCH_SCHEMA)
         missing = set(KERNEL_NAMES) - set(V3_KERNEL_NAMES)
-        assert missing == {"joint_replay_grid"}
+        assert missing == {"joint_replay_grid", "cluster_roundtrip"}
         problems = validate_bench(retagged)
         for name in missing:
             assert any(name in p for p in problems)
@@ -242,6 +257,30 @@ class TestWriteBench:
         retagged = dict(payload, schema=BENCH_SCHEMA)
         problems = validate_bench(retagged)
         assert any("http" in p for p in problems)
+
+
+    def test_v5_generation_validates_against_its_own_kernels(self):
+        """A repro-bench/5 document (BENCH_pr8.json) predates the
+        cluster fabric: it must stay valid as-is, and retagging it as
+        the current generation must flag the missing cluster_roundtrip
+        entry."""
+        import pathlib
+
+        from repro.bench import BENCH_SCHEMA_V5, V5_KERNEL_NAMES
+
+        perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        payload = json.loads((perf / "BENCH_pr8.json").read_text())
+        assert payload["schema"] == BENCH_SCHEMA_V5
+        assert validate_bench(payload) == []
+        # The v5 store kernel already timed all four engines.
+        backends = payload["kernels"]["store_backend_roundtrip"]["backends"]
+        assert set(STORE_BACKEND_NAMES) <= set(backends)
+        retagged = dict(payload, schema=BENCH_SCHEMA)
+        missing = set(KERNEL_NAMES) - set(V5_KERNEL_NAMES)
+        assert missing == {"cluster_roundtrip"}
+        problems = validate_bench(retagged)
+        for name in missing:
+            assert any(name in p for p in problems)
 
 
 def test_format_bench_lists_every_kernel(quick_payload):

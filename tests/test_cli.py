@@ -350,3 +350,75 @@ class TestStoreServeCLI:
         assert docs("origin")
         assert docs("served") == docs("origin")
         assert docs("back") == docs("origin")
+
+
+class TestClusterCLI:
+    """``repro cluster-status`` and runs over the ``cluster://`` fabric."""
+
+    RUN_ARGS = TestStorageCLI.RUN_ARGS
+
+    @staticmethod
+    def cluster_url(tmp_path):
+        return (
+            "cluster://replicas=2;"
+            f"sqlite://{tmp_path}/n0.db;sqlite://{tmp_path}/n1.db"
+        )
+
+    def test_list_mentions_cluster_status(self, capsys):
+        assert main(["list"]) == 0
+        assert "cluster-status" in capsys.readouterr().out
+
+    def test_run_against_the_fabric(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        url = self.cluster_url(tmp_path)
+        assert main(self.RUN_ARGS + ["--store", url]) == 0
+        out = capsys.readouterr().out
+        assert "cluster://" in out
+        # R=2 over 2 nodes: both sqlite files hold the corpus.
+        assert (tmp_path / "n0.db").exists()
+        assert (tmp_path / "n1.db").exists()
+
+    def test_status_renders_the_node_table(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        url = self.cluster_url(tmp_path)
+        assert main(self.RUN_ARGS + ["--store", url]) == 0
+        capsys.readouterr()
+        assert main(["cluster-status", "--store", url]) == 0
+        out = capsys.readouterr().out
+        assert "2 node(s), R=2, write quorum 1" in out
+        assert "n0.db" in out
+        assert "n1.db" in out
+        assert out.count("up") >= 2
+        assert "closed" in out  # circuits
+        assert "write ack(s)" in out  # counters line
+
+    def test_status_repair_flag(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        url = self.cluster_url(tmp_path)
+        assert main(["cluster-status", "--store", url, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 0 queued write(s)" in out
+        assert "0 still pending" in out
+
+    def test_status_refuses_non_cluster_store(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit, match="needs a cluster:// store"):
+            main(
+                ["cluster-status", "--store", f"sqlite://{tmp_path}/solo.db"]
+            )
+
+    def test_env_topology_selects_the_fabric(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_STORE", "cluster://")
+        monkeypatch.setenv(
+            "REPRO_STORE_CLUSTER",
+            "replicas=2;"
+            f"sqlite://{tmp_path}/e0.db;sqlite://{tmp_path}/e1.db",
+        )
+        assert main(self.RUN_ARGS) == 0
+        capsys.readouterr()
+        assert main(["cluster-status"]) == 0
+        out = capsys.readouterr().out
+        assert "e0.db" in out
+        assert "e1.db" in out
