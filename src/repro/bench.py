@@ -2,7 +2,7 @@
 
 The ROADMAP's north star is "as fast as the hardware allows", which is
 only meaningful with a *trajectory*: numbers written down, schema-
-stable, and comparable across revisions.  This module times nine
+stable, and comparable across revisions.  This module times ten
 canonical kernels that cover the stack's hot layers and writes a
 ``BENCH_<revision>.json`` document (under ``benchmarks/perf/`` by
 convention):
@@ -66,6 +66,19 @@ convention):
     two grids are asserted result-for-result identical (every
     ``MixResult`` field) before either time is recorded; the PR-7
     acceptance floor for the recorded ``speedup`` is ≥2×.
+``lockstep_replay``
+    The joint six-app replays of one mix's eight-cell fixed-allocation
+    sensitivity sweep (LC partitions at 0.25×–2× the working-set
+    target), run through the lockstep SoA engine
+    (:mod:`repro.sim.lockstep`) — all cells advanced together over the
+    group's shared arrival/work arrays — versus the PR-7 grouped
+    per-cell event loop (``run_mix_group(..., lockstep=False)``), the
+    kept scalar path.  The two grids are asserted result-for-result
+    identical before either time is recorded; the PR-10 acceptance
+    floor for the recorded ``speedup`` is ≥2×.  Where
+    ``joint_replay_grid`` prices what *grouping* saves over per-cell
+    ``run_mix``, this kernel prices what *lockstep execution* saves
+    over the grouped loop — the two ratios compose.
 ``stream_synthesis``
     Bulk (arrivals, works) request-stream synthesis across all five LC
     work distributions through the batched
@@ -110,27 +123,36 @@ __all__ = [
     "BENCH_SCHEMA_V3",
     "BENCH_SCHEMA_V4",
     "BENCH_SCHEMA_V5",
+    "BENCH_SCHEMA_V6",
     "KERNEL_NAMES",
     "LEGACY_KERNEL_NAMES",
     "V2_KERNEL_NAMES",
     "V3_KERNEL_NAMES",
     "V5_KERNEL_NAMES",
+    "V6_KERNEL_NAMES",
+    "SPEEDUP_FLOORS",
     "STORE_BACKEND_NAMES",
     "V4_STORE_BACKEND_NAMES",
     "run_bench",
     "write_bench",
     "default_bench_path",
     "validate_bench",
+    "compare_bench",
+    "format_compare",
     "bench_revision",
 ]
 
 #: Schema identifier stamped into every document; bump only when the
 #: document layout changes (CI fails on drift against this module).
-BENCH_SCHEMA = "repro-bench/6"
+BENCH_SCHEMA = "repro-bench/7"
 
-#: The previous generation: eight kernels — everything but the
-#: ``cluster_roundtrip`` fabric kernel, which joined in generation 6.
+#: The previous generation: nine kernels — everything but the
+#: ``lockstep_replay`` kernel, which joined in generation 7.
 #: Committed trajectory documents written under it stay valid forever.
+BENCH_SCHEMA_V6 = "repro-bench/6"
+
+#: The generation before that: eight kernels — everything in v6 but
+#: the ``cluster_roundtrip`` fabric kernel.
 BENCH_SCHEMA_V5 = "repro-bench/5"
 
 #: The generation before that: same eight kernels as v5, but its
@@ -158,6 +180,7 @@ KERNEL_NAMES = (
     "store_backend_roundtrip",
     "joint_replay_grid",
     "cluster_roundtrip",
+    "lockstep_replay",
 )
 
 #: The kernel set of generation-1 documents (``BENCH_pr4.json``).
@@ -172,6 +195,9 @@ V3_KERNEL_NAMES = KERNEL_NAMES[:7]
 #: The kernel set of generation-4/5 documents (``BENCH_pr7/pr8.json``).
 V5_KERNEL_NAMES = KERNEL_NAMES[:8]
 
+#: The kernel set of generation-6 documents (``BENCH_pr9.json``).
+V6_KERNEL_NAMES = KERNEL_NAMES[:9]
+
 #: Storage engines the per-backend kernel times, in reporting order.
 STORE_BACKEND_NAMES = ("directory", "sqlite", "memory", "http")
 
@@ -185,10 +211,35 @@ _COMPARED_KERNELS = (
     "warm_sweep_grid",
     "stream_synthesis",
     "joint_replay_grid",
+    "lockstep_replay",
 )
+
+#: Committed acceptance floors for recorded ``speedup`` ratios — the
+#: PR that landed each optimization pinned its floor here, and
+#: :func:`compare_bench` reports floor status against this table.
+SPEEDUP_FLOORS = {
+    "warm_sweep_grid": 2.0,
+    "joint_replay_grid": 2.0,
+    "lockstep_replay": 2.0,
+}
 
 #: Per-kernel keys every document must carry (see :func:`validate_bench`).
 _KERNEL_KEYS = ("seconds", "runs", "units", "unit", "ns_per_unit")
+
+
+def _kernel_names_for_schema(schema: Any) -> Tuple[str, ...]:
+    """The kernel set a document of generation ``schema`` must carry."""
+    if schema == BENCH_SCHEMA_V1:
+        return LEGACY_KERNEL_NAMES
+    if schema == BENCH_SCHEMA_V2:
+        return V2_KERNEL_NAMES
+    if schema == BENCH_SCHEMA_V3:
+        return V3_KERNEL_NAMES
+    if schema in (BENCH_SCHEMA_V4, BENCH_SCHEMA_V5):
+        return V5_KERNEL_NAMES
+    if schema == BENCH_SCHEMA_V6:
+        return V6_KERNEL_NAMES
+    return KERNEL_NAMES
 
 
 def bench_revision() -> str:
@@ -501,11 +552,18 @@ def _bench_joint_replay_grid(requests: int, repeats: int) -> Dict[str, Any]:
             ]
 
         def run_grouped() -> List[Any]:
+            # Pinned to the grouped per-cell loop: this kernel tracks
+            # what *grouping* saves over scalar run_mix.  The lockstep
+            # engine (on by default) is priced separately by the
+            # ``lockstep_replay`` kernel, so letting it leak in here
+            # would silently conflate the two trajectories.
             grid: List[Any] = []
             for mix in mixes:
                 grid.extend(
                     runner.run_mix_group(
-                        mix, [(policy.build(), None) for policy in policy_specs]
+                        mix,
+                        [(policy.build(), None) for policy in policy_specs],
+                        lockstep=False,
                     )
                 )
             return grid
@@ -530,6 +588,104 @@ def _bench_joint_replay_grid(requests: int, repeats: int) -> Dict[str, Any]:
         baseline_seconds=per_cell_best,
         baseline_runs=per_cell_samples,
         speedup=per_cell_best / best,
+        verified_identical=True,
+    )
+
+
+def _bench_lockstep_replay(requests: int, repeats: int) -> Dict[str, Any]:
+    """Lockstep SoA replay of a fixed-allocation sweep vs the grouped loop.
+
+    Scope, precisely: the **replay phase only**, like
+    ``joint_replay_grid`` — but the axis here is the *engine*, not the
+    grouping.  One warm :class:`~repro.sim.mix_runner.MixRunner`
+    (baseline and streams derived outside the timed region, artifact
+    cache pinned on) replays one (masstree, load 0.9) mix under eight
+    :class:`~repro.policies.fixed.FixedPolicy` cells sweeping the LC
+    partition from 0.25× to 2× the workload's working-set target — the
+    allocation-sensitivity sweep the paper's motivating figures walk,
+    and a grid whose per-cell cost is the event loop itself rather
+    than policy work both engines would pay identically.  The lockstep
+    arm runs the eight cells through
+    :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` with
+    ``lockstep=True`` (all cells advanced together over the group's
+    shared arrival/work arrays); the baseline arm runs the same cells
+    with ``lockstep=False`` — the PR-7 grouped per-cell loop, which is
+    also what ``REPRO_LOCKSTEP=0`` restores.
+
+    The policies carry explicit per-app target dicts, which are not
+    expressible as a :class:`~repro.runtime.spec.PolicySpec` (spec
+    kwargs must be JSON scalars), so the cells are constructed
+    directly; ``FixedPolicy`` does no interval work, keeping the
+    measured ratio an event-loop number.
+
+    Verified before timing: the two grids must be result-for-result
+    identical under :func:`_mix_results_identical`, else the kernel
+    raises instead of recording a meaningless ratio.  Cells are rebuilt
+    per pass — policies are stateful controllers.  The PR-10
+    acceptance floor for the recorded ``speedup`` is ≥2×.
+    """
+    from .policies.fixed import FixedPolicy
+    from .runtime.artifacts import get_artifacts
+    from .runtime.spec import MixRef
+    from .sim.config import CMPConfig
+    from .sim.mix_runner import MixRunner
+
+    lc_fractions = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0)
+    ref = MixRef(lc_name="masstree", load=0.9, combo="nnn")
+    artifacts = get_artifacts()
+    with artifacts.pinned(True):
+        artifacts.clear()
+        runner = MixRunner(requests=requests, seed=2014)
+        mix = ref.build()
+        runner.baseline(mix.lc_workload, mix.load)  # outside the timing
+        llc_lines = CMPConfig().llc_lines
+        target_lines = mix.lc_workload.target_lines
+
+        def build_cells() -> List[Any]:
+            cells: List[Any] = []
+            for fraction in lc_fractions:
+                lc_lines = fraction * target_lines
+                batch_lines = max(0.0, llc_lines - 3 * lc_lines) / 3.0
+                policy = FixedPolicy(
+                    targets={
+                        0: lc_lines,
+                        1: lc_lines,
+                        2: lc_lines,
+                        3: batch_lines,
+                        4: batch_lines,
+                        5: batch_lines,
+                    }
+                )
+                cells.append((policy, None))
+            return cells
+
+        def run_lockstep() -> List[Any]:
+            return runner.run_mix_group(mix, build_cells(), lockstep=True)
+
+        def run_grouped() -> List[Any]:
+            return runner.run_mix_group(mix, build_cells(), lockstep=False)
+
+        # Verify once, outside the timed region: every lockstep cell
+        # must match the grouped loop (itself verified against scalar
+        # run_mix by joint_replay_grid and the equivalence tests)
+        # before the speedup means anything.
+        for lockstep_cell, grouped_cell in zip(run_lockstep(), run_grouped()):
+            if not _mix_results_identical(lockstep_cell, grouped_cell):
+                raise RuntimeError(
+                    "lockstep replay diverged from the grouped event loop"
+                )
+
+        samples = _time_repeats(run_lockstep, repeats)
+        grouped_samples = _time_repeats(run_grouped, repeats)
+    artifacts.clear()  # leave no grid-sized pools behind in the process
+    best, grouped_best = min(samples), min(grouped_samples)
+    return _kernel_entry(
+        samples,
+        units=len(lc_fractions),
+        unit="cells",
+        baseline_seconds=grouped_best,
+        baseline_runs=grouped_samples,
+        speedup=grouped_best / best,
         verified_identical=True,
     )
 
@@ -826,6 +982,14 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
         raise ValueError("repeats must be positive")
     accesses = 100_000 if quick else 1_000_000
     requests = 30 if quick else 60
+    #: The lockstep kernel pins a longer replay (the PR-10 floor was
+    #: committed at 240 requests): its ratio is an event-loop number,
+    #: and too-short replays drown it in per-group setup.  It also
+    #: takes extra repeats — both arms are sub-second, so best-of
+    #: needs more samples to shed scheduler noise than the
+    #: multi-second kernels do.
+    lockstep_requests = 60 if quick else 240
+    lockstep_repeats = max(repeats, 5)
     documents = 50 if quick else 200
     stream_samples = 10_000 if quick else 100_000
     kernels = {
@@ -840,6 +1004,9 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
         ),
         "joint_replay_grid": _bench_joint_replay_grid(requests, repeats),
         "cluster_roundtrip": _bench_cluster_roundtrip(documents, repeats),
+        "lockstep_replay": _bench_lockstep_replay(
+            lockstep_requests, lockstep_repeats
+        ),
     }
     return {
         "schema": BENCH_SCHEMA,
@@ -895,6 +1062,7 @@ def validate_bench(payload: Any) -> List[str]:
     schema = payload.get("schema")
     if schema not in (
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V6,
         BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
@@ -903,28 +1071,19 @@ def validate_bench(payload: Any) -> List[str]:
     ):
         problems.append(
             f"schema must be {BENCH_SCHEMA!r} (or the legacy "
-            f"{BENCH_SCHEMA_V5!r} / {BENCH_SCHEMA_V4!r} / "
-            f"{BENCH_SCHEMA_V3!r} / {BENCH_SCHEMA_V2!r} / "
-            f"{BENCH_SCHEMA_V1!r}), got {schema!r}"
+            f"{BENCH_SCHEMA_V6!r} / {BENCH_SCHEMA_V5!r} / "
+            f"{BENCH_SCHEMA_V4!r} / {BENCH_SCHEMA_V3!r} / "
+            f"{BENCH_SCHEMA_V2!r} / {BENCH_SCHEMA_V1!r}), got {schema!r}"
         )
     # Older documents predate later kernels; each is validated against
     # the kernel set of its own generation so the committed trajectory
     # never rots.
-    if schema == BENCH_SCHEMA_V1:
-        required_kernels = LEGACY_KERNEL_NAMES
-    elif schema == BENCH_SCHEMA_V2:
-        required_kernels = V2_KERNEL_NAMES
-    elif schema == BENCH_SCHEMA_V3:
-        required_kernels = V3_KERNEL_NAMES
-    elif schema in (BENCH_SCHEMA_V4, BENCH_SCHEMA_V5):
-        required_kernels = V5_KERNEL_NAMES
-    else:
-        required_kernels = KERNEL_NAMES
+    required_kernels = _kernel_names_for_schema(schema)
     # Likewise for the per-backend store kernel's engine set: the http
     # engine joined in generation 5.
     required_backends = (
         STORE_BACKEND_NAMES
-        if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V5)
+        if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V6, BENCH_SCHEMA_V5)
         else V4_STORE_BACKEND_NAMES
     )
     for key, kinds in (
@@ -1012,18 +1171,132 @@ def validate_bench(payload: Any) -> List[str]:
     return problems
 
 
+def _p50_seconds(entry: Dict[str, Any]) -> float:
+    """Median of a kernel entry's raw samples (the comparison
+    estimator: less noise-sensitive than min when comparing two
+    documents that may have different repeat counts)."""
+    runs = sorted(entry["runs"])
+    mid = len(runs) // 2
+    if len(runs) % 2:
+        return float(runs[mid])
+    return float((runs[mid - 1] + runs[mid]) / 2.0)
+
+
+def compare_bench(old: Dict[str, Any], new: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-kernel p50 comparison of two validated bench documents.
+
+    Both documents are :func:`validate_bench`-checked first (a
+    ``ValueError`` names the offender), then compared over the
+    intersection of their generations' kernel sets — a v6 document
+    against a v7 one compares the nine shared kernels and reports
+    ``lockstep_replay`` under ``only_new`` instead of failing, so the
+    committed trajectory stays comparable across schema bumps.
+
+    Per shared kernel: old/new p50 seconds, the ``ratio``
+    (new p50 / old p50 — below 1.0 means the new document is faster),
+    and for kernels carrying a recorded ``speedup`` the old/new values
+    plus floor status against :data:`SPEEDUP_FLOORS` where one is
+    committed.  Timing deltas are *reported*, never gated — machine
+    noise is the caller's judgment call; only ``floor_met`` reflects a
+    committed acceptance floor.
+    """
+    for label, payload in (("old", old), ("new", new)):
+        problems = validate_bench(payload)
+        if problems:
+            raise ValueError(
+                f"{label} document is not a valid bench document: "
+                + "; ".join(problems)
+            )
+    old_names = _kernel_names_for_schema(old["schema"])
+    new_names = _kernel_names_for_schema(new["schema"])
+    shared = [name for name in KERNEL_NAMES if name in old_names and name in new_names]
+    kernels: Dict[str, Any] = {}
+    for name in shared:
+        old_entry, new_entry = old["kernels"][name], new["kernels"][name]
+        old_p50, new_p50 = _p50_seconds(old_entry), _p50_seconds(new_entry)
+        row: Dict[str, Any] = {
+            "old_p50_seconds": old_p50,
+            "new_p50_seconds": new_p50,
+            "ratio": new_p50 / old_p50 if old_p50 > 0 else float("inf"),
+        }
+        if "speedup" in old_entry or "speedup" in new_entry:
+            row["old_speedup"] = old_entry.get("speedup")
+            row["new_speedup"] = new_entry.get("speedup")
+            floor = SPEEDUP_FLOORS.get(name)
+            if floor is not None and new_entry.get("speedup") is not None:
+                row["floor"] = floor
+                row["floor_met"] = bool(new_entry["speedup"] >= floor)
+        kernels[name] = row
+    return {
+        "old_revision": old["revision"],
+        "new_revision": new["revision"],
+        "old_schema": old["schema"],
+        "new_schema": new["schema"],
+        "kernels": kernels,
+        "only_old": [name for name in old_names if name not in new_names],
+        "only_new": [name for name in new_names if name not in old_names],
+    }
+
+
+def format_compare(comparison: Dict[str, Any]) -> str:
+    """Human-readable comparison table for ``repro bench --compare``."""
+    from .experiments.common import format_table
+
+    rows: List[List[str]] = []
+    for name, row in comparison["kernels"].items():
+        ratio = row["ratio"]
+        delta = f"{ratio:.2f}x" + (
+            " faster" if ratio < 1.0 else " slower" if ratio > 1.0 else ""
+        )
+        floor_note = ""
+        if "floor_met" in row:
+            floor_note = (
+                f"floor {row['floor']:.1f}x "
+                + ("met" if row["floor_met"] else "MISSED")
+                + f" ({row['new_speedup']:.2f}x)"
+            )
+        elif row.get("new_speedup") is not None:
+            floor_note = f"speedup {row['new_speedup']:.2f}x"
+        rows.append(
+            [
+                name,
+                f"{row['old_p50_seconds']:.4f}s",
+                f"{row['new_p50_seconds']:.4f}s",
+                delta,
+                floor_note,
+            ]
+        )
+    title = (
+        f"repro bench compare: {comparison['old_revision']}"
+        f" ({comparison['old_schema']}) -> {comparison['new_revision']}"
+        f" ({comparison['new_schema']})"
+    )
+    table = format_table(
+        ["Kernel", "Old p50", "New p50", "Delta", "Floor"], rows, title=title
+    )
+    extras = []
+    if comparison["only_old"]:
+        extras.append("only in old: " + ", ".join(comparison["only_old"]))
+    if comparison["only_new"]:
+        extras.append("only in new: " + ", ".join(comparison["only_new"]))
+    if extras:
+        table += "\n" + "\n".join(extras)
+    return table
+
+
 def format_bench(payload: Dict[str, Any]) -> str:
     """Human-readable kernel table for the CLI."""
     from .experiments.common import format_table
 
     rows: List[List[str]] = []
-    for name in KERNEL_NAMES:
+    for name in _kernel_names_for_schema(payload.get("schema")):
         entry = payload["kernels"][name]
         note = ""
         if "speedup" in entry:
             against = {
                 "warm_sweep_grid": "cache-off",
                 "joint_replay_grid": "per-cell",
+                "lockstep_replay": "grouped",
             }.get(name, "naive")
             note = (
                 f"{entry['speedup']:.2f}x vs {against}"

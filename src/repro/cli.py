@@ -25,7 +25,9 @@ Usage::
 ``bench`` times the hot-path kernels (mix run, isolated baseline,
 1M-access trace replay vs the naive reference, store round-trip) and
 writes a schema-stable ``BENCH_<rev>.json`` under ``benchmarks/perf/``
-— the performance trajectory future PRs must not regress.
+— the performance trajectory future PRs must not regress.  ``bench
+--compare OLD.json NEW.json`` diffs two committed documents (per-kernel
+p50 deltas plus acceptance-floor status) without running any kernel.
 
 Each command prints the same report its pytest benchmark writes to
 ``benchmarks/results/``.  ``--jobs N`` fans sweep grids over N worker
@@ -58,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.ascii_plot import distribution_plot
@@ -588,6 +591,16 @@ def _cmd_cluster_status(args) -> None:
 def _cmd_bench(args) -> None:
     from .bench import format_bench, run_bench, write_bench
 
+    if args.compare:
+        import json
+
+        from .bench import compare_bench, format_compare
+
+        old_path, new_path = args.compare
+        old = json.loads(Path(old_path).read_text())
+        new = json.loads(Path(new_path).read_text())
+        print(format_compare(compare_bench(old, new)))
+        return
     payload = run_bench(quick=args.quick)
     path = write_bench(payload, out=args.out)
     print(format_bench(payload))
@@ -746,6 +759,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="with the bench command: output path "
         "(default benchmarks/perf/BENCH_<rev>.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        default=None,
+        help="with the bench command: compare two bench documents "
+        "(per-kernel p50 deltas + acceptance-floor status; runs no "
+        "kernels; schema-generation aware)",
     )
     args = parser.parse_args(argv)
     _HANDLERS[args.command](args)

@@ -74,9 +74,11 @@ def _legacy_sweep(
     even this path shares the expensive isolated runs across processes
     — and the joint replays themselves batch per mix: every policy
     cell of one mix replays through a single
-    :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` group (the
-    replay phase is no longer strictly per-cell; ``REPRO_GRID_REPLAY=0``
-    restores the scalar per-cell loop, bit-identically).
+    :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` group, which
+    by default advances the whole group through the lockstep SoA engine
+    (``REPRO_GRID_REPLAY=0`` restores the scalar per-cell loop,
+    ``REPRO_LOCKSTEP=0`` the grouped per-cell loop — bit-identically
+    either way).
     """
     config = CMPConfig(core_kind=core_kind)
     runner = MixRunner(

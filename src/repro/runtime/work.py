@@ -143,7 +143,10 @@ def _execute_run_group(specs: Sequence[RunSpec], store: Optional[ResultStore]) -
     byte-identical to ungrouped execution.  The only difference is
     *how* the misses simulate: all through one
     :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group` call sharing
-    a single replay-group context.
+    a single replay-group context — which in turn advances the group
+    through the lockstep SoA engine (:mod:`repro.sim.lockstep`) unless
+    ``REPRO_LOCKSTEP=0`` pins the grouped per-cell loop; both are
+    verified bit-identical to scalar ``run_mix``.
     """
     records: List[Optional[RunRecord]] = [None] * len(specs)
     pending: List[Tuple[int, RunSpec, str]] = []
@@ -211,11 +214,16 @@ def execute_specs(specs: Sequence[Any], store: Optional[ResultStore] = None) -> 
     spec order either way, bit-identical to per-spec execution.
     """
     specs = list(specs)
+    if not grid_replay_enabled():
+        # Zero group-planning overhead when the toggle is off: no
+        # group keys are derived and :func:`plan_groups` is never
+        # called — ``REPRO_GRID_REPLAY=0`` restores plain per-spec
+        # execution, cost included.
+        return [execute_spec(spec, store) for spec in specs]
     results: List[Any] = [None] * len(specs)
-    grouping = grid_replay_enabled()
     grouped_positions: List[int] = []
     for position, spec in enumerate(specs):
-        if grouping and isinstance(spec, RunSpec):
+        if isinstance(spec, RunSpec):
             grouped_positions.append(position)
         else:
             results[position] = execute_spec(spec, store)

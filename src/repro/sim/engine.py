@@ -35,6 +35,12 @@ pass one :class:`~repro.sim.grid_replay.GroupShared` context via the
 (curve segments, initial rates, stream statistics, first-interval view
 statics) out of the per-cell loops while each cell keeps its own exact
 event timeline — outputs stay bit-identical to the ungrouped run.
+:mod:`repro.sim.lockstep` goes further still: inside a replay group
+the per-cell event loop itself is no longer the unit of execution —
+the lockstep engine advances *all* cells together over the group's
+shared arrival arrays with SoA driver state, falling back to this
+engine's scalar handlers only for cell-divergent events
+(``REPRO_LOCKSTEP=0`` restores the grouped per-cell loop).
 """
 
 from __future__ import annotations

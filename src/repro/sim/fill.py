@@ -362,6 +362,16 @@ class GroupFillState(FillState):
       (``bisect_right`` equals ``np.searchsorted(side="right")``, and
       the list entries are the same ``float(sizes[i])`` values the
       parent coerced per lookup);
+    * :meth:`base_miss_ratio` evaluates the curve with a scalar
+      ``bisect`` + lerp over the same float tables instead of calling
+      ``np.interp`` on a Python scalar — for an ascending knot grid the
+      interpolant is the one multiply-add ``np.interp`` performs on the
+      same segment, so the result is bit-equal (clamping included);
+    * ``effective_target`` is maintained as the plain attribute
+      ``_eff_target``, recomputed in :meth:`set_target` — the only
+      place the target (and hence the value) can change — so the
+      ``filling`` check and the advance loops skip the property
+      dispatch and the scheme branch;
     * the advance/inversion loops hoist attribute reads to locals and
       replace ``min``/``max``/``abs`` builtins with conditional
       expressions that replicate their semantics exactly (first
@@ -416,7 +426,52 @@ class GroupFillState(FillState):
         clone._shared_segments = self._shared_segments
         clone._seg_scope = self._seg_scope
         clone._curve_tables = self._curve_tables
+        clone._eff_target = self._eff_target
         return clone
+
+    def set_target(self, lines: float) -> None:
+        """Parent :meth:`FillState.set_target`, then refresh ``_eff_target``.
+
+        ``effective_target`` depends only on the (immutable) scheme and
+        the target, and ``set_target`` is the sole writer of the
+        target, so recomputing the cached value here keeps it exact.
+        """
+        super().set_target(lines)
+        self._eff_target = self.effective_target
+
+    @property
+    def filling(self) -> bool:
+        """Parent :meth:`FillState.filling` over the cached target."""
+        return self.resident < self._eff_target - _EPS
+
+    def base_miss_ratio(self) -> float:
+        """Parent :meth:`FillState.base_miss_ratio` without ``np.interp``.
+
+        ``np.interp`` on a scalar inside an ascending grid finds the
+        segment ``sizes[j] <= x < sizes[j+1]`` and evaluates
+        ``slope * (x - sizes[j]) + ratios[j]``; outside the grid it
+        clamps to the endpoint values.  This replica performs those
+        exact operations on the cached float tables (same values the
+        parent's ``float(...)`` coercion would produce), so the memo
+        stores bit-identical ratios.
+        """
+        r = self.resident
+        if self._p_key != r:
+            sizes_l, ratios_l = self._curve_tables
+            if r <= sizes_l[0]:
+                val = ratios_l[0]
+            elif r >= sizes_l[-1]:
+                val = ratios_l[-1]
+            else:
+                j = bisect_right(sizes_l, r) - 1
+                s_lo = sizes_l[j]
+                m_lo = ratios_l[j]
+                val = (
+                    (ratios_l[j + 1] - m_lo) / (sizes_l[j + 1] - s_lo)
+                ) * (r - s_lo) + m_lo
+            self._p_val = val
+            self._p_key = r
+        return self._p_val
 
     def _segment(self):
         """Parent :meth:`FillState._segment` through the shared table.
@@ -444,7 +499,7 @@ class GroupFillState(FillState):
             m_lo, m_hi = ratios_l[idx], ratios_l[idx + 1]
             b = (m_hi - m_lo) / (s_hi - s_lo)
             p0 = m_lo + b * (self.resident - s_lo)
-            eff = self.effective_target
+            eff = self._eff_target
             seg_end = s_hi if s_hi < eff else eff
             dr = seg_end - self.resident
             result = (p0, b, dr if dr > 0.0 else 0.0)
@@ -468,7 +523,7 @@ class GroupFillState(FillState):
         misses = 0.0
         hit, mp = self.hit_interval, self.miss_penalty
         e, mult = self._fill_efficiency, self._miss_multiplier
-        eff_target = self.effective_target
+        eff_target = self._eff_target
         seg_key = self._seg_key
         seg_val = self._seg_val
         while remaining > _EPS and self.resident < eff_target - _EPS:
@@ -537,7 +592,7 @@ class GroupFillState(FillState):
         misses = 0.0
         hit, mp = self.hit_interval, self.miss_penalty
         e, mult = self._fill_efficiency, self._miss_multiplier
-        eff_target = self.effective_target
+        eff_target = self._eff_target
         while remaining > _EPS and self.resident < eff_target - _EPS:
             key = (self.resident, self.target)
             if key == self._seg_key:

@@ -3,9 +3,12 @@
 A policy sweep evaluates many grid *cells* — (mix, policy, scheme)
 triples — whose six-app event loops replay the **same** request streams
 over the **same** miss curves and differ only in the policy/scheme
-parameters steering them.  PR 5's artifact cache already removed the
-redundant *derivation* (baselines, streams, workload objects); the
-joint replay itself stayed strictly per-cell.
+parameters steering them.  PR 5's artifact cache removed the redundant
+*derivation* (baselines, streams, workload objects); this module
+removes the redundant group-constant sub-computations from the replay;
+and :mod:`repro.sim.lockstep` takes the last step, advancing the whole
+group's event loops in lockstep over one shared arrival schedule — the
+per-cell event loop is no longer the irreducible unit.
 
 This module batches that replay **across cells**.  Cells that share
 identical streams are routed into one *replay group* and advanced
@@ -45,6 +48,8 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, Hashable, Iterable, List, Tuple
 
+import numpy as np
+
 __all__ = ["GroupShared", "grid_replay_enabled", "plan_groups"]
 
 #: Environment toggle: ``0``/``off``/``false``/``no`` disables grouping.
@@ -83,6 +88,10 @@ class GroupShared:
         self.view_static: Dict[int, Tuple] = {}
         #: id(curve) -> (sizes as floats, miss ratios as floats).
         self.curve_tables: Dict[int, Tuple[List[float], List[float]]] = {}
+        #: id(array) -> the array as a Python float list (exact).
+        self.float_lists: Dict[int, List[float]] = {}
+        #: ids of the group's arrival arrays -> merged event schedule.
+        self.lockstep_schedules: Dict[Tuple, Tuple] = {}
         self._retained: List[Any] = []
 
     def retain(self, *objects: Any) -> None:
@@ -106,6 +115,51 @@ class GroupShared:
             self.curve_tables[key] = tables
             self._retained.append(curve)
         return tables
+
+    def floats_for(self, array: np.ndarray) -> List[float]:
+        """``array`` as a cached Python float list.
+
+        ``tolist`` on a float64 array yields exactly the ``float(x)``
+        coercions the scalar engine performs per element, so indexing
+        the list reproduces the oracle's values bit-for-bit without a
+        numpy scalar extraction per event.
+        """
+        key = id(array)
+        hit = self.float_lists.get(key)
+        if hit is None:
+            hit = array.tolist()
+            self.float_lists[key] = hit
+            self._retained.append(array)
+        return hit
+
+    def lockstep_schedule_for(self, arrival_arrays: List[np.ndarray]) -> Tuple:
+        """The group's merged arrival schedule, built once.
+
+        Returns ``(times, seqs, app_positions, req_indices)`` as Python
+        lists, sorted by ``(time, seq)`` where ``seq`` is the position
+        in the app-major concatenation of the arrival arrays.  The
+        scalar oracle pushes its arrival events app-major before any
+        other event, so its heap assigns exactly these seqs and pops
+        arrivals in exactly this order — a stable argsort of the
+        concatenated times *is* the oracle's arrival ordering.
+        """
+        key = tuple(id(array) for array in arrival_arrays)
+        hit = self.lockstep_schedules.get(key)
+        if hit is None:
+            times = np.concatenate(arrival_arrays)
+            order = np.argsort(times, kind="stable")
+            lengths = [len(array) for array in arrival_arrays]
+            apps = np.repeat(np.arange(len(arrival_arrays)), lengths)
+            reqs = np.concatenate([np.arange(length) for length in lengths])
+            hit = (
+                times[order].tolist(),
+                order.tolist(),
+                apps[order].tolist(),
+                reqs[order].tolist(),
+            )
+            self.lockstep_schedules[key] = hit
+            self._retained.extend(arrival_arrays)
+        return hit
 
 
 def plan_groups(keys: Iterable[Hashable]) -> List[List[int]]:

@@ -1,0 +1,745 @@
+"""Lockstep structure-of-arrays replay of a whole replay group.
+
+PR 7's grouped replay (:mod:`repro.sim.grid_replay`) removed redundant
+*derivation* across the cells of a replay group but still advanced each
+cell's event loop independently: one heap, one Python event pop at a
+time, per cell.  This module is the next layer: a driver that advances
+**all cells of a replay group in lockstep** over their shared arrival
+schedule, plus an engine subclass whose per-cell hot paths are
+restructured around the group invariants.
+
+Layout — what is structure-of-arrays and what stays scalar:
+
+* **Shared arrival schedule** (per group, built once): the three LC
+  instances' arrival arrays merged into one ``(time, seq, app, req)``
+  event stream.  A stable argsort of the concatenated arrays reproduces
+  exactly the ``(time, seq)`` order in which the scalar oracle's heap
+  pops its arrival events, because the oracle pushes arrivals app-major
+  before anything else — seq *is* the concatenation position.
+* **SoA scheduling state** (per group, preallocated numpy): the
+  per-cell next-dynamic-event time/seq vectors and the ``[cell, app]``
+  active mask.  Each lockstep step compares the whole group's
+  next-event vectors against the next shared arrival as masked
+  vectorized updates; the active mask routes arrivals to the
+  bookkeeping-only fast path (an arrival to an active app can neither
+  call the policy nor schedule events, so the driver skips the
+  next-event rescan for those cells wholesale).
+* **Scalar fallback** (per cell): everything whose float sequence must
+  match the oracle bit-for-bit — fill/partition state, interval stats,
+  queues, boost/watermark trackers, and every policy callback — stays
+  in the existing :class:`~repro.sim.engine._LCApp` structures and
+  handlers.  Cells in one group run *different policies*; their states
+  diverge immediately, so batching that arithmetic across cells would
+  change summation order and break bit identity.  The lockstep win
+  comes from the shared schedule plus the per-cell fast paths below,
+  not from cross-cell float math.
+
+:class:`LockstepEngine` replaces the per-cell heap with the shared
+schedule and a tiny linear-scan list for dynamic events, and overrides
+the hot handlers with bit-exact restructurings:
+
+* first-interval policy contexts reuse one cached view list (only
+  ``recent_latencies`` and the post-refresh ``measured_curve`` can
+  change before the first reconfiguration);
+* steady-state commits inline :meth:`FillState.advance_cycles`' tail
+  (the transient falls back to the closed-form parent path);
+* service walks reuse a per-app scratch fill instead of cloning, and
+  the steady-state chunk scan exits at the *first* crossing — sound
+  because the parent's reconciliation always resolves to the earliest
+  triggered chunk (see :meth:`LockstepEngine._schedule_service`);
+* stream indexing reads group-cached Python float lists instead of
+  numpy scalars (``tolist`` coercions are exact).
+
+``REPRO_LOCKSTEP=0`` (or ``off``/``false``/``no``) restores the PR-7
+grouped path under :meth:`~repro.sim.mix_runner.MixRunner.run_mix_group`;
+``run_mix`` stays the scalar oracle either way.
+``tests/sim/test_lockstep_equivalence.py`` and the golden suite pin the
+results byte-identical across the three execution modes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..policies.base import PolicyContext
+from .engine import _COMPLETION_TOL, _WALK_CHUNKS, MixEngine, _LCApp
+from .fill import _EPS
+from .results import MixResult
+
+__all__ = ["LockstepEngine", "lockstep_enabled", "run_lockstep_group"]
+
+#: Environment toggle: ``0``/``off``/``false``/``no`` disables lockstep.
+_ENV_TOGGLE = "REPRO_LOCKSTEP"
+
+#: Cells at which the driver's drain scan switches to vectorized masks.
+#: Below this, numpy's per-op overhead loses to the Python scan; the
+#: comparisons are elementwise either way, so the cut is timing-only.
+_WIDE_GROUP = 12
+
+_INF = float("inf")
+
+
+def lockstep_enabled() -> bool:
+    """Whether the environment enables lockstep replay (default on)."""
+    toggle = os.environ.get(_ENV_TOGGLE, "").strip().lower()
+    return toggle not in ("0", "off", "false", "no")
+
+
+class LockstepEngine(MixEngine):
+    """A :class:`MixEngine` driven from a shared arrival schedule.
+
+    Requires a :class:`~repro.sim.grid_replay.GroupShared` context (the
+    schedule and float-list caches live there).  Produces results
+    bit-identical to the parent: every override either replays the
+    parent's float operations in the parent's order or falls back to
+    the parent outright.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if self.shared is None:
+            raise ValueError("lockstep replay requires a replay-group context")
+        shared = self.shared
+        self._schedule = shared.lockstep_schedule_for(
+            [lc.spec.arrivals for lc in self.lc_apps]
+        )
+        self._n_arrivals = sum(len(lc.spec.arrivals) for lc in self.lc_apps)
+        for lc in self.lc_apps:
+            lc._ls_arrivals = shared.floats_for(lc.spec.arrivals)
+            lc._ls_works = shared.floats_for(lc.spec.works)
+            lc._ls_req_accesses = shared.floats_for(lc.req_accesses)
+            lc._ls_warmup = int(len(lc.spec.arrivals) * self.warmup_fraction)
+            lc._ls_scratch_fill = None
+        self._dyn: List[Tuple[float, int, str, int, int]] = []
+        #: Index of the earliest pending dynamic event, set by the
+        #: latest :meth:`ls_next` scan and consumed by
+        #: :meth:`ls_pump_one` (see the contract on that method).
+        self._ls_best = 0
+        self._ls_views = None
+        self._ls_lc_views: List[Tuple] = []
+        #: Row of the group's [cell, app] active mask, when driven.
+        self._ls_active_row = None
+
+    # ------------------------------------------------------------------
+    # Event plumbing: shared schedule + linear-scan dynamic list
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: str, app_idx: int = -1, version: int = 0):
+        self._dyn.append((time, next(self._seq), kind, app_idx, version))
+
+    def ls_begin(self) -> None:
+        """The setup phase of :meth:`MixEngine._run_partitioned`.
+
+        The dynamic-event seq counter starts at the arrival count so
+        the initial reconfig — and every later push — receives exactly
+        the seq the oracle's shared :mod:`itertools` counter would have
+        assigned after pushing all arrivals.
+        """
+        self._refresh_measured_curves()
+        decision = self.policy.initialize(self._make_context())
+        self._apply_decision(decision)
+        # Warm start: resident working sets match the initial targets
+        # (the paper fast-forwards through warmup before the ROI).
+        for app in self.apps:
+            app.fill.resident = app.fill.effective_target
+        self._initial_bandwidth_estimate()
+        self._dyn = []
+        self._seq = itertools.count(self._n_arrivals)
+        self._push(self._next_reconfig_time(), "reconfig")
+
+    def ls_next(self) -> Optional[Tuple[float, int]]:
+        """(time, seq) of the earliest pending dynamic event, if any.
+
+        The winning index is remembered in ``_ls_best`` so a directly
+        following :meth:`ls_pump_one` can pop it without rescanning.
+        """
+        dyn = self._dyn
+        if not dyn:
+            return None
+        best = 0
+        bt, bs = dyn[0][0], dyn[0][1]
+        for i in range(1, len(dyn)):
+            ev = dyn[i]
+            t = ev[0]
+            if t < bt or (t == bt and ev[1] < bs):
+                best, bt, bs = i, t, ev[1]
+        self._ls_best = best
+        return bt, bs
+
+    def ls_pump_one(self) -> bool:
+        """Process the earliest dynamic event; True = run finished.
+
+        Contract: must directly follow an :meth:`ls_next` on this
+        engine with no intervening mutation of its dynamic list — the
+        pop reuses that scan's winning index.  Both drivers honour
+        this: every pump is preceded by the ``ls_next`` that published
+        the event's ``(time, seq)``, and the only call between them,
+        :meth:`ls_arrival_busy`, never pushes or pops events (arrivals
+        through :meth:`ls_arrival` are followed by a fresh ``ls_next``).
+
+        Mirrors one iteration of the oracle's event loop for the
+        non-arrival kinds: stale versions are consumed without touching
+        ``now``, an all-exhausted reconfig is dropped without a repush,
+        and a completion that exhausts every LC instance ends the run.
+        """
+        time, __, kind, app_idx, version = self._dyn.pop(self._ls_best)
+        if kind == "complete":
+            lc = self.apps[app_idx]
+            if version != lc.version:
+                return False  # stale event
+            self.now = time
+            self._handle_complete(lc)
+            # Still active means a next request started (serving set),
+            # so this LC is not exhausted and the all() scan is False.
+            if not lc.active and all(
+                lc2.exhausted for lc2 in self.lc_apps
+            ):
+                return True
+            return False
+        if kind == "reconfig":
+            if all(lc.exhausted for lc in self.lc_apps):
+                return False
+            self.now = time
+            self._handle_reconfig()
+            self._push(self._next_reconfig_time(), "reconfig")
+            return False
+        lc = self.apps[app_idx]
+        if version != lc.version:
+            return False  # stale event
+        self.now = time
+        if kind == "deboost":
+            self._handle_deboost(lc)
+        elif kind == "watermark":
+            self._handle_watermark(lc)
+        else:  # pragma: no cover
+            raise RuntimeError(f"unknown event {kind}")
+        return False
+
+    def ls_arrival(self, time: float, app_pos: int, req_idx: int) -> None:
+        """Deliver one shared-schedule arrival (general path)."""
+        self.now = time
+        self._handle_arrival(self.lc_apps[app_pos], req_idx)
+
+    def ls_arrival_busy(self, time: float, app_pos: int, req_idx: int) -> None:
+        """Arrival to an already-active app: bookkeeping only.
+
+        Exactly the ``lc.active`` branch of
+        :meth:`MixEngine._handle_arrival` — commit, advance the arrival
+        pointer, enqueue.  No policy callback and no event push can
+        happen here, which is what lets the group driver skip the
+        next-event rescan for every cell routed through this path.
+        """
+        lc = self.lc_apps[app_pos]
+        self.now = time
+        self._commit(lc, time)
+        lc.arrival_ptr = max(lc.arrival_ptr, req_idx + 1)
+        lc.queue.append(req_idx)
+
+    def ls_finish(self) -> MixResult:
+        self._commit_batch(self.now)
+        return self._collect()
+
+    def _run_partitioned(self) -> MixResult:
+        """Standalone single-cell pump over the shared schedule."""
+        self.ls_begin()
+        sched_t, sched_seq, sched_app, sched_req = self._schedule
+        n_ev = len(sched_t)
+        finished = False
+        k = 0
+        while k < n_ev:
+            tk = sched_t[k]
+            sk = sched_seq[k]
+            nxt = self.ls_next()
+            while nxt is not None and (
+                nxt[0] < tk or (nxt[0] == tk and nxt[1] < sk)
+            ):
+                if self.ls_pump_one():
+                    finished = True
+                    break
+                nxt = self.ls_next()
+            if finished:
+                break
+            self.ls_arrival(tk, sched_app[k], sched_req[k])
+            k += 1
+        while not finished and self._dyn:
+            self.ls_next()
+            if self.ls_pump_one():
+                break
+        return self.ls_finish()
+
+    # ------------------------------------------------------------------
+    # Per-cell fast paths (each bit-exact against the parent)
+    # ------------------------------------------------------------------
+    def _refresh_measured_curves(self) -> None:
+        # New noise draws invalidate the cached first-interval views
+        # (their ``curve`` field is the measured curve by reference).
+        self._ls_views = None
+        super()._refresh_measured_curves()
+
+    def _make_context(self) -> PolicyContext:
+        """First-interval contexts from one cached view list.
+
+        Until the first reconfiguration every view field except
+        ``recent_latencies`` is constant (the measured curves refresh
+        only at initialize/reconfig, and a refresh drops the cache), so
+        the AppView objects are built once and only the latency tuples
+        are rewritten per call.  Policies treat views and context as
+        read-only inputs — the equivalence suite would catch any
+        mutation as a divergence from the oracle.
+        """
+        if not self._first_interval:
+            return super()._make_context()
+        views = self._ls_views
+        if views is None:
+            views = self._make_first_interval_views(self.shared)
+            self._ls_views = views
+            self._ls_lc_views = [
+                (view, app)
+                for view, app in zip(views, self.apps)
+                if app.is_lc
+            ]
+        else:
+            for view, app in self._ls_lc_views:
+                view.recent_latencies = tuple(app.stats.latencies)
+        return PolicyContext(
+            llc_lines=self.llc_lines,
+            apps=views,
+            current_targets={a.index: a.fill.target for a in self.apps},
+            now=self.now,
+            avg_batch_lines=self._avg_batch_lines,
+            lc_active={a.index: a.active for a in self.lc_apps},
+            rng=self.rng,
+            lc_boosted={
+                a.index: a.tracker is not None and not a.tracker.fired
+                for a in self.lc_apps
+            },
+        )
+
+    def _commit(self, app, upto: float) -> None:
+        """Steady-state commits without the ``advance_cycles`` call.
+
+        Once a partition sits at its target the advance reduces to the
+        closing branch of :meth:`FillState.advance_cycles` — one miss
+        ratio, one division.  That tail is inlined here (same
+        expressions, same order); any transient falls back to the
+        parent's closed-form integration.
+        """
+        dt = upto - app.last_commit
+        if dt < -1e-6:
+            raise RuntimeError("time went backwards in commit")
+        if dt <= 0:
+            app.last_commit = upto
+            return
+        fill = app.fill
+        if app.is_lc:
+            lc = app
+            if lc.serving is not None and lc.remaining > 0:
+                r = fill.resident
+                if r < fill._eff_target - _EPS:  # filling
+                    super()._commit(app, upto)
+                    return
+                if dt > 1e-12:
+                    # fill.miss_ratio() with the memo check inlined.
+                    base = (
+                        fill._p_val
+                        if fill._p_key == r
+                        else fill.base_miss_ratio()
+                    )
+                    p = base * fill._miss_multiplier
+                    if p > 1.0:
+                        p = 1.0
+                    per_access = fill.hit_interval + p * fill.miss_penalty
+                    if per_access <= 0:
+                        raise RuntimeError(
+                            "app makes no progress: zero access interval"
+                        )
+                    accesses = dt / per_access
+                    misses = accesses * p
+                else:
+                    accesses = 0.0
+                    misses = 0.0
+                done = accesses if accesses <= lc.remaining else lc.remaining
+                lc.remaining -= done
+                stats = lc.stats  # _note_lc_progress, inlined
+                stats.accesses += accesses
+                stats.misses += misses
+                lc.total_accesses += accesses
+                lc.total_misses += misses
+                tracker = lc.tracker
+                if tracker is not None and not tracker.fired:
+                    tracker.accumulate(accesses, misses, r)
+            elif lc.serving is None:
+                lc.stats.idle_time += dt
+            # Serving with zero LLC accesses: busy but cache-silent.
+        else:
+            r = fill.resident
+            if r < fill._eff_target - _EPS:  # filling
+                super()._commit(app, upto)
+                return
+            if dt > 1e-12:
+                base = (
+                    fill._p_val
+                    if fill._p_key == r
+                    else fill.base_miss_ratio()
+                )
+                p = base * fill._miss_multiplier
+                if p > 1.0:
+                    p = 1.0
+                per_access = fill.hit_interval + p * fill.miss_penalty
+                if per_access <= 0:
+                    raise RuntimeError(
+                        "app makes no progress: zero access interval"
+                    )
+                accesses = dt / per_access
+                misses = accesses * p
+            else:
+                accesses = 0.0
+                misses = 0.0
+            app.result.instructions += (
+                accesses * app.profile.instructions_per_access
+            )
+            app.result.cycles += dt
+            app.stats.accesses += accesses
+            app.stats.misses += misses
+        app.last_commit = upto
+        if self.trace_partitions:
+            self.partition_trace[app.index].append(
+                (upto, fill.target, fill.resident)
+            )
+
+    def _ls_scratch(self, lc: _LCApp):
+        """The walk's detached fill, reused across walks.
+
+        A clone resets exactly these fields; copying them into a kept
+        instance is the same operation without the allocation.  The
+        curve/scheme/shared wiring never changes over an app's life.
+        """
+        scratch = lc._ls_scratch_fill
+        fill = lc.fill
+        if scratch is None:
+            scratch = lc._ls_scratch_fill = fill.clone()
+            return scratch
+        scratch.hit_interval = fill.hit_interval
+        scratch.miss_penalty = fill.miss_penalty
+        scratch._fill_efficiency = fill._fill_efficiency
+        scratch._miss_multiplier = fill._miss_multiplier
+        scratch.resident = fill.resident
+        scratch.target = fill.target
+        scratch._eff_target = fill._eff_target
+        scratch._p_key = None
+        scratch._seg_key = None
+        return scratch
+
+    def _schedule_service(self, lc: _LCApp) -> None:
+        """The parent walk with a first-crossing steady-state scan.
+
+        The parent scans every steady chunk, records the first de-boost
+        / watermark / limit indices, then reconciles: the earliest one
+        wins (watermark requires no de-boost at its own chunk, and ties
+        with the limit resolve in favour of the crossing).  Stopping at
+        the first chunk where *any* of the three triggers therefore
+        reproduces the reconciled outcome — every earlier chunk
+        computed the identical accumulator values and triggered
+        nothing.  No per-chunk time/remaining lists are needed.
+        """
+        if lc.serving is None:
+            return
+        remaining = lc.remaining
+        t = self.now
+        tracker = lc.tracker
+        proj = tracker.projected if tracker and not tracker.fired else 0.0
+        actual = tracker.actual if tracker and not tracker.fired else 0.0
+        filled = tracker.filled if tracker and not tracker.fired else False
+        armed = tracker is not None and not tracker.fired
+        limit = self._next_reconfig_time()
+
+        if remaining <= 0:
+            self._push(t, "complete", lc.index, lc.version)
+            return
+
+        fill = lc.fill
+        if armed or fill.resident < fill._eff_target - _EPS:
+            # Only an armed walk (de-boost may retarget) or a transient
+            # (advance moves the resident count) mutates the fill; the
+            # unarmed steady walk is read-only, so the committed state
+            # can be used directly and the scratch copy skipped.
+            fill = self._ls_scratch(lc)
+
+        chunk = max(remaining / _WALK_CHUNKS, 1.0)
+        deboost_at: Optional[float] = None
+        watermark_at: Optional[float] = None
+        while remaining > _COMPLETION_TOL:
+            if fill.resident < fill._eff_target - _EPS:  # filling
+                # Transient: exact closed-form integration, one chunk
+                # at a time (each chunk moves the resident count).
+                step = min(chunk, remaining)
+                adv = fill.advance_accesses(step)
+                t += adv.cycles
+                remaining -= step
+                if armed:
+                    plan = tracker.plan
+                    proj += step * tracker.active_miss_ratio
+                    actual += adv.misses
+                    if fill.resident >= plan.boost_lines * (1.0 - 1e-9):
+                        filled = True
+                    guard = plan.guard_fraction * proj
+                    if proj >= actual + guard and proj > 0:
+                        deboost_at = t
+                        fill.set_target(plan.active_lines)
+                        armed = False
+                    elif (
+                        plan.watermark_factor is not None
+                        and filled
+                        and proj > 0
+                        and actual > proj * plan.watermark_factor
+                    ):
+                        watermark_at = t
+                        break
+                if t >= limit:
+                    break
+                continue
+
+            # Steady state: one fused scan, first crossing decides.
+            r0 = fill.resident  # fill.miss_ratio(), memo check inlined
+            p = (
+                fill._p_val if fill._p_key == r0 else fill.base_miss_ratio()
+            ) * fill._miss_multiplier
+            if p > 1.0:
+                p = 1.0
+            hit_c, mp = fill.hit_interval, fill.miss_penalty
+            if not armed:
+                # No tracker: the only possible crossing is the
+                # reconfig limit, and every full chunk adds the same
+                # ``s * hit_c + (s * p) * mp`` — identical operands
+                # give identical bits, so the increment is hoisted.
+                crossing = None
+                t_cur = t
+                r = remaining
+                full_cost = chunk * hit_c + (chunk * p) * mp
+                while r > _COMPLETION_TOL:
+                    if chunk < r:
+                        r -= chunk
+                        t_cur = t_cur + full_cost
+                    else:
+                        s = r
+                        r -= s
+                        t_cur = t_cur + (s * hit_c + (s * p) * mp)
+                    if t_cur >= limit:
+                        crossing = "limit"
+                        break
+                t = t_cur
+                remaining = r
+                break  # limit or completion
+            if armed:
+                plan = tracker.plan
+                if not filled and fill.resident >= plan.boost_lines * (1.0 - 1e-9):
+                    filled = True
+                amr = tracker.active_miss_ratio
+                guard_f = plan.guard_fraction
+                wf = plan.watermark_factor
+            crossing = None
+            at_limit = False
+            t_cur, proj_cur, act_cur = t, proj, actual
+            r = remaining
+            while r > _COMPLETION_TOL:
+                s = chunk if chunk < r else r
+                r -= s
+                miss = s * p
+                t_cur = t_cur + (s * hit_c + miss * mp)
+                at_limit = t_cur >= limit
+                if armed:
+                    proj_cur = proj_cur + s * amr
+                    act_cur = act_cur + miss
+                    db = (proj_cur >= act_cur + guard_f * proj_cur) and proj_cur > 0
+                    if db:
+                        crossing = "deboost"
+                        break
+                    if (wf is not None and filled
+                            and proj_cur > 0 and act_cur > proj_cur * wf):
+                        crossing = "watermark"
+                        break
+                if at_limit:
+                    crossing = "limit"
+                    break
+            t = t_cur
+            remaining = r
+            if crossing == "deboost":
+                deboost_at = t_cur
+                fill.set_target(tracker.plan.active_lines)
+                armed = False
+                if at_limit:
+                    break
+                # Re-enter: the de-boost may have moved the target (and
+                # the miss ratio), so later chunks need a fresh scan.
+                continue
+            if crossing == "watermark":
+                watermark_at = t_cur
+            break  # watermark, limit, or completion
+
+        if deboost_at is not None:
+            self._push(deboost_at, "deboost", lc.index, lc.version)
+        if watermark_at is not None:
+            self._push(watermark_at, "watermark", lc.index, lc.version)
+            return
+        if remaining <= _COMPLETION_TOL and t <= limit:
+            self._push(t, "complete", lc.index, lc.version)
+        # Otherwise the reconfig event will re-walk this app.
+
+    def _start_request(self, lc: _LCApp, req_idx: int) -> None:
+        lc.serving = req_idx
+        lc.remaining = lc._ls_req_accesses[req_idx]
+        if lc.remaining <= 0:
+            # App with negligible LLC traffic: fixed-duration service.
+            duration = lc._ls_works[req_idx] * lc.base_cpi
+            lc.version += 1
+            self._push(self.now + duration, "complete", lc.index, lc.version)
+            return
+        lc.version += 1
+        self._schedule_service(lc)
+
+    def _handle_complete(self, lc: _LCApp) -> None:
+        self._commit(lc, self.now)
+        lc.remaining = 0.0
+        req_idx = lc.serving
+        lc.serving = None
+        latency = self.now - lc._ls_arrivals[req_idx]
+        lc.requests_done += 1
+        if req_idx >= lc._ls_warmup:
+            lc.result.latencies.append(latency)
+            lc.stats.latencies.append(latency)
+        lc.result.requests_served += 1
+        if lc.queue:
+            self._start_request(lc, lc.queue.pop(0))
+            return
+        lc.active = False
+        if self._ls_active_row is not None:
+            self._ls_active_row[lc.index] = False
+        if lc.tracker is not None:
+            lc.tracker = None
+        decision = self.policy.on_lc_idle(self._make_context(), lc.index)
+        self._apply_decision(decision)
+
+
+def run_lockstep_group(engines: List[LockstepEngine]) -> List[MixResult]:
+    """Advance a replay group's engines in lockstep; results in order.
+
+    Partitioned cells step together over the shared arrival schedule:
+    each lockstep step drains, per cell, every dynamic event ordered
+    before the next shared arrival (a masked comparison of the SoA
+    next-event vectors), then delivers that arrival to every live cell
+    — through the bookkeeping-only path where the ``[cell, app]``
+    active mask proves no policy callback can happen.  Cells running
+    non-partitioning policies (LRU) use the fluid-model scalar path
+    unchanged; their results slot back in position.
+    """
+    results: List[Optional[MixResult]] = [None] * len(engines)
+    driven: List[Tuple[int, LockstepEngine]] = []
+    for i, engine in enumerate(engines):
+        if engine.policy.uses_partitioning:
+            driven.append((i, engine))
+        else:
+            results[i] = engine.run()
+    if not driven:
+        return results
+
+    cells = [engine for _, engine in driven]
+    n = len(cells)
+    wide = n >= _WIDE_GROUP
+    sched_t, sched_seq, sched_app, sched_req = cells[0]._schedule
+    n_ev = len(sched_t)
+    n_lc = len(cells[0].lc_apps)
+
+    # SoA scheduling state: next dynamic event per cell + active mask.
+    # Wide groups keep the vectors in numpy for the masked drain scan;
+    # narrow groups use plain lists — per-element indexing of a numpy
+    # array pays a boxing cost the Python scan never recoups there.
+    if wide:
+        next_t = np.full(n, _INF, dtype=np.float64)
+        next_s = np.zeros(n, dtype=np.int64)
+        active = np.zeros((n, n_lc), dtype=bool)
+    else:
+        next_t = [_INF] * n
+        next_s = [0] * n
+        active = [[False] * n_lc for _ in range(n)]
+    finished = [False] * n
+
+    rows = [active[c] for c in range(n)]
+    for c, engine in enumerate(cells):
+        engine.ls_begin()
+        engine._ls_active_row = rows[c]
+        nxt = engine.ls_next()
+        if nxt is not None:
+            next_t[c] = nxt[0]
+            next_s[c] = nxt[1]
+
+    def pump(c: int) -> None:
+        engine = cells[c]
+        if engine.ls_pump_one():
+            finished[c] = True
+            next_t[c] = _INF
+            return
+        nxt = engine.ls_next()
+        if nxt is None:
+            next_t[c] = _INF
+        else:
+            next_t[c] = nxt[0]
+            next_s[c] = nxt[1]
+
+    k = 0
+    while True:
+        if k < n_ev:
+            tk = sched_t[k]
+            sk = sched_seq[k]
+        else:
+            tk = _INF
+            sk = -1
+        # Drain every dynamic event ordered before the next arrival.
+        while True:
+            if wide:
+                mask = (next_t < tk) | ((next_t == tk) & (next_s < sk))
+                ready = np.nonzero(mask)[0]
+                if ready.size == 0:
+                    break
+                for c in ready:
+                    pump(int(c))
+            else:
+                pumped = False
+                for c in range(n):
+                    nt = next_t[c]
+                    if nt < tk or (nt == tk and next_s[c] < sk):
+                        pump(c)
+                        pumped = True
+                if not pumped:
+                    break
+        if k >= n_ev:
+            break
+        app_pos = sched_app[k]
+        req_idx = sched_req[k]
+        for c in range(n):
+            if finished[c]:
+                continue
+            if rows[c][app_pos]:
+                cells[c].ls_arrival_busy(tk, app_pos, req_idx)
+            else:
+                cells[c].ls_arrival(tk, app_pos, req_idx)
+                nxt = cells[c].ls_next()
+                if nxt is None:
+                    next_t[c] = _INF
+                else:
+                    next_t[c] = nxt[0]
+                    next_s[c] = nxt[1]
+        if wide:
+            active[:, app_pos] = True
+        else:
+            for row in rows:
+                row[app_pos] = True
+        k += 1
+
+    for position, engine in driven:
+        engine._ls_active_row = None
+    for c, (position, engine) in enumerate(driven):
+        results[position] = engine.ls_finish()
+    return results

@@ -33,6 +33,7 @@ from ..workloads.mixes import MixSpec
 from .config import CMPConfig
 from .engine import LCInstanceSpec, MixEngine
 from .grid_replay import GroupShared
+from .lockstep import LockstepEngine, lockstep_enabled, run_lockstep_group
 from .results import MixResult
 
 __all__ = ["BaselineResult", "MixRunner"]
@@ -262,25 +263,14 @@ class MixRunner:
         """Run one six-app mix under one policy.
 
         With ``shared`` unset this is the scalar per-cell replay — the
-        **oracle** every grouped execution is measured against: passing
-        a :class:`~repro.sim.grid_replay.GroupShared` (one per replay
+        **oracle** every grouped and lockstep execution is measured
+        against: passing a
+        :class:`~repro.sim.grid_replay.GroupShared` (one per replay
         group, as :meth:`run_mix_group` does) must leave the returned
         :class:`~repro.sim.results.MixResult` bit-identical.
         """
         baseline = self.baseline(spec.lc_workload, spec.load)
-        lc_specs = []
-        for instance in range(LC_INSTANCES):
-            arrivals, works = self.stream(spec.lc_workload, spec.load, instance)
-            lc_specs.append(
-                LCInstanceSpec(
-                    workload=spec.lc_workload,
-                    arrivals=arrivals,
-                    works=works,
-                    deadline_cycles=baseline.p95_cycles,
-                    target_tail_cycles=baseline.tail95_cycles,
-                    load=spec.load,
-                )
-            )
+        lc_specs = self._mix_lc_specs(spec, baseline)
         engine = MixEngine(
             lc_specs=lc_specs,
             batch_workloads=list(spec.batch_apps),
@@ -298,10 +288,30 @@ class MixRunner:
         result.baseline_tail_cycles = baseline.tail95_cycles
         return result
 
+    def _mix_lc_specs(
+        self, spec: MixSpec, baseline: BaselineResult
+    ) -> List[LCInstanceSpec]:
+        """The three LC instance specs of one mix (shared-array streams)."""
+        lc_specs = []
+        for instance in range(LC_INSTANCES):
+            arrivals, works = self.stream(spec.lc_workload, spec.load, instance)
+            lc_specs.append(
+                LCInstanceSpec(
+                    workload=spec.lc_workload,
+                    arrivals=arrivals,
+                    works=works,
+                    deadline_cycles=baseline.p95_cycles,
+                    target_tail_cycles=baseline.tail95_cycles,
+                    load=spec.load,
+                )
+            )
+        return lc_specs
+
     def run_mix_group(
         self,
         spec: MixSpec,
         cells: List[Tuple[Policy, Optional[SchemeModel]]],
+        lockstep: Optional[bool] = None,
     ) -> List[MixResult]:
         """Replay one mix under many policy/scheme cells as one group.
 
@@ -309,20 +319,54 @@ class MixRunner:
         :class:`~repro.sim.grid_replay.GroupShared` context, so the
         group-constant sub-computations (curve segments, rates, stream
         statistics, first-interval view statics) run once and every
-        later cell rides on them.  Results come back in ``cells``
-        order, each bit-identical to the corresponding per-cell
-        :meth:`run_mix` — the equivalence suite pins that contract at
-        group sizes 1 through 8.
+        later cell rides on them.  By default (``REPRO_LOCKSTEP`` on)
+        the group's partitioned cells advance **in lockstep** through
+        :func:`~repro.sim.lockstep.run_lockstep_group` — one shared
+        arrival schedule driving every cell's engine step by step;
+        ``lockstep=False`` (or ``REPRO_LOCKSTEP=0``) restores the PR-7
+        per-cell loop over the same shared context.  Results come back
+        in ``cells`` order, each bit-identical to the corresponding
+        per-cell :meth:`run_mix` in **both** modes — the equivalence
+        suites pin that contract at group sizes 1 through 8 and wider.
 
         The first cell is counted as a ``replay_group`` miss (it built
         the group state) and each subsequent cell as a hit, surfacing
         the sharing through ``repro cache --stats`` next to the other
         artifact kinds.
         """
+        if lockstep is None:
+            lockstep = lockstep_enabled()
         shared = GroupShared()
         artifacts = get_artifacts()
-        results = []
+        if not lockstep:
+            results = []
+            for position, (policy, scheme) in enumerate(cells):
+                artifacts.count("replay_group", hit=position > 0)
+                results.append(
+                    self.run_mix(spec, policy, scheme=scheme, shared=shared)
+                )
+            return results
+        baseline = self.baseline(spec.lc_workload, spec.load)
+        lc_specs = self._mix_lc_specs(spec, baseline)
+        engines = []
         for position, (policy, scheme) in enumerate(cells):
             artifacts.count("replay_group", hit=position > 0)
-            results.append(self.run_mix(spec, policy, scheme=scheme, shared=shared))
+            engines.append(
+                LockstepEngine(
+                    lc_specs=lc_specs,
+                    batch_workloads=list(spec.batch_apps),
+                    policy=policy,
+                    config=self.config,
+                    scheme=scheme,
+                    seed=self.seed,
+                    umon_noise=self.umon_noise,
+                    warmup_fraction=self.warmup_fraction,
+                    baseline_lines=float(spec.lc_workload.target_lines),
+                    mix_id=spec.mix_id,
+                    shared=shared,
+                )
+            )
+        results = run_lockstep_group(engines)
+        for result in results:
+            result.baseline_tail_cycles = baseline.tail95_cycles
         return results

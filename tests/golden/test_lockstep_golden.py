@@ -1,0 +1,142 @@
+"""Lockstep-on vs -off determinism on the golden-suite grid.
+
+The acceptance bar for the lockstep SoA engine is the one every fast
+path in this repo meets: *byte identity*.  Advancing a sweep's replay
+groups in lockstep must change nothing about what lands in the store —
+not a float, not a byte, not a file.  This runs the pinned 2-policy
+sweep (the Ubik and LRU cells of the ``tests/golden`` grid) into fresh
+store roots with lockstep enabled (the default) and disabled
+(``REPRO_LOCKSTEP=0``, the PR-7 grouped per-cell loop, itself pinned
+byte-identical to the scalar oracle by
+``test_grid_replay_golden.py``) and compares the resulting stores —
+raw trees on the directory backend, canonical exports on sqlite.  A
+corpus written either way must also serve a rerun under the *other*
+mode as a pure store hit.
+"""
+
+import pytest
+
+from repro.runtime import (
+    MixRef,
+    PolicySpec,
+    ResultStore,
+    RunSpec,
+    Session,
+    get_artifacts,
+    reset_artifacts,
+)
+
+#: The same 2-policy golden sweep the other golden files pin: one
+#: shared baseline, two run records, one two-cell replay group.
+GOLDEN_SPECS = [
+    RunSpec(
+        mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+        policy=policy,
+        requests=60,
+    )
+    for policy in (
+        PolicySpec.of("ubik", slack=0.05),
+        PolicySpec.of("lru", label="LRU"),
+    )
+]
+
+
+def store_tree(root):
+    """Every file under a store root, path → bytes."""
+    return {
+        p.relative_to(root).as_posix(): p.read_bytes()
+        for p in root.rglob("*")
+        if p.is_file()
+    }
+
+
+def export_tree(store, destination):
+    """Canonical-export a store and return its path → bytes map."""
+    store.export_canonical(destination)
+    return {
+        p.relative_to(destination).as_posix(): p.read_bytes()
+        for p in destination.rglob("*")
+        if p.is_file()
+    }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(monkeypatch):
+    """Empty artifact cache and clean toggles per test: grid replay and
+    lockstep are both on by default; the off arm pins ``REPRO_LOCKSTEP``
+    explicitly while grouping stays on, so the two arms differ only in
+    the engine driving the group."""
+    monkeypatch.delenv("REPRO_GRID_REPLAY", raising=False)
+    monkeypatch.delenv("REPRO_LOCKSTEP", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+    reset_artifacts()
+    yield
+    reset_artifacts()
+
+
+def run_sweep(root):
+    """The 2-policy sweep into a fresh store; returns its records."""
+    return Session(store=ResultStore(root)).run_many(GOLDEN_SPECS)
+
+
+def test_directory_store_trees_byte_identical(tmp_path, monkeypatch):
+    lockstep_records = run_sweep(tmp_path / "lockstep")
+    # The sweep must actually have replayed as a group (and hence in
+    # lockstep, the default engine), or this test proves nothing.
+    counters = get_artifacts().stats()["kinds"]["replay_group"]
+    assert (counters["hits"], counters["misses"]) == (1, 1)
+
+    reset_artifacts()
+    monkeypatch.setenv("REPRO_LOCKSTEP", "0")
+    grouped_records = run_sweep(tmp_path / "grouped")
+    counters = get_artifacts().stats()["kinds"]["replay_group"]
+    assert (counters["hits"], counters["misses"]) == (1, 1)
+
+    assert lockstep_records == grouped_records
+    lockstep_tree = store_tree(tmp_path / "lockstep")
+    assert lockstep_tree == store_tree(tmp_path / "grouped")
+    # Run record per policy plus the shared baseline document.
+    assert len(lockstep_tree) == 3
+
+
+def test_sqlite_canonical_exports_byte_identical(tmp_path, monkeypatch):
+    """Same parity on the sqlite engine, compared through canonical
+    exports: raw ``.db`` bytes are allowed to differ with insertion
+    order, the logical corpus is not."""
+    lockstep_store = ResultStore(f"sqlite://{tmp_path}/lockstep.db")
+    Session(store=lockstep_store).run_many(GOLDEN_SPECS)
+    lockstep_export = export_tree(lockstep_store, tmp_path / "export-lockstep")
+    lockstep_store.close()
+
+    reset_artifacts()
+    monkeypatch.setenv("REPRO_LOCKSTEP", "0")
+    grouped_store = ResultStore(f"sqlite://{tmp_path}/grouped.db")
+    Session(store=grouped_store).run_many(GOLDEN_SPECS)
+    grouped_export = export_tree(grouped_store, tmp_path / "export-grouped")
+    grouped_store.close()
+
+    assert len(lockstep_export) == 3
+    assert lockstep_export == grouped_export
+
+
+@pytest.mark.parametrize("first_mode", ["lockstep-first", "grouped-first"])
+def test_mode_switched_rerun_is_a_pure_store_hit(tmp_path, monkeypatch, first_mode):
+    """A corpus written under one engine serves a rerun under the other
+    as pure store hits: same records, same bytes, no simulation (the
+    rerun's replay-group counters stay empty — every cell resolved from
+    the store before any group formed)."""
+    root = tmp_path / "store"
+    if first_mode == "grouped-first":
+        monkeypatch.setenv("REPRO_LOCKSTEP", "0")
+    first = run_sweep(root)
+    tree = store_tree(root)
+
+    reset_artifacts()
+    if first_mode == "grouped-first":
+        monkeypatch.delenv("REPRO_LOCKSTEP")
+    else:
+        monkeypatch.setenv("REPRO_LOCKSTEP", "0")
+    again = run_sweep(root)
+    assert again == first
+    assert store_tree(root) == tree
+    assert "replay_group" not in get_artifacts().stats()["kinds"]

@@ -1,0 +1,73 @@
+"""Batch execution: grouping toggles and the zero-overhead off path.
+
+``execute_specs`` groups sweep replays behind ``REPRO_GRID_REPLAY``.
+With the toggle off it must restore per-spec execution *cost
+included*: no group keys derived, ``plan_groups`` never called — the
+escape hatch pays nothing for the machinery it is escaping.
+"""
+
+import pytest
+
+import repro.runtime.work as work
+from repro.runtime.spec import MixRef, PolicySpec, RunSpec
+from repro.runtime.work import execute_spec, execute_specs
+
+SWEEP_SPECS = [
+    RunSpec(
+        mix=MixRef(lc_name="masstree", load=0.2, combo="nft"),
+        policy=policy,
+        requests=30,
+    )
+    for policy in (
+        PolicySpec.of("ubik", slack=0.05),
+        PolicySpec.of("lru", label="LRU"),
+    )
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_toggle(monkeypatch):
+    monkeypatch.delenv("REPRO_GRID_REPLAY", raising=False)
+
+
+def test_toggle_off_never_plans_groups(monkeypatch):
+    """``REPRO_GRID_REPLAY=0`` short-circuits before any group-planning
+    work: neither ``plan_groups`` nor the group-key derivation runs."""
+
+    def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("group planning ran with REPRO_GRID_REPLAY=0")
+
+    monkeypatch.setattr(work, "plan_groups", forbidden)
+    monkeypatch.setattr(work, "_replay_group_key", forbidden)
+    monkeypatch.setenv("REPRO_GRID_REPLAY", "0")
+    results = execute_specs(SWEEP_SPECS, store=None)
+    assert results == [execute_spec(spec, None) for spec in SWEEP_SPECS]
+
+
+def test_toggle_on_plans_groups_once(monkeypatch):
+    """The default path derives one key per sweep spec and calls
+    ``plan_groups`` exactly once over them."""
+    calls = []
+    real = work.plan_groups
+
+    def spy(keys):
+        calls.append(list(keys))
+        return real(keys)
+
+    monkeypatch.setattr(work, "plan_groups", spy)
+    grouped = execute_specs(SWEEP_SPECS, store=None)
+    assert len(calls) == 1
+    assert len(calls[0]) == len(SWEEP_SPECS)
+
+    monkeypatch.setenv("REPRO_GRID_REPLAY", "0")
+    scalar = execute_specs(SWEEP_SPECS, store=None)
+    assert grouped == scalar  # the toggle is behavior-free
+
+
+def test_toggle_off_results_match_per_spec_order(monkeypatch):
+    """Mixed batches keep spec order on the off path too."""
+    monkeypatch.setenv("REPRO_GRID_REPLAY", "0")
+    results = execute_specs(list(reversed(SWEEP_SPECS)), store=None)
+    assert [r.policy for r in results] == [
+        spec.policy.display for spec in reversed(SWEEP_SPECS)
+    ]

@@ -54,9 +54,16 @@ def scalar_grid(runner, spec, cells):
 
 
 def grouped_grid(runner, spec, cells):
-    """The same cells through one shared replay group."""
+    """The same cells through one shared replay group.
+
+    Pinned to the grouped per-cell loop (``lockstep=False``): this file
+    is the PR-7 wall for the *grouping* layer.  The lockstep SoA engine
+    has its own wall in ``test_lockstep_equivalence.py``.
+    """
     return runner.run_mix_group(
-        spec, [(policy.build(), scheme) for policy, scheme in cells]
+        spec,
+        [(policy.build(), scheme) for policy, scheme in cells],
+        lockstep=False,
     )
 
 

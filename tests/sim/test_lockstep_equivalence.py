@@ -1,0 +1,298 @@
+"""Lockstep SoA replay vs the scalar per-cell oracle: the PR-10 wall.
+
+:mod:`repro.sim.lockstep` advances every cell of a replay group in
+lockstep over the group's shared arrival/work arrays.  The contract it
+makes is the same one the grouping layer made in PR 7, one level up:
+any set of policy and scheme cells replayed through the lockstep
+engine leaves every cell's latency pool, utilization counter,
+batch-app progress, and final fill state **bit-identical** (``==`` on
+raw floats, no tolerance) to the scalar ``run_mix`` oracle — at every
+group size (including the wide numpy-masked driver), across all
+registry policies, loads, seeds, heterogeneous-scheme groups, and the
+divergent deboost/watermark paths that force the scalar fallback.
+"""
+
+import pytest
+
+from repro.runtime.spec import PolicySpec, SchemeSpec
+from repro.sim.config import CMPConfig
+from repro.sim.lockstep import _WIDE_GROUP, lockstep_enabled
+from repro.sim.mix_runner import MixRunner
+from repro.workloads.mixes import make_mix_specs
+
+LLC_LINES = CMPConfig().llc_lines
+
+#: Every policy in the registry appears, several with schemes attached:
+#: a lockstep group is heterogeneous by construction (differing
+#: decisions over shared state are what a group compares), so the wall
+#: must hold with boost/deboost (ubik), lookahead allocators (ucp,
+#: static_lc), thrash-toggling (onoff), and the no-op baselines (fixed,
+#: lru) advancing *in the same group*.
+MIXED_ROSTER = (
+    ("ubik", {"slack": 0.05}, "vantage_sa16"),
+    ("ucp", {}, None),
+    ("static_lc", {}, "waypart_sa16"),
+    ("onoff", {}, None),
+    ("ubik", {"slack": 0.0}, None),
+    ("fixed", {}, "vantage_sa64"),
+    ("lru", {}, None),
+    ("ucp", {}, "vantage_sa16"),
+)
+
+#: A roster wide enough (>= _WIDE_GROUP cells) to engage the numpy
+#: masked arrival driver rather than the python-list narrow path.
+WIDE_ROSTER = (
+    ("ubik", {"slack": 0.0}, None),
+    ("ubik", {"slack": 0.05}, "vantage_sa16"),
+    ("ucp", {}, None),
+    ("static_lc", {}, None),
+    ("onoff", {}, "vantage_sa16"),
+    ("fixed", {}, None),
+    ("lru", {}, None),
+    ("ubik", {"slack": 0.1}, None),
+    ("ucp", {}, "waypart_sa16"),
+    ("static_lc", {}, "vantage_sa64"),
+    ("onoff", {}, None),
+    ("ubik", {"slack": 0.05}, "waypart_sa64"),
+    ("fixed", {}, "vantage_sa16"),
+    ("ucp", {}, "vantage_sa64"),
+)
+
+
+def mix_spec(load=0.2, lc_name="masstree"):
+    return make_mix_specs(
+        lc_names=[lc_name], loads=[load], mixes_per_combo=1
+    )[0]
+
+
+def build_cells(roster):
+    """Fresh policy/scheme objects — both are stateful controllers, so
+    every arm (oracle, grouped, lockstep) must get its own."""
+    return [
+        (
+            PolicySpec.of(name, **kwargs).build(),
+            SchemeSpec.of(scheme).build(LLC_LINES) if scheme else None,
+        )
+        for name, kwargs, scheme in roster
+    ]
+
+
+def oracle_grid(runner, spec, roster):
+    """The oracle: each cell replayed alone through scalar run_mix."""
+    return [
+        runner.run_mix(spec, policy, scheme=scheme)
+        for policy, scheme in build_cells(roster)
+    ]
+
+
+def lockstep_grid(runner, spec, roster):
+    """The same cells advanced in lockstep through one group."""
+    return runner.run_mix_group(spec, build_cells(roster), lockstep=True)
+
+
+def assert_cells_identical(lockstep, oracle):
+    """Bit-identity, field by field, then whole-result equality."""
+    assert len(lockstep) == len(oracle)
+    for got, want in zip(lockstep, oracle):
+        for g_inst, o_inst in zip(got.lc_instances, want.lc_instances):
+            assert g_inst.latencies == o_inst.latencies  # raw float ==
+            assert g_inst.requests_served == o_inst.requests_served
+            assert g_inst.activations == o_inst.activations
+            assert g_inst.deboosts == o_inst.deboosts
+            assert g_inst.watermarks == o_inst.watermarks
+        for g_batch, o_batch in zip(got.batch_apps, want.batch_apps):
+            assert g_batch.instructions == o_batch.instructions
+            assert g_batch.cycles == o_batch.cycles
+        assert got.duration_cycles == want.duration_cycles
+        assert got == want  # every remaining field, exactly
+
+
+class TestGroupSizes:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_bit_identical_at_every_group_size(self, size):
+        """A lockstep group of N cells equals N oracle runs — including
+        the degenerate single-cell group."""
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.2)
+        roster = MIXED_ROSTER[:size]
+        assert_cells_identical(
+            lockstep_grid(runner, spec, roster),
+            oracle_grid(runner, spec, roster),
+        )
+
+    def test_wide_group_engages_masked_driver_and_matches(self):
+        """At >= _WIDE_GROUP cells the driver switches to numpy masked
+        arrival fan-out; the wall must hold there too."""
+        assert len(WIDE_ROSTER) >= _WIDE_GROUP
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.2)
+        assert_cells_identical(
+            lockstep_grid(runner, spec, WIDE_ROSTER),
+            oracle_grid(runner, spec, WIDE_ROSTER),
+        )
+
+
+class TestGridAxes:
+    @pytest.mark.parametrize("load", [0.2, 0.6])
+    @pytest.mark.parametrize("seed", [5, 2014])
+    def test_bit_identical_across_loads_and_seeds(self, load, seed):
+        runner = MixRunner(requests=40, seed=seed)
+        spec = mix_spec(load=load)
+        roster = MIXED_ROSTER[:4]
+        assert_cells_identical(
+            lockstep_grid(runner, spec, roster),
+            oracle_grid(runner, spec, roster),
+        )
+
+    @pytest.mark.parametrize("lc_name", ["xapian", "moses"])
+    def test_bit_identical_across_lc_workloads(self, lc_name):
+        runner = MixRunner(requests=40, seed=5)
+        spec = mix_spec(load=0.6, lc_name=lc_name)
+        roster = MIXED_ROSTER[:4]
+        assert_cells_identical(
+            lockstep_grid(runner, spec, roster),
+            oracle_grid(runner, spec, roster),
+        )
+
+
+class TestDivergentEvents:
+    """Deboosts and watermark firings are the genuinely divergent
+    events — the lockstep engine must fall back to the scalar path for
+    them and still match the oracle bit for bit."""
+
+    def test_watermark_firing_group_matches(self):
+        runner = MixRunner(requests=60, seed=11)
+        spec = mix_spec(load=0.5, lc_name="shore")
+        roster = WIDE_ROSTER[:8]
+        results = oracle_grid(runner, spec, roster)
+        fired = sum(
+            inst.watermarks for res in results for inst in res.lc_instances
+        )
+        assert fired > 0  # the config must actually exercise the path
+        assert_cells_identical(lockstep_grid(runner, spec, roster), results)
+
+    def test_deboost_firing_wide_group_matches(self):
+        """Deboosts under the wide masked driver: divergence and the
+        numpy arrival fan-out in the same run."""
+        runner = MixRunner(requests=60, seed=4)
+        spec = mix_spec(load=0.4, lc_name="shore")
+        results = oracle_grid(runner, spec, WIDE_ROSTER)
+        deboosts = sum(
+            inst.deboosts for res in results for inst in res.lc_instances
+        )
+        assert deboosts > 0  # the config must actually exercise the path
+        assert_cells_identical(
+            lockstep_grid(runner, spec, WIDE_ROSTER), results
+        )
+
+
+class TestFinalFillState:
+    def _lc_specs(self, runner, spec):
+        from repro.sim.engine import LCInstanceSpec
+
+        baseline = runner.baseline(spec.lc_workload, spec.load)
+        lc_specs = []
+        for instance in range(3):
+            arrivals, works = runner.stream(
+                spec.lc_workload, spec.load, instance
+            )
+            lc_specs.append(
+                LCInstanceSpec(
+                    workload=spec.lc_workload,
+                    arrivals=arrivals,
+                    works=works,
+                    deadline_cycles=baseline.p95_cycles,
+                    target_tail_cycles=baseline.tail95_cycles,
+                    load=spec.load,
+                )
+            )
+        return lc_specs
+
+    def test_final_fill_and_partition_state_identical(self):
+        """Beyond the result documents: each cell's *final* fill state
+        — resident lines, targets, effective targets, miss ratio per
+        app — must agree exactly after a lockstep group run and the
+        scalar oracle run of the same roster."""
+        from repro.sim.engine import MixEngine
+        from repro.sim.grid_replay import GroupShared
+        from repro.sim.lockstep import LockstepEngine, run_lockstep_group
+
+        spec = mix_spec(load=0.2)
+        roster = MIXED_ROSTER[:4]
+
+        def final_fill_states(lockstep):
+            runner = MixRunner(requests=40, seed=5)
+            lc_specs = self._lc_specs(runner, spec)
+            engine_cls = LockstepEngine if lockstep else MixEngine
+            shared = GroupShared() if lockstep else None
+            engines = [
+                engine_cls(
+                    lc_specs=lc_specs,
+                    batch_workloads=list(spec.batch_apps),
+                    policy=policy,
+                    config=runner.config,
+                    scheme=scheme,
+                    seed=runner.seed,
+                    baseline_lines=float(spec.lc_workload.target_lines),
+                    mix_id=spec.mix_id,
+                    shared=shared,
+                )
+                for policy, scheme in build_cells(roster)
+            ]
+            if lockstep:
+                run_lockstep_group(engines)
+            else:
+                for engine in engines:
+                    engine.run()
+            return [
+                [
+                    (
+                        app.fill.resident,
+                        app.fill.target,
+                        app.fill.effective_target,
+                        app.fill.miss_ratio(),
+                    )
+                    for app in engine.apps
+                ]
+                for engine in engines
+            ]
+
+        assert final_fill_states(True) == final_fill_states(False)
+
+
+class TestEnvToggle:
+    def test_lockstep_enabled_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKSTEP", raising=False)
+        assert lockstep_enabled()  # default on
+        for off in ("0", "off", "false", "no", " OFF "):
+            monkeypatch.setenv("REPRO_LOCKSTEP", off)
+            assert not lockstep_enabled()
+        monkeypatch.setenv("REPRO_LOCKSTEP", "1")
+        assert lockstep_enabled()
+
+    def test_run_mix_group_honors_toggle(self, monkeypatch):
+        """With REPRO_LOCKSTEP=0 a group replays through the grouped
+        per-cell loop — and the results are identical either way, which
+        is what makes the toggle a pure escape hatch."""
+        import repro.sim.mix_runner as mix_runner_module
+
+        calls = []
+        real = mix_runner_module.run_lockstep_group
+
+        def spy(engines):
+            calls.append(len(engines))
+            return real(engines)
+
+        monkeypatch.setattr(mix_runner_module, "run_lockstep_group", spy)
+        spec = mix_spec(load=0.2)
+        roster = MIXED_ROSTER[:2]
+
+        monkeypatch.setenv("REPRO_LOCKSTEP", "0")
+        runner = MixRunner(requests=40, seed=5)
+        off_results = runner.run_mix_group(spec, build_cells(roster))
+        assert calls == []  # toggle off: lockstep never entered
+
+        monkeypatch.delenv("REPRO_LOCKSTEP", raising=False)
+        on_results = runner.run_mix_group(spec, build_cells(roster))
+        assert calls == [len(roster)]  # default on: lockstep drove it
+        assert on_results == off_results

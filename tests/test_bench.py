@@ -44,6 +44,7 @@ class TestRunBench:
             "warm_sweep_grid",
             "stream_synthesis",
             "joint_replay_grid",
+            "lockstep_replay",
         ],
     )
     def test_compared_kernels_record_baseline_and_speedup(
@@ -117,6 +118,16 @@ class TestRunBench:
         monkeypatch.setattr(bench, "_mix_results_identical", lambda a, b: False)
         with pytest.raises(RuntimeError, match="per-cell oracle"):
             bench._bench_joint_replay_grid(20, 1)
+
+    def test_lockstep_replay_refuses_to_time_a_divergence(self, monkeypatch):
+        """Same wall for the lockstep kernel: its arm is verified
+        against the grouped loop before timing, through the same
+        equality seam."""
+        import repro.bench as bench
+
+        monkeypatch.setattr(bench, "_mix_results_identical", lambda a, b: False)
+        with pytest.raises(RuntimeError, match="grouped event loop"):
+            bench._bench_lockstep_replay(20, 1)
 
 
 class TestSchemaGate:
@@ -202,6 +213,11 @@ class TestWriteBench:
                 replay = payload["kernels"]["joint_replay_grid"]
                 assert replay["verified_identical"] is True
                 assert replay["speedup"] >= 2.0
+            if document.name == "BENCH_pr10.json":
+                assert payload["schema"] == BENCH_SCHEMA
+                lockstep = payload["kernels"]["lockstep_replay"]
+                assert lockstep["verified_identical"] is True
+                assert lockstep["speedup"] >= 2.0
 
     def test_legacy_generation_validates_against_its_own_kernels(self):
         """A repro-bench/1 document (BENCH_pr4.json) must stay valid
@@ -234,7 +250,11 @@ class TestWriteBench:
         assert validate_bench(payload) == []
         retagged = dict(payload, schema=BENCH_SCHEMA)
         missing = set(KERNEL_NAMES) - set(V3_KERNEL_NAMES)
-        assert missing == {"joint_replay_grid", "cluster_roundtrip"}
+        assert missing == {
+            "joint_replay_grid",
+            "cluster_roundtrip",
+            "lockstep_replay",
+        }
         problems = validate_bench(retagged)
         for name in missing:
             assert any(name in p for p in problems)
@@ -277,10 +297,76 @@ class TestWriteBench:
         assert set(STORE_BACKEND_NAMES) <= set(backends)
         retagged = dict(payload, schema=BENCH_SCHEMA)
         missing = set(KERNEL_NAMES) - set(V5_KERNEL_NAMES)
-        assert missing == {"cluster_roundtrip"}
+        assert missing == {"cluster_roundtrip", "lockstep_replay"}
         problems = validate_bench(retagged)
         for name in missing:
             assert any(name in p for p in problems)
+
+
+    def test_v6_generation_validates_against_its_own_kernels(self):
+        """A repro-bench/6 document (BENCH_pr9.json) predates the
+        lockstep kernel: it must stay valid as-is, and retagging it as
+        the current generation must flag the missing lockstep_replay
+        entry."""
+        import pathlib
+
+        from repro.bench import BENCH_SCHEMA_V6, V6_KERNEL_NAMES
+
+        perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        payload = json.loads((perf / "BENCH_pr9.json").read_text())
+        assert payload["schema"] == BENCH_SCHEMA_V6
+        assert validate_bench(payload) == []
+        retagged = dict(payload, schema=BENCH_SCHEMA)
+        missing = set(KERNEL_NAMES) - set(V6_KERNEL_NAMES)
+        assert missing == {"lockstep_replay"}
+        problems = validate_bench(retagged)
+        for name in missing:
+            assert any(name in p for p in problems)
+
+
+class TestCompareBench:
+    def test_same_generation_compare(self, quick_payload):
+        from repro.bench import compare_bench
+
+        comparison = compare_bench(quick_payload, quick_payload)
+        assert set(comparison["kernels"]) == set(KERNEL_NAMES)
+        assert comparison["only_old"] == comparison["only_new"] == []
+        for row in comparison["kernels"].values():
+            assert row["ratio"] == pytest.approx(1.0)
+        lockstep = comparison["kernels"]["lockstep_replay"]
+        assert lockstep["floor"] == 2.0
+        assert isinstance(lockstep["floor_met"], bool)
+
+    def test_cross_generation_compare(self, quick_payload):
+        """An older committed document compares over the shared kernel
+        set; kernels its generation predates land in only_new."""
+        import pathlib
+
+        from repro.bench import compare_bench
+
+        perf = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        old = json.loads((perf / "BENCH_pr9.json").read_text())
+        comparison = compare_bench(old, quick_payload)
+        assert comparison["only_new"] == ["lockstep_replay"]
+        assert "lockstep_replay" not in comparison["kernels"]
+        assert "joint_replay_grid" in comparison["kernels"]
+        floor_row = comparison["kernels"]["joint_replay_grid"]
+        assert floor_row["floor"] == 2.0
+
+    def test_rejects_invalid_documents(self, quick_payload):
+        from repro.bench import compare_bench
+
+        with pytest.raises(ValueError, match="old document"):
+            compare_bench({}, quick_payload)
+        with pytest.raises(ValueError, match="new document"):
+            compare_bench(quick_payload, {"schema": "nope"})
+
+    def test_format_compare_reports_floor_status(self, quick_payload):
+        from repro.bench import compare_bench, format_compare
+
+        text = format_compare(compare_bench(quick_payload, quick_payload))
+        assert "lockstep_replay" in text
+        assert "floor 2.0x" in text
 
 
 def test_format_bench_lists_every_kernel(quick_payload):

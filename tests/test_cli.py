@@ -422,3 +422,43 @@ class TestClusterCLI:
         out = capsys.readouterr().out
         assert "e0.db" in out
         assert "e1.db" in out
+
+
+class TestBenchCompareCLI:
+    def test_compare_two_committed_documents(self, capsys):
+        """``bench --compare`` diffs two trajectory documents without
+        running any kernel — fast enough for tier-1."""
+        perf = Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--compare",
+                    str(perf / "BENCH_pr7.json"),
+                    str(perf / "BENCH_pr9.json"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "joint_replay_grid" in out
+        assert "floor 2.0x" in out
+        assert "only in new: cluster_roundtrip" in out
+
+    def test_compare_rejects_invalid_document(self, tmp_path):
+        perf = Path(__file__).resolve().parents[1] / "benchmarks" / "perf"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError, match="old document"):
+            main(
+                [
+                    "bench",
+                    "--compare",
+                    str(bad),
+                    str(perf / "BENCH_pr9.json"),
+                ]
+            )
+
+    def test_list_mentions_bench(self, capsys):
+        assert main(["list"]) == 0
+        assert "bench" in capsys.readouterr().out

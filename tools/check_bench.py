@@ -12,19 +12,23 @@ the CI bench smoke job is immune to machine noise.  The actual rules
 live in :func:`repro.bench.validate_bench`; this wrapper just feeds it
 files, exactly like ``tools/check_docs.py`` wraps the docs gate.
 
-Validation is generation-aware: ``repro-bench/6`` documents (the
-current schema) must carry all nine kernels — including the
+Validation is generation-aware: ``repro-bench/7`` documents (the
+current schema) must carry all ten kernels — including the
+``lockstep_replay`` entry comparing the lockstep SoA replay engine
+against the grouped per-cell event loop (with its
+baseline/speedup/``verified_identical`` fields; the committed PR-10
+floor is a ≥2× speedup on the pinned fixed-allocation grid), the
 ``cluster_roundtrip`` entry timing a real 3-node/R=2 ``cluster://``
 fabric (replicated put, healthy get, and ``degraded_get`` percentiles
 measured with one node's socket closed, so the failover tail is a
 tracked number), the ``joint_replay_grid`` entry comparing the
-batched replay-group path against the per-cell oracle (with its
-baseline/speedup/``verified_identical`` fields), the sweep-level
-``warm_sweep_grid``/``stream_synthesis`` comparison entries, and the
-per-backend ``store_backend_roundtrip`` entry with p50/p90/p99
-put/get percentiles for every storage engine, http included (timed
-against a live served store, so the number prices the network hop) —
-while committed ``repro-bench/5`` (eight-kernel, pre-cluster),
+batched replay-group path against the per-cell oracle, the
+sweep-level ``warm_sweep_grid``/``stream_synthesis`` comparison
+entries, and the per-backend ``store_backend_roundtrip`` entry with
+p50/p90/p99 put/get percentiles for every storage engine, http
+included (timed against a live served store, so the number prices the
+network hop) — while committed ``repro-bench/6`` (nine-kernel,
+pre-lockstep), ``repro-bench/5`` (eight-kernel, pre-cluster),
 ``repro-bench/4`` (three-backend store kernel, pre-http),
 ``repro-bench/3`` (seven-kernel), ``repro-bench/2`` (six-kernel) and
 ``repro-bench/1`` (four-kernel) documents are held to their own
